@@ -1,0 +1,100 @@
+//! Host-measured analogue of the paper's Fig. 4: time of each tile kernel
+//! (GEQRT = T, TSQRT = E, UNMQR/TSMQR = UT/UE) versus tile size, on the
+//! CPU we actually have. The shapes — cubic growth, updates cheapest,
+//! eliminations between — mirror the published curves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use tileqr::gen::random_matrix;
+use tileqr::kernels::{flops, geqrt, tsmqr, tsqrt, unmqr};
+use tileqr::Matrix;
+
+const TILE_SIZES: [usize; 5] = [8, 16, 32, 64, 128];
+
+fn factored_tile(b: usize, seed: u64) -> (Matrix<f64>, Matrix<f64>) {
+    let mut a = random_matrix::<f64>(b, b, seed);
+    let t = geqrt(&mut a).unwrap();
+    (a, t)
+}
+
+fn eliminated_pair(b: usize, seed: u64) -> (Matrix<f64>, Matrix<f64>) {
+    let mut r1 = random_matrix::<f64>(b, b, seed).upper_triangular();
+    let mut v2 = random_matrix::<f64>(b, b, seed + 1);
+    let t = tsqrt(&mut r1, &mut v2).unwrap();
+    (v2, t)
+}
+
+fn bench_geqrt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_host/geqrt");
+    for b in TILE_SIZES {
+        group.throughput(Throughput::Elements(flops::geqrt_flops(b)));
+        group.bench_with_input(BenchmarkId::from_parameter(b), &b, |bench, &b| {
+            let a = random_matrix::<f64>(b, b, 1);
+            bench.iter(|| {
+                let mut work = a.clone();
+                black_box(geqrt(&mut work).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_tsqrt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_host/tsqrt");
+    for b in TILE_SIZES {
+        group.throughput(Throughput::Elements(flops::tsqrt_flops(b)));
+        group.bench_with_input(BenchmarkId::from_parameter(b), &b, |bench, &b| {
+            let r1 = random_matrix::<f64>(b, b, 2).upper_triangular();
+            let a2 = random_matrix::<f64>(b, b, 3);
+            bench.iter(|| {
+                let mut r = r1.clone();
+                let mut a = a2.clone();
+                black_box(tsqrt(&mut r, &mut a).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_unmqr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_host/unmqr");
+    for b in TILE_SIZES {
+        group.throughput(Throughput::Elements(flops::unmqr_flops(b)));
+        group.bench_with_input(BenchmarkId::from_parameter(b), &b, |bench, &b| {
+            let (vr, t) = factored_tile(b, 4);
+            let c0 = random_matrix::<f64>(b, b, 5);
+            bench.iter(|| {
+                let mut c = c0.clone();
+                unmqr(&vr, &t, &mut c).unwrap();
+                black_box(&c);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_tsmqr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_host/tsmqr");
+    for b in TILE_SIZES {
+        group.throughput(Throughput::Elements(flops::tsmqr_flops(b)));
+        group.bench_with_input(BenchmarkId::from_parameter(b), &b, |bench, &b| {
+            let (v2, t) = eliminated_pair(b, 6);
+            let a1 = random_matrix::<f64>(b, b, 7);
+            let a2 = random_matrix::<f64>(b, b, 8);
+            bench.iter(|| {
+                let mut x1 = a1.clone();
+                let mut x2 = a2.clone();
+                tsmqr(&v2, &t, &mut x1, &mut x2).unwrap();
+                black_box((&x1, &x2));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_geqrt, bench_tsqrt, bench_unmqr, bench_tsmqr
+}
+criterion_main!(benches);

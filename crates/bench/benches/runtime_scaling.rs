@@ -1,0 +1,41 @@
+//! Real-thread scalability of the manager/worker runtime (the host-side
+//! analogue of the paper's Fig. 8): tiled QR wall time versus the number
+//! of computing threads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use tileqr::gen::random_matrix;
+use tileqr::kernels::flops;
+use tileqr::prelude::*;
+
+fn bench_workers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime/workers");
+    let n = 512;
+    let b = 64;
+    let max = std::thread::available_parallelism().map_or(4, |v| v.get());
+    let mut counts = vec![1usize, 2, 4];
+    if max > 4 {
+        counts.push(max);
+    }
+    counts.dedup();
+    for workers in counts {
+        group.throughput(Throughput::Elements(flops::qr_flops(n, n)));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |bench, &workers| {
+                let a = random_matrix::<f64>(n, n, 7);
+                let opts = QrOptions::new().tile_size(b).workers(workers);
+                bench.iter(|| black_box(TiledQr::factor(&a, &opts).unwrap()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_workers
+}
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! Regenerate every table and figure of the paper's evaluation section.
+fn main() {
+    tileqr_bench::fig4::print();
+    tileqr_bench::tab1::print();
+    tileqr_bench::fig5::print();
+    tileqr_bench::fig6::print();
+    tileqr_bench::fig8::print();
+    tileqr_bench::fig9::print();
+    tileqr_bench::tab3::print();
+    tileqr_bench::fig10::print();
+}

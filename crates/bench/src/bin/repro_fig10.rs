@@ -1,0 +1,4 @@
+//! Regenerate the paper's Fig10 (see `tileqr_bench::experiments::fig10`).
+fn main() {
+    tileqr_bench::fig10::print();
+}

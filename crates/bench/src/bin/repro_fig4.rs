@@ -1,0 +1,4 @@
+//! Regenerate the paper's Fig4 (see `tileqr_bench::experiments::fig4`).
+fn main() {
+    tileqr_bench::fig4::print();
+}

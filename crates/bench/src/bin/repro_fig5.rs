@@ -1,0 +1,4 @@
+//! Regenerate the paper's Fig5 (see `tileqr_bench::experiments::fig5`).
+fn main() {
+    tileqr_bench::fig5::print();
+}

@@ -1,0 +1,4 @@
+//! Regenerate the paper's Fig6 (see `tileqr_bench::experiments::fig6`).
+fn main() {
+    tileqr_bench::fig6::print();
+}

@@ -1,0 +1,4 @@
+//! Regenerate the paper's Fig8 (see `tileqr_bench::experiments::fig8`).
+fn main() {
+    tileqr_bench::fig8::print();
+}

@@ -1,0 +1,4 @@
+//! Regenerate the paper's Fig9 (see `tileqr_bench::experiments::fig9`).
+fn main() {
+    tileqr_bench::fig9::print();
+}

@@ -1,0 +1,4 @@
+//! Regenerate the paper's Tab1 (see `tileqr_bench::experiments::tab1`).
+fn main() {
+    tileqr_bench::tab1::print();
+}

@@ -1,0 +1,4 @@
+//! Regenerate the paper's Tab3 (see `tileqr_bench::experiments::tab3`).
+fn main() {
+    tileqr_bench::tab3::print();
+}

@@ -1,0 +1,142 @@
+//! Fig. 10: whole-QR time by tile-distribution strategy — the paper's
+//! distribution guide array versus cores-proportional and even
+//! distributions, for matrix sizes 3200–16000.
+
+use crate::experiments::{print_table, simulate, TILE};
+use tileqr::hetero::{profiles, DistributionStrategy, MainDevicePolicy};
+
+/// One x-position of the figure.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Matrix size.
+    pub n: usize,
+    /// Seconds with the distribution guide array (the paper's method).
+    pub guide_s: f64,
+    /// Seconds with cores-proportional shares.
+    pub cores_s: f64,
+    /// Seconds with even shares (CPU scaled by cores, per the paper).
+    pub even_s: f64,
+    /// Seconds with the boustrophedon guide array (our extension, not in
+    /// the paper — cancels Eq. 12's positional bias).
+    pub balanced_s: f64,
+}
+
+/// Matrix sizes of the paper's x-axis.
+pub const SIZES: [usize; 5] = [3200, 6400, 9600, 12800, 16000];
+
+/// Run all three strategies for all sizes (full CPU + 3 GPU platform).
+pub fn run() -> Vec<Row> {
+    let platform = profiles::paper_testbed(TILE);
+    SIZES
+        .iter()
+        .map(|&n| {
+            let t = |strategy| {
+                simulate(
+                    &platform,
+                    n,
+                    MainDevicePolicy::Fixed(0),
+                    strategy,
+                    Some(4),
+                )
+                .makespan_s()
+            };
+            Row {
+                n,
+                guide_s: t(DistributionStrategy::GuideArray),
+                cores_s: t(DistributionStrategy::CoresProportional),
+                even_s: t(DistributionStrategy::Even),
+                balanced_s: t(DistributionStrategy::GuideArrayBalanced),
+            }
+        })
+        .collect()
+}
+
+/// Print the figure as a table.
+pub fn print() {
+    let rows = run();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.n.to_string(),
+                format!("{:.3}", r.guide_s),
+                format!("{:.3}", r.cores_s),
+                format!("{:.3}", r.even_s),
+                format!("{:.3}", r.balanced_s),
+                format!("{:+.1}%", 100.0 * (r.even_s / r.guide_s - 1.0)),
+                format!("{:+.1}%", 100.0 * (r.cores_s / r.guide_s - 1.0)),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 10 — QR time (s) by tile distribution",
+        &[
+            "size",
+            "guide array",
+            "by cores",
+            "even",
+            "balanced (ext)",
+            "even vs guide",
+            "cores vs guide",
+        ],
+        &table,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_clearly_loses_at_large_sizes() {
+        let rows = run();
+        let r = rows.last().unwrap();
+        assert!(
+            r.even_s > r.guide_s * 1.15,
+            "even {} vs guide {}",
+            r.even_s,
+            r.guide_s
+        );
+    }
+
+    #[test]
+    fn guide_never_loses_materially() {
+        for r in run() {
+            // Eq. 12's positional bias costs the guide array a few percent
+            // at some sizes (see EXPERIMENTS.md and the GuideArrayBalanced
+            // extension); near-parity with cores-based is the contract.
+            assert!(
+                r.guide_s <= r.cores_s * 1.05,
+                "size {}: guide {} vs cores {}",
+                r.n,
+                r.guide_s,
+                r.cores_s
+            );
+            assert!(r.guide_s <= r.even_s * 1.02);
+        }
+    }
+
+    #[test]
+    fn balanced_extension_recovers_the_win() {
+        // The boustrophedon mapping should match or beat both baselines.
+        let r = run().into_iter().last().unwrap();
+        assert!(
+            r.balanced_s <= r.cores_s * 1.01,
+            "balanced {} vs cores {}",
+            r.balanced_s,
+            r.cores_s
+        );
+        assert!(r.balanced_s <= r.guide_s * 1.01);
+    }
+
+    #[test]
+    fn gaps_grow_with_size() {
+        // "For smaller matrix sizes, the distribution method does not have
+        // much effect … as the matrix size becomes larger, each method
+        // shows different increasing speed."
+        let rows = run();
+        let first_gap = rows.first().unwrap().even_s / rows.first().unwrap().guide_s;
+        let last_gap = rows.last().unwrap().even_s / rows.last().unwrap().guide_s;
+        assert!(last_gap >= first_gap * 0.95, "{first_gap} -> {last_gap}");
+    }
+}

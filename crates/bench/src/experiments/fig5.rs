@@ -1,0 +1,88 @@
+//! Fig. 5: proportion of calculation vs communication time, normalized by
+//! their sum, on the 4-core CPU + three GPUs, for matrix sizes 160–3840.
+
+use crate::experiments::{print_table, simulate, TILE};
+use tileqr::hetero::{profiles, DistributionStrategy, MainDevicePolicy};
+
+/// One bar of the figure.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Matrix size.
+    pub n: usize,
+    /// Calculation share of `calc + comm`.
+    pub calc_fraction: f64,
+    /// Communication share of `calc + comm`.
+    pub comm_fraction: f64,
+}
+
+/// Matrix sizes of the paper's x-axis.
+pub fn sizes() -> Vec<usize> {
+    (160..=3840).step_by(160).collect()
+}
+
+/// Run the sweep (all four devices participate, as in the paper).
+pub fn run() -> Vec<Row> {
+    let platform = profiles::paper_testbed(TILE);
+    sizes()
+        .into_iter()
+        .map(|n| {
+            let stats = simulate(
+                &platform,
+                n,
+                MainDevicePolicy::Auto,
+                DistributionStrategy::GuideArray,
+                Some(4),
+            );
+            let comm = stats.comm_fraction();
+            Row {
+                n,
+                calc_fraction: 1.0 - comm,
+                comm_fraction: comm,
+            }
+        })
+        .collect()
+}
+
+/// Print the figure as a table.
+pub fn print() {
+    let rows = run();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.n.to_string(),
+                format!("{:.1}%", 100.0 * r.calc_fraction),
+                format!("{:.1}%", 100.0 * r.comm_fraction),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 5 — calculation vs communication share (CPU + 3 GPUs)",
+        &["size", "calculation", "communication"],
+        &table,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_sum_to_one() {
+        for r in run() {
+            assert!((r.calc_fraction + r.comm_fraction - 1.0).abs() < 1e-12);
+            assert!(r.comm_fraction >= 0.0 && r.comm_fraction <= 1.0);
+        }
+    }
+
+    #[test]
+    fn comm_share_falls_with_size() {
+        let rows = run();
+        let small = rows.first().unwrap().comm_fraction;
+        let large = rows.last().unwrap().comm_fraction;
+        assert!(
+            small > 2.0 * large,
+            "expected a clear decrease: {small:.4} -> {large:.4}"
+        );
+    }
+}

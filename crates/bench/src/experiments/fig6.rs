@@ -1,0 +1,106 @@
+//! Fig. 6: whole-QR time for 1, 2 and 3 GPUs over matrix sizes 160–4000
+//! (the paper shows one full view plus two zoomed views of the same data).
+
+use crate::experiments::{print_table, simulate};
+use tileqr::hetero::{profiles, DistributionStrategy, MainDevicePolicy};
+
+/// One x-position of the figure.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Matrix size.
+    pub n: usize,
+    /// Seconds for 1 GPU (GTX580).
+    pub one_gpu_s: f64,
+    /// Seconds for 2 GPUs (GTX580 + GTX680).
+    pub two_gpus_s: f64,
+    /// Seconds for 3 GPUs.
+    pub three_gpus_s: f64,
+}
+
+impl Row {
+    /// Which device count was fastest (1, 2 or 3).
+    pub fn fastest(&self) -> usize {
+        let ts = [self.one_gpu_s, self.two_gpus_s, self.three_gpus_s];
+        (0..3).min_by(|&a, &b| ts[a].total_cmp(&ts[b])).unwrap() + 1
+    }
+}
+
+/// Matrix sizes of the paper's x-axis.
+pub fn sizes() -> Vec<usize> {
+    (160..=4000).step_by(160).collect()
+}
+
+/// Run the sweep on the GPU-only platform (GTX580 main, as selected).
+pub fn run() -> Vec<Row> {
+    let platform = profiles::testbed_subset(3, false, crate::experiments::TILE);
+    sizes()
+        .into_iter()
+        .map(|n| {
+            let t = |p: usize| {
+                simulate(
+                    &platform,
+                    n,
+                    MainDevicePolicy::Fixed(0),
+                    DistributionStrategy::GuideArray,
+                    Some(p),
+                )
+                .makespan_s()
+            };
+            Row {
+                n,
+                one_gpu_s: t(1),
+                two_gpus_s: t(2),
+                three_gpus_s: t(3),
+            }
+        })
+        .collect()
+}
+
+/// Print the figure as a table.
+pub fn print() {
+    let rows = run();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.n.to_string(),
+                format!("{:.4}", r.one_gpu_s),
+                format!("{:.4}", r.two_gpus_s),
+                format!("{:.4}", r.three_gpus_s),
+                format!("{}G", r.fastest()),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 6 — QR time (s) for 1/2/3 GPUs vs matrix size",
+        &["size", "1 GPU", "2 GPUs", "3 GPUs", "fastest"],
+        &table,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_regimes_appear_in_order() {
+        let rows = run();
+        let firsts = rows.first().unwrap().fastest();
+        let lasts = rows.last().unwrap().fastest();
+        assert_eq!(firsts, 1, "smallest sizes favour one GPU");
+        assert_eq!(lasts, 3, "largest sizes favour three GPUs");
+        // Fastest count never decreases with size.
+        let mut prev = 0;
+        for r in &rows {
+            let f = r.fastest();
+            assert!(f >= prev, "regression at {}", r.n);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn times_grow_with_size() {
+        let rows = run();
+        assert!(rows.last().unwrap().three_gpus_s > rows.first().unwrap().three_gpus_s);
+    }
+}

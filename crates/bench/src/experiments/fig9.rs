@@ -1,0 +1,121 @@
+//! Fig. 9: whole-QR time depending on the main-computing-device choice:
+//! GTX580 (the paper's selection), GTX680, no specific main device, and
+//! CPU, for matrix sizes 3200–16000.
+
+use crate::experiments::{print_table, simulate, TILE};
+use tileqr::hetero::{main_select, profiles, DistributionStrategy, MainDevicePolicy};
+
+/// One x-position of the figure.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Matrix size.
+    pub n: usize,
+    /// Seconds with the GTX580 as main (the paper's selection).
+    pub gtx580_s: f64,
+    /// Seconds with a GTX680 as main.
+    pub gtx680_s: f64,
+    /// Seconds with no specific main device.
+    pub none_s: f64,
+    /// Seconds with the CPU as main.
+    pub cpu_s: f64,
+}
+
+/// Matrix sizes of the paper's x-axis.
+pub const SIZES: [usize; 5] = [3200, 6400, 9600, 12800, 16000];
+
+/// Run all four policies for all sizes.
+pub fn run() -> Vec<Row> {
+    let platform = profiles::paper_testbed(TILE);
+    SIZES
+        .iter()
+        .map(|&n| {
+            let t = |policy| {
+                simulate(
+                    &platform,
+                    n,
+                    policy,
+                    DistributionStrategy::GuideArray,
+                    Some(4),
+                )
+                .makespan_s()
+            };
+            Row {
+                n,
+                gtx580_s: t(MainDevicePolicy::Fixed(0)),
+                gtx680_s: t(MainDevicePolicy::Fixed(1)),
+                none_s: t(MainDevicePolicy::None),
+                cpu_s: t(MainDevicePolicy::Fixed(3)),
+            }
+        })
+        .collect()
+}
+
+/// Print the figure as a table.
+pub fn print() {
+    let platform = profiles::paper_testbed(TILE);
+    let rows = run();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.n.to_string(),
+                format!("{:.3}", r.gtx580_s),
+                format!("{:.3}", r.gtx680_s),
+                format!("{:.3}", r.none_s),
+                format!("{:.3}", r.cpu_s),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 9 — QR time (s) by main computing device",
+        &["size", "GTX580 (ours)", "GTX680", "None", "CPU"],
+        &table,
+    );
+    let sel = main_select::select_main_device(&platform, 1000, 1000);
+    println!(
+        "Algorithm 2 selects: {} (device {})",
+        platform.device(sel.device).name,
+        sel.device
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_as_main_is_worst_by_far() {
+        for r in run() {
+            assert!(r.cpu_s > 3.0 * r.gtx580_s, "size {}: {r:?}", r.n);
+            assert!(r.cpu_s > r.gtx680_s && r.cpu_s > r.none_s);
+        }
+    }
+
+    #[test]
+    fn gtx580_at_least_competitive() {
+        // The paper reports a 13% win over GTX680-as-main; our calibration
+        // compresses the margin to low single digits (see EXPERIMENTS.md),
+        // so assert near-parity-or-better.
+        for r in run() {
+            assert!(
+                r.gtx580_s <= r.gtx680_s * 1.05,
+                "size {}: 580 {} vs 680 {}",
+                r.n,
+                r.gtx580_s,
+                r.gtx680_s
+            );
+        }
+    }
+
+    #[test]
+    fn algorithm2_picks_gtx580() {
+        let platform = profiles::paper_testbed(TILE);
+        for &n in &SIZES {
+            let nt = n / TILE;
+            assert_eq!(
+                main_select::select_main_device(&platform, nt, nt).device,
+                0
+            );
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! The user-facing factorization object.
+
+use crate::options::QrOptions;
+use tileqr_dag::TaskGraph;
+use tileqr_kernels::exec::{apply_q_dense, apply_qt_dense, FactorState};
+use tileqr_matrix::{Matrix, MatrixError, Result, Scalar, TiledMatrix};
+use tileqr_runtime::{parallel_factor, PoolConfig};
+
+/// A completed tiled QR factorization `A = Q R`.
+///
+/// `Q` is held implicitly as Householder blocks inside the factored tiles;
+/// [`TiledQr::q`] materializes it, [`TiledQr::apply_qt`] /
+/// [`TiledQr::apply_q`] apply it without materializing, and
+/// [`TiledQr::solve`] uses it for linear systems and least-squares
+/// problems (the paper's motivating use, Eqs. 2–3).
+#[derive(Debug, Clone)]
+pub struct TiledQr<T: Scalar> {
+    state: FactorState<T>,
+    graph: TaskGraph,
+    rows: usize,
+    cols: usize,
+}
+
+impl<T: Scalar> TiledQr<T> {
+    /// Factor `a` (requires `rows >= cols`).
+    pub fn factor(a: &Matrix<T>, opts: &QrOptions) -> Result<Self> {
+        let (rows, cols) = a.dims();
+        if rows < cols {
+            return Err(MatrixError::DimensionMismatch {
+                op: "TiledQr::factor (needs rows >= cols)",
+                lhs: (rows, cols),
+                rhs: (cols, cols),
+            });
+        }
+        let tiled = TiledMatrix::from_matrix(a, opts.get_tile_size())?;
+        let graph = TaskGraph::build(tiled.tile_rows(), tiled.tile_cols(), opts.get_order());
+        let state = FactorState::new(tiled);
+        let state = if opts.get_workers() == 1 {
+            let mut s = state;
+            s.run_all(&graph)?;
+            s
+        } else {
+            parallel_factor(
+                state,
+                &graph,
+                PoolConfig {
+                    workers: opts.get_workers(),
+                },
+            )?
+        };
+        Ok(TiledQr {
+            state,
+            graph,
+            rows,
+            cols,
+        })
+    }
+
+    /// Original (unpadded) dimensions of the factored matrix.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// The task graph the factorization executed.
+    pub fn graph(&self) -> &TaskGraph {
+        &self.graph
+    }
+
+    /// The internal factor state (tiles + reflector factors).
+    pub fn state(&self) -> &FactorState<T> {
+        &self.state
+    }
+
+    /// The upper-triangular factor `R` (`rows x cols`, unpadded).
+    pub fn r(&self) -> Matrix<T> {
+        let full = self.state.r_matrix();
+        // r_matrix returns the unpadded dims already.
+        debug_assert_eq!(full.dims(), (self.rows, self.cols));
+        full
+    }
+
+    /// Materialize the orthogonal factor `Q` (`rows x rows`).
+    pub fn q(&self) -> Result<Matrix<T>> {
+        let (pm, _) = self.state.tiles().padded_dims();
+        let mut q = Matrix::identity(pm);
+        apply_q_dense(&self.state, &self.graph, &mut q)?;
+        q.submatrix(0, 0, self.rows, self.rows)
+    }
+
+    /// Compute `Qᵀ c` for a dense `c` with `rows` rows, without forming `Q`.
+    pub fn apply_qt(&self, c: &Matrix<T>) -> Result<Matrix<T>> {
+        let padded = self.pad_rows(c)?;
+        let mut work = padded;
+        apply_qt_dense(&self.state, &self.graph, &mut work)?;
+        work.submatrix(0, 0, self.rows, c.cols())
+    }
+
+    /// Compute `Q c` for a dense `c` with `rows` rows, without forming `Q`.
+    pub fn apply_q(&self, c: &Matrix<T>) -> Result<Matrix<T>> {
+        let padded = self.pad_rows(c)?;
+        let mut work = padded;
+        apply_q_dense(&self.state, &self.graph, &mut work)?;
+        work.submatrix(0, 0, self.rows, c.cols())
+    }
+
+    fn pad_rows(&self, c: &Matrix<T>) -> Result<Matrix<T>> {
+        if c.rows() != self.rows {
+            return Err(MatrixError::DimensionMismatch {
+                op: "apply_q/apply_qt (row count)",
+                lhs: (self.rows, 0),
+                rhs: c.dims(),
+            });
+        }
+        let (pm, _) = self.state.tiles().padded_dims();
+        let mut out = Matrix::zeros(pm, c.cols());
+        out.set_submatrix(0, 0, c)?;
+        Ok(out)
+    }
+
+    /// Solve `A x = b` (square `A`) or the least-squares problem
+    /// `min ‖A x − b‖₂` (tall `A`): `x = R⁻¹ (Qᵀ b)₁..ₙ` (paper Eqs. 2–3).
+    pub fn solve(&self, b: &[T]) -> Result<Vec<T>> {
+        if b.len() != self.rows {
+            return Err(MatrixError::DimensionMismatch {
+                op: "solve (rhs length)",
+                lhs: (self.rows, 1),
+                rhs: (b.len(), 1),
+            });
+        }
+        let bm = Matrix::from_col_major(self.rows, 1, b.to_vec())?;
+        let qtb = self.apply_qt(&bm)?;
+        let r_sq = self.r().submatrix(0, 0, self.cols, self.cols)?;
+        tileqr_matrix::ops::solve_upper_triangular(&r_sq, &qtb.as_slice()[..self.cols])
+    }
+
+    /// Solve against multiple right-hand sides at once.
+    pub fn solve_matrix(&self, b: &Matrix<T>) -> Result<Matrix<T>> {
+        let qtb = self.apply_qt(b)?;
+        let r_sq = self.r().submatrix(0, 0, self.cols, self.cols)?;
+        let top = qtb.submatrix(0, 0, self.cols, b.cols())?;
+        tileqr_matrix::ops::solve_upper_triangular_matrix(&r_sq, &top)
+    }
+
+    /// Estimate the 2-norm condition number of a square `A` from its `R`
+    /// factor (`κ₂(A) = κ₂(R)` since `Q` is orthogonal), by power
+    /// iteration with triangular solves. Errors on exactly singular `R`.
+    pub fn condition_estimate(&self) -> Result<T> {
+        if self.rows != self.cols {
+            return Err(MatrixError::NotSquare {
+                dims: (self.rows, self.cols),
+            });
+        }
+        let r = self.r();
+        tileqr_matrix::ops::triangular_condition_est(&r, 30)
+    }
+
+    /// Absolute value of `det(A)` for square `A`: the product of `|R|`'s
+    /// diagonal (`|det Q| = 1`).
+    pub fn det_abs(&self) -> Result<T> {
+        if self.rows != self.cols {
+            return Err(MatrixError::NotSquare {
+                dims: (self.rows, self.cols),
+            });
+        }
+        let r = self.r();
+        let mut d = T::ONE;
+        for i in 0..self.cols {
+            d *= r[(i, i)].abs();
+        }
+        Ok(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tileqr_matrix::gen::{diagonally_dominant, random_matrix, random_vector};
+    use tileqr_matrix::ops::{matmul, matvec, orthogonality_defect, relative_residual};
+
+    #[test]
+    fn factor_and_reconstruct() {
+        let a = random_matrix::<f64>(40, 40, 1);
+        let f = TiledQr::factor(&a, &QrOptions::new().tile_size(8)).unwrap();
+        let q = f.q().unwrap();
+        let r = f.r();
+        assert!(relative_residual(&a, &q, &r).unwrap() < 1e-14);
+        assert!(orthogonality_defect(&q).unwrap() < 1e-13);
+    }
+
+    #[test]
+    fn non_divisible_sizes_padded_transparently() {
+        // 37 is not a multiple of 8: exercises the padding path end to end.
+        let a = random_matrix::<f64>(37, 37, 2);
+        let f = TiledQr::factor(&a, &QrOptions::new().tile_size(8)).unwrap();
+        let q = f.q().unwrap();
+        assert_eq!(q.dims(), (37, 37));
+        let r = f.r();
+        assert_eq!(r.dims(), (37, 37));
+        assert!(relative_residual(&a, &q, &r).unwrap() < 1e-13);
+        assert!(orthogonality_defect(&q).unwrap() < 1e-13);
+    }
+
+    #[test]
+    fn tall_matrix_least_squares() {
+        let a = random_matrix::<f64>(50, 20, 3);
+        let f = TiledQr::factor(&a, &QrOptions::new().tile_size(8)).unwrap();
+        let b = random_vector::<f64>(50, 4);
+        let x = f.solve(&b).unwrap();
+        // Normal equations: A^T (A x - b) = 0.
+        let ax = matvec(&a, &x).unwrap();
+        let resid: Vec<f64> = ax.iter().zip(&b).map(|(p, q)| p - q).collect();
+        for v in matvec(&a.transpose(), &resid).unwrap() {
+            assert!(v.abs() < 1e-10, "{v}");
+        }
+    }
+
+    #[test]
+    fn wide_matrix_rejected() {
+        let a = random_matrix::<f64>(5, 9, 5);
+        assert!(TiledQr::factor(&a, &QrOptions::default()).is_err());
+    }
+
+    #[test]
+    fn solve_square_system() {
+        let a = diagonally_dominant::<f64>(33, 6);
+        let f = TiledQr::factor(&a, &QrOptions::new().tile_size(16)).unwrap();
+        let x_true = random_vector::<f64>(33, 7);
+        let b = matvec(&a, &x_true).unwrap();
+        let x = f.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn solve_matrix_multiple_rhs() {
+        let a = diagonally_dominant::<f64>(24, 8);
+        let f = TiledQr::factor(&a, &QrOptions::new().tile_size(8)).unwrap();
+        let xs = random_matrix::<f64>(24, 3, 9);
+        let b = matmul(&a, &xs).unwrap();
+        let solved = f.solve_matrix(&b).unwrap();
+        assert!(solved.approx_eq(&xs, 1e-8));
+    }
+
+    #[test]
+    fn apply_without_materializing_matches_explicit() {
+        let a = random_matrix::<f64>(24, 24, 10);
+        let f = TiledQr::factor(&a, &QrOptions::new().tile_size(8)).unwrap();
+        let c = random_matrix::<f64>(24, 5, 11);
+        let q = f.q().unwrap();
+        let expect = matmul(&q.transpose(), &c).unwrap();
+        let got = f.apply_qt(&c).unwrap();
+        assert!(got.approx_eq(&expect, 1e-11));
+        let expect2 = matmul(&q, &c).unwrap();
+        let got2 = f.apply_q(&c).unwrap();
+        assert!(got2.approx_eq(&expect2, 1e-11));
+    }
+
+    #[test]
+    fn det_abs_of_identity_like() {
+        let a = Matrix::<f64>::identity(12).scaled(2.0);
+        let f = TiledQr::factor(&a, &QrOptions::new().tile_size(4)).unwrap();
+        let d = f.det_abs().unwrap();
+        assert!((d - 2f64.powi(12)).abs() / 2f64.powi(12) < 1e-12);
+    }
+
+    #[test]
+    fn condition_estimate_tracks_known_conditioning() {
+        // Well conditioned: diagonally dominant.
+        let good = diagonally_dominant::<f64>(24, 20);
+        let fg = TiledQr::factor(&good, &QrOptions::new().tile_size(8)).unwrap();
+        let kg = fg.condition_estimate().unwrap();
+        assert!(kg < 100.0, "κ={kg}");
+        // Badly conditioned: Hilbert.
+        let bad = tileqr_matrix::gen::hilbert::<f64>(12);
+        let fb = TiledQr::factor(&bad, &QrOptions::new().tile_size(4)).unwrap();
+        let kb = fb.condition_estimate().unwrap();
+        assert!(kb > 1e8, "Hilbert κ={kb}");
+        // Rectangular rejected.
+        let rect = random_matrix::<f64>(10, 4, 21);
+        let fr = TiledQr::factor(&rect, &QrOptions::new().tile_size(4)).unwrap();
+        assert!(fr.condition_estimate().is_err());
+    }
+
+    #[test]
+    fn det_requires_square() {
+        let a = random_matrix::<f64>(10, 4, 12);
+        let f = TiledQr::factor(&a, &QrOptions::new().tile_size(4)).unwrap();
+        assert!(f.det_abs().is_err());
+        assert!(f.solve(&[0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn parallel_option_produces_same_factor() {
+        let a = random_matrix::<f64>(48, 48, 13);
+        let seq = TiledQr::factor(&a, &QrOptions::new().tile_size(8)).unwrap();
+        let par = TiledQr::factor(&a, &QrOptions::new().tile_size(8).workers(4)).unwrap();
+        assert_eq!(seq.r(), par.r());
+    }
+
+    #[test]
+    fn one_shot_qr_helper() {
+        let a = random_matrix::<f64>(32, 32, 14);
+        let (q, r) = crate::qr(&a).unwrap();
+        assert!(relative_residual(&a, &q, &r).unwrap() < 1e-13);
+    }
+}

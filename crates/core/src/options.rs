@@ -1,0 +1,96 @@
+//! Factorization options.
+
+use tileqr_dag::EliminationOrder;
+
+/// Options controlling a [`crate::TiledQr`] factorization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QrOptions {
+    tile_size: usize,
+    order: EliminationOrder,
+    workers: usize,
+}
+
+impl Default for QrOptions {
+    /// Tile size 16 (the paper's choice, §V), TS elimination, sequential.
+    fn default() -> Self {
+        QrOptions {
+            tile_size: 16,
+            order: EliminationOrder::FlatTs,
+            workers: 1,
+        }
+    }
+}
+
+impl QrOptions {
+    /// Start from the defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tile side length `b`. The paper uses 16; larger tiles amortize
+    /// per-kernel overhead on the host at the cost of less parallelism.
+    pub fn tile_size(mut self, b: usize) -> Self {
+        assert!(b > 0, "tile size must be positive");
+        self.tile_size = b;
+        self
+    }
+
+    /// Elimination order (TS flat chain by default; TT trees shorten the
+    /// critical path of tall matrices).
+    pub fn order(mut self, order: EliminationOrder) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Number of computing threads; `1` runs sequentially, `0` uses every
+    /// available core.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Configured tile size.
+    pub fn get_tile_size(&self) -> usize {
+        self.tile_size
+    }
+
+    /// Configured elimination order.
+    pub fn get_order(&self) -> EliminationOrder {
+        self.order
+    }
+
+    /// Configured worker count (`0` = all cores).
+    pub fn get_workers(&self) -> usize {
+        self.workers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let o = QrOptions::default();
+        assert_eq!(o.get_tile_size(), 16);
+        assert_eq!(o.get_order(), EliminationOrder::FlatTs);
+        assert_eq!(o.get_workers(), 1);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let o = QrOptions::new()
+            .tile_size(32)
+            .order(EliminationOrder::BinaryTt)
+            .workers(0);
+        assert_eq!(o.get_tile_size(), 32);
+        assert_eq!(o.get_order(), EliminationOrder::BinaryTt);
+        assert_eq!(o.get_workers(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_tile_rejected() {
+        let _ = QrOptions::new().tile_size(0);
+    }
+}

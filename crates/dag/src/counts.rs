@@ -1,0 +1,147 @@
+//! Task-count formulas (paper Table I) and exact DAG cross-checks.
+//!
+//! Table I of the paper reports, for a remaining panel of `M` tile rows by
+//! `N` tile columns, the number of tiles operated per step:
+//!
+//! | Step | Count        |
+//! |------|--------------|
+//! | T    | `M`          |
+//! | E    | `M`          |
+//! | UT   | `M × (N−1)`  |
+//! | UE   | `M × (N−1)`  |
+//!
+//! The paper's model merges the panel column's T+E work as `M` tile
+//! operations each (1 `GEQRT` + `M−1` `TSQRT`s touch `M` tiles) and lumps
+//! update work as `M(N−1)` (`N−1` `UNMQR` + `(M−1)(N−1)` `TSMQR` =
+//! `M(N−1)` update tasks). These coarse counts feed the `#tile` terms of
+//! the device-count cost model (Eq. 10). [`exact_panel_counts`] gives the
+//! exact kernel-level numbers; [`paper_table1`] the paper's reported ones.
+
+use crate::{EliminationOrder, StepClass, TaskGraph};
+
+/// Exact kernel counts for one TS panel over a remaining `M x N` tile grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PanelCounts {
+    /// `GEQRT` invocations (always 1).
+    pub geqrt: usize,
+    /// `TSQRT` invocations (`M − 1`).
+    pub tsqrt: usize,
+    /// `UNMQR` invocations (`N − 1`).
+    pub unmqr: usize,
+    /// `TSMQR` invocations (`(M − 1)(N − 1)`).
+    pub tsmqr: usize,
+}
+
+impl PanelCounts {
+    /// Total kernel invocations in the panel.
+    pub fn total(&self) -> usize {
+        self.geqrt + self.tsqrt + self.unmqr + self.tsmqr
+    }
+}
+
+/// Exact kernel counts for the first panel of a remaining `m x n` grid.
+pub fn exact_panel_counts(m: usize, n: usize) -> PanelCounts {
+    assert!(m > 0 && n > 0);
+    PanelCounts {
+        geqrt: 1,
+        tsqrt: m - 1,
+        unmqr: n - 1,
+        tsmqr: (m - 1) * (n - 1),
+    }
+}
+
+/// The paper's Table I values `(T, E, UT, UE)` for a remaining `m x n` grid.
+pub fn paper_table1(m: usize, n: usize) -> (usize, usize, usize, usize) {
+    (m, m, m * (n - 1), m * (n - 1))
+}
+
+/// Total kernel invocations of a full TS tiled QR on an `mt x nt` grid
+/// (closed form, cross-checked against the DAG builder in tests).
+pub fn total_ts_tasks(mt: usize, nt: usize) -> usize {
+    let kmax = mt.min(nt);
+    (0..kmax)
+        .map(|k| exact_panel_counts(mt - k, nt - k).total())
+        .sum()
+}
+
+/// Count tasks of each step class in a built graph: `(T, E, UT, UE)`.
+pub fn class_totals(g: &TaskGraph) -> (usize, usize, usize, usize) {
+    let mut t = 0;
+    let mut e = 0;
+    let mut ut = 0;
+    let mut ue = 0;
+    for task in g.tasks() {
+        match task.class() {
+            StepClass::Triangulation => t += 1,
+            StepClass::Elimination => e += 1,
+            StepClass::UpdateTriangulation => ut += 1,
+            StepClass::UpdateElimination => ue += 1,
+        }
+    }
+    (t, e, ut, ue)
+}
+
+/// Sanity helper used by the Table I reproduction: verifies that the paper's
+/// coarse per-panel counts and the exact kernel counts agree on their sums
+/// (`T + E = M` column tasks, `UT + UE = M(N−1)` update tasks).
+pub fn table1_consistent(m: usize, n: usize) -> bool {
+    let exact = exact_panel_counts(m, n);
+    let (_t, e, _ut, ue) = paper_table1(m, n);
+    exact.geqrt + exact.tsqrt == e && exact.unmqr + exact.tsmqr == ue
+}
+
+/// Exact per-panel counts read off a freshly built DAG (used to cross-check
+/// the closed forms).
+pub fn panel_counts_from_dag(m: usize, n: usize) -> PanelCounts {
+    let g = TaskGraph::build(m, n, EliminationOrder::FlatTs);
+    let mut c = PanelCounts {
+        geqrt: 0,
+        tsqrt: 0,
+        unmqr: 0,
+        tsmqr: 0,
+    };
+    for task in g.tasks().iter().filter(|t| t.panel() == 0) {
+        match task.class() {
+            StepClass::Triangulation => c.geqrt += 1,
+            StepClass::Elimination => c.tsqrt += 1,
+            StepClass::UpdateTriangulation => c.unmqr += 1,
+            StepClass::UpdateElimination => c.tsmqr += 1,
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_forms_match_dag() {
+        for (m, n) in [(1, 1), (3, 3), (5, 2), (2, 5), (8, 8)] {
+            assert_eq!(exact_panel_counts(m, n), panel_counts_from_dag(m, n));
+            let g = TaskGraph::build(m, n, EliminationOrder::FlatTs);
+            assert_eq!(g.len(), total_ts_tasks(m, n));
+        }
+    }
+
+    #[test]
+    fn paper_table1_sums_match_exact() {
+        for (m, n) in [(1, 1), (2, 2), (4, 7), (10, 10), (100, 50)] {
+            assert!(table1_consistent(m, n), "inconsistent at {m}x{n}");
+        }
+    }
+
+    #[test]
+    fn table1_values() {
+        assert_eq!(paper_table1(5, 4), (5, 5, 15, 15));
+        assert_eq!(paper_table1(1, 1), (1, 1, 0, 0));
+    }
+
+    #[test]
+    fn class_totals_sum_to_len() {
+        let g = TaskGraph::build(6, 4, EliminationOrder::FlatTs);
+        let (t, e, ut, ue) = class_totals(&g);
+        assert_eq!(t + e + ut + ue, g.len());
+        assert_eq!(t, 4, "one GEQRT per panel");
+    }
+}

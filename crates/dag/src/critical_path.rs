@@ -1,0 +1,112 @@
+//! Weighted critical-path analysis.
+
+use crate::{TaskGraph, TaskId, TaskKind};
+
+/// Length of the longest path through the DAG where each task's duration
+/// comes from `weight`. With `|_| 1.0` this is the unit-depth of the graph;
+/// with a device timing model it lower-bounds any schedule's makespan.
+pub fn critical_path_length(g: &TaskGraph, weight: impl Fn(TaskKind) -> f64) -> f64 {
+    finish_times(g, weight)
+        .into_iter()
+        .fold(0.0, f64::max)
+}
+
+/// Earliest-finish time of every task under infinite parallelism.
+pub fn finish_times(g: &TaskGraph, weight: impl Fn(TaskKind) -> f64) -> Vec<f64> {
+    // Program order is topological for our builders, but recompute a safe
+    // order so hand-built graphs also work.
+    let order = crate::topo::topological_order(g);
+    let mut finish = vec![0.0f64; g.len()];
+    for &id in &order {
+        let start = g
+            .preds(id)
+            .iter()
+            .map(|&p| finish[p])
+            .fold(0.0f64, f64::max);
+        finish[id] = start + weight(g.task(id));
+    }
+    finish
+}
+
+/// The tasks on (one) critical path, from source to sink.
+pub fn critical_path(g: &TaskGraph, weight: impl Fn(TaskKind) -> f64) -> Vec<TaskId> {
+    let finish = finish_times(g, &weight);
+    let mut cur = (0..g.len())
+        .max_by(|&a, &b| finish[a].total_cmp(&finish[b]))
+        .expect("non-empty graph");
+    let mut path = vec![cur];
+    while !g.preds(cur).is_empty() {
+        cur = *g
+            .preds(cur)
+            .iter()
+            .max_by(|&&a, &&b| finish[a].total_cmp(&finish[b]))
+            .expect("non-empty preds");
+        path.push(cur);
+    }
+    path.reverse();
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EliminationOrder, StepClass};
+
+    #[test]
+    fn unit_depth_of_single_task() {
+        let g = TaskGraph::build(1, 1, EliminationOrder::FlatTs);
+        assert_eq!(critical_path_length(&g, |_| 1.0), 1.0);
+    }
+
+    #[test]
+    fn unit_depth_grows_with_grid() {
+        let d3 = critical_path_length(
+            &TaskGraph::build(3, 3, EliminationOrder::FlatTs),
+            |_| 1.0,
+        );
+        let d6 = critical_path_length(
+            &TaskGraph::build(6, 6, EliminationOrder::FlatTs),
+            |_| 1.0,
+        );
+        assert!(d6 > d3);
+    }
+
+    #[test]
+    fn path_is_connected_and_maximal() {
+        let g = TaskGraph::build(4, 4, EliminationOrder::FlatTs);
+        let path = critical_path(&g, |_| 1.0);
+        assert_eq!(path.len() as f64, critical_path_length(&g, |_| 1.0));
+        for w in path.windows(2) {
+            assert!(g.preds(w[1]).contains(&w[0]));
+        }
+        assert!(g.preds(path[0]).is_empty());
+    }
+
+    #[test]
+    fn weights_shift_the_path_through_expensive_tasks() {
+        // Make eliminations enormously expensive: the critical path must be
+        // dominated by E tasks.
+        let g = TaskGraph::build(5, 5, EliminationOrder::FlatTs);
+        let w = |t: TaskKind| match t.class() {
+            StepClass::Elimination => 100.0,
+            _ => 1.0,
+        };
+        let path = critical_path(&g, w);
+        let e_count = path
+            .iter()
+            .filter(|&&id| g.task(id).class() == StepClass::Elimination)
+            .count();
+        assert!(
+            e_count >= 4,
+            "critical path should traverse the E chain, found {e_count} E tasks"
+        );
+    }
+
+    #[test]
+    fn binary_tree_shortens_weighted_path() {
+        let w = |_| 1.0;
+        let flat = critical_path_length(&TaskGraph::build(32, 2, EliminationOrder::FlatTs), w);
+        let tree = critical_path_length(&TaskGraph::build(32, 2, EliminationOrder::BinaryTt), w);
+        assert!(tree < flat, "tree {tree} !< flat {flat}");
+    }
+}

@@ -1,0 +1,383 @@
+//! DAG construction from per-tile read/write sets.
+
+use crate::task::{TaskId, TaskKind, TileCoord};
+use std::collections::HashMap;
+
+/// Which elimination order the DAG encodes.
+///
+/// The paper exclusively uses [`EliminationOrder::FlatTs`] (its Fig. 2–3:
+/// one `GEQRT` per panel and a sequential chain of `TSQRT`s down the
+/// column). The TT orders are the standard tree extensions (Bouwmeester et
+/// al., SC'11) included for the ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EliminationOrder {
+    /// One `GEQRT` then a sequential `TSQRT` chain (the paper's algorithm).
+    FlatTs,
+    /// `GEQRT` on every panel tile, then a sequential `TTQRT` chain.
+    FlatTt,
+    /// `GEQRT` on every panel tile, then a binary `TTQRT` reduction tree —
+    /// the shortest critical path for tall panels.
+    BinaryTt,
+}
+
+/// The tiled-QR task DAG.
+///
+/// Tasks are stored in program order; edges are derived from tile-level
+/// data-flow (read-after-write, write-after-read, write-after-write), which
+/// reproduces exactly the dependence structure of the paper's Fig. 3.
+#[derive(Debug, Clone)]
+pub struct TaskGraph {
+    mt: usize,
+    nt: usize,
+    order: EliminationOrder,
+    tasks: Vec<TaskKind>,
+    preds: Vec<Vec<TaskId>>,
+    succs: Vec<Vec<TaskId>>,
+}
+
+/// Per-tile data-flow state used during construction.
+#[derive(Default)]
+struct TileFlow {
+    last_writer: Option<TaskId>,
+    readers_since_write: Vec<TaskId>,
+}
+
+/// Incremental DAG builder: push tasks in program order and edges appear
+/// from the declared tile accesses.
+struct Builder {
+    tasks: Vec<TaskKind>,
+    preds: Vec<Vec<TaskId>>,
+    flow: HashMap<TileCoord, TileFlow>,
+}
+
+impl Builder {
+    fn new() -> Self {
+        Builder {
+            tasks: Vec::new(),
+            preds: Vec::new(),
+            flow: HashMap::new(),
+        }
+    }
+
+    fn push(&mut self, kind: TaskKind) -> TaskId {
+        let id = self.tasks.len();
+        let mut preds: Vec<TaskId> = Vec::new();
+        for tile in kind.reads() {
+            let f = self.flow.entry(tile).or_default();
+            if let Some(w) = f.last_writer {
+                preds.push(w);
+            }
+            f.readers_since_write.push(id);
+        }
+        for tile in kind.writes() {
+            let f = self.flow.entry(tile).or_default();
+            if let Some(w) = f.last_writer {
+                preds.push(w);
+            }
+            preds.extend(f.readers_since_write.iter().copied());
+            f.last_writer = Some(id);
+            f.readers_since_write.clear();
+        }
+        preds.sort_unstable();
+        preds.dedup();
+        preds.retain(|&p| p != id);
+        self.tasks.push(kind);
+        self.preds.push(preds);
+        id
+    }
+
+    fn finish(self, mt: usize, nt: usize, order: EliminationOrder) -> TaskGraph {
+        let mut succs = vec![Vec::new(); self.tasks.len()];
+        for (id, preds) in self.preds.iter().enumerate() {
+            for &p in preds {
+                succs[p].push(id);
+            }
+        }
+        TaskGraph {
+            mt,
+            nt,
+            order,
+            tasks: self.tasks,
+            preds: self.preds,
+            succs,
+        }
+    }
+}
+
+impl TaskGraph {
+    /// Build the DAG for an `mt x nt` tile grid with the given elimination
+    /// order. Panics if the grid is empty.
+    pub fn build(mt: usize, nt: usize, order: EliminationOrder) -> Self {
+        assert!(mt > 0 && nt > 0, "empty tile grid");
+        let mut b = Builder::new();
+        let kmax = mt.min(nt);
+        match order {
+            EliminationOrder::FlatTs => {
+                for k in 0..kmax {
+                    b.push(TaskKind::Geqrt { i: k, k });
+                    for j in k + 1..nt {
+                        b.push(TaskKind::Unmqr { i: k, j, k });
+                    }
+                    for i in k + 1..mt {
+                        b.push(TaskKind::Tsqrt { p: k, i, k });
+                        for j in k + 1..nt {
+                            b.push(TaskKind::Tsmqr { p: k, i, j, k });
+                        }
+                    }
+                }
+            }
+            EliminationOrder::FlatTt => {
+                for k in 0..kmax {
+                    for i in k..mt {
+                        b.push(TaskKind::Geqrt { i, k });
+                        for j in k + 1..nt {
+                            b.push(TaskKind::Unmqr { i, j, k });
+                        }
+                    }
+                    for i in k + 1..mt {
+                        b.push(TaskKind::Ttqrt { p: k, i, k });
+                        for j in k + 1..nt {
+                            b.push(TaskKind::Ttmqr { p: k, i, j, k });
+                        }
+                    }
+                }
+            }
+            EliminationOrder::BinaryTt => {
+                for k in 0..kmax {
+                    for i in k..mt {
+                        b.push(TaskKind::Geqrt { i, k });
+                        for j in k + 1..nt {
+                            b.push(TaskKind::Unmqr { i, j, k });
+                        }
+                    }
+                    // Binary reduction over rows k..mt.
+                    let mut stride = 1;
+                    while k + stride < mt {
+                        let mut p = k;
+                        while p + stride < mt {
+                            let i = p + stride;
+                            b.push(TaskKind::Ttqrt { p, i, k });
+                            for j in k + 1..nt {
+                                b.push(TaskKind::Ttmqr { p, i, j, k });
+                            }
+                            p += 2 * stride;
+                        }
+                        stride *= 2;
+                    }
+                }
+            }
+        }
+        b.finish(mt, nt, order)
+    }
+
+    /// Number of tile rows.
+    pub fn tile_rows(&self) -> usize {
+        self.mt
+    }
+
+    /// Number of tile columns.
+    pub fn tile_cols(&self) -> usize {
+        self.nt
+    }
+
+    /// The elimination order this DAG was built with.
+    pub fn order(&self) -> EliminationOrder {
+        self.order
+    }
+
+    /// Total number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// `true` when the graph has no tasks (never happens for valid grids).
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Task kind of `id`.
+    pub fn task(&self, id: TaskId) -> TaskKind {
+        self.tasks[id]
+    }
+
+    /// All tasks in program order.
+    pub fn tasks(&self) -> &[TaskKind] {
+        &self.tasks
+    }
+
+    /// Direct predecessors of `id`.
+    pub fn preds(&self, id: TaskId) -> &[TaskId] {
+        &self.preds[id]
+    }
+
+    /// Direct successors of `id`.
+    pub fn succs(&self, id: TaskId) -> &[TaskId] {
+        &self.succs[id]
+    }
+
+    /// In-degree vector (predecessor counts), the ready-tracking state used
+    /// by every executor in the workspace.
+    pub fn indegrees(&self) -> Vec<usize> {
+        self.preds.iter().map(Vec::len).collect()
+    }
+
+    /// Ids of tasks with no predecessors.
+    pub fn sources(&self) -> Vec<TaskId> {
+        (0..self.len()).filter(|&i| self.preds[i].is_empty()).collect()
+    }
+
+    /// Ids of tasks with no successors.
+    pub fn sinks(&self) -> Vec<TaskId> {
+        (0..self.len()).filter(|&i| self.succs[i].is_empty()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StepClass;
+
+    #[test]
+    fn three_by_three_ts_matches_paper_fig2() {
+        // Paper Fig. 2: a 3x3 grid runs 3 panels; panel k has
+        // 1 GEQRT, (3-k-1) TSQRT, (3-k-1) UNMQR, (3-k-1)^2 TSMQR.
+        let g = TaskGraph::build(3, 3, EliminationOrder::FlatTs);
+        let count = |c: StepClass| g.tasks().iter().filter(|t| t.class() == c).count();
+        assert_eq!(count(StepClass::Triangulation), 3);
+        assert_eq!(count(StepClass::Elimination), 2 + 1);
+        assert_eq!(count(StepClass::UpdateTriangulation), 2 + 1);
+        assert_eq!(count(StepClass::UpdateElimination), 4 + 1);
+        assert_eq!(g.len(), 3 + 3 + 3 + 5);
+    }
+
+    #[test]
+    fn first_geqrt_is_sole_source_in_ts() {
+        let g = TaskGraph::build(4, 4, EliminationOrder::FlatTs);
+        let sources = g.sources();
+        assert_eq!(sources, vec![0]);
+        assert_eq!(g.task(0), TaskKind::Geqrt { i: 0, k: 0 });
+    }
+
+    #[test]
+    fn fig3_dependencies_present() {
+        // Check the canonical edges of the paper's Fig. 3 on a 3x3 grid:
+        // T(0) -> UT(0,j), T(0) -> E(0,1,0), E chain, E -> UE, UE -> next T.
+        let g = TaskGraph::build(3, 3, EliminationOrder::FlatTs);
+        let find = |kind: TaskKind| {
+            g.tasks()
+                .iter()
+                .position(|&t| t == kind)
+                .unwrap_or_else(|| panic!("missing {kind:?}"))
+        };
+        let t0 = find(TaskKind::Geqrt { i: 0, k: 0 });
+        let ut01 = find(TaskKind::Unmqr { i: 0, j: 1, k: 0 });
+        let e010 = find(TaskKind::Tsqrt { p: 0, i: 1, k: 0 });
+        let e020 = find(TaskKind::Tsqrt { p: 0, i: 2, k: 0 });
+        let ue0110 = find(TaskKind::Tsmqr { p: 0, i: 1, j: 1, k: 0 });
+        let ue0210 = find(TaskKind::Tsmqr { p: 0, i: 2, j: 1, k: 0 });
+        let t1 = find(TaskKind::Geqrt { i: 1, k: 1 });
+
+        assert!(g.preds(ut01).contains(&t0), "T -> UT");
+        assert!(g.preds(e010).contains(&t0), "T -> E (chain head)");
+        assert!(g.preds(e020).contains(&e010), "E -> E (sequential chain)");
+        assert!(g.preds(ue0110).contains(&e010), "E -> UE");
+        assert!(g.preds(ue0110).contains(&ut01), "UT -> UE (row tile)");
+        // Next-panel GEQRT waits for the last update of tile (1,1).
+        assert!(g.preds(t1).contains(&ue0110) || g.preds(t1).contains(&ue0210));
+    }
+
+    #[test]
+    fn single_tile_grid() {
+        let g = TaskGraph::build(1, 1, EliminationOrder::FlatTs);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.task(0), TaskKind::Geqrt { i: 0, k: 0 });
+        assert!(g.preds(0).is_empty());
+        assert!(g.succs(0).is_empty());
+    }
+
+    #[test]
+    fn tall_grid_counts() {
+        // 5x2 grid, TS: panel 0: 1 T + 4 E + 1 UT + 4 UE; panel 1: 1 T + 3 E.
+        let g = TaskGraph::build(5, 2, EliminationOrder::FlatTs);
+        assert_eq!(g.len(), (1 + 4 + 1 + 4) + (1 + 3));
+    }
+
+    #[test]
+    fn wide_grid_counts() {
+        // 2x5 grid, TS: panel 0: 1 T + 1 E + 4 UT + 4 UE; panel 1: 1 T + 3 UT.
+        let g = TaskGraph::build(2, 5, EliminationOrder::FlatTs);
+        assert_eq!(g.len(), (1 + 1 + 4 + 4) + (1 + 3));
+    }
+
+    #[test]
+    fn binary_tt_has_log_depth_eliminations() {
+        // 8 rows, 1 column: flat TS needs a 7-long chain; binary TT pairs
+        // rows in 3 rounds (4 + 2 + 1 TTQRTs).
+        let g = TaskGraph::build(8, 1, EliminationOrder::BinaryTt);
+        let ttqrts: Vec<_> = g
+            .tasks()
+            .iter()
+            .filter(|t| matches!(t, TaskKind::Ttqrt { .. }))
+            .collect();
+        assert_eq!(ttqrts.len(), 7);
+        let geqrts = g
+            .tasks()
+            .iter()
+            .filter(|t| matches!(t, TaskKind::Geqrt { .. }))
+            .count();
+        assert_eq!(geqrts, 8);
+    }
+
+    #[test]
+    fn flat_tt_counts() {
+        let g = TaskGraph::build(4, 1, EliminationOrder::FlatTt);
+        let geqrts = g
+            .tasks()
+            .iter()
+            .filter(|t| matches!(t, TaskKind::Geqrt { .. }))
+            .count();
+        assert_eq!(geqrts, 4);
+        let tts = g
+            .tasks()
+            .iter()
+            .filter(|t| matches!(t, TaskKind::Ttqrt { .. }))
+            .count();
+        assert_eq!(tts, 3);
+    }
+
+    #[test]
+    fn succs_mirror_preds() {
+        let g = TaskGraph::build(4, 4, EliminationOrder::FlatTs);
+        for id in 0..g.len() {
+            for &p in g.preds(id) {
+                assert!(g.succs(p).contains(&id));
+            }
+            for &s in g.succs(id) {
+                assert!(g.preds(s).contains(&id));
+            }
+        }
+    }
+
+    #[test]
+    fn edges_point_forward_in_program_order() {
+        // Program order is a valid topological order by construction.
+        for order in [
+            EliminationOrder::FlatTs,
+            EliminationOrder::FlatTt,
+            EliminationOrder::BinaryTt,
+        ] {
+            let g = TaskGraph::build(5, 4, order);
+            for id in 0..g.len() {
+                for &p in g.preds(id) {
+                    assert!(p < id, "{order:?}: back edge {p} -> {id}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_grid_panics() {
+        let _ = TaskGraph::build(0, 3, EliminationOrder::FlatTs);
+    }
+}

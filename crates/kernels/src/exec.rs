@@ -1,0 +1,525 @@
+//! Task-level execution of a tiled QR factorization.
+//!
+//! [`FactorState`] owns the tiled matrix plus the accumulated reflector
+//! factors and knows how to run one DAG task at a time. Execution is split
+//! into three phases so a parallel runtime can hold the state lock only
+//! briefly:
+//!
+//! 1. [`FactorState::stage`] — under the lock: move the written tiles out
+//!    of the state, clone the (shared) read tiles,
+//! 2. [`StagedTask::compute`] — no lock: run the kernel on owned data,
+//! 3. [`FactorState::commit`] — under the lock: put results back.
+//!
+//! [`FactorState::execute`] chains the three for sequential use. After all
+//! tasks of a [`TaskGraph`] have executed, the state holds `R` in the
+//! upper triangles and the implicit `Q` in the Householder blocks;
+//! [`apply_qt_dense`] / [`apply_q_dense`] replay the factor kernels over a
+//! dense right-hand side in canonical program order, which is what makes
+//! `Q` reconstruction independent of the (nondeterministic) parallel
+//! schedule.
+
+use crate::{geqrt, geqrt_apply, tsmqr_apply, tsqrt, ttmqr_apply, ttqrt, ApplySide};
+use std::collections::HashMap;
+use tileqr_dag::{TaskGraph, TaskKind};
+use tileqr_matrix::{Matrix, MatrixError, Result, Scalar, TiledMatrix};
+
+/// Mutable factorization state: the tiled matrix plus reflector factors.
+#[derive(Debug, Clone)]
+pub struct FactorState<T: Scalar> {
+    tiles: TiledMatrix<T>,
+    /// `T` factors of `GEQRT`, keyed by the factored tile `(i, k)`.
+    geqrt_t: HashMap<(usize, usize), Matrix<T>>,
+    /// `T` factors of `TSQRT`/`TTQRT`, keyed by `(p, i, k)`.
+    elim_t: HashMap<(usize, usize, usize), Matrix<T>>,
+}
+
+/// A task whose inputs have been extracted and which is ready to compute
+/// without touching the shared state.
+pub struct StagedTask<T: Scalar> {
+    task: TaskKind,
+    inputs: Inputs<T>,
+}
+
+enum Inputs<T: Scalar> {
+    /// GEQRT: the tile to factor (taken).
+    Factor { tile: Matrix<T> },
+    /// UNMQR: cloned factored tile + its T factor, plus the target (taken).
+    Update {
+        vr: Matrix<T>,
+        tfac: Matrix<T>,
+        c: Matrix<T>,
+    },
+    /// TSQRT/TTQRT: pivot and eliminated tiles (both taken).
+    Elim { r1: Matrix<T>, a2: Matrix<T> },
+    /// TSMQR/TTMQR: cloned V2 + T factor, plus both targets (taken).
+    PairUpdate {
+        v2: Matrix<T>,
+        tfac: Matrix<T>,
+        a1: Matrix<T>,
+        a2: Matrix<T>,
+    },
+}
+
+/// A finished task, ready to be committed back into the state.
+pub struct CompletedTask<T: Scalar> {
+    task: TaskKind,
+    outputs: Outputs<T>,
+}
+
+enum Outputs<T: Scalar> {
+    Factor { tile: Matrix<T>, tfac: Matrix<T> },
+    Update { c: Matrix<T> },
+    Elim {
+        r1: Matrix<T>,
+        a2: Matrix<T>,
+        tfac: Matrix<T>,
+    },
+    PairUpdate { a1: Matrix<T>, a2: Matrix<T> },
+}
+
+impl<T: Scalar> FactorState<T> {
+    /// Wrap a tiled matrix for factorization.
+    pub fn new(tiles: TiledMatrix<T>) -> Self {
+        FactorState {
+            tiles,
+            geqrt_t: HashMap::new(),
+            elim_t: HashMap::new(),
+        }
+    }
+
+    /// The (partially) factored tiles.
+    pub fn tiles(&self) -> &TiledMatrix<T> {
+        &self.tiles
+    }
+
+    /// Consume the state, returning the tiled matrix.
+    pub fn into_tiles(self) -> TiledMatrix<T> {
+        self.tiles
+    }
+
+    /// `T` factor of `GEQRT` on tile `(i, k)`, if computed.
+    pub fn geqrt_factor(&self, i: usize, k: usize) -> Option<&Matrix<T>> {
+        self.geqrt_t.get(&(i, k))
+    }
+
+    /// `T` factor of the elimination `(p, i, k)`, if computed.
+    pub fn elim_factor(&self, p: usize, i: usize, k: usize) -> Option<&Matrix<T>> {
+        self.elim_t.get(&(p, i, k))
+    }
+
+    fn take_tile(&mut self, i: usize, j: usize) -> Matrix<T> {
+        let placeholder = Matrix::zeros(self.tiles.tile_size(), self.tiles.tile_size());
+        std::mem::replace(self.tiles.tile_mut(i, j), placeholder)
+    }
+
+    /// Phase 1: extract this task's inputs (take written tiles, clone read
+    /// tiles). Fails if a required reflector factor is missing — i.e. the
+    /// caller violated the DAG order.
+    pub fn stage(&mut self, task: TaskKind) -> Result<StagedTask<T>> {
+        let missing = |_| MatrixError::DimensionMismatch {
+            op: "stage: dependency factor missing (DAG order violated)",
+            lhs: (0, 0),
+            rhs: (0, 0),
+        };
+        let inputs = match task {
+            TaskKind::Geqrt { i, k } => Inputs::Factor {
+                tile: self.take_tile(i, k),
+            },
+            TaskKind::Unmqr { i, j, k } => {
+                let tfac = self.geqrt_t.get(&(i, k)).ok_or(()).map_err(missing)?.clone();
+                Inputs::Update {
+                    vr: self.tiles.tile(i, k).clone(),
+                    tfac,
+                    c: self.take_tile(i, j),
+                }
+            }
+            TaskKind::Tsqrt { p, i, k } | TaskKind::Ttqrt { p, i, k } => Inputs::Elim {
+                r1: self.take_tile(p, k),
+                a2: self.take_tile(i, k),
+            },
+            TaskKind::Tsmqr { p, i, j, k } | TaskKind::Ttmqr { p, i, j, k } => {
+                let tfac = self
+                    .elim_t
+                    .get(&(p, i, k))
+                    .ok_or(())
+                    .map_err(missing)?
+                    .clone();
+                Inputs::PairUpdate {
+                    v2: self.tiles.tile(i, k).clone(),
+                    tfac,
+                    a1: self.take_tile(p, j),
+                    a2: self.take_tile(i, j),
+                }
+            }
+        };
+        Ok(StagedTask { task, inputs })
+    }
+
+    /// Phase 3: write a completed task's outputs back.
+    pub fn commit(&mut self, done: CompletedTask<T>) {
+        match (done.task, done.outputs) {
+            (TaskKind::Geqrt { i, k }, Outputs::Factor { tile, tfac }) => {
+                self.tiles.set_tile(i, k, tile);
+                self.geqrt_t.insert((i, k), tfac);
+            }
+            (TaskKind::Unmqr { i, j, .. }, Outputs::Update { c }) => {
+                self.tiles.set_tile(i, j, c);
+            }
+            (
+                TaskKind::Tsqrt { p, i, k } | TaskKind::Ttqrt { p, i, k },
+                Outputs::Elim { r1, a2, tfac },
+            ) => {
+                self.tiles.set_tile(p, k, r1);
+                self.tiles.set_tile(i, k, a2);
+                self.elim_t.insert((p, i, k), tfac);
+            }
+            (
+                TaskKind::Tsmqr { p, i, j, .. } | TaskKind::Ttmqr { p, i, j, .. },
+                Outputs::PairUpdate { a1, a2 },
+            ) => {
+                self.tiles.set_tile(p, j, a1);
+                self.tiles.set_tile(i, j, a2);
+            }
+            _ => unreachable!("task/output kind mismatch"),
+        }
+    }
+
+    /// Run one task start to finish (sequential convenience).
+    pub fn execute(&mut self, task: TaskKind) -> Result<()> {
+        let staged = self.stage(task)?;
+        let done = staged.compute()?;
+        self.commit(done);
+        Ok(())
+    }
+
+    /// Run every task of `graph` in program order (which is topological
+    /// for the built-in builders) — the sequential tiled QR driver.
+    pub fn run_all(&mut self, graph: &TaskGraph) -> Result<()> {
+        for &task in graph.tasks() {
+            self.execute(task)?;
+        }
+        Ok(())
+    }
+
+    /// Assembled `R` factor: the upper-triangular result, dense, with the
+    /// original (unpadded) dimensions.
+    pub fn r_matrix(&self) -> Matrix<T> {
+        let full = self.tiles.to_matrix();
+        let (m, n) = full.dims();
+        Matrix::from_fn(m, n, |i, j| if i <= j { full[(i, j)] } else { T::ZERO })
+    }
+}
+
+impl<T: Scalar> StagedTask<T> {
+    /// Phase 2: the actual kernel, on owned data — safe to run outside any
+    /// lock.
+    pub fn compute(self) -> Result<CompletedTask<T>> {
+        let outputs = match (self.task, self.inputs) {
+            (TaskKind::Geqrt { .. }, Inputs::Factor { mut tile }) => {
+                let tfac = geqrt(&mut tile)?;
+                Outputs::Factor { tile, tfac }
+            }
+            (TaskKind::Unmqr { .. }, Inputs::Update { vr, tfac, mut c }) => {
+                geqrt_apply(&vr, &tfac, &mut c, ApplySide::Transpose)?;
+                Outputs::Update { c }
+            }
+            (TaskKind::Tsqrt { .. }, Inputs::Elim { mut r1, mut a2 }) => {
+                let tfac = tsqrt(&mut r1, &mut a2)?;
+                Outputs::Elim { r1, a2, tfac }
+            }
+            (TaskKind::Ttqrt { .. }, Inputs::Elim { mut r1, mut a2 }) => {
+                let tfac = ttqrt(&mut r1, &mut a2)?;
+                Outputs::Elim { r1, a2, tfac }
+            }
+            (
+                TaskKind::Tsmqr { .. },
+                Inputs::PairUpdate {
+                    v2,
+                    tfac,
+                    mut a1,
+                    mut a2,
+                },
+            ) => {
+                tsmqr_apply(&v2, &tfac, &mut a1, &mut a2, ApplySide::Transpose)?;
+                Outputs::PairUpdate { a1, a2 }
+            }
+            (
+                TaskKind::Ttmqr { .. },
+                Inputs::PairUpdate {
+                    v2,
+                    tfac,
+                    mut a1,
+                    mut a2,
+                },
+            ) => {
+                ttmqr_apply(&v2, &tfac, &mut a1, &mut a2, ApplySide::Transpose)?;
+                Outputs::PairUpdate { a1, a2 }
+            }
+            _ => unreachable!("task/input kind mismatch"),
+        };
+        Ok(CompletedTask {
+            task: self.task,
+            outputs,
+        })
+    }
+
+    /// The task this staging belongs to.
+    pub fn task(&self) -> TaskKind {
+        self.task
+    }
+}
+
+/// Extract row-block `i` (a `b x cols` matrix) of a dense `c`.
+fn row_block<T: Scalar>(c: &Matrix<T>, i: usize, b: usize) -> Matrix<T> {
+    c.submatrix(i * b, 0, b, c.cols()).expect("row block in range")
+}
+
+fn set_row_block<T: Scalar>(c: &mut Matrix<T>, i: usize, block: &Matrix<T>) {
+    let b = block.rows();
+    c.set_submatrix(i * b, 0, block).expect("row block in range");
+}
+
+/// Apply `Qᵀ` of a completed factorization to a dense `c` whose row count
+/// equals the *padded* row dimension of the factored matrix.
+///
+/// Replays the factor kernels in the canonical program order of `graph`.
+pub fn apply_qt_dense<T: Scalar>(
+    state: &FactorState<T>,
+    graph: &TaskGraph,
+    c: &mut Matrix<T>,
+) -> Result<()> {
+    let b = state.tiles.tile_size();
+    check_rows(state, c)?;
+    for &task in graph.tasks() {
+        apply_factor_task(state, task, c, b, ApplySide::Transpose)?;
+    }
+    Ok(())
+}
+
+/// Apply `Q` (not transposed) of a completed factorization to a dense `c`:
+/// the factor kernels replay in *reverse* program order with untransposed
+/// block reflectors.
+pub fn apply_q_dense<T: Scalar>(
+    state: &FactorState<T>,
+    graph: &TaskGraph,
+    c: &mut Matrix<T>,
+) -> Result<()> {
+    let b = state.tiles.tile_size();
+    check_rows(state, c)?;
+    for &task in graph.tasks().iter().rev() {
+        apply_factor_task(state, task, c, b, ApplySide::NoTranspose)?;
+    }
+    Ok(())
+}
+
+fn check_rows<T: Scalar>(state: &FactorState<T>, c: &Matrix<T>) -> Result<()> {
+    let (pm, _) = state.tiles.padded_dims();
+    if c.rows() != pm {
+        return Err(MatrixError::DimensionMismatch {
+            op: "apply_q (C rows must equal padded rows)",
+            lhs: (pm, 0),
+            rhs: c.dims(),
+        });
+    }
+    Ok(())
+}
+
+fn apply_factor_task<T: Scalar>(
+    state: &FactorState<T>,
+    task: TaskKind,
+    c: &mut Matrix<T>,
+    b: usize,
+    side: ApplySide,
+) -> Result<()> {
+    match task {
+        TaskKind::Geqrt { i, k } => {
+            let vr = state.tiles.tile(i, k);
+            let tfac = state.geqrt_factor(i, k).ok_or(MatrixError::DimensionMismatch {
+                op: "apply: GEQRT factor missing",
+                lhs: (i, k),
+                rhs: (0, 0),
+            })?;
+            let mut block = row_block(c, i, b);
+            geqrt_apply(vr, tfac, &mut block, side)?;
+            set_row_block(c, i, &block);
+        }
+        TaskKind::Tsqrt { p, i, k } | TaskKind::Ttqrt { p, i, k } => {
+            let v2 = state.tiles.tile(i, k);
+            let tfac = state
+                .elim_factor(p, i, k)
+                .ok_or(MatrixError::DimensionMismatch {
+                    op: "apply: elimination factor missing",
+                    lhs: (i, k),
+                    rhs: (0, 0),
+                })?;
+            let mut a1 = row_block(c, p, b);
+            let mut a2 = row_block(c, i, b);
+            if matches!(task, TaskKind::Tsqrt { .. }) {
+                tsmqr_apply(v2, tfac, &mut a1, &mut a2, side)?;
+            } else {
+                ttmqr_apply(v2, tfac, &mut a1, &mut a2, side)?;
+            }
+            set_row_block(c, p, &a1);
+            set_row_block(c, i, &a2);
+        }
+        // Update kernels touch only the factored matrix, not C.
+        TaskKind::Unmqr { .. } | TaskKind::Tsmqr { .. } | TaskKind::Ttmqr { .. } => {}
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tileqr_dag::EliminationOrder;
+    use tileqr_matrix::gen::random_matrix;
+    use tileqr_matrix::ops::{matmul, orthogonality_defect};
+
+    fn factor(
+        n: usize,
+        b: usize,
+        order: EliminationOrder,
+    ) -> (Matrix<f64>, FactorState<f64>, TaskGraph) {
+        let a = random_matrix::<f64>(n, n, 42);
+        let tiled = TiledMatrix::from_matrix(&a, b).unwrap();
+        let g = TaskGraph::build(tiled.tile_rows(), tiled.tile_cols(), order);
+        let mut st = FactorState::new(tiled);
+        st.run_all(&g).unwrap();
+        (a, st, g)
+    }
+
+    fn form_q(st: &FactorState<f64>, g: &TaskGraph) -> Matrix<f64> {
+        let (pm, _) = st.tiles().padded_dims();
+        let mut q = Matrix::identity(pm);
+        apply_q_dense(st, g, &mut q).unwrap();
+        q
+    }
+
+    #[test]
+    fn tiled_qr_reconstructs_exact_grid() {
+        let (a, st, g) = factor(12, 4, EliminationOrder::FlatTs);
+        let q = form_q(&st, &g);
+        let r_full = {
+            // R on the padded grid.
+            let full = st.tiles().to_matrix();
+            Matrix::from_fn(12, 12, |i, j| if i <= j { full[(i, j)] } else { 0.0 })
+        };
+        let qr = matmul(&q, &r_full).unwrap();
+        assert!(qr.approx_eq(&a, 1e-11), "QR != A");
+        assert!(orthogonality_defect(&q).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn tiled_qr_reconstructs_padded_grid() {
+        // 10x10 with tile 4 -> padded to 12x12 with unit-diagonal padding.
+        let a = random_matrix::<f64>(10, 10, 7);
+        let tiled = TiledMatrix::from_matrix(&a, 4).unwrap();
+        let g = TaskGraph::build(3, 3, EliminationOrder::FlatTs);
+        let mut st = FactorState::new(tiled);
+        st.run_all(&g).unwrap();
+        let q = form_q(&st, &g);
+        let full = st.tiles().to_matrix(); // 10x10 view
+        let r = Matrix::from_fn(10, 10, |i, j| if i <= j { full[(i, j)] } else { 0.0 });
+        // Compare on the unpadded block: Q's top-left 10x12 times padded R.
+        let padded_r = {
+            let mut pr = Matrix::zeros(12, 12);
+            for j in 0..12 {
+                for i in 0..=j {
+                    // reconstruct from tiles directly
+                    let tile = st.tiles().tile(i / 4, j / 4);
+                    pr[(i, j)] = tile[(i % 4, j % 4)];
+                }
+            }
+            pr
+        };
+        let qr = matmul(&q, &padded_r).unwrap();
+        for i in 0..10 {
+            for j in 0..10 {
+                assert!((qr[(i, j)] - a[(i, j)]).abs() < 1e-11, "({i},{j})");
+            }
+        }
+        let _ = r;
+    }
+
+    #[test]
+    fn tt_orders_also_factorize() {
+        for order in [EliminationOrder::FlatTt, EliminationOrder::BinaryTt] {
+            let (a, st, g) = factor(16, 4, order);
+            let q = form_q(&st, &g);
+            let r = st.r_matrix();
+            let qr = matmul(&q, &r).unwrap();
+            assert!(qr.approx_eq(&a, 1e-11), "{order:?} failed");
+        }
+    }
+
+    #[test]
+    fn r_matches_reference_up_to_signs() {
+        let (a, st, g) = factor(12, 4, EliminationOrder::FlatTs);
+        let _ = g;
+        let r_tiled = st.r_matrix();
+        let (_, r_ref) = crate::reference::householder_qr(&a).unwrap();
+        for j in 0..12 {
+            for i in 0..=j {
+                assert!(
+                    (r_tiled[(i, j)].abs() - r_ref[(i, j)].abs()).abs() < 1e-10,
+                    "|R| mismatch at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_qt_then_q_round_trips() {
+        let (_, st, g) = factor(12, 4, EliminationOrder::FlatTs);
+        let c0 = random_matrix::<f64>(12, 3, 5);
+        let mut c = c0.clone();
+        apply_qt_dense(&st, &g, &mut c).unwrap();
+        apply_q_dense(&st, &g, &mut c).unwrap();
+        assert!(c.approx_eq(&c0, 1e-11));
+    }
+
+    #[test]
+    fn qt_a_gives_r() {
+        let (a, st, g) = factor(12, 4, EliminationOrder::FlatTs);
+        let mut c = a.clone();
+        apply_qt_dense(&st, &g, &mut c).unwrap();
+        let r = st.r_matrix();
+        assert!(c.approx_eq(&r, 1e-11));
+    }
+
+    #[test]
+    fn stage_rejects_missing_factor() {
+        let a = random_matrix::<f64>(8, 8, 1);
+        let tiled = TiledMatrix::from_matrix(&a, 4).unwrap();
+        let mut st = FactorState::new(tiled);
+        // UNMQR before its GEQRT: must fail cleanly.
+        assert!(st
+            .stage(TaskKind::Unmqr { i: 0, j: 1, k: 0 })
+            .is_err());
+    }
+
+    #[test]
+    fn apply_rejects_wrong_row_count() {
+        let (_, st, g) = factor(12, 4, EliminationOrder::FlatTs);
+        let mut c = Matrix::<f64>::zeros(9, 2);
+        assert!(apply_qt_dense(&st, &g, &mut c).is_err());
+    }
+
+    #[test]
+    fn staged_compute_outside_state_matches_execute() {
+        let a = random_matrix::<f64>(8, 8, 3);
+        let tiled = TiledMatrix::from_matrix(&a, 4).unwrap();
+        let g = TaskGraph::build(2, 2, EliminationOrder::FlatTs);
+
+        let mut st1 = FactorState::new(tiled.clone());
+        st1.run_all(&g).unwrap();
+
+        let mut st2 = FactorState::new(tiled);
+        for &t in g.tasks() {
+            let staged = st2.stage(t).unwrap();
+            let done = staged.compute().unwrap();
+            st2.commit(done);
+        }
+        assert_eq!(st1.tiles().to_matrix(), st2.tiles().to_matrix());
+    }
+}

@@ -1,0 +1,120 @@
+//! Floating-point operation models for the tile kernels.
+//!
+//! Leading-order flop counts for the kernels as implemented in this crate
+//! (compact-WY with inner block size equal to the tile size `b`). These are
+//! used for GFLOP/s reporting in the benches and as arithmetic-intensity
+//! inputs to the device timing models — the simulator's calibrated curves
+//! (see `tileqr-sim`) are fitted per device on top of these shapes.
+
+/// Flops of `GEQRT` on a `b x b` tile: the `(4/3)b³` factorization plus
+/// roughly `(1/3)b³` for building the `T` factor.
+pub fn geqrt_flops(b: usize) -> u64 {
+    let b = b as u64;
+    (5 * b * b * b) / 3
+}
+
+/// Flops of `UNMQR` applying a `b`-reflector block to one `b x b` tile:
+/// `W = VᵀC` (~`b³`), `TᵀW` (~`b³/2`), `C -= VW` (~`b³`).
+pub fn unmqr_flops(b: usize) -> u64 {
+    let b = b as u64;
+    (5 * b * b * b) / 2
+}
+
+/// Flops of `TSQRT` eliminating a full `b x b` tile against a triangle:
+/// dense reflector per column over the bottom tile (~`2b³`) plus `T`
+/// construction (~`b³`).
+pub fn tsqrt_flops(b: usize) -> u64 {
+    let b = b as u64;
+    3 * b * b * b
+}
+
+/// Flops of `TSMQR` updating a stacked tile pair: `W = A1 + V2ᵀA2`
+/// (~`2b³`), `op(T)W` (~`b³/2`), subtraction sweep (~`2b³`).
+pub fn tsmqr_flops(b: usize) -> u64 {
+    let b = b as u64;
+    (9 * b * b * b) / 2
+}
+
+/// Flops of `TTQRT`: the triangular structure halves the reflector work of
+/// [`tsqrt_flops`].
+pub fn ttqrt_flops(b: usize) -> u64 {
+    tsqrt_flops(b) / 2
+}
+
+/// Flops of `TTMQR`: triangular `V2` halves the two `V2` sweeps of
+/// [`tsmqr_flops`].
+pub fn ttmqr_flops(b: usize) -> u64 {
+    let b = b as u64;
+    (11 * b * b * b) / 4
+}
+
+/// Total flops of a full QR factorization of an `m x n` matrix
+/// (`2mn² − (2/3)n³`, the textbook Householder count).
+pub fn qr_flops(m: usize, n: usize) -> u64 {
+    let (m, n) = (m as u64, n as u64);
+    2 * m * n * n - (2 * n * n * n) / 3
+}
+
+/// Total kernel-level flops of a tiled QR on an `mt x nt` grid of `b x b`
+/// tiles using TS (flat) elimination.
+pub fn tiled_qr_flops(mt: usize, nt: usize, b: usize) -> u64 {
+    let kmax = mt.min(nt);
+    let mut total = 0u64;
+    for k in 0..kmax {
+        let rows_below = (mt - k - 1) as u64;
+        let cols_right = (nt - k - 1) as u64;
+        total += geqrt_flops(b);
+        total += cols_right * unmqr_flops(b);
+        total += rows_below * tsqrt_flops(b);
+        total += rows_below * cols_right * tsmqr_flops(b);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_scale_cubically() {
+        for f in [geqrt_flops, unmqr_flops, tsqrt_flops, tsmqr_flops] {
+            let r = f(32) as f64 / f(16) as f64;
+            assert!((r - 8.0).abs() < 0.2, "not cubic: ratio {r}");
+        }
+    }
+
+    #[test]
+    fn tt_cheaper_than_ts() {
+        assert!(ttqrt_flops(16) < tsqrt_flops(16));
+        assert!(ttmqr_flops(16) < tsmqr_flops(16));
+    }
+
+    #[test]
+    fn qr_flops_square() {
+        // 2n^3 - (2/3)n^3 = (4/3)n^3.
+        let n = 300;
+        let expect = (4.0 / 3.0) * (n as f64).powi(3);
+        let got = qr_flops(n, n) as f64;
+        assert!((got - expect).abs() / expect < 0.01);
+    }
+
+    #[test]
+    fn tiled_total_close_to_dense_total() {
+        // Tiled QR does ~constant-factor more flops than dense QR, but the
+        // totals must agree to within that small factor (< 4x) and scale
+        // identically with problem size.
+        let b = 16;
+        let t1 = tiled_qr_flops(8, 8, b) as f64;
+        let dense1 = qr_flops(8 * b, 8 * b) as f64;
+        assert!(t1 > dense1 * 0.9 && t1 < dense1 * 4.0, "t={t1} dense={dense1}");
+
+        let t2 = tiled_qr_flops(16, 16, b) as f64;
+        let ratio = t2 / t1;
+        assert!(ratio > 6.0 && ratio < 9.0, "bad cubic scaling: {ratio}");
+    }
+
+    #[test]
+    fn single_tile_grid_is_just_geqrt() {
+        assert_eq!(tiled_qr_flops(1, 1, 16), geqrt_flops(16));
+    }
+}

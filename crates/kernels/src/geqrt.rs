@@ -1,0 +1,315 @@
+//! Triangulation kernel `GEQRT` and its update `UNMQR`.
+//!
+//! `GEQRT` computes the QR factorization of a single tile (paper Eq. 4–5):
+//! on exit the tile holds `R` in its upper triangle and the Householder
+//! vectors `V` (unit lower trapezoidal, unit diagonal implicit) below it,
+//! and the returned `T` factor encodes the block reflector
+//! `Q = I − V T Vᵀ`.
+//!
+//! `UNMQR` applies `Qᵀ` from such a factorization to a tile on the right of
+//! the diagonal (paper Eq. 6, the "update for triangulation" step).
+
+use crate::householder::larfg;
+use crate::ApplySide;
+use tileqr_matrix::{ops, Matrix, MatrixError, Result, Scalar};
+
+/// QR-factor one tile in place (PLASMA `CORE_geqrt` with inner block = n).
+///
+/// `a` is `m x n` with `m >= n`. On exit the upper triangle of `a` is `R`
+/// and the strict lower part stores the Householder vectors. Returns the
+/// `n x n` upper-triangular block-reflector factor `T`.
+pub fn geqrt<T: Scalar>(a: &mut Matrix<T>) -> Result<Matrix<T>> {
+    let (m, n) = a.dims();
+    if m < n {
+        return Err(MatrixError::DimensionMismatch {
+            op: "geqrt (needs m >= n)",
+            lhs: (m, n),
+            rhs: (n, n),
+        });
+    }
+    let mut tfac = Matrix::zeros(n, n);
+    let mut z = vec![T::ZERO; n];
+
+    for k in 0..n {
+        // Generate reflector H_k annihilating a[k+1.., k].
+        let tau = {
+            let ck = a.col_mut(k);
+            let alpha = ck[k];
+            let (head, tail) = ck.split_at_mut(k + 1);
+            let h = larfg(alpha, tail);
+            head[k] = h.beta;
+            h.tau
+        };
+
+        // Apply H_k to the trailing columns k+1..n.
+        if tau != T::ZERO {
+            for j in k + 1..n {
+                let (ck, cj) = a.two_cols_mut(k, j);
+                let mut w = cj[k] + ops::dot(&ck[k + 1..], &cj[k + 1..]);
+                w *= tau;
+                cj[k] -= w;
+                ops::axpy(-w, &ck[k + 1..], &mut cj[k + 1..]);
+            }
+        }
+
+        // Incrementally extend the T factor:
+        //   T[k,k]    = tau_k
+        //   T[0..k,k] = -tau_k * T[0..k,0..k] * (V[:,0..k]^T v_k)
+        tfac[(k, k)] = tau;
+        if tau != T::ZERO {
+            for (i, zi) in z.iter_mut().enumerate().take(k) {
+                // V[:,i]^T v_k with both unit diagonals implicit:
+                // row k contributes V[k,i] * 1, rows > k contribute products
+                // of stored entries.
+                let mut acc = a[(k, i)];
+                for r in k + 1..m {
+                    acc += a[(r, i)] * a[(r, k)];
+                }
+                *zi = acc;
+            }
+            for i in 0..k {
+                let mut acc = T::ZERO;
+                for p in i..k {
+                    acc += tfac[(i, p)] * z[p];
+                }
+                tfac[(i, k)] = -tau * acc;
+            }
+        }
+    }
+    Ok(tfac)
+}
+
+/// Apply the block reflector from [`geqrt`] to `c`.
+///
+/// `vr` is the factored tile (V below the diagonal), `tfac` its `T` factor.
+/// Computes `c ← Qᵀ c` ([`ApplySide::Transpose`]) or `c ← Q c`
+/// ([`ApplySide::NoTranspose`]) where `Q = I − V T Vᵀ`.
+pub fn geqrt_apply<T: Scalar>(
+    vr: &Matrix<T>,
+    tfac: &Matrix<T>,
+    c: &mut Matrix<T>,
+    side: ApplySide,
+) -> Result<()> {
+    let (m, n) = vr.dims();
+    if tfac.dims() != (n, n) {
+        return Err(MatrixError::DimensionMismatch {
+            op: "geqrt_apply (T factor)",
+            lhs: (n, n),
+            rhs: tfac.dims(),
+        });
+    }
+    if c.rows() != m {
+        return Err(MatrixError::DimensionMismatch {
+            op: "geqrt_apply (C rows)",
+            lhs: (m, n),
+            rhs: c.dims(),
+        });
+    }
+    let nc = c.cols();
+    let mut w = Matrix::zeros(n, nc);
+
+    // W = V^T C  (V unit lower trapezoidal).
+    for jc in 0..nc {
+        let cc = c.col(jc);
+        for i in 0..n {
+            let mut acc = cc[i];
+            for r in i + 1..m {
+                acc += vr[(r, i)] * cc[r];
+            }
+            w[(i, jc)] = acc;
+        }
+    }
+
+    // W = op(T) W with T upper triangular.
+    apply_tfac_in_place(tfac, &mut w, side);
+
+    // C -= V W.
+    for jc in 0..nc {
+        for r in 0..m {
+            // V[r,r] = 1 (implicit unit diagonal), V[r,i] stored for i < r.
+            let mut acc = if r < n { w[(r, jc)] } else { T::ZERO };
+            let lim = r.min(n);
+            for i in 0..lim {
+                acc += vr[(r, i)] * w[(i, jc)];
+            }
+            c[(r, jc)] -= acc;
+        }
+    }
+    Ok(())
+}
+
+/// Multiply `w ← op(T) w` for upper-triangular `T`, in place, column by
+/// column. Shared by the GEQRT/TSQRT/TTQRT apply paths.
+pub(crate) fn apply_tfac_in_place<T: Scalar>(tfac: &Matrix<T>, w: &mut Matrix<T>, side: ApplySide) {
+    let n = tfac.rows();
+    let nc = w.cols();
+    let mut tmp = vec![T::ZERO; n];
+    for jc in 0..nc {
+        {
+            let wc = w.col(jc);
+            match side {
+                ApplySide::Transpose => {
+                    // (T^T w)[i] = sum_{p <= i} T[p,i] w[p]
+                    for (i, t) in tmp.iter_mut().enumerate() {
+                        let mut acc = T::ZERO;
+                        for (p, &wp) in wc.iter().enumerate().take(i + 1) {
+                            acc += tfac[(p, i)] * wp;
+                        }
+                        *t = acc;
+                    }
+                }
+                ApplySide::NoTranspose => {
+                    // (T w)[i] = sum_{p >= i} T[i,p] w[p]
+                    for (i, t) in tmp.iter_mut().enumerate() {
+                        let mut acc = T::ZERO;
+                        for p in i..n {
+                            acc += tfac[(i, p)] * wc[p];
+                        }
+                        *t = acc;
+                    }
+                }
+            }
+        }
+        w.col_mut(jc).copy_from_slice(&tmp);
+    }
+}
+
+/// Update-for-triangulation step (paper Eq. 6): `c ← Qᵀ c` using the
+/// factorization produced by [`geqrt`] on the diagonal tile.
+pub fn unmqr<T: Scalar>(vr: &Matrix<T>, tfac: &Matrix<T>, c: &mut Matrix<T>) -> Result<()> {
+    geqrt_apply(vr, tfac, c, ApplySide::Transpose)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tileqr_matrix::gen::random_matrix;
+    use tileqr_matrix::ops::{frobenius_norm, matmul, orthogonality_defect};
+
+    /// Explicitly form Q = I - V T V^T from a factored tile.
+    fn form_q(vr: &Matrix<f64>, tfac: &Matrix<f64>) -> Matrix<f64> {
+        let m = vr.rows();
+        let mut q = Matrix::identity(m);
+        geqrt_apply(vr, tfac, &mut q, ApplySide::NoTranspose).unwrap();
+        q
+    }
+
+    #[test]
+    fn factorizes_square_tile() {
+        let a0 = random_matrix::<f64>(8, 8, 1);
+        let mut a = a0.clone();
+        let t = geqrt(&mut a).unwrap();
+        let r = a.upper_triangular();
+        let q = form_q(&a, &t);
+        let qr = matmul(&q, &r).unwrap();
+        assert!(
+            qr.approx_eq(&a0, 1e-12),
+            "residual {}",
+            frobenius_norm(&qr.sub(&a0).unwrap())
+        );
+        assert!(orthogonality_defect(&q).unwrap() < 1e-13);
+    }
+
+    #[test]
+    fn factorizes_tall_tile() {
+        let a0 = random_matrix::<f64>(12, 5, 2);
+        let mut a = a0.clone();
+        let t = geqrt(&mut a).unwrap();
+        assert_eq!(t.dims(), (5, 5));
+        let q = form_q(&a, &t); // 12x12
+        // R is the 12x5 upper trapezoid.
+        let mut r = Matrix::zeros(12, 5);
+        for j in 0..5 {
+            for i in 0..=j {
+                r[(i, j)] = a[(i, j)];
+            }
+        }
+        let qr = matmul(&q, &r).unwrap();
+        assert!(qr.approx_eq(&a0, 1e-12));
+    }
+
+    #[test]
+    fn rejects_wide_tile() {
+        let mut a = Matrix::<f64>::zeros(3, 5);
+        assert!(geqrt(&mut a).is_err());
+    }
+
+    #[test]
+    fn tfac_is_upper_triangular() {
+        let mut a = random_matrix::<f64>(6, 6, 3);
+        let t = geqrt(&mut a).unwrap();
+        for j in 0..6 {
+            for i in j + 1..6 {
+                assert_eq!(t[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn unmqr_matches_explicit_qt() {
+        let a0 = random_matrix::<f64>(6, 6, 4);
+        let mut a = a0.clone();
+        let t = geqrt(&mut a).unwrap();
+        let q = form_q(&a, &t);
+
+        let c0 = random_matrix::<f64>(6, 4, 5);
+        let mut c = c0.clone();
+        unmqr(&a, &t, &mut c).unwrap();
+        let expect = matmul(&q.transpose(), &c0).unwrap();
+        assert!(c.approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn apply_q_then_qt_is_identity() {
+        let mut a = random_matrix::<f64>(7, 7, 6);
+        let t = geqrt(&mut a).unwrap();
+        let c0 = random_matrix::<f64>(7, 3, 7);
+        let mut c = c0.clone();
+        geqrt_apply(&a, &t, &mut c, ApplySide::NoTranspose).unwrap();
+        geqrt_apply(&a, &t, &mut c, ApplySide::Transpose).unwrap();
+        assert!(c.approx_eq(&c0, 1e-12));
+    }
+
+    #[test]
+    fn qt_a_equals_r() {
+        // Applying Q^T to the original tile must reproduce R.
+        let a0 = random_matrix::<f64>(5, 5, 8);
+        let mut a = a0.clone();
+        let t = geqrt(&mut a).unwrap();
+        let mut c = a0.clone();
+        unmqr(&a, &t, &mut c).unwrap();
+        assert!(c.approx_eq(&a.upper_triangular(), 1e-12));
+    }
+
+    #[test]
+    fn apply_shape_errors() {
+        let mut a = random_matrix::<f64>(4, 4, 9);
+        let t = geqrt(&mut a).unwrap();
+        let mut bad_rows = Matrix::<f64>::zeros(5, 2);
+        assert!(unmqr(&a, &t, &mut bad_rows).is_err());
+        let bad_t = Matrix::<f64>::zeros(3, 3);
+        let mut c = Matrix::<f64>::zeros(4, 2);
+        assert!(unmqr(&a, &bad_t, &mut c).is_err());
+    }
+
+    #[test]
+    fn identity_tile_factorizes_trivially() {
+        let mut a = Matrix::<f64>::identity(4);
+        let t = geqrt(&mut a).unwrap();
+        // Identity is already triangular: V = 0, R = I (taus all zero).
+        assert!(a.approx_eq(&Matrix::identity(4), 1e-15));
+        for i in 0..4 {
+            assert_eq!(t[(i, i)], 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a1 = random_matrix::<f64>(8, 8, 10);
+        let mut a2 = a1.clone();
+        let t1 = geqrt(&mut a1).unwrap();
+        let t2 = geqrt(&mut a2).unwrap();
+        assert_eq!(a1, a2);
+        assert_eq!(t1, t2);
+    }
+}

@@ -1,0 +1,296 @@
+//! `GEQRT` with inner blocking (PLASMA-style `ib`).
+//!
+//! The crate's default [`geqrt`](crate::geqrt) uses inner block size equal
+//! to the tile size — one `T` factor for the whole tile, maximal BLAS-3
+//! fraction in the updates but `O(b³)` extra work building `T`. PLASMA's
+//! kernels instead factor the tile in panels of `ib` columns with one
+//! small `T` per panel, trading update efficiency against factor cost.
+//! This module implements that variant so the trade-off the paper
+//! inherits from PLASMA can be measured (see
+//! `benches/elimination_trees.rs` and the DESIGN.md ablation list).
+
+use crate::householder::larfg;
+use crate::ApplySide;
+use tileqr_matrix::{ops, Matrix, MatrixError, Result, Scalar};
+
+/// QR-factor a tile in place with inner block size `ib`.
+///
+/// `a` is `m x n`, `m >= n`; on exit it holds `R` above the diagonal and
+/// the Householder vectors below, exactly like [`crate::geqrt`]. Returns
+/// one upper-triangular `T` factor per column panel (each at most
+/// `ib x ib`; the last may be smaller).
+pub fn geqrt_ib<T: Scalar>(a: &mut Matrix<T>, ib: usize) -> Result<Vec<Matrix<T>>> {
+    let (m, n) = a.dims();
+    if m < n {
+        return Err(MatrixError::DimensionMismatch {
+            op: "geqrt_ib (needs m >= n)",
+            lhs: (m, n),
+            rhs: (n, n),
+        });
+    }
+    if ib == 0 {
+        return Err(MatrixError::BadTileSize { tile: 0 });
+    }
+    let mut tfacs = Vec::with_capacity(n.div_ceil(ib));
+    let mut s = 0;
+    while s < n {
+        let e = (s + ib).min(n); // panel columns [s, e)
+        let pw = e - s;
+        let mut tfac = Matrix::zeros(pw, pw);
+        let mut z = vec![T::ZERO; pw];
+
+        for k in s..e {
+            // Reflector annihilating a[k+1.., k].
+            let tau = {
+                let ck = a.col_mut(k);
+                let alpha = ck[k];
+                let (head, tail) = ck.split_at_mut(k + 1);
+                let h = larfg(alpha, tail);
+                head[k] = h.beta;
+                h.tau
+            };
+
+            // Apply H_k to the remaining panel columns only.
+            if tau != T::ZERO {
+                for j in k + 1..e {
+                    let (ck, cj) = a.two_cols_mut(k, j);
+                    let mut w = cj[k] + ops::dot(&ck[k + 1..], &cj[k + 1..]);
+                    w *= tau;
+                    cj[k] -= w;
+                    ops::axpy(-w, &ck[k + 1..], &mut cj[k + 1..]);
+                }
+            }
+
+            // Extend this panel's T factor.
+            let lk = k - s;
+            tfac[(lk, lk)] = tau;
+            if tau != T::ZERO {
+                for (li, zi) in z.iter_mut().enumerate().take(lk) {
+                    let i = s + li;
+                    let mut acc = a[(k, i)];
+                    for r in k + 1..m {
+                        acc += a[(r, i)] * a[(r, k)];
+                    }
+                    *zi = acc;
+                }
+                for li in 0..lk {
+                    let mut acc = T::ZERO;
+                    for p in li..lk {
+                        acc += tfac[(li, p)] * z[p];
+                    }
+                    tfac[(li, lk)] = -tau * acc;
+                }
+            }
+        }
+
+        // Apply the finished panel's block reflector to trailing columns.
+        if e < n {
+            apply_panel(a, s, e, &tfac, e, n, ApplySide::Transpose)?;
+        }
+        tfacs.push(tfac);
+        s = e;
+    }
+    Ok(tfacs)
+}
+
+/// Apply the block reflector of panel columns `[s, e)` of `vr` to the
+/// column range `[c0, c1)` of the same matrix, in place.
+fn apply_panel<T: Scalar>(
+    a: &mut Matrix<T>,
+    s: usize,
+    e: usize,
+    tfac: &Matrix<T>,
+    c0: usize,
+    c1: usize,
+    side: ApplySide,
+) -> Result<()> {
+    let m = a.rows();
+    let pw = e - s;
+    let nc = c1 - c0;
+    // W = V^T C with V unit lower trapezoidal in columns s..e, rows s..m.
+    let mut w = Matrix::zeros(pw, nc);
+    for (jc, wj) in (c0..c1).zip(0..nc) {
+        for li in 0..pw {
+            let i = s + li;
+            let mut acc = a[(i, jc)];
+            for r in i + 1..m {
+                acc += a[(r, s + li)] * a[(r, jc)];
+            }
+            w[(li, wj)] = acc;
+        }
+    }
+    crate::geqrt::apply_tfac_in_place(tfac, &mut w, side);
+    // C -= V W.
+    for (jc, wj) in (c0..c1).zip(0..nc) {
+        for r in s..m {
+            let lim = (r + 1 - s).min(pw);
+            let mut acc = T::ZERO;
+            for li in 0..lim {
+                let v = if s + li == r { T::ONE } else { a[(r, s + li)] };
+                acc += v * w[(li, wj)];
+            }
+            a[(r, jc)] -= acc;
+        }
+    }
+    Ok(())
+}
+
+/// Apply `Q` or `Qᵀ` from a [`geqrt_ib`] factorization to a dense `c`
+/// (`c.rows() == vr.rows()`).
+pub fn geqrt_ib_apply<T: Scalar>(
+    vr: &Matrix<T>,
+    tfacs: &[Matrix<T>],
+    ib: usize,
+    c: &mut Matrix<T>,
+    side: ApplySide,
+) -> Result<()> {
+    let (m, n) = vr.dims();
+    if c.rows() != m {
+        return Err(MatrixError::DimensionMismatch {
+            op: "geqrt_ib_apply (C rows)",
+            lhs: (m, n),
+            rhs: c.dims(),
+        });
+    }
+    let expected = n.div_ceil(ib.max(1));
+    if ib == 0 || tfacs.len() != expected {
+        return Err(MatrixError::BadTileSize { tile: ib });
+    }
+    let nc = c.cols();
+    let panels: Vec<usize> = (0..tfacs.len()).collect();
+    let order: Box<dyn Iterator<Item = usize>> = match side {
+        ApplySide::Transpose => Box::new(panels.into_iter()),
+        ApplySide::NoTranspose => Box::new(panels.into_iter().rev()),
+    };
+    for p in order {
+        let s = p * ib;
+        let e = (s + ib).min(n);
+        let pw = e - s;
+        let tfac = &tfacs[p];
+        // W = V_p^T C.
+        let mut w = Matrix::zeros(pw, nc);
+        for jc in 0..nc {
+            for li in 0..pw {
+                let i = s + li;
+                let mut acc = c[(i, jc)];
+                for r in i + 1..m {
+                    acc += vr[(r, s + li)] * c[(r, jc)];
+                }
+                w[(li, jc)] = acc;
+            }
+        }
+        crate::geqrt::apply_tfac_in_place(tfac, &mut w, side);
+        for jc in 0..nc {
+            for r in s..m {
+                let lim = (r + 1 - s).min(pw);
+                let mut acc = T::ZERO;
+                for li in 0..lim {
+                    let v = if s + li == r { T::ONE } else { vr[(r, s + li)] };
+                    acc += v * w[(li, jc)];
+                }
+                c[(r, jc)] -= acc;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geqrt;
+    use tileqr_matrix::gen::random_matrix;
+    use tileqr_matrix::ops::{matmul, orthogonality_defect, relative_residual};
+
+    fn form_q(vr: &Matrix<f64>, tfacs: &[Matrix<f64>], ib: usize) -> Matrix<f64> {
+        let mut q = Matrix::identity(vr.rows());
+        geqrt_ib_apply(vr, tfacs, ib, &mut q, ApplySide::NoTranspose).unwrap();
+        q
+    }
+
+    #[test]
+    fn ib_equal_to_n_matches_plain_geqrt() {
+        let a0 = random_matrix::<f64>(8, 8, 1);
+        let mut a1 = a0.clone();
+        let t1 = geqrt(&mut a1).unwrap();
+        let mut a2 = a0.clone();
+        let t2 = geqrt_ib(&mut a2, 8).unwrap();
+        assert_eq!(t2.len(), 1);
+        assert!(a1.approx_eq(&a2, 1e-13));
+        assert!(t1.approx_eq(&t2[0], 1e-13));
+    }
+
+    #[test]
+    fn every_ib_reconstructs() {
+        let a0 = random_matrix::<f64>(12, 12, 2);
+        for ib in [1usize, 2, 3, 4, 5, 6, 12] {
+            let mut a = a0.clone();
+            let ts = geqrt_ib(&mut a, ib).unwrap();
+            assert_eq!(ts.len(), 12usize.div_ceil(ib));
+            let q = form_q(&a, &ts, ib);
+            let r = a.upper_triangular();
+            assert!(
+                relative_residual(&a0, &q, &r).unwrap() < 1e-13,
+                "ib={ib}"
+            );
+            assert!(orthogonality_defect(&q).unwrap() < 1e-13, "ib={ib}");
+        }
+    }
+
+    #[test]
+    fn r_identical_across_inner_blockings() {
+        // R is determined by A alone (same sign convention), so every ib
+        // must produce the same R bit-for-bit-ish.
+        let a0 = random_matrix::<f64>(10, 10, 3);
+        let mut a_full = a0.clone();
+        let _ = geqrt(&mut a_full).unwrap();
+        for ib in [1usize, 3, 5] {
+            let mut a = a0.clone();
+            let _ = geqrt_ib(&mut a, ib).unwrap();
+            assert!(
+                a.upper_triangular().approx_eq(&a_full.upper_triangular(), 1e-12),
+                "ib={ib}"
+            );
+        }
+    }
+
+    #[test]
+    fn tall_tiles_supported() {
+        let a0 = random_matrix::<f64>(16, 6, 4);
+        let mut a = a0.clone();
+        let ts = geqrt_ib(&mut a, 4).unwrap();
+        let q = form_q(&a, &ts, 4);
+        let mut r = Matrix::zeros(16, 6);
+        for j in 0..6 {
+            for i in 0..=j {
+                r[(i, j)] = a[(i, j)];
+            }
+        }
+        let qr = matmul(&q, &r).unwrap();
+        assert!(qr.approx_eq(&a0, 1e-12));
+    }
+
+    #[test]
+    fn apply_qt_then_q_round_trips() {
+        let mut a = random_matrix::<f64>(9, 9, 5);
+        let ts = geqrt_ib(&mut a, 3).unwrap();
+        let c0 = random_matrix::<f64>(9, 4, 6);
+        let mut c = c0.clone();
+        geqrt_ib_apply(&a, &ts, 3, &mut c, ApplySide::Transpose).unwrap();
+        geqrt_ib_apply(&a, &ts, 3, &mut c, ApplySide::NoTranspose).unwrap();
+        assert!(c.approx_eq(&c0, 1e-12));
+    }
+
+    #[test]
+    fn bad_arguments_rejected() {
+        let mut wide = Matrix::<f64>::zeros(3, 5);
+        assert!(geqrt_ib(&mut wide, 2).is_err());
+        let mut sq = random_matrix::<f64>(4, 4, 7);
+        assert!(geqrt_ib(&mut sq, 0).is_err());
+        let ts = geqrt_ib(&mut sq, 2).unwrap();
+        let mut c = Matrix::<f64>::zeros(4, 2);
+        assert!(geqrt_ib_apply(&sq, &ts[..1], 2, &mut c, ApplySide::Transpose).is_err());
+        let mut bad_rows = Matrix::<f64>::zeros(5, 2);
+        assert!(geqrt_ib_apply(&sq, &ts, 2, &mut bad_rows, ApplySide::Transpose).is_err());
+    }
+}

@@ -1,0 +1,128 @@
+//! Elementary Householder reflector generation (LAPACK `larfg`).
+
+use tileqr_matrix::{ops, Scalar};
+
+/// Result of generating an elementary reflector.
+///
+/// The reflector is `H = I − τ v vᵀ` with `v = [1, tail]ᵀ`; applying it to
+/// the original vector `[alpha, x]ᵀ` yields `[beta, 0, …, 0]ᵀ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HouseholderReflector<T> {
+    /// Value that replaces the leading element after reflection.
+    pub beta: T,
+    /// Reflector scale `τ`; `τ = 0` means `H = I`.
+    pub tau: T,
+}
+
+/// Generate an elementary Householder reflector (LAPACK `dlarfg`).
+///
+/// On entry `alpha` is the leading element and `tail` the remaining
+/// elements of the vector to annihilate. On exit `tail` holds `v[1..]`
+/// (with `v[0] = 1` implicit) and the returned [`HouseholderReflector`]
+/// carries `beta` (the new leading element) and `τ`.
+///
+/// `beta` takes the sign opposite to `alpha` (the numerically stable
+/// choice, matching Algorithm 1's `αₖ = −sgn(aₖₖ)‖aₖ‖`), so the divisor
+/// `alpha − beta` never suffers cancellation.
+pub fn larfg<T: Scalar>(alpha: T, tail: &mut [T]) -> HouseholderReflector<T> {
+    let xnorm = ops::nrm2(tail);
+    if xnorm == T::ZERO {
+        // Nothing to annihilate: H = I.
+        return HouseholderReflector {
+            beta: alpha,
+            tau: T::ZERO,
+        };
+    }
+    let beta = -Scalar::hypot(alpha, xnorm).copysign(alpha);
+    let tau = (beta - alpha) / beta;
+    let inv = T::ONE / (alpha - beta);
+    for v in tail.iter_mut() {
+        *v *= inv;
+    }
+    HouseholderReflector { beta, tau }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tileqr_matrix::ops::nrm2;
+
+    /// Apply H = I - tau v v^T to [alpha, tail_orig] and return the result.
+    fn apply_reflector(alpha: f64, tail_orig: &[f64], v_tail: &[f64], tau: f64) -> Vec<f64> {
+        let mut x = vec![alpha];
+        x.extend_from_slice(tail_orig);
+        let mut v = vec![1.0];
+        v.extend_from_slice(v_tail);
+        let w: f64 = v.iter().zip(&x).map(|(a, b)| a * b).sum();
+        x.iter().zip(&v).map(|(xi, vi)| xi - tau * w * vi).collect()
+    }
+
+    #[test]
+    fn annihilates_tail() {
+        let alpha = 3.0;
+        let orig = vec![1.0, -2.0, 0.5];
+        let mut tail = orig.clone();
+        let h = larfg(alpha, &mut tail);
+        let reflected = apply_reflector(alpha, &orig, &tail, h.tau);
+        assert!((reflected[0] - h.beta).abs() < 1e-14);
+        for &r in &reflected[1..] {
+            assert!(r.abs() < 1e-14, "tail not annihilated: {r}");
+        }
+    }
+
+    #[test]
+    fn preserves_norm() {
+        let alpha = -1.5;
+        let orig = vec![2.0, 4.0];
+        let mut tail = orig.clone();
+        let h = larfg(alpha, &mut tail);
+        let full_norm = nrm2(&[alpha, 2.0, 4.0]);
+        assert!((h.beta.abs() - full_norm).abs() < 1e-14);
+    }
+
+    #[test]
+    fn beta_opposes_alpha_sign() {
+        let mut tail = vec![1.0];
+        let h = larfg(5.0, &mut tail);
+        assert!(h.beta < 0.0);
+        let mut tail = vec![1.0];
+        let h = larfg(-5.0, &mut tail);
+        assert!(h.beta > 0.0);
+    }
+
+    #[test]
+    fn zero_tail_gives_identity() {
+        let mut tail = vec![0.0, 0.0];
+        let h = larfg(7.0, &mut tail);
+        assert_eq!(h.tau, 0.0);
+        assert_eq!(h.beta, 7.0);
+        assert_eq!(tail, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_tail_gives_identity() {
+        let mut tail: Vec<f64> = vec![];
+        let h = larfg(-2.0, &mut tail);
+        assert_eq!(h.tau, 0.0);
+        assert_eq!(h.beta, -2.0);
+    }
+
+    #[test]
+    fn tau_in_stable_range() {
+        // For the sign convention used, tau is always in [1, 2].
+        for seed in 0..20 {
+            let alpha = (seed as f64 - 10.0) * 0.7 + 0.1;
+            let mut tail = vec![0.3 * seed as f64 + 0.1, -0.2];
+            let h = larfg(alpha, &mut tail);
+            assert!((1.0..=2.0).contains(&h.tau), "tau {} out of range", h.tau);
+        }
+    }
+
+    #[test]
+    fn huge_values_do_not_overflow() {
+        let mut tail = vec![1e200, -1e200];
+        let h = larfg(1e200, &mut tail);
+        assert!(h.beta.is_finite());
+        assert!(tail.iter().all(|v| v.is_finite()));
+    }
+}

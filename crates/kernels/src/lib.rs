@@ -1,0 +1,51 @@
+//! Tile kernels for tiled QR decomposition.
+//!
+//! Implements, from scratch and in pure safe Rust, the four kernel families
+//! of the paper (§II-B):
+//!
+//! | Paper step                 | LAPACK/PLASMA name | Function        |
+//! |----------------------------|--------------------|-----------------|
+//! | Triangulation (T)          | `GEQRT`            | [`geqrt`]       |
+//! | Update for triangulation (UT) | `UNMQR`         | [`unmqr`]       |
+//! | Elimination (E), TS flavour   | `TSQRT`         | [`tsqrt`]       |
+//! | Update for elimination (UE), TS flavour | `TSMQR` | [`tsmqr`]     |
+//! | Elimination (E), TT flavour   | `TTQRT`         | [`ttqrt`]       |
+//! | Update for elimination (UE), TT flavour | `TTMQR` | [`ttmqr`]     |
+//!
+//! Conventions follow LAPACK's compact-WY representation: each elementary
+//! reflector is `H = I − τ v vᵀ` with `v₀ = 1` stored implicitly, and a
+//! block of `k` reflectors is `Q = I − V T Vᵀ` with `T` upper triangular
+//! (the output of [`geqrt`]/[`tsqrt`]/[`ttqrt`]).
+//!
+//! The crate also ships the paper's Algorithm 1 — plain unblocked
+//! Householder QR — in [`mod@reference`], used as the ground truth by the test
+//! suite, plus flop models ([`flops`]) and factorization validators
+//! ([`validate`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod flops;
+mod geqrt;
+mod geqrt_ib;
+mod householder;
+pub mod reference;
+mod tsqrt;
+mod ttqrt;
+pub mod validate;
+
+pub use geqrt::{geqrt, geqrt_apply, unmqr};
+pub use geqrt_ib::{geqrt_ib, geqrt_ib_apply};
+pub use householder::{larfg, HouseholderReflector};
+pub use tsqrt::{tsmqr, tsmqr_apply, tsqrt};
+pub use ttqrt::{ttmqr, ttmqr_apply, ttqrt};
+
+/// Which orthogonal factor to apply in an update kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApplySide {
+    /// Apply `Qᵀ` (used during factorization to push `A ← QᵀA`).
+    Transpose,
+    /// Apply `Q` (used when reconstructing `Q` or computing `Q·X`).
+    NoTranspose,
+}

@@ -1,0 +1,248 @@
+//! Reference (unblocked) Householder QR — the paper's Algorithm 1.
+//!
+//! This is the textbook column-by-column Householder factorization used as
+//! ground truth for the tiled kernels, and as the single-device baseline
+//! the GPU implementation in the paper is built from (§V).
+
+use crate::householder::larfg;
+use tileqr_matrix::{ops, Matrix, MatrixError, Result, Scalar};
+
+/// Unblocked Householder QR factorization (LAPACK `geqrf` with nb = 1).
+///
+/// Factors `a` (`m x n`, `m >= n`) in place: `R` in the upper triangle,
+/// Householder vectors below the diagonal. Returns the `n` reflector
+/// scales `τ`.
+pub fn geqrf<T: Scalar>(a: &mut Matrix<T>) -> Result<Vec<T>> {
+    let (m, n) = a.dims();
+    if m < n {
+        return Err(MatrixError::DimensionMismatch {
+            op: "geqrf (needs m >= n)",
+            lhs: (m, n),
+            rhs: (n, n),
+        });
+    }
+    let mut taus = Vec::with_capacity(n);
+    for k in 0..n {
+        let tau = {
+            let ck = a.col_mut(k);
+            let alpha = ck[k];
+            let (head, tail) = ck.split_at_mut(k + 1);
+            let h = larfg(alpha, tail);
+            head[k] = h.beta;
+            h.tau
+        };
+        if tau != T::ZERO {
+            for j in k + 1..n {
+                let (ck, cj) = a.two_cols_mut(k, j);
+                let mut w = cj[k] + ops::dot(&ck[k + 1..], &cj[k + 1..]);
+                w *= tau;
+                cj[k] -= w;
+                ops::axpy(-w, &ck[k + 1..], &mut cj[k + 1..]);
+            }
+        }
+        taus.push(tau);
+    }
+    Ok(taus)
+}
+
+/// Form the full `m x m` orthogonal factor `Q = H₀ H₁ ⋯ Hₙ₋₁` from a
+/// [`geqrf`] factorization.
+pub fn form_q<T: Scalar>(a: &Matrix<T>, taus: &[T]) -> Result<Matrix<T>> {
+    let (m, n) = a.dims();
+    if taus.len() != n {
+        return Err(MatrixError::DimensionMismatch {
+            op: "form_q (tau count)",
+            lhs: (m, n),
+            rhs: (taus.len(), 1),
+        });
+    }
+    let mut q = Matrix::identity(m);
+    // Q = H_0 (H_1 (... H_{n-1} I)): apply reflectors back to front.
+    for k in (0..n).rev() {
+        apply_reflector_left(a, k, taus[k], &mut q);
+    }
+    Ok(q)
+}
+
+/// Apply `Qᵀ` from a [`geqrf`] factorization to `c` in place
+/// (`c ← Qᵀ c = Hₙ₋₁ ⋯ H₀ c`).
+pub fn apply_qt<T: Scalar>(a: &Matrix<T>, taus: &[T], c: &mut Matrix<T>) -> Result<()> {
+    let (m, n) = a.dims();
+    if taus.len() != n || c.rows() != m {
+        return Err(MatrixError::DimensionMismatch {
+            op: "apply_qt (shapes)",
+            lhs: (m, n),
+            rhs: c.dims(),
+        });
+    }
+    for (k, &tau) in taus.iter().enumerate() {
+        apply_reflector_left(a, k, tau, c);
+    }
+    Ok(())
+}
+
+/// `c ← H_k c` for the reflector stored in column `k` of `a`
+/// (H is symmetric so this serves both Q and Qᵀ sweeps).
+fn apply_reflector_left<T: Scalar>(a: &Matrix<T>, k: usize, tau: T, c: &mut Matrix<T>) {
+    if tau == T::ZERO {
+        return;
+    }
+    let vk = a.col(k);
+    for j in 0..c.cols() {
+        let cj = c.col_mut(j);
+        let mut w = cj[k] + ops::dot(&vk[k + 1..], &cj[k + 1..]);
+        w *= tau;
+        cj[k] -= w;
+        ops::axpy(-w, &vk[k + 1..], &mut cj[k + 1..]);
+    }
+}
+
+/// Convenience full QR: returns `(Q, R)` with `Q` `m x m` orthogonal and
+/// `R` `m x n` upper trapezoidal such that `A = Q R`.
+pub fn householder_qr<T: Scalar>(a: &Matrix<T>) -> Result<(Matrix<T>, Matrix<T>)> {
+    let mut work = a.clone();
+    let taus = geqrf(&mut work)?;
+    let q = form_q(&work, &taus)?;
+    let (m, n) = a.dims();
+    let mut r = Matrix::zeros(m, n);
+    for j in 0..n {
+        for i in 0..=j.min(m - 1) {
+            r[(i, j)] = work[(i, j)];
+        }
+    }
+    Ok((q, r))
+}
+
+/// Solve the square system `A x = b` (or the least-squares problem when `A`
+/// is tall) via Householder QR: `x = R⁻¹ Qᵀ b` (paper Eqs. 2–3).
+pub fn qr_solve<T: Scalar>(a: &Matrix<T>, b: &[T]) -> Result<Vec<T>> {
+    let (m, n) = a.dims();
+    if b.len() != m {
+        return Err(MatrixError::DimensionMismatch {
+            op: "qr_solve (rhs length)",
+            lhs: (m, n),
+            rhs: (b.len(), 1),
+        });
+    }
+    let mut work = a.clone();
+    let taus = geqrf(&mut work)?;
+    let mut c = Matrix::from_col_major(m, 1, b.to_vec())?;
+    apply_qt(&work, &taus, &mut c)?;
+    // Back-substitute against the leading n x n block of R.
+    let r = work.submatrix(0, 0, n, n)?.upper_triangular();
+    solve_r(&r, &c.as_slice()[..n])
+}
+
+fn solve_r<T: Scalar>(r: &Matrix<T>, rhs: &[T]) -> Result<Vec<T>> {
+    ops::solve_upper_triangular(r, rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tileqr_matrix::gen::{diagonally_dominant, random_matrix, random_vector};
+    use tileqr_matrix::ops::{matmul, matvec, orthogonality_defect, relative_residual};
+
+    #[test]
+    fn square_qr_reconstructs() {
+        let a = random_matrix::<f64>(10, 10, 1);
+        let (q, r) = householder_qr(&a).unwrap();
+        assert!(relative_residual(&a, &q, &r).unwrap() < 1e-14);
+        assert!(orthogonality_defect(&q).unwrap() < 1e-14);
+    }
+
+    #[test]
+    fn tall_qr_reconstructs() {
+        let a = random_matrix::<f64>(12, 5, 2);
+        let (q, r) = householder_qr(&a).unwrap();
+        assert_eq!(q.dims(), (12, 12));
+        assert_eq!(r.dims(), (12, 5));
+        let qr = matmul(&q, &r).unwrap();
+        assert!(qr.approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn r_is_upper_triangular_with_nonneg_signs_consistent() {
+        let a = random_matrix::<f64>(6, 6, 3);
+        let (_, r) = householder_qr(&a).unwrap();
+        for j in 0..6 {
+            for i in j + 1..6 {
+                assert_eq!(r[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn apply_qt_zeroes_below_diagonal() {
+        let a = random_matrix::<f64>(7, 7, 4);
+        let mut work = a.clone();
+        let taus = geqrf(&mut work).unwrap();
+        let mut c = a.clone();
+        apply_qt(&work, &taus, &mut c).unwrap();
+        for j in 0..7 {
+            for i in j + 1..7 {
+                assert!(c[(i, j)].abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_square_system() {
+        let a = diagonally_dominant::<f64>(9, 5);
+        let x_true = random_vector::<f64>(9, 6);
+        let b = matvec(&a, &x_true).unwrap();
+        let x = qr_solve(&a, &b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn least_squares_residual_is_orthogonal() {
+        // For tall A, x minimizes ||Ax - b||; residual must be orthogonal to
+        // the column space: A^T (Ax - b) = 0.
+        let a = random_matrix::<f64>(10, 4, 7);
+        let b = random_vector::<f64>(10, 8);
+        let x = qr_solve(&a, &b).unwrap();
+        let ax = matvec(&a, &x).unwrap();
+        let resid: Vec<f64> = ax.iter().zip(&b).map(|(p, q)| p - q).collect();
+        let at_r = matvec(&a.transpose(), &resid).unwrap();
+        for v in at_r {
+            assert!(v.abs() < 1e-10, "normal equations violated: {v}");
+        }
+    }
+
+    #[test]
+    fn solve_rejects_bad_rhs() {
+        let a = random_matrix::<f64>(4, 4, 9);
+        assert!(qr_solve(&a, &[1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn geqrf_rejects_wide() {
+        let mut a = Matrix::<f64>::zeros(2, 5);
+        assert!(geqrf(&mut a).is_err());
+    }
+
+    #[test]
+    fn form_q_checks_tau_count() {
+        let mut a = random_matrix::<f64>(4, 4, 10);
+        let taus = geqrf(&mut a).unwrap();
+        assert!(form_q(&a, &taus[..2]).is_err());
+    }
+
+    #[test]
+    fn singular_matrix_solve_fails_cleanly() {
+        let a = Matrix::<f64>::zeros(3, 3);
+        let res = qr_solve(&a, &[1.0, 2.0, 3.0]);
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn f32_precision_works() {
+        let a = random_matrix::<f32>(8, 8, 11);
+        let (q, r) = householder_qr(&a).unwrap();
+        assert!(relative_residual(&a, &q, &r).unwrap() < 1e-5);
+        assert!(orthogonality_defect(&q).unwrap() < 1e-5);
+    }
+}

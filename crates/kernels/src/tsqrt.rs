@@ -1,0 +1,315 @@
+//! Triangle-on-top-of-square elimination kernel `TSQRT` and its update
+//! `TSMQR`.
+//!
+//! `TSQRT` (paper Eq. 7–8, the TS-flavoured elimination step) computes the
+//! QR factorization of the stacked pair
+//!
+//! ```text
+//! [ R1 ]        R1: n x n upper triangular (already triangulated tile)
+//! [ A2 ]        A2: m2 x n full tile
+//! ```
+//!
+//! exploiting the structure: reflector `k` is `[e_k; v_k]` where `v_k` is a
+//! dense `m2`-vector, so the implicit `V` of the block reflector is
+//! `[I; V2]` with `V2` stored in `A2`'s place. On exit `R1` holds the new
+//! triangular factor and `A2` holds `V2`.
+//!
+//! `TSMQR` (paper Eq. 9) applies the resulting `Qᵀ` (or `Q`) to a stacked
+//! pair of tiles `[A1; A2]` on the right — the "update for elimination".
+
+use crate::geqrt::apply_tfac_in_place;
+use crate::householder::larfg;
+use crate::ApplySide;
+use tileqr_matrix::{ops, Matrix, MatrixError, Result, Scalar};
+
+/// Eliminate tile `a2` against the triangular tile `r1` (PLASMA
+/// `CORE_tsqrt`).
+///
+/// `r1` is `n x n` (upper triangular on entry and exit); `a2` is `m2 x n`
+/// and on exit stores the Householder block `V2`. Returns the `n x n`
+/// upper-triangular `T` factor of the block reflector `Q = I − V T Vᵀ`
+/// with `V = [I; V2]`.
+pub fn tsqrt<T: Scalar>(r1: &mut Matrix<T>, a2: &mut Matrix<T>) -> Result<Matrix<T>> {
+    let n = r1.rows();
+    if !r1.is_square() {
+        return Err(MatrixError::NotSquare { dims: r1.dims() });
+    }
+    if a2.cols() != n {
+        return Err(MatrixError::DimensionMismatch {
+            op: "tsqrt (column count)",
+            lhs: r1.dims(),
+            rhs: a2.dims(),
+        });
+    }
+    let m2 = a2.rows();
+    let mut tfac = Matrix::zeros(n, n);
+    let mut z = vec![T::ZERO; n];
+
+    for k in 0..n {
+        // Reflector annihilating a2[:, k] against the diagonal entry r1[k,k].
+        let alpha = r1[(k, k)];
+        let tau = {
+            let ck = a2.col_mut(k);
+            let h = larfg(alpha, ck);
+            r1[(k, k)] = h.beta;
+            h.tau
+        };
+
+        // Apply H_k to trailing columns of the stacked pair.
+        if tau != T::ZERO {
+            for j in k + 1..n {
+                let (vk, cj) = a2.two_cols_mut(k, j);
+                let mut w = r1[(k, j)] + ops::dot(vk, cj);
+                w *= tau;
+                r1[(k, j)] -= w;
+                ops::axpy(-w, vk, cj);
+            }
+        }
+
+        // Extend T: the top identity block contributes nothing to V_i^T v_k
+        // for i != k, so z reduces to V2 inner products.
+        tfac[(k, k)] = tau;
+        if tau != T::ZERO {
+            for (i, zi) in z.iter_mut().enumerate().take(k) {
+                let mut acc = T::ZERO;
+                for r in 0..m2 {
+                    acc += a2[(r, i)] * a2[(r, k)];
+                }
+                *zi = acc;
+            }
+            for i in 0..k {
+                let mut acc = T::ZERO;
+                for p in i..k {
+                    acc += tfac[(i, p)] * z[p];
+                }
+                tfac[(i, k)] = -tau * acc;
+            }
+        }
+    }
+    Ok(tfac)
+}
+
+/// Apply the block reflector from [`tsqrt`] to a stacked pair `[a1; a2]`.
+///
+/// `v2` is the Householder block stored where the eliminated tile was,
+/// `tfac` the `T` factor. `a1` is `n x nc`, `a2` is `m2 x nc`.
+pub fn tsmqr_apply<T: Scalar>(
+    v2: &Matrix<T>,
+    tfac: &Matrix<T>,
+    a1: &mut Matrix<T>,
+    a2: &mut Matrix<T>,
+    side: ApplySide,
+) -> Result<()> {
+    let n = tfac.rows();
+    if v2.cols() != n || a1.rows() != n || a2.rows() != v2.rows() || a1.cols() != a2.cols() {
+        return Err(MatrixError::DimensionMismatch {
+            op: "tsmqr (shapes)",
+            lhs: v2.dims(),
+            rhs: a1.dims(),
+        });
+    }
+    let nc = a1.cols();
+    let m2 = v2.rows();
+
+    // W = [I; V2]^T [A1; A2] = A1 + V2^T A2.
+    let mut w = a1.clone();
+    for jc in 0..nc {
+        let a2c = a2.col(jc);
+        for i in 0..n {
+            let mut acc = T::ZERO;
+            for r in 0..m2 {
+                acc += v2[(r, i)] * a2c[r];
+            }
+            w[(i, jc)] += acc;
+        }
+    }
+
+    // W = op(T) W.
+    apply_tfac_in_place(tfac, &mut w, side);
+
+    // [A1; A2] -= [I; V2] W.
+    for jc in 0..nc {
+        for i in 0..n {
+            a1[(i, jc)] -= w[(i, jc)];
+        }
+        for r in 0..m2 {
+            let mut acc = T::ZERO;
+            for i in 0..n {
+                acc += v2[(r, i)] * w[(i, jc)];
+            }
+            a2[(r, jc)] -= acc;
+        }
+    }
+    Ok(())
+}
+
+/// Update-for-elimination step (paper Eq. 9): `[a1; a2] ← Qᵀ [a1; a2]`
+/// using the factorization produced by [`tsqrt`].
+pub fn tsmqr<T: Scalar>(
+    v2: &Matrix<T>,
+    tfac: &Matrix<T>,
+    a1: &mut Matrix<T>,
+    a2: &mut Matrix<T>,
+) -> Result<()> {
+    tsmqr_apply(v2, tfac, a1, a2, ApplySide::Transpose)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geqrt::geqrt;
+    use tileqr_matrix::gen::random_matrix;
+    use tileqr_matrix::ops::{matmul, orthogonality_defect};
+
+    /// Stack two equal-width matrices vertically.
+    fn vstack(top: &Matrix<f64>, bot: &Matrix<f64>) -> Matrix<f64> {
+        assert_eq!(top.cols(), bot.cols());
+        Matrix::from_fn(top.rows() + bot.rows(), top.cols(), |i, j| {
+            if i < top.rows() {
+                top[(i, j)]
+            } else {
+                bot[(i - top.rows(), j)]
+            }
+        })
+    }
+
+    /// Explicitly form the (n+m2) x (n+m2) Q of a TSQRT factorization.
+    fn form_q(v2: &Matrix<f64>, tfac: &Matrix<f64>) -> Matrix<f64> {
+        let n = tfac.rows();
+        let m2 = v2.rows();
+        let total = n + m2;
+        let mut q = Matrix::identity(total);
+        // Apply Q to each block column of the identity via tsmqr_apply.
+        let mut top = q.submatrix(0, 0, n, total).unwrap();
+        let mut bot = q.submatrix(n, 0, m2, total).unwrap();
+        tsmqr_apply(v2, tfac, &mut top, &mut bot, ApplySide::NoTranspose).unwrap();
+        q.set_submatrix(0, 0, &top).unwrap();
+        q.set_submatrix(n, 0, &bot).unwrap();
+        q
+    }
+
+    #[test]
+    fn eliminates_square_block() {
+        let n = 6;
+        // Build a triangulated top tile first.
+        let mut top = random_matrix::<f64>(n, n, 1);
+        let _ = geqrt(&mut top).unwrap();
+        let r1_0 = top.upper_triangular();
+        let a2_0 = random_matrix::<f64>(n, n, 2);
+
+        let mut r1 = r1_0.clone();
+        let mut a2 = a2_0.clone();
+        let t = tsqrt(&mut r1, &mut a2).unwrap();
+
+        // [R1_new; 0] must equal Q^T [R1_0; A2_0].
+        let stacked = vstack(&r1_0, &a2_0);
+        let q = form_q(&a2, &t);
+        assert!(orthogonality_defect(&q).unwrap() < 1e-13);
+        let qt_s = matmul(&q.transpose(), &stacked).unwrap();
+        let expect = vstack(&r1.upper_triangular(), &Matrix::zeros(n, n));
+        assert!(qt_s.approx_eq(&expect, 1e-12));
+        // R1 stays upper triangular.
+        assert!(r1.approx_eq(&r1.upper_triangular(), 1e-15));
+    }
+
+    #[test]
+    fn qr_reconstructs_stack() {
+        let n = 5;
+        let mut top = random_matrix::<f64>(n, n, 3);
+        let _ = geqrt(&mut top).unwrap();
+        let r1_0 = top.upper_triangular();
+        let a2_0 = random_matrix::<f64>(n, n, 4);
+
+        let mut r1 = r1_0.clone();
+        let mut a2 = a2_0.clone();
+        let t = tsqrt(&mut r1, &mut a2).unwrap();
+        let q = form_q(&a2, &t);
+        let r_full = vstack(&r1, &Matrix::zeros(n, n));
+        let qr = matmul(&q, &r_full).unwrap();
+        assert!(qr.approx_eq(&vstack(&r1_0, &a2_0), 1e-12));
+    }
+
+    #[test]
+    fn tall_bottom_tile() {
+        // TSQRT also handles m2 != n bottom blocks (used by tall tiles).
+        let n = 4;
+        let m2 = 9;
+        let mut r1 = random_matrix::<f64>(n, n, 5).upper_triangular();
+        for i in 0..n {
+            r1[(i, i)] += 2.0; // keep it comfortably nonsingular
+        }
+        let a2_0 = random_matrix::<f64>(m2, n, 6);
+        let r1_0 = r1.clone();
+        let mut a2 = a2_0.clone();
+        let t = tsqrt(&mut r1, &mut a2).unwrap();
+        let q = form_q(&a2, &t);
+        let qr = matmul(&q, &vstack(&r1, &Matrix::zeros(m2, n))).unwrap();
+        assert!(qr.approx_eq(&vstack(&r1_0, &a2_0), 1e-12));
+    }
+
+    #[test]
+    fn tsmqr_matches_explicit_qt() {
+        let n = 5;
+        let mut r1 = random_matrix::<f64>(n, n, 7).upper_triangular();
+        let mut a2 = random_matrix::<f64>(n, n, 8);
+        let t = tsqrt(&mut r1, &mut a2).unwrap();
+        let q = form_q(&a2, &t);
+
+        let c1_0 = random_matrix::<f64>(n, 3, 9);
+        let c2_0 = random_matrix::<f64>(n, 3, 10);
+        let mut c1 = c1_0.clone();
+        let mut c2 = c2_0.clone();
+        tsmqr(&a2, &t, &mut c1, &mut c2).unwrap();
+
+        let expect = matmul(&q.transpose(), &vstack(&c1_0, &c2_0)).unwrap();
+        assert!(vstack(&c1, &c2).approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn apply_q_then_qt_round_trip() {
+        let n = 4;
+        let mut r1 = random_matrix::<f64>(n, n, 11).upper_triangular();
+        let mut a2 = random_matrix::<f64>(n, n, 12);
+        let t = tsqrt(&mut r1, &mut a2).unwrap();
+        let c1_0 = random_matrix::<f64>(n, 2, 13);
+        let c2_0 = random_matrix::<f64>(n, 2, 14);
+        let mut c1 = c1_0.clone();
+        let mut c2 = c2_0.clone();
+        tsmqr_apply(&a2, &t, &mut c1, &mut c2, ApplySide::NoTranspose).unwrap();
+        tsmqr_apply(&a2, &t, &mut c1, &mut c2, ApplySide::Transpose).unwrap();
+        assert!(c1.approx_eq(&c1_0, 1e-12));
+        assert!(c2.approx_eq(&c2_0, 1e-12));
+    }
+
+    #[test]
+    fn shape_errors() {
+        let mut rect = Matrix::<f64>::zeros(3, 4);
+        let mut a2 = Matrix::<f64>::zeros(4, 4);
+        assert!(tsqrt(&mut rect, &mut a2).is_err());
+        let mut r1 = Matrix::<f64>::identity(3);
+        assert!(tsqrt(&mut r1, &mut a2).is_err());
+
+        let v2 = Matrix::<f64>::zeros(4, 4);
+        let t = Matrix::<f64>::zeros(4, 4);
+        let mut a1_bad = Matrix::<f64>::zeros(3, 2);
+        let mut a2_ok = Matrix::<f64>::zeros(4, 2);
+        assert!(tsmqr(&v2, &t, &mut a1_bad, &mut a2_ok).is_err());
+        let mut a1_ok = Matrix::<f64>::zeros(4, 2);
+        let mut a2_bad = Matrix::<f64>::zeros(5, 2);
+        assert!(tsmqr(&v2, &t, &mut a1_ok, &mut a2_bad).is_err());
+    }
+
+    #[test]
+    fn zero_bottom_tile_is_noop() {
+        let n = 4;
+        let r1_0 = random_matrix::<f64>(n, n, 15).upper_triangular();
+        let mut r1 = r1_0.clone();
+        let mut a2 = Matrix::<f64>::zeros(n, n);
+        let t = tsqrt(&mut r1, &mut a2).unwrap();
+        // Nothing to eliminate: R1 unchanged, taus zero.
+        assert!(r1.approx_eq(&r1_0, 1e-15));
+        for i in 0..n {
+            assert_eq!(t[(i, i)], 0.0);
+        }
+    }
+}

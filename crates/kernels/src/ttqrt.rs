@@ -1,0 +1,298 @@
+//! Triangle-on-top-of-triangle elimination kernel `TTQRT` and its update
+//! `TTMQR`.
+//!
+//! The TT-flavoured elimination (paper §II-B3) reduces a pair of *already
+//! triangulated* tiles: both `R1` and `R2` are upper triangular, and the
+//! Householder vectors annihilating `R2` inherit its triangular profile
+//! (column `k` only touches rows `0..=k` of the bottom tile). This is the
+//! kernel used by tree-shaped elimination orders (Bouwmeester et al.); it
+//! does the same amount of *eliminations* as TSQRT with roughly half the
+//! arithmetic, and unlike TSQRT its updates to different row pairs commute,
+//! which is what enables reduction trees.
+
+use crate::geqrt::apply_tfac_in_place;
+use crate::householder::larfg;
+use crate::ApplySide;
+use tileqr_matrix::{Matrix, MatrixError, Result, Scalar};
+
+/// Eliminate the upper-triangular tile `r2` against the upper-triangular
+/// tile `r1` (PLASMA `CORE_ttqrt`).
+///
+/// Both tiles are `n x n`. On exit `r1` holds the merged triangular factor
+/// and the upper triangle of `r2` stores the (triangular) Householder block
+/// `V2`. Returns the `n x n` `T` factor with `Q = I − V T Vᵀ`,
+/// `V = [I; V2]`.
+pub fn ttqrt<T: Scalar>(r1: &mut Matrix<T>, r2: &mut Matrix<T>) -> Result<Matrix<T>> {
+    let n = r1.rows();
+    if !r1.is_square() {
+        return Err(MatrixError::NotSquare { dims: r1.dims() });
+    }
+    if r2.dims() != (n, n) {
+        return Err(MatrixError::DimensionMismatch {
+            op: "ttqrt (tile pair)",
+            lhs: r1.dims(),
+            rhs: r2.dims(),
+        });
+    }
+    let mut tfac = Matrix::zeros(n, n);
+    let mut z = vec![T::ZERO; n];
+
+    for k in 0..n {
+        // Column k of R2 is nonzero only in rows 0..=k.
+        let alpha = r1[(k, k)];
+        let tau = {
+            let ck = &mut r2.col_mut(k)[..=k];
+            let h = larfg(alpha, ck);
+            r1[(k, k)] = h.beta;
+            h.tau
+        };
+
+        if tau != T::ZERO {
+            for j in k + 1..n {
+                let (vk, cj) = r2.two_cols_mut(k, j);
+                let vk = &vk[..=k];
+                let mut w = r1[(k, j)];
+                for (r, &v) in vk.iter().enumerate() {
+                    w += v * cj[r];
+                }
+                w *= tau;
+                r1[(k, j)] -= w;
+                for (r, &v) in vk.iter().enumerate() {
+                    cj[r] -= w * v;
+                }
+            }
+        }
+
+        tfac[(k, k)] = tau;
+        if tau != T::ZERO {
+            for (i, zi) in z.iter_mut().enumerate().take(k) {
+                // v_i is supported on rows 0..=i, a subset of v_k's support.
+                let mut acc = T::ZERO;
+                for r in 0..=i {
+                    acc += r2[(r, i)] * r2[(r, k)];
+                }
+                *zi = acc;
+            }
+            for i in 0..k {
+                let mut acc = T::ZERO;
+                for p in i..k {
+                    acc += tfac[(i, p)] * z[p];
+                }
+                tfac[(i, k)] = -tau * acc;
+            }
+        }
+    }
+    Ok(tfac)
+}
+
+/// Apply the block reflector from [`ttqrt`] to a stacked pair `[a1; a2]`,
+/// exploiting the triangular structure of `v2`.
+pub fn ttmqr_apply<T: Scalar>(
+    v2: &Matrix<T>,
+    tfac: &Matrix<T>,
+    a1: &mut Matrix<T>,
+    a2: &mut Matrix<T>,
+    side: ApplySide,
+) -> Result<()> {
+    let n = tfac.rows();
+    if v2.dims() != (n, n) || a1.rows() != n || a2.rows() != n || a1.cols() != a2.cols() {
+        return Err(MatrixError::DimensionMismatch {
+            op: "ttmqr (shapes)",
+            lhs: v2.dims(),
+            rhs: a1.dims(),
+        });
+    }
+    let nc = a1.cols();
+
+    // W = A1 + V2^T A2, with V2 upper triangular (column i supported on
+    // rows 0..=i).
+    let mut w = a1.clone();
+    for jc in 0..nc {
+        let a2c = a2.col(jc);
+        for i in 0..n {
+            let mut acc = T::ZERO;
+            for (r, &x) in a2c.iter().enumerate().take(i + 1) {
+                acc += v2[(r, i)] * x;
+            }
+            w[(i, jc)] += acc;
+        }
+    }
+
+    apply_tfac_in_place(tfac, &mut w, side);
+
+    // [A1; A2] -= [I; V2] W; row r of V2 is nonzero for columns i >= r.
+    for jc in 0..nc {
+        for i in 0..n {
+            a1[(i, jc)] -= w[(i, jc)];
+        }
+        for r in 0..n {
+            let mut acc = T::ZERO;
+            for i in r..n {
+                acc += v2[(r, i)] * w[(i, jc)];
+            }
+            a2[(r, jc)] -= acc;
+        }
+    }
+    Ok(())
+}
+
+/// Update-for-elimination for TT factorizations: `[a1; a2] ← Qᵀ [a1; a2]`.
+pub fn ttmqr<T: Scalar>(
+    v2: &Matrix<T>,
+    tfac: &Matrix<T>,
+    a1: &mut Matrix<T>,
+    a2: &mut Matrix<T>,
+) -> Result<()> {
+    ttmqr_apply(v2, tfac, a1, a2, ApplySide::Transpose)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tsqrt::tsqrt;
+    use tileqr_matrix::gen::random_matrix;
+    use tileqr_matrix::ops::matmul;
+
+    fn vstack(top: &Matrix<f64>, bot: &Matrix<f64>) -> Matrix<f64> {
+        Matrix::from_fn(top.rows() + bot.rows(), top.cols(), |i, j| {
+            if i < top.rows() {
+                top[(i, j)]
+            } else {
+                bot[(i - top.rows(), j)]
+            }
+        })
+    }
+
+    fn form_q(v2: &Matrix<f64>, tfac: &Matrix<f64>) -> Matrix<f64> {
+        let n = tfac.rows();
+        let mut q = Matrix::identity(2 * n);
+        let mut top = q.submatrix(0, 0, n, 2 * n).unwrap();
+        let mut bot = q.submatrix(n, 0, n, 2 * n).unwrap();
+        ttmqr_apply(v2, tfac, &mut top, &mut bot, ApplySide::NoTranspose).unwrap();
+        q.set_submatrix(0, 0, &top).unwrap();
+        q.set_submatrix(n, 0, &bot).unwrap();
+        q
+    }
+
+    fn random_upper(n: usize, seed: u64) -> Matrix<f64> {
+        random_matrix::<f64>(n, n, seed).upper_triangular()
+    }
+
+    #[test]
+    fn eliminates_triangular_pair() {
+        let n = 6;
+        let r1_0 = random_upper(n, 1);
+        let r2_0 = random_upper(n, 2);
+        let mut r1 = r1_0.clone();
+        let mut r2 = r2_0.clone();
+        let t = ttqrt(&mut r1, &mut r2).unwrap();
+
+        let q = form_q(&r2, &t);
+        let qt_s = matmul(&q.transpose(), &vstack(&r1_0, &r2_0)).unwrap();
+        let expect = vstack(&r1.upper_triangular(), &Matrix::zeros(n, n));
+        assert!(qt_s.approx_eq(&expect, 1e-12));
+        assert!(r1.approx_eq(&r1.upper_triangular(), 1e-15));
+    }
+
+    #[test]
+    fn v_stays_upper_triangular() {
+        let n = 5;
+        let mut r1 = random_upper(n, 3);
+        let mut r2 = random_upper(n, 4);
+        let _ = ttqrt(&mut r1, &mut r2).unwrap();
+        for j in 0..n {
+            for i in j + 1..n {
+                assert_eq!(r2[(i, j)], 0.0, "V2 fill-in at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_tsqrt_result_up_to_signs() {
+        // TTQRT and TSQRT on the same (triangular) input produce R factors
+        // equal up to row signs; |R| must match.
+        let n = 5;
+        let r1_0 = random_upper(n, 5);
+        let r2_0 = random_upper(n, 6);
+
+        let mut r1a = r1_0.clone();
+        let mut r2a = r2_0.clone();
+        let _ = ttqrt(&mut r1a, &mut r2a).unwrap();
+
+        let mut r1b = r1_0.clone();
+        let mut r2b = r2_0.clone();
+        let _ = tsqrt(&mut r1b, &mut r2b).unwrap();
+
+        for j in 0..n {
+            for i in 0..=j {
+                assert!(
+                    (r1a[(i, j)].abs() - r1b[(i, j)].abs()).abs() < 1e-11,
+                    "|R| mismatch at ({i},{j}): {} vs {}",
+                    r1a[(i, j)],
+                    r1b[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ttmqr_matches_explicit_qt() {
+        let n = 4;
+        let mut r1 = random_upper(n, 7);
+        let mut r2 = random_upper(n, 8);
+        let t = ttqrt(&mut r1, &mut r2).unwrap();
+        let q = form_q(&r2, &t);
+
+        let c1_0 = random_matrix::<f64>(n, 3, 9);
+        let c2_0 = random_matrix::<f64>(n, 3, 10);
+        let mut c1 = c1_0.clone();
+        let mut c2 = c2_0.clone();
+        ttmqr(&r2, &t, &mut c1, &mut c2).unwrap();
+        let expect = matmul(&q.transpose(), &vstack(&c1_0, &c2_0)).unwrap();
+        assert!(vstack(&c1, &c2).approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn round_trip_q_qt() {
+        let n = 4;
+        let mut r1 = random_upper(n, 11);
+        let mut r2 = random_upper(n, 12);
+        let t = ttqrt(&mut r1, &mut r2).unwrap();
+        let c1_0 = random_matrix::<f64>(n, 2, 13);
+        let c2_0 = random_matrix::<f64>(n, 2, 14);
+        let mut c1 = c1_0.clone();
+        let mut c2 = c2_0.clone();
+        ttmqr_apply(&r2, &t, &mut c1, &mut c2, ApplySide::NoTranspose).unwrap();
+        ttmqr_apply(&r2, &t, &mut c1, &mut c2, ApplySide::Transpose).unwrap();
+        assert!(c1.approx_eq(&c1_0, 1e-12));
+        assert!(c2.approx_eq(&c2_0, 1e-12));
+    }
+
+    #[test]
+    fn shape_errors() {
+        let mut r1 = Matrix::<f64>::zeros(3, 4);
+        let mut r2 = Matrix::<f64>::zeros(4, 4);
+        assert!(ttqrt(&mut r1, &mut r2).is_err());
+        let mut r1 = Matrix::<f64>::identity(3);
+        assert!(ttqrt(&mut r1, &mut r2).is_err());
+
+        let v2 = Matrix::<f64>::identity(4);
+        let t = Matrix::<f64>::zeros(4, 4);
+        let mut a1 = Matrix::<f64>::zeros(4, 2);
+        let mut a2 = Matrix::<f64>::zeros(3, 2);
+        assert!(ttmqr(&v2, &t, &mut a1, &mut a2).is_err());
+    }
+
+    #[test]
+    fn zero_bottom_triangle_is_noop() {
+        let n = 4;
+        let r1_0 = random_upper(n, 15);
+        let mut r1 = r1_0.clone();
+        let mut r2 = Matrix::<f64>::zeros(n, n);
+        let t = ttqrt(&mut r1, &mut r2).unwrap();
+        assert!(r1.approx_eq(&r1_0, 1e-15));
+        for i in 0..n {
+            assert_eq!(t[(i, i)], 0.0);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Factorization quality checks used by tests, examples and the harness.
+
+use tileqr_matrix::{ops, Matrix, Result, Scalar};
+
+/// Quality report for a computed QR factorization.
+#[derive(Debug, Clone, Copy)]
+pub struct QrReport<T> {
+    /// Backward error `‖A − QR‖_F / (‖A‖_F · max(m,n))`.
+    pub residual: T,
+    /// Orthogonality defect `‖QᵀQ − I‖_F / n`.
+    pub orthogonality: T,
+    /// Largest absolute element found strictly below the diagonal of `R`.
+    pub max_below_diagonal: T,
+}
+
+impl<T: Scalar> QrReport<T> {
+    /// `true` when all three metrics are at or below `tol`.
+    pub fn passes(&self, tol: T) -> bool {
+        self.residual <= tol && self.orthogonality <= tol && self.max_below_diagonal <= tol
+    }
+}
+
+/// Validate a factorization `A ≈ Q R`.
+pub fn check_qr<T: Scalar>(a: &Matrix<T>, q: &Matrix<T>, r: &Matrix<T>) -> Result<QrReport<T>> {
+    let residual = ops::relative_residual(a, q, r)?;
+    let orthogonality = ops::orthogonality_defect(q)?;
+    let mut max_below = T::ZERO;
+    for (i, j, v) in r.iter_indexed() {
+        if i > j {
+            max_below = Scalar::max(max_below, v.abs());
+        }
+    }
+    Ok(QrReport {
+        residual,
+        orthogonality,
+        max_below_diagonal: max_below,
+    })
+}
+
+/// Tolerance scaled to the problem: `k · ε · sqrt(max dim)`, the usual
+/// backward-stability budget for Householder QR.
+pub fn qr_tolerance<T: Scalar>(m: usize, n: usize) -> T {
+    let dim = m.max(n).max(1) as f64;
+    T::from_f64(100.0 * T::EPSILON.to_f64() * dim.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::householder_qr;
+    use tileqr_matrix::gen::random_matrix;
+
+    #[test]
+    fn good_factorization_passes() {
+        let a = random_matrix::<f64>(20, 20, 1);
+        let (q, r) = householder_qr(&a).unwrap();
+        let report = check_qr(&a, &q, &r).unwrap();
+        assert!(report.passes(qr_tolerance::<f64>(20, 20)), "{report:?}");
+    }
+
+    #[test]
+    fn bad_factorization_fails() {
+        let a = random_matrix::<f64>(10, 10, 2);
+        let (q, mut r) = householder_qr(&a).unwrap();
+        r[(5, 5)] += 1.0;
+        let report = check_qr(&a, &q, &r).unwrap();
+        assert!(!report.passes(qr_tolerance::<f64>(10, 10)));
+    }
+
+    #[test]
+    fn below_diagonal_detected() {
+        let a = Matrix::<f64>::identity(4);
+        let q = Matrix::<f64>::identity(4);
+        let mut r = Matrix::<f64>::identity(4);
+        r[(2, 0)] = 0.5;
+        let report = check_qr(&a, &q, &r).unwrap();
+        assert_eq!(report.max_below_diagonal, 0.5);
+        assert!(!report.passes(1e-10));
+    }
+
+    #[test]
+    fn tolerance_grows_with_size() {
+        assert!(qr_tolerance::<f64>(10_000, 10_000) > qr_tolerance::<f64>(10, 10));
+        assert!(qr_tolerance::<f32>(10, 10) > qr_tolerance::<f64>(10, 10) as f32);
+    }
+}

@@ -1,0 +1,98 @@
+//! Error type shared by the matrix substrate.
+
+use std::fmt;
+
+/// Errors produced by matrix construction and the BLAS-like operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatrixError {
+    /// Two operands whose dimensions must agree did not.
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Dimensions of the left-hand operand.
+        lhs: (usize, usize),
+        /// Dimensions of the right-hand operand.
+        rhs: (usize, usize),
+    },
+    /// An operation that requires a square matrix received a rectangular one.
+    NotSquare {
+        /// Offending dimensions.
+        dims: (usize, usize),
+    },
+    /// A triangular solve hit a (numerically) zero pivot.
+    Singular {
+        /// Index of the zero diagonal entry.
+        index: usize,
+    },
+    /// An element access was out of bounds.
+    OutOfBounds {
+        /// Requested index.
+        index: (usize, usize),
+        /// Actual dimensions.
+        dims: (usize, usize),
+    },
+    /// A constructor received data whose length disagrees with the shape.
+    BadDataLength {
+        /// Expected element count (`rows * cols`).
+        expected: usize,
+        /// Provided element count.
+        actual: usize,
+    },
+    /// A tile size of zero (or otherwise unusable) was requested.
+    BadTileSize {
+        /// Requested tile size.
+        tile: usize,
+    },
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: {}x{} vs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            MatrixError::NotSquare { dims } => {
+                write!(f, "matrix must be square, got {}x{}", dims.0, dims.1)
+            }
+            MatrixError::Singular { index } => {
+                write!(f, "singular triangular factor: zero pivot at {index}")
+            }
+            MatrixError::OutOfBounds { index, dims } => write!(
+                f,
+                "index ({}, {}) out of bounds for {}x{} matrix",
+                index.0, index.1, dims.0, dims.1
+            ),
+            MatrixError::BadDataLength { expected, actual } => {
+                write!(f, "data length {actual} does not match shape ({expected} expected)")
+            }
+            MatrixError::BadTileSize { tile } => write!(f, "invalid tile size {tile}"),
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MatrixError::DimensionMismatch {
+            op: "gemm",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        let s = e.to_string();
+        assert!(s.contains("gemm"));
+        assert!(s.contains("2x3"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(MatrixError::Singular { index: 3 });
+        assert!(e.to_string().contains("pivot at 3"));
+    }
+}

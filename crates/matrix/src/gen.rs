@@ -1,0 +1,124 @@
+//! Deterministic workload generators.
+//!
+//! The paper evaluates on "random floating point numbers" (§V). These
+//! helpers produce seeded random matrices plus a few structured matrices
+//! used by the test suite to probe conditioning edge cases.
+
+use crate::{Matrix, Scalar};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform random matrix with entries in `[-1, 1)`, reproducible from `seed`.
+pub fn random_matrix<T: Scalar>(m: usize, n: usize, seed: u64) -> Matrix<T> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(m, n, |_, _| T::from_f64(rng.gen_range(-1.0..1.0)))
+}
+
+/// Random vector with entries in `[-1, 1)`, reproducible from `seed`.
+pub fn random_vector<T: Scalar>(n: usize, seed: u64) -> Vec<T> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| T::from_f64(rng.gen_range(-1.0..1.0))).collect()
+}
+
+/// Diagonally dominant random matrix (well conditioned: `n` added to the
+/// diagonal of a uniform random matrix).
+pub fn diagonally_dominant<T: Scalar>(n: usize, seed: u64) -> Matrix<T> {
+    let mut a = random_matrix::<T>(n, n, seed);
+    for i in 0..n {
+        a[(i, i)] += T::from_f64(n as f64);
+    }
+    a
+}
+
+/// Hilbert matrix `H[i][j] = 1 / (i + j + 1)` — a classic severely
+/// ill-conditioned test case.
+pub fn hilbert<T: Scalar>(n: usize) -> Matrix<T> {
+    Matrix::from_fn(n, n, |i, j| T::from_f64(1.0 / ((i + j + 1) as f64)))
+}
+
+/// Rank-deficient matrix: a random `m x k` times a random `k x n` product,
+/// so the result has rank at most `k`.
+pub fn low_rank<T: Scalar>(m: usize, n: usize, k: usize, seed: u64) -> Matrix<T> {
+    let a = random_matrix::<T>(m, k, seed);
+    let b = random_matrix::<T>(k, n, seed.wrapping_add(1));
+    crate::ops::matmul(&a, &b).expect("conforming shapes by construction")
+}
+
+/// Matrix whose elements span many orders of magnitude
+/// (`a_ij ∈ ±[1e-8, 1e8]`), to exercise the scaled-norm paths.
+pub fn wide_dynamic_range<T: Scalar>(m: usize, n: usize, seed: u64) -> Matrix<T> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(m, n, |_, _| {
+        let exp: i32 = rng.gen_range(-8..=8);
+        let mantissa: f64 = rng.gen_range(1.0..10.0);
+        let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+        T::from_f64(sign * mantissa * 10f64.powi(exp))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::frobenius_norm;
+
+    #[test]
+    fn random_is_reproducible() {
+        let a = random_matrix::<f64>(5, 5, 42);
+        let b = random_matrix::<f64>(5, 5, 42);
+        assert_eq!(a, b);
+        let c = random_matrix::<f64>(5, 5, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_in_range() {
+        let a = random_matrix::<f64>(10, 10, 7);
+        assert!(a.as_slice().iter().all(|&v| (-1.0..1.0).contains(&v)));
+    }
+
+    #[test]
+    fn random_vector_reproducible() {
+        assert_eq!(random_vector::<f64>(8, 3), random_vector::<f64>(8, 3));
+    }
+
+    #[test]
+    fn diagonally_dominant_diagonal() {
+        let n = 6;
+        let a = diagonally_dominant::<f64>(n, 1);
+        for i in 0..n {
+            assert!(a[(i, i)].abs() > (n as f64) - 1.0);
+        }
+    }
+
+    #[test]
+    fn hilbert_values() {
+        let h = hilbert::<f64>(3);
+        assert!((h[(0, 0)] - 1.0).abs() < 1e-15);
+        assert!((h[(1, 1)] - 1.0 / 3.0).abs() < 1e-15);
+        assert!((h[(2, 2)] - 0.2).abs() < 1e-15);
+        assert_eq!(h, h.transpose());
+    }
+
+    #[test]
+    fn low_rank_has_dependent_columns() {
+        // rank <= 2 means any 3x3 minor-ish check: verify via residual of
+        // projecting col 3 onto cols {0,1,2}: cheap sanity only — exact rank
+        // tests live in the kernels crate where QR is available.
+        let a = low_rank::<f64>(6, 6, 2, 9);
+        assert_eq!(a.dims(), (6, 6));
+        assert!(frobenius_norm(&a) > 0.0);
+    }
+
+    #[test]
+    fn wide_dynamic_range_spans() {
+        let a = wide_dynamic_range::<f64>(20, 20, 11);
+        let max = a.max_abs();
+        let min = a
+            .as_slice()
+            .iter()
+            .map(|v| v.abs())
+            .fold(f64::INFINITY, f64::min);
+        assert!(max / min > 1e6, "expected wide spread, got {max} / {min}");
+        assert!(a.all_finite());
+    }
+}

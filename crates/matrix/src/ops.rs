@@ -1,0 +1,513 @@
+//! BLAS-like dense operations.
+//!
+//! Free functions over [`Matrix`], mirroring the small subset of BLAS /
+//! LAPACK auxiliary routines that the tiled QR kernels need. Everything is
+//! straightforward triple-loop code arranged for column-major access; the
+//! tile sizes used by the paper (≤ 32) make cache blocking unnecessary.
+
+use crate::{Matrix, MatrixError, Result, Scalar};
+
+/// Transposition selector for [`gemm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trans {
+    /// Use the operand as stored.
+    No,
+    /// Use the transpose of the operand.
+    Yes,
+}
+
+impl Trans {
+    /// Dimensions of `a` after applying this transposition.
+    fn dims_of<T: Scalar>(self, a: &Matrix<T>) -> (usize, usize) {
+        match self {
+            Trans::No => a.dims(),
+            Trans::Yes => (a.cols(), a.rows()),
+        }
+    }
+
+    #[inline]
+    fn at<T: Scalar>(self, a: &Matrix<T>, i: usize, j: usize) -> T {
+        match self {
+            Trans::No => a[(i, j)],
+            Trans::Yes => a[(j, i)],
+        }
+    }
+}
+
+/// General matrix multiply-accumulate: `C = alpha * op(A) * op(B) + beta * C`.
+///
+/// Shapes must satisfy `op(A): m x k`, `op(B): k x n`, `C: m x n`.
+pub fn gemm<T: Scalar>(
+    alpha: T,
+    a: &Matrix<T>,
+    ta: Trans,
+    b: &Matrix<T>,
+    tb: Trans,
+    beta: T,
+    c: &mut Matrix<T>,
+) -> Result<()> {
+    let (m, ka) = ta.dims_of(a);
+    let (kb, n) = tb.dims_of(b);
+    if ka != kb {
+        return Err(MatrixError::DimensionMismatch {
+            op: "gemm (inner)",
+            lhs: ta.dims_of(a),
+            rhs: tb.dims_of(b),
+        });
+    }
+    if c.dims() != (m, n) {
+        return Err(MatrixError::DimensionMismatch {
+            op: "gemm (output)",
+            lhs: (m, n),
+            rhs: c.dims(),
+        });
+    }
+    for j in 0..n {
+        for i in 0..m {
+            let mut acc = T::ZERO;
+            for p in 0..ka {
+                acc += ta.at(a, i, p) * tb.at(b, p, j);
+            }
+            c[(i, j)] = alpha * acc + beta * c[(i, j)];
+        }
+    }
+    Ok(())
+}
+
+/// Convenience product `A * B` (fresh allocation).
+pub fn matmul<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Result<Matrix<T>> {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    gemm(T::ONE, a, Trans::No, b, Trans::No, T::ZERO, &mut c)?;
+    Ok(c)
+}
+
+/// Convenience product `Aᵀ * B` (fresh allocation).
+pub fn matmul_tn<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Result<Matrix<T>> {
+    let mut c = Matrix::zeros(a.cols(), b.cols());
+    gemm(T::ONE, a, Trans::Yes, b, Trans::No, T::ZERO, &mut c)?;
+    Ok(c)
+}
+
+/// Matrix-vector product `y = A x` (fresh allocation).
+pub fn matvec<T: Scalar>(a: &Matrix<T>, x: &[T]) -> Result<Vec<T>> {
+    if a.cols() != x.len() {
+        return Err(MatrixError::DimensionMismatch {
+            op: "matvec",
+            lhs: a.dims(),
+            rhs: (x.len(), 1),
+        });
+    }
+    let mut y = vec![T::ZERO; a.rows()];
+    for (j, &xj) in x.iter().enumerate() {
+        let col = a.col(j);
+        for (yi, &aij) in y.iter_mut().zip(col) {
+            *yi += aij * xj;
+        }
+    }
+    Ok(y)
+}
+
+/// Dot product of two equal-length slices.
+pub fn dot<T: Scalar>(x: &[T], y: &[T]) -> T {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(&a, &b)| a * b).sum()
+}
+
+/// `y += alpha * x` over slices.
+pub fn axpy<T: Scalar>(alpha: T, x: &[T], y: &mut [T]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Euclidean norm of a slice, guarded against overflow by scaling.
+pub fn nrm2<T: Scalar>(x: &[T]) -> T {
+    let scale = x.iter().fold(T::ZERO, |acc, v| Scalar::max(acc, v.abs()));
+    if scale == T::ZERO {
+        return T::ZERO;
+    }
+    let ssq: T = x
+        .iter()
+        .map(|&v| {
+            let s = v / scale;
+            s * s
+        })
+        .sum();
+    scale * ssq.sqrt()
+}
+
+/// Frobenius norm `sqrt(sum a_ij^2)`.
+pub fn frobenius_norm<T: Scalar>(a: &Matrix<T>) -> T {
+    nrm2(a.as_slice())
+}
+
+/// Maximum absolute column sum (operator 1-norm).
+pub fn one_norm<T: Scalar>(a: &Matrix<T>) -> T {
+    (0..a.cols())
+        .map(|j| a.col(j).iter().map(|v| v.abs()).sum::<T>())
+        .fold(T::ZERO, Scalar::max)
+}
+
+/// Maximum absolute row sum (operator infinity-norm).
+pub fn inf_norm<T: Scalar>(a: &Matrix<T>) -> T {
+    let mut sums = vec![T::ZERO; a.rows()];
+    for j in 0..a.cols() {
+        for (s, &v) in sums.iter_mut().zip(a.col(j)) {
+            *s += v.abs();
+        }
+    }
+    sums.into_iter().fold(T::ZERO, Scalar::max)
+}
+
+/// Solve `R x = b` for upper-triangular `R` by back substitution.
+///
+/// `R` must be square; errors with [`MatrixError::Singular`] on a zero
+/// diagonal entry.
+pub fn solve_upper_triangular<T: Scalar>(r: &Matrix<T>, b: &[T]) -> Result<Vec<T>> {
+    if !r.is_square() {
+        return Err(MatrixError::NotSquare { dims: r.dims() });
+    }
+    if r.rows() != b.len() {
+        return Err(MatrixError::DimensionMismatch {
+            op: "solve_upper_triangular",
+            lhs: r.dims(),
+            rhs: (b.len(), 1),
+        });
+    }
+    let n = r.rows();
+    let mut x = b.to_vec();
+    for i in (0..n).rev() {
+        let mut acc = x[i];
+        for j in i + 1..n {
+            acc -= r[(i, j)] * x[j];
+        }
+        let d = r[(i, i)];
+        if d == T::ZERO {
+            return Err(MatrixError::Singular { index: i });
+        }
+        x[i] = acc / d;
+    }
+    Ok(x)
+}
+
+/// Solve `R X = B` column-by-column for upper-triangular `R`.
+pub fn solve_upper_triangular_matrix<T: Scalar>(r: &Matrix<T>, b: &Matrix<T>) -> Result<Matrix<T>> {
+    let mut x = Matrix::zeros(b.rows(), b.cols());
+    for j in 0..b.cols() {
+        let xj = solve_upper_triangular(r, b.col(j))?;
+        x.col_mut(j).copy_from_slice(&xj);
+    }
+    Ok(x)
+}
+
+/// Solve `L x = b` for lower-triangular `L` by forward substitution.
+pub fn solve_lower_triangular<T: Scalar>(l: &Matrix<T>, b: &[T]) -> Result<Vec<T>> {
+    if !l.is_square() {
+        return Err(MatrixError::NotSquare { dims: l.dims() });
+    }
+    if l.rows() != b.len() {
+        return Err(MatrixError::DimensionMismatch {
+            op: "solve_lower_triangular",
+            lhs: l.dims(),
+            rhs: (b.len(), 1),
+        });
+    }
+    let n = l.rows();
+    let mut x = b.to_vec();
+    for i in 0..n {
+        let mut acc = x[i];
+        for j in 0..i {
+            acc -= l[(i, j)] * x[j];
+        }
+        let d = l[(i, i)];
+        if d == T::ZERO {
+            return Err(MatrixError::Singular { index: i });
+        }
+        x[i] = acc / d;
+    }
+    Ok(x)
+}
+
+/// Relative factorization residual `||A - QR||_F / (||A||_F * max(m, n))`.
+///
+/// This is the standard LAPACK-style backward-error metric used throughout
+/// the test suite; values around machine epsilon indicate a backward-stable
+/// factorization.
+pub fn relative_residual<T: Scalar>(a: &Matrix<T>, q: &Matrix<T>, r: &Matrix<T>) -> Result<T> {
+    let qr = matmul(q, r)?;
+    let diff = a.sub(&qr)?;
+    let denom = frobenius_norm(a) * T::from_f64(a.rows().max(a.cols()) as f64);
+    if denom == T::ZERO {
+        return Ok(frobenius_norm(&diff));
+    }
+    Ok(frobenius_norm(&diff) / denom)
+}
+
+/// Orthogonality defect `||QᵀQ - I||_F / n`.
+pub fn orthogonality_defect<T: Scalar>(q: &Matrix<T>) -> Result<T> {
+    let qtq = matmul_tn(q, q)?;
+    let n = qtq.rows();
+    let diff = qtq.sub(&Matrix::identity(n))?;
+    Ok(frobenius_norm(&diff) / T::from_f64(n.max(1) as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: &[&[f64]]) -> Matrix<f64> {
+        Matrix::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn gemm_basic() {
+        let a = m(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = m(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = matmul(&a, &b).unwrap();
+        assert!(c.approx_eq(&m(&[&[19.0, 22.0], &[43.0, 50.0]]), 1e-12));
+    }
+
+    #[test]
+    fn gemm_transposes() {
+        let a = m(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]); // 2x3
+        let b = m(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]); // 3x2
+        // A^T: 3x2, B^T: 2x3 -> C 3x3
+        let mut c = Matrix::zeros(3, 3);
+        gemm(1.0, &a, Trans::Yes, &b, Trans::Yes, 0.0, &mut c).unwrap();
+        let expect = matmul(&a.transpose(), &b.transpose()).unwrap();
+        assert!(c.approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn gemm_alpha_beta() {
+        let a = Matrix::<f64>::identity(2);
+        let b = m(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let mut c = Matrix::filled(2, 2, 1.0);
+        gemm(2.0, &a, Trans::No, &b, Trans::No, 3.0, &mut c).unwrap();
+        assert!(c.approx_eq(&m(&[&[5.0, 7.0], &[9.0, 11.0]]), 1e-12));
+    }
+
+    #[test]
+    fn gemm_shape_errors() {
+        let a = Matrix::<f64>::zeros(2, 3);
+        let b = Matrix::<f64>::zeros(2, 3);
+        let mut c = Matrix::<f64>::zeros(2, 3);
+        assert!(gemm(1.0, &a, Trans::No, &b, Trans::No, 0.0, &mut c).is_err());
+        let b2 = Matrix::<f64>::zeros(3, 3);
+        let mut c_bad = Matrix::<f64>::zeros(3, 3);
+        assert!(gemm(1.0, &a, Trans::No, &b2, Trans::No, 0.0, &mut c_bad).is_err());
+    }
+
+    #[test]
+    fn matvec_and_dot() {
+        let a = m(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let y = matvec(&a, &[1.0, 1.0]).unwrap();
+        assert_eq!(y, vec![3.0, 7.0]);
+        assert!(matvec(&a, &[1.0]).is_err());
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    #[test]
+    fn axpy_updates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, 2.0], &mut y);
+        assert_eq!(y, vec![3.0, 5.0]);
+    }
+
+    #[test]
+    fn nrm2_robust() {
+        assert_eq!(nrm2::<f64>(&[]), 0.0);
+        assert_eq!(nrm2(&[0.0, 0.0]), 0.0);
+        assert!((nrm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+        // huge values must not overflow
+        let big = 1e200;
+        let n = nrm2(&[big, big]);
+        assert!((n / big - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norms() {
+        let a = m(&[&[1.0, -2.0], &[-3.0, 4.0]]);
+        assert!((frobenius_norm(&a) - (30.0f64).sqrt()).abs() < 1e-12);
+        assert_eq!(one_norm(&a), 6.0);
+        assert_eq!(inf_norm(&a), 7.0);
+    }
+
+    #[test]
+    fn back_substitution() {
+        let r = m(&[&[2.0, 1.0], &[0.0, 4.0]]);
+        let x = solve_upper_triangular(&r, &[4.0, 8.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-14);
+        assert!((x[1] - 2.0).abs() < 1e-14);
+        let singular = m(&[&[1.0, 1.0], &[0.0, 0.0]]);
+        assert!(matches!(
+            solve_upper_triangular(&singular, &[1.0, 1.0]),
+            Err(MatrixError::Singular { index: 1 })
+        ));
+        assert!(solve_upper_triangular(&r, &[1.0]).is_err());
+        assert!(solve_upper_triangular(&Matrix::zeros(2, 3), &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn forward_substitution() {
+        let l = m(&[&[2.0, 0.0], &[1.0, 4.0]]);
+        let x = solve_lower_triangular(&l, &[4.0, 9.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-14);
+        assert!((x[1] - 1.75).abs() < 1e-14);
+    }
+
+    #[test]
+    fn matrix_triangular_solve() {
+        let r = m(&[&[1.0, 2.0], &[0.0, 3.0]]);
+        let b = m(&[&[5.0, 8.0], &[6.0, 9.0]]);
+        let x = solve_upper_triangular_matrix(&r, &b).unwrap();
+        let back = matmul(&r, &x).unwrap();
+        assert!(back.approx_eq(&b, 1e-12));
+    }
+
+    #[test]
+    fn residual_metrics_identity() {
+        let a = Matrix::<f64>::identity(4);
+        let q = Matrix::<f64>::identity(4);
+        let r = Matrix::<f64>::identity(4);
+        assert!(relative_residual(&a, &q, &r).unwrap() < 1e-15);
+        assert!(orthogonality_defect(&q).unwrap() < 1e-15);
+    }
+
+    #[test]
+    fn residual_detects_error() {
+        let a = Matrix::<f64>::identity(3);
+        let q = Matrix::<f64>::identity(3);
+        let r = Matrix::<f64>::identity(3).scaled(2.0);
+        assert!(relative_residual(&a, &q, &r).unwrap() > 0.1);
+        assert!(orthogonality_defect(&r).unwrap() > 0.1);
+    }
+}
+
+/// Estimate the spectral norm `‖A‖₂` by power iteration on `AᵀA`
+/// (deterministic start vector, `iters` rounds — a dozen suffice for the
+/// 2–3 digits diagnostics need).
+pub fn spectral_norm_est<T: Scalar>(a: &Matrix<T>, iters: usize) -> T {
+    let (m, n) = a.dims();
+    if m == 0 || n == 0 {
+        return T::ZERO;
+    }
+    // Deterministic pseudo-random start to avoid pathological orthogonality.
+    let mut v: Vec<T> = (0..n)
+        .map(|i| T::from_f64(((i * 2654435761 % 1000) as f64) / 1000.0 + 0.1))
+        .collect();
+    let mut sigma = T::ZERO;
+    for _ in 0..iters.max(1) {
+        let nv = nrm2(&v);
+        if nv == T::ZERO {
+            return T::ZERO;
+        }
+        for x in &mut v {
+            *x /= nv;
+        }
+        let av = matvec(a, &v).expect("dims checked");
+        sigma = nrm2(&av);
+        // v <- A^T (A v)
+        let mut next = vec![T::ZERO; n];
+        for (j, nx) in next.iter_mut().enumerate() {
+            *nx = dot(a.col(j), &av);
+        }
+        v = next;
+    }
+    sigma
+}
+
+/// Estimate the 2-norm condition number of an upper-triangular `R`:
+/// `σ_max(R) · σ_max(R⁻¹)`, both by power iteration (the latter applies
+/// `R⁻¹`/`R⁻ᵀ` through triangular solves, never forming the inverse).
+/// Returns `Err(Singular)` when a zero pivot makes `R` exactly singular.
+pub fn triangular_condition_est<T: Scalar>(r: &Matrix<T>, iters: usize) -> Result<T> {
+    if !r.is_square() {
+        return Err(MatrixError::NotSquare { dims: r.dims() });
+    }
+    let n = r.rows();
+    if n == 0 {
+        return Ok(T::ONE);
+    }
+    let sigma_max = spectral_norm_est(r, iters);
+    // Power iteration for sigma_max(R^{-1}) via v <- R^{-T} R^{-1} v.
+    let rt = r.transpose();
+    let mut v: Vec<T> = (0..n)
+        .map(|i| T::from_f64(((i * 40503 % 997) as f64) / 997.0 + 0.1))
+        .collect();
+    let mut inv_sigma = T::ZERO;
+    for _ in 0..iters.max(1) {
+        let nv = nrm2(&v);
+        if nv == T::ZERO {
+            break;
+        }
+        for x in &mut v {
+            *x /= nv;
+        }
+        let y = solve_upper_triangular(r, &v)?;
+        inv_sigma = nrm2(&y);
+        v = solve_lower_triangular(&rt, &y)?;
+    }
+    Ok(sigma_max * inv_sigma)
+}
+
+#[cfg(test)]
+mod estimation_tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn spectral_norm_of_identity() {
+        let i = Matrix::<f64>::identity(6);
+        let s = spectral_norm_est(&i, 20);
+        assert!((s - 1.0).abs() < 1e-10, "{s}");
+    }
+
+    #[test]
+    fn spectral_norm_of_diagonal() {
+        let mut d = Matrix::<f64>::zeros(4, 4);
+        for (i, v) in [3.0, -7.0, 1.0, 0.5].into_iter().enumerate() {
+            d[(i, i)] = v;
+        }
+        let s = spectral_norm_est(&d, 40);
+        assert!((s - 7.0).abs() < 1e-6, "{s}");
+    }
+
+    #[test]
+    fn spectral_norm_bounded_by_frobenius() {
+        let a = gen::random_matrix::<f64>(10, 10, 3);
+        let s = spectral_norm_est(&a, 30);
+        assert!(s <= frobenius_norm(&a) + 1e-9);
+        assert!(s > 0.0);
+    }
+
+    #[test]
+    fn condition_of_identity_is_one() {
+        let i = Matrix::<f64>::identity(8);
+        let k = triangular_condition_est(&i, 20).unwrap();
+        assert!((k - 1.0).abs() < 1e-9, "{k}");
+    }
+
+    #[test]
+    fn condition_of_scaled_diagonal() {
+        let mut r = Matrix::<f64>::identity(5);
+        r[(0, 0)] = 100.0;
+        r[(4, 4)] = 0.01;
+        let k = triangular_condition_est(&r, 60).unwrap();
+        assert!((k - 10_000.0).abs() / 10_000.0 < 0.01, "{k}");
+    }
+
+    #[test]
+    fn singular_r_reports_error() {
+        let mut r = Matrix::<f64>::identity(3);
+        r[(1, 1)] = 0.0;
+        assert!(triangular_condition_est(&r, 5).is_err());
+    }
+
+    #[test]
+    fn condition_rejects_rectangular() {
+        let r = Matrix::<f64>::zeros(3, 4);
+        assert!(triangular_condition_est(&r, 5).is_err());
+    }
+}

@@ -1,0 +1,294 @@
+//! Tiled matrix layout.
+//!
+//! Tiled QR decomposition (paper §II-B) divides the input matrix into square
+//! tiles; each tile is processed by one kernel invocation on one device.
+//! [`TiledMatrix`] owns an `mt x nt` grid of [`Matrix`] tiles, zero-padding
+//! the right/bottom edges when the global dimensions are not multiples of
+//! the tile size, and remembers the true dimensions so the padding can be
+//! stripped on reassembly.
+
+use crate::{Matrix, MatrixError, Result, Scalar};
+
+/// A matrix partitioned into square tiles of side `tile_size`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TiledMatrix<T: Scalar> {
+    tile_size: usize,
+    /// Number of tile rows.
+    mt: usize,
+    /// Number of tile columns.
+    nt: usize,
+    /// True (unpadded) row count.
+    rows: usize,
+    /// True (unpadded) column count.
+    cols: usize,
+    /// Row-major grid of tiles: `tiles[i * nt + j]`.
+    tiles: Vec<Matrix<T>>,
+}
+
+impl<T: Scalar> TiledMatrix<T> {
+    /// Partition `a` into square tiles of side `tile_size`, zero-padding the
+    /// final tile row/column when the dimensions are not exact multiples.
+    pub fn from_matrix(a: &Matrix<T>, tile_size: usize) -> Result<Self> {
+        if tile_size == 0 {
+            return Err(MatrixError::BadTileSize { tile: tile_size });
+        }
+        let (rows, cols) = a.dims();
+        let mt = rows.div_ceil(tile_size).max(1);
+        let nt = cols.div_ceil(tile_size).max(1);
+        let mut tiles = Vec::with_capacity(mt * nt);
+        for ti in 0..mt {
+            for tj in 0..nt {
+                let r0 = ti * tile_size;
+                let c0 = tj * tile_size;
+                let tile = Matrix::from_fn(tile_size, tile_size, |i, j| {
+                    let (gi, gj) = (r0 + i, c0 + j);
+                    if gi < rows && gj < cols {
+                        a[(gi, gj)]
+                    } else if gi == gj {
+                        // Unit diagonal on the padded region keeps a padded
+                        // square matrix nonsingular, so R stays invertible
+                        // and solves on padded systems work unchanged.
+                        T::ONE
+                    } else {
+                        T::ZERO
+                    }
+                });
+                tiles.push(tile);
+            }
+        }
+        Ok(TiledMatrix {
+            tile_size,
+            mt,
+            nt,
+            rows,
+            cols,
+            tiles,
+        })
+    }
+
+    /// All-zero tiled matrix of logical shape `rows x cols`.
+    pub fn zeros(rows: usize, cols: usize, tile_size: usize) -> Result<Self> {
+        Self::from_matrix(&Matrix::zeros(rows, cols), tile_size)
+    }
+
+    /// Reassemble the dense matrix, stripping edge padding.
+    pub fn to_matrix(&self) -> Matrix<T> {
+        let mut a = Matrix::zeros(self.rows, self.cols);
+        for ti in 0..self.mt {
+            for tj in 0..self.nt {
+                let tile = self.tile(ti, tj);
+                let r0 = ti * self.tile_size;
+                let c0 = tj * self.tile_size;
+                for j in 0..self.tile_size {
+                    let gj = c0 + j;
+                    if gj >= self.cols {
+                        break;
+                    }
+                    for i in 0..self.tile_size {
+                        let gi = r0 + i;
+                        if gi >= self.rows {
+                            break;
+                        }
+                        a[(gi, gj)] = tile[(i, j)];
+                    }
+                }
+            }
+        }
+        a
+    }
+
+    /// Tile side length.
+    #[inline]
+    pub fn tile_size(&self) -> usize {
+        self.tile_size
+    }
+
+    /// Number of tile rows (`mt`).
+    #[inline]
+    pub fn tile_rows(&self) -> usize {
+        self.mt
+    }
+
+    /// Number of tile columns (`nt`).
+    #[inline]
+    pub fn tile_cols(&self) -> usize {
+        self.nt
+    }
+
+    /// True (unpadded) dense dimensions.
+    #[inline]
+    pub fn dense_dims(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Padded dense dimensions (`mt * b`, `nt * b`).
+    #[inline]
+    pub fn padded_dims(&self) -> (usize, usize) {
+        (self.mt * self.tile_size, self.nt * self.tile_size)
+    }
+
+    /// Borrow tile `(i, j)`.
+    #[inline]
+    pub fn tile(&self, i: usize, j: usize) -> &Matrix<T> {
+        assert!(i < self.mt && j < self.nt, "tile ({i},{j}) out of range");
+        &self.tiles[i * self.nt + j]
+    }
+
+    /// Mutably borrow tile `(i, j)`.
+    #[inline]
+    pub fn tile_mut(&mut self, i: usize, j: usize) -> &mut Matrix<T> {
+        assert!(i < self.mt && j < self.nt, "tile ({i},{j}) out of range");
+        &mut self.tiles[i * self.nt + j]
+    }
+
+    /// Replace tile `(i, j)` wholesale.
+    pub fn set_tile(&mut self, i: usize, j: usize, tile: Matrix<T>) {
+        assert_eq!(tile.dims(), (self.tile_size, self.tile_size));
+        assert!(i < self.mt && j < self.nt, "tile ({i},{j}) out of range");
+        self.tiles[i * self.nt + j] = tile;
+    }
+
+    /// Borrow two distinct tiles mutably (e.g. the `[A1; A2]` pair consumed
+    /// by TSQRT/TSMQR). Panics if the coordinates coincide.
+    pub fn two_tiles_mut(
+        &mut self,
+        a: (usize, usize),
+        b: (usize, usize),
+    ) -> (&mut Matrix<T>, &mut Matrix<T>) {
+        assert!(a != b, "tiles must be distinct");
+        assert!(a.0 < self.mt && a.1 < self.nt && b.0 < self.mt && b.1 < self.nt);
+        let ia = a.0 * self.nt + a.1;
+        let ib = b.0 * self.nt + b.1;
+        if ia < ib {
+            let (lo, hi) = self.tiles.split_at_mut(ib);
+            (&mut lo[ia], &mut hi[0])
+        } else {
+            let (lo, hi) = self.tiles.split_at_mut(ia);
+            let second = &mut lo[ib];
+            (&mut hi[0], second)
+        }
+    }
+
+    /// Iterate over `(tile_row, tile_col, &tile)`.
+    pub fn iter_tiles(&self) -> impl Iterator<Item = (usize, usize, &Matrix<T>)> {
+        let nt = self.nt;
+        self.tiles
+            .iter()
+            .enumerate()
+            .map(move |(k, t)| (k / nt, k % nt, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_matrix(m: usize, n: usize) -> Matrix<f64> {
+        Matrix::from_fn(m, n, |i, j| (i * n + j) as f64 + 1.0)
+    }
+
+    #[test]
+    fn exact_tiling_round_trip() {
+        let a = seq_matrix(8, 8);
+        let t = TiledMatrix::from_matrix(&a, 4).unwrap();
+        assert_eq!(t.tile_rows(), 2);
+        assert_eq!(t.tile_cols(), 2);
+        assert_eq!(t.padded_dims(), (8, 8));
+        assert_eq!(t.to_matrix(), a);
+    }
+
+    #[test]
+    fn padded_tiling_round_trip() {
+        let a = seq_matrix(5, 7);
+        let t = TiledMatrix::from_matrix(&a, 4).unwrap();
+        assert_eq!(t.tile_rows(), 2);
+        assert_eq!(t.tile_cols(), 2);
+        assert_eq!(t.dense_dims(), (5, 7));
+        assert_eq!(t.padded_dims(), (8, 8));
+        assert_eq!(t.to_matrix(), a);
+    }
+
+    #[test]
+    fn padding_has_unit_diagonal() {
+        let a = seq_matrix(5, 5);
+        let t = TiledMatrix::from_matrix(&a, 4).unwrap();
+        // Global (6,6) is padding on the diagonal of the (1,1) tile.
+        let corner = t.tile(1, 1);
+        assert_eq!(corner[(2, 2)], 1.0); // global (6,6)
+        assert_eq!(corner[(2, 3)], 0.0); // global (6,7), off-diagonal padding
+        assert_eq!(corner[(0, 0)], a[(4, 4)]);
+    }
+
+    #[test]
+    fn tile_indexing_matches_layout() {
+        let a = seq_matrix(4, 4);
+        let t = TiledMatrix::from_matrix(&a, 2).unwrap();
+        assert_eq!(t.tile(0, 0)[(0, 0)], a[(0, 0)]);
+        assert_eq!(t.tile(0, 1)[(0, 0)], a[(0, 2)]);
+        assert_eq!(t.tile(1, 0)[(1, 1)], a[(3, 1)]);
+        assert_eq!(t.tile(1, 1)[(1, 1)], a[(3, 3)]);
+    }
+
+    #[test]
+    fn zero_tile_size_rejected() {
+        let a = seq_matrix(2, 2);
+        assert!(matches!(
+            TiledMatrix::from_matrix(&a, 0),
+            Err(MatrixError::BadTileSize { tile: 0 })
+        ));
+    }
+
+    #[test]
+    fn set_and_mutate_tiles() {
+        let a = seq_matrix(4, 4);
+        let mut t = TiledMatrix::from_matrix(&a, 2).unwrap();
+        t.tile_mut(0, 0)[(0, 0)] = -1.0;
+        assert_eq!(t.to_matrix()[(0, 0)], -1.0);
+        t.set_tile(1, 1, Matrix::identity(2));
+        assert_eq!(t.to_matrix()[(2, 2)], 1.0);
+        assert_eq!(t.to_matrix()[(3, 2)], 0.0);
+    }
+
+    #[test]
+    fn two_tiles_mut_disjoint_both_orders() {
+        let a = seq_matrix(4, 4);
+        let mut t = TiledMatrix::from_matrix(&a, 2).unwrap();
+        {
+            let (x, y) = t.two_tiles_mut((0, 0), (1, 0));
+            x[(0, 0)] = -5.0;
+            y[(0, 0)] = -6.0;
+        }
+        assert_eq!(t.tile(0, 0)[(0, 0)], -5.0);
+        assert_eq!(t.tile(1, 0)[(0, 0)], -6.0);
+        let (y, x) = t.two_tiles_mut((1, 0), (0, 0));
+        assert_eq!(y[(0, 0)], -6.0);
+        assert_eq!(x[(0, 0)], -5.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn two_tiles_mut_same_tile_panics() {
+        let a = seq_matrix(4, 4);
+        let mut t = TiledMatrix::from_matrix(&a, 2).unwrap();
+        let _ = t.two_tiles_mut((0, 0), (0, 0));
+    }
+
+    #[test]
+    fn iter_tiles_visits_grid() {
+        let a = seq_matrix(4, 6);
+        let t = TiledMatrix::from_matrix(&a, 2).unwrap();
+        let coords: Vec<(usize, usize)> = t.iter_tiles().map(|(i, j, _)| (i, j)).collect();
+        assert_eq!(coords.len(), 6);
+        assert_eq!(coords[0], (0, 0));
+        assert_eq!(coords[5], (1, 2));
+    }
+
+    #[test]
+    fn single_tile_case() {
+        let a = seq_matrix(3, 3);
+        let t = TiledMatrix::from_matrix(&a, 8).unwrap();
+        assert_eq!(t.tile_rows(), 1);
+        assert_eq!(t.tile_cols(), 1);
+        assert_eq!(t.to_matrix(), a);
+    }
+}

@@ -1,0 +1,27 @@
+//! Shared-memory parallel tiled-QR runtime.
+//!
+//! Mirrors the paper's execution structure (Fig. 7) on host threads: a
+//! **manager thread** tracks DAG readiness and hands tasks out; a pool of
+//! **computing threads** executes kernels. On the paper's machine the
+//! computing threads drive GPUs; here they drive host cores directly —
+//! the heterogeneous behaviour is studied in the simulator crates, while
+//! this runtime demonstrates real parallel speedup of the same DAG on the
+//! hardware we do have.
+//!
+//! Concurrency design: the [`FactorState`](tileqr_kernels::exec::FactorState) sits behind a
+//! [`parking_lot::Mutex`]; a worker holds the lock only to *stage* a task
+//! (move the written tiles out, clone the read tiles) and later to
+//! *commit* the results — the `O(b³)` kernel itself runs lock-free on
+//! owned data. Readiness bookkeeping lives in the manager loop, fed by a
+//! completion channel, so no atomics are spread through the data
+//! structures. Determinism of the *result* (not the schedule) is
+//! guaranteed because every task writes a disjoint tile set.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pool;
+mod scheduler;
+
+pub use pool::{parallel_factor, parallel_factor_traced, PoolConfig, RunReport};
+pub use scheduler::ReadyTracker;

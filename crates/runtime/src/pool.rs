@@ -1,0 +1,272 @@
+//! Manager + computing-thread pool (paper Fig. 7).
+
+use crate::scheduler::ReadyTracker;
+use crossbeam::channel;
+use parking_lot::Mutex;
+use tileqr_dag::{TaskGraph, TaskId};
+use tileqr_kernels::exec::FactorState;
+use tileqr_matrix::{MatrixError, Result, Scalar};
+
+/// Worker-pool configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PoolConfig {
+    /// Number of computing threads. `0` means one per available core.
+    pub workers: usize,
+}
+
+impl PoolConfig {
+    /// Resolve `workers == 0` to the hardware parallelism.
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        }
+    }
+}
+
+/// Per-run report from [`parallel_factor_traced`].
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Tasks executed by each computing thread.
+    pub tasks_per_worker: Vec<u64>,
+    /// Wall-clock duration of the run.
+    pub elapsed: std::time::Duration,
+}
+
+impl RunReport {
+    /// Total tasks executed.
+    pub fn total_tasks(&self) -> u64 {
+        self.tasks_per_worker.iter().sum()
+    }
+
+    /// Ratio of the busiest worker's task count to the average — 1.0 is
+    /// perfectly balanced.
+    pub fn imbalance(&self) -> f64 {
+        let total = self.total_tasks();
+        if total == 0 || self.tasks_per_worker.is_empty() {
+            return 1.0;
+        }
+        let avg = total as f64 / self.tasks_per_worker.len() as f64;
+        let max = *self.tasks_per_worker.iter().max().unwrap() as f64;
+        max / avg
+    }
+}
+
+/// Execute every task of `graph` over `state`, in parallel.
+///
+/// The calling thread acts as the manager (Fig. 7): it owns the
+/// [`ReadyTracker`], dispatches ready task ids over a channel, and receives
+/// completions. Computing threads stage a task under the state lock, run
+/// the kernel on owned tiles with the lock released, commit, and report
+/// back.
+///
+/// Returns the completed state. Any kernel error aborts the run and is
+/// propagated (the pool drains cleanly first).
+pub fn parallel_factor<T: Scalar>(
+    state: FactorState<T>,
+    graph: &TaskGraph,
+    config: PoolConfig,
+) -> Result<FactorState<T>> {
+    parallel_factor_traced(state, graph, config).map(|(state, _)| state)
+}
+
+/// [`parallel_factor`] with a per-worker [`RunReport`].
+pub fn parallel_factor_traced<T: Scalar>(
+    state: FactorState<T>,
+    graph: &TaskGraph,
+    config: PoolConfig,
+) -> Result<(FactorState<T>, RunReport)> {
+    let started = std::time::Instant::now();
+    let workers = config.effective_workers().max(1);
+    if workers == 1 || graph.len() <= 1 {
+        // Degenerate pool: run inline.
+        let mut state = state;
+        state.run_all(graph)?;
+        return Ok((
+            state,
+            RunReport {
+                tasks_per_worker: vec![graph.len() as u64],
+                elapsed: started.elapsed(),
+            },
+        ));
+    }
+
+    let shared = Mutex::new(state);
+    let (task_tx, task_rx) = channel::unbounded::<TaskId>();
+    let (done_tx, done_rx) = channel::unbounded::<(TaskId, usize, Result<()>)>();
+
+    let run_result: Result<Vec<u64>> = crossbeam::thread::scope(|scope| {
+        for worker_id in 0..workers {
+            let task_rx = task_rx.clone();
+            let done_tx = done_tx.clone();
+            let shared = &shared;
+            scope.spawn(move |_| {
+                while let Ok(tid) = task_rx.recv() {
+                    let task = graph.task(tid);
+                    let staged = { shared.lock().stage(task) };
+                    let outcome = staged
+                        .and_then(|s| s.compute())
+                        .map(|done| shared.lock().commit(done));
+                    if done_tx.send((tid, worker_id, outcome)).is_err() {
+                        break; // manager gone
+                    }
+                }
+            });
+        }
+        drop(task_rx);
+        drop(done_tx);
+
+        // Manager loop.
+        let mut tracker = ReadyTracker::new(graph);
+        let mut in_flight = 0usize;
+        for t in tracker.initial_ready(graph) {
+            task_tx.send(t).expect("workers alive");
+            in_flight += 1;
+        }
+        let mut first_error: Option<MatrixError> = None;
+        let mut tasks_per_worker = vec![0u64; workers];
+        while in_flight > 0 {
+            let (tid, worker_id, outcome) = done_rx.recv().expect("workers alive");
+            in_flight -= 1;
+            tasks_per_worker[worker_id] += 1;
+            match outcome {
+                Ok(()) => {
+                    if first_error.is_none() {
+                        for ready in tracker.complete(graph, tid) {
+                            task_tx.send(ready).expect("workers alive");
+                            in_flight += 1;
+                        }
+                    }
+                }
+                Err(e) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+            }
+        }
+        drop(task_tx); // workers exit
+        match first_error {
+            Some(e) => Err(e),
+            None => {
+                debug_assert!(tracker.all_done());
+                Ok(tasks_per_worker)
+            }
+        }
+    })
+    .expect("worker thread panicked");
+
+    let tasks_per_worker = run_result?;
+    Ok((
+        shared.into_inner(),
+        RunReport {
+            tasks_per_worker,
+            elapsed: started.elapsed(),
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tileqr_dag::EliminationOrder;
+    use tileqr_kernels::exec::{apply_q_dense, FactorState};
+    use tileqr_matrix::gen::random_matrix;
+    use tileqr_matrix::ops::matmul;
+    use tileqr_matrix::{Matrix, TiledMatrix};
+
+    fn factor_parallel(n: usize, b: usize, workers: usize) -> (Matrix<f64>, FactorState<f64>, TaskGraph) {
+        let a = random_matrix::<f64>(n, n, 99);
+        let tiled = TiledMatrix::from_matrix(&a, b).unwrap();
+        let g = TaskGraph::build(tiled.tile_rows(), tiled.tile_cols(), EliminationOrder::FlatTs);
+        let st = parallel_factor(FactorState::new(tiled), &g, PoolConfig { workers }).unwrap();
+        (a, st, g)
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let a = random_matrix::<f64>(24, 24, 1);
+        let tiled = TiledMatrix::from_matrix(&a, 4).unwrap();
+        let g = TaskGraph::build(6, 6, EliminationOrder::FlatTs);
+
+        let mut seq = FactorState::new(tiled.clone());
+        seq.run_all(&g).unwrap();
+
+        let par = parallel_factor(FactorState::new(tiled), &g, PoolConfig { workers: 4 }).unwrap();
+        // Tiled QR is deterministic at the task level, so parallel and
+        // sequential results are bit-identical.
+        assert_eq!(seq.tiles().to_matrix(), par.tiles().to_matrix());
+    }
+
+    #[test]
+    fn parallel_factorization_is_correct() {
+        let (a, st, g) = factor_parallel(32, 8, 4);
+        let (pm, _) = st.tiles().padded_dims();
+        let mut q = Matrix::identity(pm);
+        apply_q_dense(&st, &g, &mut q).unwrap();
+        let r = st.r_matrix();
+        let qr = matmul(&q, &r).unwrap();
+        assert!(qr.approx_eq(&a, 1e-11));
+    }
+
+    #[test]
+    fn single_worker_inline_path() {
+        let (a, st, g) = factor_parallel(16, 4, 1);
+        let mut q = Matrix::identity(16);
+        apply_q_dense(&st, &g, &mut q).unwrap();
+        let qr = matmul(&q, &st.r_matrix()).unwrap();
+        assert!(qr.approx_eq(&a, 1e-11));
+    }
+
+    #[test]
+    fn many_workers_small_graph() {
+        // More workers than tasks must not deadlock.
+        let (a, st, g) = factor_parallel(8, 4, 16);
+        let mut q = Matrix::identity(8);
+        apply_q_dense(&st, &g, &mut q).unwrap();
+        let qr = matmul(&q, &st.r_matrix()).unwrap();
+        assert!(qr.approx_eq(&a, 1e-11));
+    }
+
+    #[test]
+    fn default_config_uses_all_cores() {
+        let c = PoolConfig::default();
+        assert!(c.effective_workers() >= 1);
+    }
+
+    #[test]
+    fn tt_order_in_parallel() {
+        let a = random_matrix::<f64>(32, 8, 5);
+        let tiled = TiledMatrix::from_matrix(&a, 4).unwrap();
+        let g = TaskGraph::build(8, 2, EliminationOrder::BinaryTt);
+        let st = parallel_factor(FactorState::new(tiled), &g, PoolConfig { workers: 4 }).unwrap();
+        let (pm, _) = st.tiles().padded_dims();
+        let mut q = Matrix::identity(pm);
+        apply_q_dense(&st, &g, &mut q).unwrap();
+        let r = st.r_matrix();
+        let qr = matmul(&q, &r).unwrap();
+        assert!(qr.approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn run_report_accounts_every_task() {
+        let a = random_matrix::<f64>(32, 32, 5);
+        let tiled = TiledMatrix::from_matrix(&a, 4).unwrap();
+        let g = TaskGraph::build(8, 8, EliminationOrder::FlatTs);
+        let (_, report) =
+            super::parallel_factor_traced(FactorState::new(tiled), &g, PoolConfig { workers: 3 })
+                .unwrap();
+        assert_eq!(report.total_tasks() as usize, g.len());
+        assert_eq!(report.tasks_per_worker.len(), 3);
+        assert!(report.imbalance() >= 1.0);
+        assert!(report.elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn repeated_runs_identical() {
+        let (_, st1, _) = factor_parallel(24, 4, 4);
+        let (_, st2, _) = factor_parallel(24, 4, 4);
+        assert_eq!(st1.tiles().to_matrix(), st2.tiles().to_matrix());
+    }
+}

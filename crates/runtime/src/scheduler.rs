@@ -1,0 +1,86 @@
+//! DAG readiness bookkeeping for the manager thread.
+
+use tileqr_dag::{TaskGraph, TaskId};
+
+/// Tracks which tasks are ready as predecessors complete — the manager
+/// thread's core data structure. Pure and single-threaded by design; the
+/// pool owns the concurrency.
+#[derive(Debug)]
+pub struct ReadyTracker {
+    remaining_preds: Vec<usize>,
+    completed: usize,
+    total: usize,
+}
+
+impl ReadyTracker {
+    /// Initialize from a graph; [`ReadyTracker::initial_ready`] yields the
+    /// sources.
+    pub fn new(graph: &TaskGraph) -> Self {
+        ReadyTracker {
+            remaining_preds: graph.indegrees(),
+            completed: 0,
+            total: graph.len(),
+        }
+    }
+
+    /// Tasks ready before anything has run.
+    pub fn initial_ready(&self, graph: &TaskGraph) -> Vec<TaskId> {
+        graph.sources()
+    }
+
+    /// Record `task` as complete; returns the tasks that just became
+    /// ready.
+    pub fn complete(&mut self, graph: &TaskGraph, task: TaskId) -> Vec<TaskId> {
+        self.completed += 1;
+        let mut newly = Vec::new();
+        for &s in graph.succs(task) {
+            self.remaining_preds[s] -= 1;
+            if self.remaining_preds[s] == 0 {
+                newly.push(s);
+            }
+        }
+        newly
+    }
+
+    /// `true` once every task has completed.
+    pub fn all_done(&self) -> bool {
+        self.completed == self.total
+    }
+
+    /// Number of completed tasks.
+    pub fn completed(&self) -> usize {
+        self.completed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tileqr_dag::EliminationOrder;
+
+    #[test]
+    fn drains_whole_graph() {
+        let g = TaskGraph::build(4, 4, EliminationOrder::FlatTs);
+        let mut tr = ReadyTracker::new(&g);
+        let mut frontier = tr.initial_ready(&g);
+        let mut seen = 0;
+        while let Some(t) = frontier.pop() {
+            seen += 1;
+            frontier.extend(tr.complete(&g, t));
+        }
+        assert_eq!(seen, g.len());
+        assert!(tr.all_done());
+    }
+
+    #[test]
+    fn readiness_only_after_all_preds() {
+        let g = TaskGraph::build(3, 3, EliminationOrder::FlatTs);
+        let mut tr = ReadyTracker::new(&g);
+        // Completing the first GEQRT readies its direct successors only.
+        let newly = tr.complete(&g, 0);
+        for &t in &newly {
+            assert!(g.preds(t).iter().all(|&p| p == 0));
+        }
+        assert!(!tr.all_done());
+    }
+}

@@ -1,0 +1,90 @@
+//! Tile-size auto-tuning — the Song et al. (ICS'12) baseline from the
+//! paper's related work (§VII).
+//!
+//! Song et al. first run a small probe problem to find the best tile size
+//! for the system, then reuse it at full scale. The paper under
+//! reproduction argues for a *fixed* tile size (16) with load balancing by
+//! tile *count* instead; this module implements the probe-based tuner so
+//! the two approaches can be compared (see the `ablation` experiments).
+
+use crate::distribution::DistributionStrategy;
+use crate::fastsim::simulate_fast;
+use crate::plan::{plan_with, MainDevicePolicy};
+use tileqr_sim::Platform;
+
+/// Result of a tile-size probe sweep.
+#[derive(Debug, Clone)]
+pub struct TuneResult {
+    /// The winning tile size.
+    pub best_tile: usize,
+    /// `(tile size, simulated seconds on the probe problem)` per candidate.
+    pub probes: Vec<(usize, f64)>,
+}
+
+/// Probe every candidate tile size on an `n_probe`-sized problem and pick
+/// the fastest. `make_platform` rebuilds the platform for a given tile
+/// size (the kernel-time curves are functions of `b`, so the platform
+/// config must change with it).
+pub fn tune_tile_size(
+    make_platform: impl Fn(usize) -> Platform,
+    n_probe: usize,
+    candidates: &[usize],
+) -> TuneResult {
+    assert!(!candidates.is_empty(), "need at least one candidate");
+    let mut probes = Vec::with_capacity(candidates.len());
+    for &b in candidates {
+        assert!(b > 0, "tile sizes must be positive");
+        let platform = make_platform(b);
+        let nt = n_probe.div_ceil(b).max(1);
+        let plan = plan_with(
+            &platform,
+            nt,
+            nt,
+            MainDevicePolicy::Auto,
+            DistributionStrategy::GuideArray,
+            None,
+        );
+        let stats = simulate_fast(&platform, &plan, nt, nt);
+        probes.push((b, stats.makespan_s()));
+    }
+    let best_tile = probes
+        .iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("non-empty")
+        .0;
+    TuneResult { best_tile, probes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tileqr_sim::profiles;
+
+    #[test]
+    fn picks_a_candidate() {
+        let r = tune_tile_size(profiles::paper_testbed, 640, &[8, 16, 32]);
+        assert!([8, 16, 32].contains(&r.best_tile));
+        assert_eq!(r.probes.len(), 3);
+        assert!(r.probes.iter().all(|&(_, t)| t > 0.0));
+    }
+
+    #[test]
+    fn single_candidate_is_trivial() {
+        let r = tune_tile_size(profiles::paper_testbed, 320, &[16]);
+        assert_eq!(r.best_tile, 16);
+    }
+
+    #[test]
+    fn extreme_tiles_lose() {
+        // Very small tiles drown in per-kernel overhead; very large tiles
+        // kill parallelism. A mid-range size must win the probe.
+        let r = tune_tile_size(profiles::paper_testbed, 1280, &[2, 16, 320]);
+        assert_eq!(r.best_tile, 16, "{:?}", r.probes);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_candidates_panic() {
+        let _ = tune_tile_size(profiles::paper_testbed, 320, &[]);
+    }
+}

@@ -1,0 +1,236 @@
+//! End-to-end planning: Algorithm 2 → Algorithm 3 → Algorithm 4.
+
+use crate::device_count::{select_device_count, CountSelection};
+use crate::distribution::{Distribution, DistributionStrategy};
+use crate::main_select::{select_main_device, MainSelection};
+use tileqr_sim::{DeviceId, Platform};
+
+/// How the main computing device is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MainDevicePolicy {
+    /// Run Algorithm 2 (the paper's method).
+    Auto,
+    /// Force a specific device (the GTX680-as-main / CPU-as-main baselines
+    /// of Fig. 9).
+    Fixed(DeviceId),
+    /// No main device: every device triangulates and eliminates its own
+    /// columns (the "None" baseline of Fig. 9).
+    None,
+}
+
+/// A complete execution plan for one tiled QR run on a heterogeneous node.
+#[derive(Debug, Clone)]
+pub struct HeteroPlan {
+    /// The main computing device (under [`MainDevicePolicy::None`] this is
+    /// still recorded — it owns column 0).
+    pub main: DeviceId,
+    /// Main-device policy the plan was built with.
+    pub policy: MainDevicePolicy,
+    /// Participating devices, main first then by update speed.
+    pub participants: Vec<DeviceId>,
+    /// Column → device distribution.
+    pub distribution: Distribution,
+    /// Diagnostics from Algorithm 2 (when it ran).
+    pub main_selection: Option<MainSelection>,
+    /// Diagnostics from Algorithm 3 (when it ran).
+    pub count_selection: Option<CountSelection>,
+}
+
+impl HeteroPlan {
+    /// Columns of a `nt`-column grid owned by each device (index =
+    /// device id), the input to [`Platform::memory_feasible`].
+    pub fn columns_per_device(&self, platform: &Platform, nt: usize) -> Vec<usize> {
+        (0..platform.num_devices())
+            .map(|d| self.distribution.columns_owned(d, 0, nt))
+            .collect()
+    }
+
+    /// `true` when every device's working set under this plan fits its
+    /// memory capacity (always true for unbounded platforms — the paper's
+    /// assumption; its §VIII names the bounded case as future work).
+    pub fn fits_memory(&self, platform: &Platform, mt: usize, nt: usize) -> bool {
+        platform.memory_feasible(mt, &self.columns_per_device(platform, nt))
+    }
+}
+
+/// Full planning pipeline with the paper's defaults: Algorithm 2 selects
+/// the main device, Algorithm 3 the device count, Algorithm 4 the
+/// distribution guide array.
+pub fn plan(platform: &Platform, mt: usize, nt: usize) -> HeteroPlan {
+    plan_with(
+        platform,
+        mt,
+        nt,
+        MainDevicePolicy::Auto,
+        DistributionStrategy::GuideArray,
+        None,
+    )
+}
+
+/// Planning pipeline with every knob exposed — used by the experiment
+/// harness to build the paper's baselines.
+///
+/// `force_p` overrides Algorithm 3 with a fixed participant count
+/// (clamped to the number of devices).
+pub fn plan_with(
+    platform: &Platform,
+    mt: usize,
+    nt: usize,
+    policy: MainDevicePolicy,
+    strategy: DistributionStrategy,
+    force_p: Option<usize>,
+) -> HeteroPlan {
+    let (main, main_selection) = match policy {
+        MainDevicePolicy::Auto | MainDevicePolicy::None => {
+            let sel = select_main_device(platform, mt, nt);
+            (sel.device, Some(sel))
+        }
+        MainDevicePolicy::Fixed(d) => {
+            assert!(d < platform.num_devices(), "unknown device {d}");
+            (d, None)
+        }
+    };
+
+    let count = select_device_count(platform, main, mt, nt);
+    let participants = match force_p {
+        Some(p) => {
+            let p = p.clamp(1, platform.num_devices());
+            crate::device_count::ordered_devices(platform, main)[..p].to_vec()
+        }
+        None => count.devices.clone(),
+    };
+
+    let distribution = Distribution::build(platform, main, &participants, strategy);
+    HeteroPlan {
+        main,
+        policy,
+        participants,
+        distribution,
+        main_selection,
+        count_selection: Some(count),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tileqr_sim::profiles;
+
+    #[test]
+    fn auto_plan_on_testbed() {
+        let p = profiles::paper_testbed(16);
+        let plan = plan(&p, 400, 400);
+        assert_eq!(plan.main, 0, "GTX580 main");
+        assert!(plan.participants.contains(&0));
+        assert_eq!(plan.participants[0], 0, "main heads the list");
+        assert_eq!(plan.distribution.owner(0), 0);
+    }
+
+    #[test]
+    fn fixed_policy_overrides_main() {
+        let p = profiles::paper_testbed(16);
+        let plan = plan_with(
+            &p,
+            100,
+            100,
+            MainDevicePolicy::Fixed(3),
+            DistributionStrategy::GuideArray,
+            None,
+        );
+        assert_eq!(plan.main, 3);
+        assert!(plan.main_selection.is_none());
+    }
+
+    #[test]
+    fn force_p_clamps_and_applies() {
+        let p = profiles::paper_testbed(16);
+        let plan = plan_with(
+            &p,
+            100,
+            100,
+            MainDevicePolicy::Auto,
+            DistributionStrategy::Even,
+            Some(2),
+        );
+        assert_eq!(plan.participants.len(), 2);
+        let plan9 = plan_with(
+            &p,
+            100,
+            100,
+            MainDevicePolicy::Auto,
+            DistributionStrategy::Even,
+            Some(9),
+        );
+        assert_eq!(plan9.participants.len(), 4, "clamped to device count");
+    }
+
+    #[test]
+    fn small_matrix_plans_use_few_devices() {
+        let gpus = profiles::testbed_subset(3, false, 16);
+        let small = plan(&gpus, 10, 10);
+        let large = plan(&gpus, 250, 250);
+        assert!(small.participants.len() <= large.participants.len());
+        assert_eq!(large.participants.len(), 3);
+    }
+
+    #[test]
+    fn memory_feasibility_of_plans() {
+        use tileqr_sim::{Link, SimConfig};
+        let unbounded = profiles::paper_testbed(16);
+        let p = plan(&unbounded, 100, 100);
+        assert!(p.fits_memory(&unbounded, 100, 100), "unbounded always fits");
+        let cols = p.columns_per_device(&unbounded, 100);
+        assert_eq!(cols.iter().sum::<usize>(), 100);
+
+        // A 1 MiB straitjacket on every device: a 100x100 grid cannot fit.
+        let tiny = tileqr_sim::Platform::new(
+            unbounded.devices().to_vec(),
+            Link::pcie2_x16(),
+            SimConfig { tile_size: 16, elem_bytes: 4 },
+        )
+        .with_device_memory(vec![Some(1 << 20); 4]);
+        let p2 = plan(&tiny, 100, 100);
+        assert!(!p2.fits_memory(&tiny, 100, 100));
+        // A small grid still fits.
+        assert!(plan(&tiny, 8, 8).fits_memory(&tiny, 8, 8));
+    }
+
+    #[test]
+    fn planning_with_xeon_phi_extension() {
+        // Future-work device class: the algorithms must handle it without
+        // special cases — the Phi ranks between CPU and GPUs on updates.
+        use tileqr_sim::{Link, SimConfig};
+        let platform = tileqr_sim::Platform::new(
+            vec![
+                profiles::gtx580(),
+                profiles::gtx680(),
+                profiles::xeon_phi(),
+                profiles::cpu_i7_3820(),
+            ],
+            Link::pcie2_x16(),
+            SimConfig { tile_size: 16, elem_bytes: 4 },
+        );
+        let hp = plan(&platform, 400, 400);
+        assert_eq!(hp.main, 0, "GTX580 still wins Alg. 2");
+        let phi_thr = platform.device(2).update_throughput(16);
+        assert!(phi_thr > platform.device(3).update_throughput(16));
+        assert!(phi_thr < platform.device(1).update_throughput(16));
+        // And the fast simulator runs it.
+        let stats = crate::fastsim::simulate_fast(&platform, &hp, 400, 400);
+        assert!(stats.makespan_us > 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn fixed_unknown_device_panics() {
+        let p = profiles::paper_testbed(16);
+        let _ = plan_with(
+            &p,
+            10,
+            10,
+            MainDevicePolicy::Fixed(17),
+            DistributionStrategy::Even,
+            None,
+        );
+    }
+}

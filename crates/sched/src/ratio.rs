@@ -1,0 +1,140 @@
+//! Integer update-throughput ratios (paper Alg. 4, `GET_RATIO`).
+//!
+//! "Before distribution, we first find the integer ratio of all the devices
+//! using the number of tiles that can be updated in a unit time. For
+//! example, if three devices … can process 8, 12 and 4 tiles in a unit
+//! time, respectively, the ratio will be 2 : 3 : 1."
+
+use tileqr_sim::{DeviceId, Platform};
+
+/// Largest ratio entry the reduction aims for; keeps guide arrays short
+/// even when device throughputs are wildly disparate (a GPU can be two
+/// orders of magnitude faster at updates than the 4-core CPU).
+pub const MAX_RATIO: u64 = 64;
+
+/// Reduce raw per-device throughput figures to a small integer ratio.
+///
+/// The figures are scaled so the fastest device maps to at most
+/// [`MAX_RATIO`], rounded, and divided by their GCD. A device whose share
+/// rounds to zero gets ratio 0 — it is effectively excluded from update
+/// duty (the paper observes the CPU's "aid is not much effective", §VI-C).
+pub fn integer_ratio(throughputs: &[f64]) -> Vec<u64> {
+    assert!(!throughputs.is_empty());
+    assert!(
+        throughputs.iter().all(|&t| t >= 0.0 && t.is_finite()),
+        "throughputs must be finite and non-negative"
+    );
+    let max = throughputs.iter().cloned().fold(0.0f64, f64::max);
+    if max == 0.0 {
+        return vec![0; throughputs.len()];
+    }
+    // First try to integerize exactly (the paper's 8:12:4 -> 2:3:1 case):
+    // scale by the smallest positive value and check near-integrality.
+    let min_pos = throughputs
+        .iter()
+        .cloned()
+        .filter(|&t| t > 0.0)
+        .fold(f64::INFINITY, f64::min);
+    let exact: Vec<u64> = throughputs
+        .iter()
+        .map(|&t| (t / min_pos * 1e6).round() as u64)
+        .collect();
+    let scaled = if exact
+        .iter()
+        .all(|&v| v % 1_000_000 == 0 && v / 1_000_000 <= MAX_RATIO)
+    {
+        exact.iter().map(|&v| v / 1_000_000).collect::<Vec<u64>>()
+    } else {
+        // General case: normalize the maximum to MAX_RATIO and round.
+        let scale = MAX_RATIO as f64 / max;
+        throughputs
+            .iter()
+            .map(|&t| (t * scale).round() as u64)
+            .collect()
+    };
+    reduce_by_gcd(scaled)
+}
+
+/// Update-throughput ratio for a set of devices on `platform` at the given
+/// tile size — the concrete `GET_RATIO` of Algorithm 4.
+pub fn device_update_ratio(platform: &Platform, devices: &[DeviceId], tile_size: usize) -> Vec<u64> {
+    let throughputs: Vec<f64> = devices
+        .iter()
+        .map(|&d| platform.device(d).update_throughput(tile_size))
+        .collect();
+    integer_ratio(&throughputs)
+}
+
+fn reduce_by_gcd(mut v: Vec<u64>) -> Vec<u64> {
+    let g = v.iter().fold(0u64, |acc, &x| gcd(acc, x));
+    if g > 1 {
+        for x in &mut v {
+            *x /= g;
+        }
+    }
+    v
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tileqr_sim::profiles;
+
+    #[test]
+    fn paper_example_8_12_4() {
+        assert_eq!(integer_ratio(&[8.0, 12.0, 4.0]), vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn equal_throughputs_give_ones() {
+        assert_eq!(integer_ratio(&[5.0, 5.0, 5.0]), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn tiny_share_rounds_to_zero() {
+        let r = integer_ratio(&[100.0, 0.1]);
+        assert_eq!(r[1], 0);
+        assert!(r[0] > 0);
+    }
+
+    #[test]
+    fn zero_everything() {
+        assert_eq!(integer_ratio(&[0.0, 0.0]), vec![0, 0]);
+    }
+
+    #[test]
+    fn ratio_bounded() {
+        let r = integer_ratio(&[1000.0, 333.0, 1.0]);
+        assert!(r.iter().all(|&x| x <= MAX_RATIO));
+    }
+
+    #[test]
+    fn testbed_ratio_favors_gtx680() {
+        // Devices: [GTX580, GTX680, GTX680, CPU].
+        let p = profiles::paper_testbed(16);
+        let r = device_update_ratio(&p, &[0, 1, 2, 3], 16);
+        assert!(r[1] > r[0], "680 must out-rank 580: {r:?}");
+        assert_eq!(r[1], r[2], "identical devices get identical ratios");
+        assert!(r[3] <= r[0] / 2, "CPU share must be marginal: {r:?}");
+    }
+
+    #[test]
+    fn gcd_reduction() {
+        assert_eq!(integer_ratio(&[4.0, 8.0]), vec![1, 2]);
+        assert_eq!(integer_ratio(&[6.0, 9.0, 3.0]), vec![2, 3, 1]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_rejected() {
+        let _ = integer_ratio(&[-1.0, 2.0]);
+    }
+}

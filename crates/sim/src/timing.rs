@@ -1,0 +1,116 @@
+//! Per-kernel timing models.
+
+use tileqr_dag::{StepClass, TaskKind};
+
+/// The three timing curves of the paper's Fig. 4: triangulation (T),
+/// elimination (E), and the updates (UT and UE, which the paper plots as a
+/// single curve).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelClass {
+    /// `GEQRT`.
+    Triangulation,
+    /// `TSQRT` / `TTQRT`.
+    Elimination,
+    /// `UNMQR` / `TSMQR` / `TTMQR` (one shared curve, as in Fig. 4).
+    Update,
+}
+
+impl KernelClass {
+    /// Map a DAG task to its timing curve.
+    pub fn of(task: TaskKind) -> KernelClass {
+        match task.class() {
+            StepClass::Triangulation => KernelClass::Triangulation,
+            StepClass::Elimination => KernelClass::Elimination,
+            StepClass::UpdateTriangulation | StepClass::UpdateElimination => KernelClass::Update,
+        }
+    }
+}
+
+/// Kernel latency model `t(b) = c0 + c1·b² + c2·b³` microseconds for one
+/// tile kernel at tile size `b`.
+///
+/// The cubic term tracks the `O(b³)` kernel flops, the quadratic term the
+/// `O(b²)` memory traffic, and the constant the launch overhead (dominant
+/// on GPUs at small tiles — visible as the flat left end of every Fig. 4
+/// curve).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelTiming {
+    /// Launch/setup overhead, microseconds.
+    pub c0: f64,
+    /// Memory-traffic coefficient, microseconds per `b²`.
+    pub c1: f64,
+    /// Arithmetic coefficient, microseconds per `b³`.
+    pub c2: f64,
+}
+
+impl KernelTiming {
+    /// Latency in microseconds of one tile kernel at tile size `b`.
+    pub fn time_us(&self, b: usize) -> f64 {
+        let b = b as f64;
+        self.c0 + self.c1 * b * b + self.c2 * b * b * b
+    }
+}
+
+/// The full per-device timing table (one curve per [`KernelClass`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepTimes {
+    /// Triangulation curve.
+    pub triangulation: KernelTiming,
+    /// Elimination curve.
+    pub elimination: KernelTiming,
+    /// Update curve (UT and UE).
+    pub update: KernelTiming,
+}
+
+impl StepTimes {
+    /// Latency of `class` at tile size `b`, microseconds.
+    pub fn time_us(&self, class: KernelClass, b: usize) -> f64 {
+        match class {
+            KernelClass::Triangulation => self.triangulation.time_us(b),
+            KernelClass::Elimination => self.elimination.time_us(b),
+            KernelClass::Update => self.update.time_us(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cubic_dominates_at_large_tiles() {
+        let t = KernelTiming { c0: 20.0, c1: 0.02, c2: 0.019 };
+        let r = t.time_us(56) / t.time_us(28);
+        assert!(r > 6.0 && r < 8.5, "expected near-cubic growth, got {r}");
+    }
+
+    #[test]
+    fn overhead_dominates_at_small_tiles() {
+        let t = KernelTiming { c0: 20.0, c1: 0.02, c2: 0.019 };
+        assert!(t.time_us(4) < 1.2 * t.c0);
+    }
+
+    #[test]
+    fn class_mapping() {
+        assert_eq!(
+            KernelClass::of(TaskKind::Geqrt { i: 0, k: 0 }),
+            KernelClass::Triangulation
+        );
+        assert_eq!(
+            KernelClass::of(TaskKind::Tsqrt { p: 0, i: 1, k: 0 }),
+            KernelClass::Elimination
+        );
+        assert_eq!(
+            KernelClass::of(TaskKind::Ttqrt { p: 0, i: 1, k: 0 }),
+            KernelClass::Elimination
+        );
+        assert_eq!(
+            KernelClass::of(TaskKind::Unmqr { i: 0, j: 1, k: 0 }),
+            KernelClass::Update
+        );
+        assert_eq!(
+            KernelClass::of(TaskKind::Tsmqr { p: 0, i: 1, j: 1, k: 0 }),
+            KernelClass::Update
+        );
+    }
+}

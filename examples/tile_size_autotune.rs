@@ -1,0 +1,45 @@
+//! Tile-size auto-tuning (the Song et al. baseline from the paper's
+//! related work, §VII): probe a small matrix at several tile sizes on the
+//! simulated testbed, pick the fastest, and compare against the paper's
+//! fixed choice of 16.
+//!
+//! ```text
+//! cargo run --release --example tile_size_autotune [probe_size]
+//! ```
+
+use tileqr::hetero::{autotune, profiles};
+
+fn main() {
+    let probe: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1280);
+
+    let candidates = [4usize, 8, 12, 16, 20, 24, 28, 32, 48, 64];
+    println!("probing a {probe}x{probe} matrix at tile sizes {candidates:?} ...");
+
+    let result = autotune::tune_tile_size(profiles::paper_testbed, probe, &candidates);
+    println!("\n tile |  simulated time");
+    for (b, secs) in &result.probes {
+        let marker = if *b == result.best_tile { "  <- best" } else { "" };
+        println!("{b:>5} |  {secs:>10.5} s{marker}");
+    }
+
+    println!("\nauto-tuned tile size: {}", result.best_tile);
+    println!("paper's fixed choice: 16 (\"because the number of cores of the CPU and GPUs are the power of 2\")");
+    let fixed = result
+        .probes
+        .iter()
+        .find(|(b, _)| *b == 16)
+        .map(|&(_, t)| t);
+    if let (Some(fixed), Some(&(_, best))) = (
+        fixed,
+        result.probes.iter().find(|(b, _)| *b == result.best_tile),
+    ) {
+        println!(
+            "auto-tuned vs fixed-16: {:+.1}%",
+            100.0 * (best / fixed - 1.0)
+        );
+    }
+    println!("OK");
+}

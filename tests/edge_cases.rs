@@ -1,0 +1,113 @@
+//! Degenerate inputs, non-finite data, and boundary conditions.
+
+use tileqr::ops;
+use tileqr::prelude::*;
+
+#[test]
+fn empty_matrix_factorizes_vacuously() {
+    let a = Matrix::<f64>::zeros(0, 0);
+    let f = TiledQr::factor(&a, &QrOptions::new().tile_size(4)).unwrap();
+    assert_eq!(f.r().dims(), (0, 0));
+    assert_eq!(f.dims(), (0, 0));
+}
+
+#[test]
+fn single_column_matrix() {
+    let a = Matrix::from_fn(7, 1, |i, _| (i + 1) as f64);
+    let f = TiledQr::factor(&a, &QrOptions::new().tile_size(4)).unwrap();
+    let r = f.r();
+    // |r11| = ||a||.
+    let norm = ops::nrm2(a.col(0));
+    assert!((r[(0, 0)].abs() - norm).abs() < 1e-12);
+    for i in 1..7 {
+        assert_eq!(r[(i, 0)], 0.0);
+    }
+}
+
+#[test]
+fn nan_input_does_not_panic() {
+    let mut a = tileqr::gen::random_matrix::<f64>(12, 12, 1);
+    a[(3, 4)] = f64::NAN;
+    let f = TiledQr::factor(&a, &QrOptions::new().tile_size(4)).unwrap();
+    // Garbage in, garbage out — but no panic, and the poison is visible.
+    assert!(!f.r().all_finite());
+}
+
+#[test]
+fn infinite_input_does_not_panic() {
+    let mut a = tileqr::gen::random_matrix::<f64>(8, 8, 2);
+    a[(0, 0)] = f64::INFINITY;
+    let f = TiledQr::factor(&a, &QrOptions::new().tile_size(4)).unwrap();
+    assert!(!f.r().all_finite());
+}
+
+#[test]
+fn tiny_values_do_not_underflow_to_garbage() {
+    let a = tileqr::gen::random_matrix::<f64>(10, 10, 3).scaled(1e-160);
+    let f = TiledQr::factor(&a, &QrOptions::new().tile_size(4)).unwrap();
+    let q = f.q().unwrap();
+    let r = f.r();
+    assert!(q.all_finite() && r.all_finite());
+    // Reconstruct at the original scale.
+    let qr = ops::matmul(&q, &r).unwrap();
+    let diff = qr.sub(&a).unwrap();
+    assert!(ops::frobenius_norm(&diff) <= 1e-14 * ops::frobenius_norm(&a).max(1e-300));
+}
+
+#[test]
+fn huge_values_do_not_overflow() {
+    let a = tileqr::gen::random_matrix::<f64>(10, 10, 4).scaled(1e150);
+    let f = TiledQr::factor(&a, &QrOptions::new().tile_size(4)).unwrap();
+    assert!(f.r().all_finite());
+    assert!(f.q().unwrap().all_finite());
+}
+
+#[test]
+fn solve_with_zero_rhs_gives_zero() {
+    let a = tileqr::gen::diagonally_dominant::<f64>(9, 5);
+    let f = TiledQr::factor(&a, &QrOptions::new().tile_size(4)).unwrap();
+    let x = f.solve(&[0.0; 9]).unwrap();
+    assert!(x.iter().all(|&v| v.abs() < 1e-300));
+}
+
+#[test]
+fn apply_q_to_zero_width_matrix() {
+    let a = tileqr::gen::random_matrix::<f64>(8, 8, 6);
+    let f = TiledQr::factor(&a, &QrOptions::new().tile_size(4)).unwrap();
+    let c = Matrix::<f64>::zeros(8, 0);
+    let out = f.apply_qt(&c).unwrap();
+    assert_eq!(out.dims(), (8, 0));
+}
+
+#[test]
+fn repeated_factorization_of_q_stays_orthogonal() {
+    // Factor Q itself: R must be (nearly) identity up to signs.
+    let a = tileqr::gen::random_matrix::<f64>(16, 16, 7);
+    let f = TiledQr::factor(&a, &QrOptions::new().tile_size(4)).unwrap();
+    let q = f.q().unwrap();
+    let f2 = TiledQr::factor(&q, &QrOptions::new().tile_size(4)).unwrap();
+    let r2 = f2.r();
+    for i in 0..16 {
+        assert!((r2[(i, i)].abs() - 1.0).abs() < 1e-12, "diag {i}");
+        for j in i + 1..16 {
+            assert!(r2[(i, j)].abs() < 1e-12, "off-diag ({i},{j})");
+        }
+    }
+}
+
+#[test]
+fn workers_zero_uses_all_cores_and_is_correct() {
+    let a = tileqr::gen::random_matrix::<f64>(32, 32, 8);
+    let f = TiledQr::factor(&a, &QrOptions::new().tile_size(8).workers(0)).unwrap();
+    let q = f.q().unwrap();
+    assert!(ops::relative_residual(&a, &q, &f.r()).unwrap() < 1e-13);
+}
+
+#[test]
+fn mismatched_apply_rows_rejected() {
+    let a = tileqr::gen::random_matrix::<f64>(8, 8, 9);
+    let f = TiledQr::factor(&a, &QrOptions::new().tile_size(4)).unwrap();
+    let c = Matrix::<f64>::zeros(9, 2);
+    assert!(f.apply_qt(&c).is_err());
+    assert!(f.apply_q(&c).is_err());
+}

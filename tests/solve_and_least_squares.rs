@@ -1,0 +1,115 @@
+//! Linear-system and least-squares solving through the tiled QR
+//! factorization — the application that motivates QR in the paper's
+//! introduction (Ax = b via Eqs. 2–3).
+
+use tileqr::gen;
+use tileqr::ops::{matmul, matvec};
+use tileqr::prelude::*;
+
+#[test]
+fn square_solve_recovers_solution() {
+    for n in [10, 33, 64] {
+        let a = gen::diagonally_dominant::<f64>(n, 1);
+        let x_true = gen::random_vector::<f64>(n, 2);
+        let b = matvec(&a, &x_true).unwrap();
+        let f = TiledQr::factor(&a, &QrOptions::new().tile_size(16)).unwrap();
+        let x = f.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-8, "n={n}: {xi} vs {ti}");
+        }
+    }
+}
+
+#[test]
+fn least_squares_minimizes_residual() {
+    let a = gen::random_matrix::<f64>(60, 12, 3);
+    let b = gen::random_vector::<f64>(60, 4);
+    let f = TiledQr::factor(&a, &QrOptions::new().tile_size(8)).unwrap();
+    let x = f.solve(&b).unwrap();
+    let ax = matvec(&a, &x).unwrap();
+    let base: f64 = ax
+        .iter()
+        .zip(&b)
+        .map(|(p, q)| (p - q) * (p - q))
+        .sum::<f64>()
+        .sqrt();
+    // Perturbing x in any coordinate direction must not reduce the
+    // residual — x is the minimizer.
+    for dim in [0, 5, 11] {
+        for delta in [1e-3, -1e-3] {
+            let mut xp = x.clone();
+            xp[dim] += delta;
+            let axp = matvec(&a, &xp).unwrap();
+            let perturbed: f64 = axp
+                .iter()
+                .zip(&b)
+                .map(|(p, q)| (p - q) * (p - q))
+                .sum::<f64>()
+                .sqrt();
+            assert!(perturbed >= base - 1e-12, "dim {dim} delta {delta}");
+        }
+    }
+}
+
+#[test]
+fn least_squares_matches_normal_equations() {
+    let a = gen::random_matrix::<f64>(40, 8, 5);
+    let b = gen::random_vector::<f64>(40, 6);
+    let f = TiledQr::factor(&a, &QrOptions::new().tile_size(8)).unwrap();
+    let x = f.solve(&b).unwrap();
+    // Solve A^T A y = A^T b densely via the reference QR and compare.
+    let ata = matmul(&a.transpose(), &a).unwrap();
+    let atb = matvec(&a.transpose(), &b).unwrap();
+    let y = tileqr::kernels::reference::qr_solve(&ata, &atb).unwrap();
+    for (xi, yi) in x.iter().zip(&y) {
+        assert!((xi - yi).abs() < 1e-8, "{xi} vs {yi}");
+    }
+}
+
+#[test]
+fn multiple_rhs_consistent_with_single() {
+    let a = gen::diagonally_dominant::<f64>(20, 7);
+    let b = gen::random_matrix::<f64>(20, 4, 8);
+    let f = TiledQr::factor(&a, &QrOptions::new().tile_size(8)).unwrap();
+    let xs = f.solve_matrix(&b).unwrap();
+    for j in 0..4 {
+        let xj = f.solve(b.col(j)).unwrap();
+        for i in 0..20 {
+            assert!((xs[(i, j)] - xj[i]).abs() < 1e-10);
+        }
+    }
+}
+
+#[test]
+fn singular_system_reports_error() {
+    let a = Matrix::<f64>::zeros(8, 8);
+    let f = TiledQr::factor(&a, &QrOptions::new().tile_size(4)).unwrap();
+    assert!(f.solve(&[1.0; 8]).is_err());
+}
+
+#[test]
+fn rhs_length_checked() {
+    let a = gen::diagonally_dominant::<f64>(8, 9);
+    let f = TiledQr::factor(&a, &QrOptions::new().tile_size(4)).unwrap();
+    assert!(f.solve(&[1.0; 7]).is_err());
+}
+
+#[test]
+fn polynomial_fit_use_case() {
+    // Fit y = 2 + 3t - 0.5t² from noisy samples — the classic data-analysis
+    // workload the paper's introduction cites for QR decomposition.
+    let samples = 50;
+    let ts: Vec<f64> = (0..samples).map(|i| i as f64 / 10.0).collect();
+    let noise = gen::random_vector::<f64>(samples, 10);
+    let a = Matrix::from_fn(samples, 3, |i, j| ts[i].powi(j as i32));
+    let y: Vec<f64> = ts
+        .iter()
+        .zip(&noise)
+        .map(|(&t, &e)| 2.0 + 3.0 * t - 0.5 * t * t + 1e-3 * e)
+        .collect();
+    let f = TiledQr::factor(&a, &QrOptions::new().tile_size(8)).unwrap();
+    let coeff = f.solve(&y).unwrap();
+    assert!((coeff[0] - 2.0).abs() < 1e-2);
+    assert!((coeff[1] - 3.0).abs() < 1e-2);
+    assert!((coeff[2] + 0.5).abs() < 1e-2);
+}
