@@ -3,33 +3,32 @@
 //! matrices (where trees shorten the critical path) and as simulated
 //! critical-path lengths.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use tileqr::dag::{critical_path, EliminationOrder, TaskGraph};
 use tileqr::gen::random_matrix;
 use tileqr::prelude::*;
+use tileqr_bench::harness;
 
-fn bench_orders_tall(c: &mut Criterion) {
-    let mut group = c.benchmark_group("elimination/tall_parallel");
+const SAMPLES: usize = 5;
+
+fn main() {
+    harness::header("elimination/tall_parallel");
     let (m, n, b) = (1024usize, 128usize, 32usize);
     for (label, order) in [
         ("flat_ts", EliminationOrder::FlatTs),
         ("flat_tt", EliminationOrder::FlatTt),
         ("binary_tt", EliminationOrder::BinaryTt),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &order, |bench, &order| {
-            let a = random_matrix::<f64>(m, n, 3);
-            let opts = QrOptions::new().tile_size(b).order(order).workers(0);
-            bench.iter(|| black_box(TiledQr::factor(&a, &opts).unwrap()));
+        let a = random_matrix::<f64>(m, n, 3);
+        let opts = QrOptions::new().tile_size(b).order(order).workers(0);
+        harness::bench("elimination/tall_parallel", label, SAMPLES, || {
+            black_box(TiledQr::factor(&a, &opts).unwrap());
         });
     }
-    group.finish();
-}
 
-fn bench_critical_path_analysis(c: &mut Criterion) {
     // Not a timing bench of kernels but of the DAG analysis itself — and
     // its output (printed once) is the ablation's headline number.
-    let mut group = c.benchmark_group("elimination/critical_path");
+    harness::header("elimination/critical_path");
     for (label, order) in [
         ("flat_ts", EliminationOrder::FlatTs),
         ("binary_tt", EliminationOrder::BinaryTt),
@@ -37,19 +36,9 @@ fn bench_critical_path_analysis(c: &mut Criterion) {
         let g = TaskGraph::build(64, 8, order);
         let depth = critical_path::critical_path_length(&g, |_| 1.0);
         println!("{label}: {} tasks, unit critical path {depth}", g.len());
-        group.bench_with_input(BenchmarkId::from_parameter(label), &order, |bench, &order| {
-            bench.iter(|| {
-                let g = TaskGraph::build(64, 8, order);
-                black_box(critical_path::critical_path_length(&g, |_| 1.0))
-            });
+        harness::bench("elimination/critical_path", label, SAMPLES, || {
+            let g = TaskGraph::build(64, 8, order);
+            black_box(critical_path::critical_path_length(&g, |_| 1.0));
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_orders_tall, bench_critical_path_analysis
-}
-criterion_main!(benches);

@@ -5,49 +5,45 @@
 //! `ib`. This bench measures the real host trade-off on a single tile and
 //! on an apply-heavy workload.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use tileqr::gen::random_matrix;
 use tileqr::kernels::{geqrt_ib, geqrt_ib_apply, ApplySide};
+use tileqr_bench::harness;
 
-fn bench_factor(c: &mut Criterion) {
-    let mut group = c.benchmark_group("inner_blocking/factor_b128");
+const SAMPLES: usize = 10;
+
+fn main() {
+    harness::header("inner_blocking/factor_b128");
     let b = 128;
     for ib in [4usize, 16, 32, 128] {
-        group.bench_with_input(BenchmarkId::from_parameter(ib), &ib, |bench, &ib| {
-            let a = random_matrix::<f64>(b, b, 1);
-            bench.iter(|| {
+        let a = random_matrix::<f64>(b, b, 1);
+        harness::bench(
+            "inner_blocking/factor_b128",
+            &ib.to_string(),
+            SAMPLES,
+            || {
                 let mut work = a.clone();
-                black_box(geqrt_ib(&mut work, ib).unwrap())
-            });
-        });
+                black_box(geqrt_ib(&mut work, ib).unwrap());
+            },
+        );
     }
-    group.finish();
-}
 
-fn bench_apply(c: &mut Criterion) {
     // Factor once, apply to a wide C many times — the regime where a
     // single big T factor (large ib) should win.
-    let mut group = c.benchmark_group("inner_blocking/apply_b128_c512");
-    let b = 128;
+    harness::header("inner_blocking/apply_b128_c512");
     for ib in [4usize, 16, 32, 128] {
-        group.bench_with_input(BenchmarkId::from_parameter(ib), &ib, |bench, &ib| {
-            let mut vr = random_matrix::<f64>(b, b, 2);
-            let ts = geqrt_ib(&mut vr, ib).unwrap();
-            let c0 = random_matrix::<f64>(b, 512, 3);
-            bench.iter(|| {
+        let mut vr = random_matrix::<f64>(b, b, 2);
+        let ts = geqrt_ib(&mut vr, ib).unwrap();
+        let c0 = random_matrix::<f64>(b, 512, 3);
+        harness::bench(
+            "inner_blocking/apply_b128_c512",
+            &ib.to_string(),
+            SAMPLES,
+            || {
                 let mut cc = c0.clone();
                 geqrt_ib_apply(&vr, &ts, ib, &mut cc, ApplySide::Transpose).unwrap();
                 black_box(&cc);
-            });
-        });
+            },
+        );
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_factor, bench_apply
-}
-criterion_main!(benches);

@@ -3,13 +3,14 @@
 //! CPU we actually have. The shapes — cubic growth, updates cheapest,
 //! eliminations between — mirror the published curves.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use tileqr::gen::random_matrix;
 use tileqr::kernels::{flops, geqrt, tsmqr, tsqrt, unmqr};
 use tileqr::Matrix;
+use tileqr_bench::harness;
 
 const TILE_SIZES: [usize; 5] = [8, 16, 32, 64, 128];
+const SAMPLES: usize = 20;
 
 fn factored_tile(b: usize, seed: u64) -> (Matrix<f64>, Matrix<f64>) {
     let mut a = random_matrix::<f64>(b, b, seed);
@@ -24,77 +25,72 @@ fn eliminated_pair(b: usize, seed: u64) -> (Matrix<f64>, Matrix<f64>) {
     (v2, t)
 }
 
-fn bench_geqrt(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig4_host/geqrt");
+fn main() {
+    harness::header("fig4_host/geqrt");
     for b in TILE_SIZES {
-        group.throughput(Throughput::Elements(flops::geqrt_flops(b)));
-        group.bench_with_input(BenchmarkId::from_parameter(b), &b, |bench, &b| {
-            let a = random_matrix::<f64>(b, b, 1);
-            bench.iter(|| {
+        let a = random_matrix::<f64>(b, b, 1);
+        harness::bench_with_flops(
+            "fig4_host/geqrt",
+            &b.to_string(),
+            SAMPLES,
+            flops::geqrt_flops(b),
+            || {
                 let mut work = a.clone();
-                black_box(geqrt(&mut work).unwrap())
-            });
-        });
+                black_box(geqrt(&mut work).unwrap());
+            },
+        );
     }
-    group.finish();
-}
 
-fn bench_tsqrt(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig4_host/tsqrt");
+    harness::header("fig4_host/tsqrt");
     for b in TILE_SIZES {
-        group.throughput(Throughput::Elements(flops::tsqrt_flops(b)));
-        group.bench_with_input(BenchmarkId::from_parameter(b), &b, |bench, &b| {
-            let r1 = random_matrix::<f64>(b, b, 2).upper_triangular();
-            let a2 = random_matrix::<f64>(b, b, 3);
-            bench.iter(|| {
+        let r1 = random_matrix::<f64>(b, b, 2).upper_triangular();
+        let a2 = random_matrix::<f64>(b, b, 3);
+        harness::bench_with_flops(
+            "fig4_host/tsqrt",
+            &b.to_string(),
+            SAMPLES,
+            flops::tsqrt_flops(b),
+            || {
                 let mut r = r1.clone();
                 let mut a = a2.clone();
-                black_box(tsqrt(&mut r, &mut a).unwrap())
-            });
-        });
+                black_box(tsqrt(&mut r, &mut a).unwrap());
+            },
+        );
     }
-    group.finish();
-}
 
-fn bench_unmqr(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig4_host/unmqr");
+    harness::header("fig4_host/unmqr");
     for b in TILE_SIZES {
-        group.throughput(Throughput::Elements(flops::unmqr_flops(b)));
-        group.bench_with_input(BenchmarkId::from_parameter(b), &b, |bench, &b| {
-            let (vr, t) = factored_tile(b, 4);
-            let c0 = random_matrix::<f64>(b, b, 5);
-            bench.iter(|| {
+        let (vr, t) = factored_tile(b, 4);
+        let c0 = random_matrix::<f64>(b, b, 5);
+        harness::bench_with_flops(
+            "fig4_host/unmqr",
+            &b.to_string(),
+            SAMPLES,
+            flops::unmqr_flops(b),
+            || {
                 let mut c = c0.clone();
                 unmqr(&vr, &t, &mut c).unwrap();
                 black_box(&c);
-            });
-        });
+            },
+        );
     }
-    group.finish();
-}
 
-fn bench_tsmqr(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig4_host/tsmqr");
+    harness::header("fig4_host/tsmqr");
     for b in TILE_SIZES {
-        group.throughput(Throughput::Elements(flops::tsmqr_flops(b)));
-        group.bench_with_input(BenchmarkId::from_parameter(b), &b, |bench, &b| {
-            let (v2, t) = eliminated_pair(b, 6);
-            let a1 = random_matrix::<f64>(b, b, 7);
-            let a2 = random_matrix::<f64>(b, b, 8);
-            bench.iter(|| {
+        let (v2, t) = eliminated_pair(b, 6);
+        let a1 = random_matrix::<f64>(b, b, 7);
+        let a2 = random_matrix::<f64>(b, b, 8);
+        harness::bench_with_flops(
+            "fig4_host/tsmqr",
+            &b.to_string(),
+            SAMPLES,
+            flops::tsmqr_flops(b),
+            || {
                 let mut x1 = a1.clone();
                 let mut x2 = a2.clone();
                 tsmqr(&v2, &t, &mut x1, &mut x2).unwrap();
                 black_box((&x1, &x2));
-            });
-        });
+            },
+        );
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_geqrt, bench_tsqrt, bench_unmqr, bench_tsmqr
-}
-criterion_main!(benches);

@@ -2,64 +2,69 @@
 //! matrix sizes and tile sizes — the single-device baseline every
 //! heterogeneous result builds on.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use tileqr::gen::random_matrix;
 use tileqr::kernels::flops;
 use tileqr::prelude::*;
+use tileqr_bench::harness;
 
-fn bench_sizes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tiled_qr/size");
+const SAMPLES: usize = 10;
+
+fn main() {
+    harness::header("tiled_qr/size");
     for n in [128usize, 256, 512] {
-        group.throughput(Throughput::Elements(flops::qr_flops(n, n)));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
-            let a = random_matrix::<f64>(n, n, 42);
-            let opts = QrOptions::new().tile_size(64);
-            bench.iter(|| black_box(TiledQr::factor(&a, &opts).unwrap()));
-        });
-    }
-    group.finish();
-}
-
-fn bench_tile_sizes(c: &mut Criterion) {
-    // The paper fixes b = 16 for core-count reasons; on a host CPU larger
-    // tiles amortize per-kernel overhead — this sweep shows the tradeoff.
-    let mut group = c.benchmark_group("tiled_qr/tile_size");
-    let n = 256;
-    for b in [16usize, 32, 64, 128] {
-        group.throughput(Throughput::Elements(flops::qr_flops(n, n)));
-        group.bench_with_input(BenchmarkId::from_parameter(b), &b, |bench, &b| {
-            let a = random_matrix::<f64>(n, n, 42);
-            let opts = QrOptions::new().tile_size(b);
-            bench.iter(|| black_box(TiledQr::factor(&a, &opts).unwrap()));
-        });
-    }
-    group.finish();
-}
-
-fn bench_reference(c: &mut Criterion) {
-    // The paper's Algorithm 1 as a baseline for the tiled algorithm.
-    let mut group = c.benchmark_group("tiled_qr/vs_reference");
-    let n = 256;
-    group.throughput(Throughput::Elements(flops::qr_flops(n, n)));
-    group.bench_function("unblocked_householder", |bench| {
-        let a = random_matrix::<f64>(n, n, 42);
-        bench.iter(|| {
-            let mut work = a.clone();
-            black_box(tileqr::kernels::reference::geqrf(&mut work).unwrap())
-        });
-    });
-    group.bench_function("tiled_b64", |bench| {
         let a = random_matrix::<f64>(n, n, 42);
         let opts = QrOptions::new().tile_size(64);
-        bench.iter(|| black_box(TiledQr::factor(&a, &opts).unwrap()));
-    });
-    group.finish();
-}
+        harness::bench_with_flops(
+            "tiled_qr/size",
+            &n.to_string(),
+            SAMPLES,
+            flops::qr_flops(n, n),
+            || {
+                black_box(TiledQr::factor(&a, &opts).unwrap());
+            },
+        );
+    }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_sizes, bench_tile_sizes, bench_reference
+    // The paper fixes b = 16 for core-count reasons; on a host CPU larger
+    // tiles amortize per-kernel overhead — this sweep shows the tradeoff.
+    harness::header("tiled_qr/tile_size");
+    let n = 256;
+    for b in [16usize, 32, 64, 128] {
+        let a = random_matrix::<f64>(n, n, 42);
+        let opts = QrOptions::new().tile_size(b);
+        harness::bench_with_flops(
+            "tiled_qr/tile_size",
+            &b.to_string(),
+            SAMPLES,
+            flops::qr_flops(n, n),
+            || {
+                black_box(TiledQr::factor(&a, &opts).unwrap());
+            },
+        );
+    }
+
+    // The paper's Algorithm 1 as a baseline for the tiled algorithm.
+    harness::header("tiled_qr/vs_reference");
+    let a = random_matrix::<f64>(n, n, 42);
+    harness::bench_with_flops(
+        "tiled_qr/vs_reference",
+        "unblocked_householder",
+        SAMPLES,
+        flops::qr_flops(n, n),
+        || {
+            let mut work = a.clone();
+            black_box(tileqr::kernels::reference::geqrf(&mut work).unwrap());
+        },
+    );
+    let opts = QrOptions::new().tile_size(64);
+    harness::bench_with_flops(
+        "tiled_qr/vs_reference",
+        "tiled_b64",
+        SAMPLES,
+        flops::qr_flops(n, n),
+        || {
+            black_box(TiledQr::factor(&a, &opts).unwrap());
+        },
+    );
 }
-criterion_main!(benches);

@@ -31,14 +31,7 @@ pub fn run() -> Vec<Row> {
         .iter()
         .map(|&n| {
             let t = |strategy| {
-                simulate(
-                    &platform,
-                    n,
-                    MainDevicePolicy::Fixed(0),
-                    strategy,
-                    Some(4),
-                )
-                .makespan_s()
+                simulate(&platform, n, MainDevicePolicy::Fixed(0), strategy, Some(4)).makespan_s()
             };
             Row {
                 n,

@@ -25,8 +25,11 @@ pub const TILE_SIZES: [usize; 7] = [4, 8, 12, 16, 20, 24, 28];
 
 /// Compute all rows.
 pub fn run() -> Vec<Row> {
-    let devices: Vec<DeviceProfile> =
-        vec![profiles::gtx580(), profiles::gtx680(), profiles::cpu_i7_3820()];
+    let devices: Vec<DeviceProfile> = vec![
+        profiles::gtx580(),
+        profiles::gtx680(),
+        profiles::cpu_i7_3820(),
+    ];
     let classes = [
         (KernelClass::Triangulation, "T"),
         (KernelClass::Elimination, "E"),

@@ -55,7 +55,13 @@ pub fn print() {
     }
     print_table(
         "Fig. 8 — QR time (s) vs parallel cores (4 / 516 / 2052 / 3588)",
-        &["size", "CPU (4)", "+GTX580 (516)", "+GTX680 (2052)", "+GTX680 (3588)"],
+        &[
+            "size",
+            "CPU (4)",
+            "+GTX580 (516)",
+            "+GTX680 (2052)",
+            "+GTX680 (3588)",
+        ],
         &table,
     );
 }
@@ -87,7 +93,10 @@ mod tests {
         // order of magnitude or more.
         let points = run();
         let cpu = points.iter().find(|p| p.n == 3200 && p.cores == 4).unwrap();
-        let full = points.iter().find(|p| p.n == 3200 && p.cores == 3588).unwrap();
+        let full = points
+            .iter()
+            .find(|p| p.n == 3200 && p.cores == 3588)
+            .unwrap();
         assert!(
             cpu.seconds / full.seconds > 10.0,
             "speedup {}",

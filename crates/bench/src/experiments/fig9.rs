@@ -112,10 +112,7 @@ mod tests {
         let platform = profiles::paper_testbed(TILE);
         for &n in &SIZES {
             let nt = n / TILE;
-            assert_eq!(
-                main_select::select_main_device(&platform, nt, nt).device,
-                0
-            );
+            assert_eq!(main_select::select_main_device(&platform, nt, nt).device, 0);
         }
     }
 }

@@ -41,7 +41,11 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     let line = |cells: &[String]| {
         let mut s = String::new();
         for (i, w) in widths.iter().enumerate().take(ncols) {
-            s.push_str(&format!("{:>w$}  ", cells.get(i).map_or("", |c| c.as_str()), w = w));
+            s.push_str(&format!(
+                "{:>w$}  ",
+                cells.get(i).map_or("", |c| c.as_str()),
+                w = w
+            ));
         }
         println!("{}", s.trim_end());
     };

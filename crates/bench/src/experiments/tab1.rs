@@ -61,7 +61,15 @@ pub fn print() {
         .collect();
     print_table(
         "Table I — tiles operated per step for a remaining M x N panel",
-        &["M x N", "T(=M)", "E(=M)", "UT(=M(N-1))", "UE(=M(N-1))", "exact (T+E, UT+UE)", "consistent"],
+        &[
+            "M x N",
+            "T(=M)",
+            "E(=M)",
+            "UT(=M(N-1))",
+            "UE(=M(N-1))",
+            "exact (T+E, UT+UE)",
+            "consistent",
+        ],
         &table,
     );
 }

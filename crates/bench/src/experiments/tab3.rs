@@ -101,7 +101,10 @@ pub fn print() {
         .iter()
         .filter(|r| r.predicted_best() == r.actual_best())
         .count();
-    println!("prediction matches actual optimum on {agree}/{} sizes", rows.len());
+    println!(
+        "prediction matches actual optimum on {agree}/{} sizes",
+        rows.len()
+    );
 }
 
 #[cfg(test)]

@@ -1,0 +1,116 @@
+//! Minimal timing harness for the `cargo bench` targets.
+//!
+//! The container has no external benchmarking framework, so each bench
+//! target is a plain `fn main()` that calls [`bench`] / [`bench_with_flops`]
+//! and prints one formatted row per case: median / min over a fixed number
+//! of timed runs after a warmup. Medians of wall-clock runs are noisy
+//! compared to a statistical harness, but entirely adequate for the
+//! order-of-magnitude shapes these benches exist to show.
+
+use std::time::Instant;
+
+/// Timing summary of one benchmark case, in seconds.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Fastest run.
+    pub min: f64,
+    /// Median run (the headline number).
+    pub median: f64,
+    /// Mean over all timed runs.
+    pub mean: f64,
+    /// Number of timed runs.
+    pub samples: usize,
+}
+
+/// Time `f` for `samples` runs (after one untimed warmup) and return the
+/// summary.
+pub fn measure<F: FnMut()>(samples: usize, mut f: F) -> Stats {
+    let samples = samples.max(1);
+    f(); // warmup
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        f();
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    times.sort_by(f64::total_cmp);
+    Stats {
+        min: times[0],
+        median: times[times.len() / 2],
+        mean: times.iter().sum::<f64>() / times.len() as f64,
+        samples,
+    }
+}
+
+/// Run and print one benchmark case: `group/case  median  min`.
+pub fn bench<F: FnMut()>(group: &str, case: &str, samples: usize, f: F) -> Stats {
+    let stats = measure(samples, f);
+    println!(
+        "{:<40} {:>12} {:>12}",
+        format!("{group}/{case}"),
+        format_secs(stats.median),
+        format_secs(stats.min),
+    );
+    stats
+}
+
+/// Like [`bench`], also printing throughput from a flop count.
+pub fn bench_with_flops<F: FnMut()>(
+    group: &str,
+    case: &str,
+    samples: usize,
+    flops: u64,
+    f: F,
+) -> Stats {
+    let stats = measure(samples, f);
+    println!(
+        "{:<40} {:>12} {:>12} {:>10.2} GFLOP/s",
+        format!("{group}/{case}"),
+        format_secs(stats.median),
+        format_secs(stats.min),
+        flops as f64 / stats.median / 1e9,
+    );
+    stats
+}
+
+/// Print the column header matching [`bench`]'s rows.
+pub fn header(title: &str) {
+    println!("\n== {title} ==");
+    println!("{:<40} {:>12} {:>12}", "case", "median", "min");
+}
+
+/// Human-readable seconds with an adaptive unit.
+pub fn format_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.3} µs", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_reports_ordered_stats() {
+        let mut x = 0u64;
+        let s = measure(5, || {
+            for i in 0..1000 {
+                x = x.wrapping_add(i);
+            }
+        });
+        assert_eq!(s.samples, 5);
+        assert!(s.min <= s.median);
+        assert!(s.min > 0.0);
+    }
+
+    #[test]
+    fn formats_adapt_units() {
+        assert!(format_secs(2.5).ends_with(" s"));
+        assert!(format_secs(2.5e-3).ends_with(" ms"));
+        assert!(format_secs(2.5e-6).ends_with(" µs"));
+    }
+}

@@ -21,6 +21,8 @@
 //! wins, by what factor, where crossovers fall — are the reproduction
 //! target, not absolute 2013 wall-clock numbers (see `EXPERIMENTS.md`).
 
+pub mod baseline;
 pub mod experiments;
+pub mod harness;
 
 pub use experiments::*;

@@ -45,6 +45,7 @@ impl<T: Scalar> TiledQr<T> {
                 &graph,
                 PoolConfig {
                     workers: opts.get_workers(),
+                    policy: opts.get_schedule(),
                 },
             )?
         };

@@ -67,7 +67,10 @@ pub mod dag {
 
 /// Parallel runtime (re-export of `tileqr-runtime`).
 pub mod runtime {
-    pub use tileqr_runtime::{parallel_factor, parallel_factor_traced, PoolConfig, ReadyTracker, RunReport};
+    pub use tileqr_runtime::{
+        parallel_factor, parallel_factor_traced, PoolConfig, ReadyQueue, ReadyTracker, RunReport,
+        SchedulePolicy,
+    };
 }
 
 /// Convenience one-shot QR: factor `a` with default options and return
@@ -82,4 +85,5 @@ pub mod prelude {
     pub use crate::{qr, QrOptions, TiledQr};
     pub use tileqr_dag::EliminationOrder;
     pub use tileqr_matrix::{Matrix, Scalar, TiledMatrix};
+    pub use tileqr_runtime::SchedulePolicy;
 }

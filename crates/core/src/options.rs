@@ -1,6 +1,7 @@
 //! Factorization options.
 
 use tileqr_dag::EliminationOrder;
+use tileqr_runtime::SchedulePolicy;
 
 /// Options controlling a [`crate::TiledQr`] factorization.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -8,15 +9,18 @@ pub struct QrOptions {
     tile_size: usize,
     order: EliminationOrder,
     workers: usize,
+    schedule: SchedulePolicy,
 }
 
 impl Default for QrOptions {
-    /// Tile size 16 (the paper's choice, §V), TS elimination, sequential.
+    /// Tile size 16 (the paper's choice, §V), TS elimination, sequential,
+    /// FIFO dispatch.
     fn default() -> Self {
         QrOptions {
             tile_size: 16,
             order: EliminationOrder::FlatTs,
             workers: 1,
+            schedule: SchedulePolicy::Fifo,
         }
     }
 }
@@ -49,6 +53,14 @@ impl QrOptions {
         self
     }
 
+    /// Dispatch policy for the parallel runtime: FIFO (default) or
+    /// critical-path-priority. Irrelevant when `workers == 1`; the two
+    /// policies produce bit-identical factors either way.
+    pub fn schedule(mut self, policy: SchedulePolicy) -> Self {
+        self.schedule = policy;
+        self
+    }
+
     /// Configured tile size.
     pub fn get_tile_size(&self) -> usize {
         self.tile_size
@@ -63,6 +75,11 @@ impl QrOptions {
     pub fn get_workers(&self) -> usize {
         self.workers
     }
+
+    /// Configured dispatch policy.
+    pub fn get_schedule(&self) -> SchedulePolicy {
+        self.schedule
+    }
 }
 
 #[cfg(test)]
@@ -75,6 +92,7 @@ mod tests {
         assert_eq!(o.get_tile_size(), 16);
         assert_eq!(o.get_order(), EliminationOrder::FlatTs);
         assert_eq!(o.get_workers(), 1);
+        assert_eq!(o.get_schedule(), SchedulePolicy::Fifo);
     }
 
     #[test]
@@ -82,10 +100,12 @@ mod tests {
         let o = QrOptions::new()
             .tile_size(32)
             .order(EliminationOrder::BinaryTt)
-            .workers(0);
+            .workers(0)
+            .schedule(SchedulePolicy::CriticalPath);
         assert_eq!(o.get_tile_size(), 32);
         assert_eq!(o.get_order(), EliminationOrder::BinaryTt);
         assert_eq!(o.get_workers(), 0);
+        assert_eq!(o.get_schedule(), SchedulePolicy::CriticalPath);
     }
 
     #[test]

@@ -6,9 +6,7 @@ use crate::{TaskGraph, TaskId, TaskKind};
 /// comes from `weight`. With `|_| 1.0` this is the unit-depth of the graph;
 /// with a device timing model it lower-bounds any schedule's makespan.
 pub fn critical_path_length(g: &TaskGraph, weight: impl Fn(TaskKind) -> f64) -> f64 {
-    finish_times(g, weight)
-        .into_iter()
-        .fold(0.0, f64::max)
+    finish_times(g, weight).into_iter().fold(0.0, f64::max)
 }
 
 /// Earliest-finish time of every task under infinite parallelism.
@@ -26,6 +24,22 @@ pub fn finish_times(g: &TaskGraph, weight: impl Fn(TaskKind) -> f64) -> Vec<f64>
         finish[id] = start + weight(g.task(id));
     }
     finish
+}
+
+/// Bottom level of every task: the weighted length of the longest path
+/// from the task (inclusive) to any sink. This is the classic static
+/// list-scheduling priority — dispatching the highest bottom level first
+/// keeps the DAG's critical path moving and is exactly the
+/// "triangulation before updates" preference of the paper's Alg. 2,
+/// derived from weights instead of hard-coded kernel classes.
+pub fn bottom_levels(g: &TaskGraph, weight: impl Fn(TaskKind) -> f64) -> Vec<f64> {
+    let order = crate::topo::topological_order(g);
+    let mut level = vec![0.0f64; g.len()];
+    for &id in order.iter().rev() {
+        let tail = g.succs(id).iter().map(|&s| level[s]).fold(0.0f64, f64::max);
+        level[id] = tail + weight(g.task(id));
+    }
+    level
 }
 
 /// The tasks on (one) critical path, from source to sink.
@@ -60,14 +74,8 @@ mod tests {
 
     #[test]
     fn unit_depth_grows_with_grid() {
-        let d3 = critical_path_length(
-            &TaskGraph::build(3, 3, EliminationOrder::FlatTs),
-            |_| 1.0,
-        );
-        let d6 = critical_path_length(
-            &TaskGraph::build(6, 6, EliminationOrder::FlatTs),
-            |_| 1.0,
-        );
+        let d3 = critical_path_length(&TaskGraph::build(3, 3, EliminationOrder::FlatTs), |_| 1.0);
+        let d6 = critical_path_length(&TaskGraph::build(6, 6, EliminationOrder::FlatTs), |_| 1.0);
         assert!(d6 > d3);
     }
 
@@ -99,6 +107,58 @@ mod tests {
         assert!(
             e_count >= 4,
             "critical path should traverse the E chain, found {e_count} E tasks"
+        );
+    }
+
+    #[test]
+    fn bottom_levels_match_critical_path_length() {
+        // max over sources of bottom level == critical path length, and
+        // every edge must be monotone: pred level > succ level.
+        let g = TaskGraph::build(4, 4, EliminationOrder::FlatTs);
+        let w = |t: TaskKind| match t.class() {
+            StepClass::Triangulation => 3.0,
+            StepClass::Elimination => 5.0,
+            _ => 1.0,
+        };
+        let levels = bottom_levels(&g, w);
+        let cpl = critical_path_length(&g, w);
+        let max_level = levels.iter().copied().fold(0.0f64, f64::max);
+        assert!((max_level - cpl).abs() < 1e-9, "{max_level} vs {cpl}");
+        for id in 0..g.len() {
+            for &s in g.succs(id) {
+                assert!(
+                    levels[id] > levels[s],
+                    "bottom level must strictly decrease along edges"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bottom_level_prefers_panel_factorization() {
+        // The GEQRT unlocking a whole trailing submatrix must outrank the
+        // bulk updates of the previous panel — the heart of critical-path
+        // dispatch.
+        let g = TaskGraph::build(6, 6, EliminationOrder::FlatTs);
+        let levels = bottom_levels(&g, |_| 1.0);
+        let mut geqrt_level = None;
+        let mut update_level = None;
+        for (id, &level) in levels.iter().enumerate() {
+            match g.task(id) {
+                TaskKind::Geqrt { i: 1, k: 1 } => geqrt_level = Some(level),
+                TaskKind::Tsmqr {
+                    p: 0,
+                    i: 5,
+                    j: 5,
+                    k: 0,
+                } => update_level = Some(level),
+                _ => {}
+            }
+        }
+        let (gl, ul) = (geqrt_level.unwrap(), update_level.unwrap());
+        assert!(
+            gl > ul,
+            "GEQRT(1,1) level {gl} must exceed trailing update {ul}"
         );
     }
 

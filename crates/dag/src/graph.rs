@@ -223,12 +223,16 @@ impl TaskGraph {
 
     /// Ids of tasks with no predecessors.
     pub fn sources(&self) -> Vec<TaskId> {
-        (0..self.len()).filter(|&i| self.preds[i].is_empty()).collect()
+        (0..self.len())
+            .filter(|&i| self.preds[i].is_empty())
+            .collect()
     }
 
     /// Ids of tasks with no successors.
     pub fn sinks(&self) -> Vec<TaskId> {
-        (0..self.len()).filter(|&i| self.succs[i].is_empty()).collect()
+        (0..self.len())
+            .filter(|&i| self.succs[i].is_empty())
+            .collect()
     }
 }
 
@@ -273,8 +277,18 @@ mod tests {
         let ut01 = find(TaskKind::Unmqr { i: 0, j: 1, k: 0 });
         let e010 = find(TaskKind::Tsqrt { p: 0, i: 1, k: 0 });
         let e020 = find(TaskKind::Tsqrt { p: 0, i: 2, k: 0 });
-        let ue0110 = find(TaskKind::Tsmqr { p: 0, i: 1, j: 1, k: 0 });
-        let ue0210 = find(TaskKind::Tsmqr { p: 0, i: 2, j: 1, k: 0 });
+        let ue0110 = find(TaskKind::Tsmqr {
+            p: 0,
+            i: 1,
+            j: 1,
+            k: 0,
+        });
+        let ue0210 = find(TaskKind::Tsmqr {
+            p: 0,
+            i: 2,
+            j: 1,
+            k: 0,
+        });
         let t1 = find(TaskKind::Geqrt { i: 1, k: 1 });
 
         assert!(g.preds(ut01).contains(&t0), "T -> UT");

@@ -18,8 +18,8 @@
 #![warn(missing_docs)]
 
 pub mod counts;
-pub mod export;
 pub mod critical_path;
+pub mod export;
 mod graph;
 mod task;
 pub mod topo;

@@ -179,7 +179,10 @@ mod tests {
 
     #[test]
     fn classes_map_to_paper_steps() {
-        assert_eq!(TaskKind::Geqrt { i: 0, k: 0 }.class(), StepClass::Triangulation);
+        assert_eq!(
+            TaskKind::Geqrt { i: 0, k: 0 }.class(),
+            StepClass::Triangulation
+        );
         assert_eq!(
             TaskKind::Tsqrt { p: 0, i: 1, k: 0 }.class(),
             StepClass::Elimination
@@ -193,7 +196,13 @@ mod tests {
             StepClass::UpdateTriangulation
         );
         assert_eq!(
-            TaskKind::Tsmqr { p: 0, i: 1, j: 2, k: 0 }.class(),
+            TaskKind::Tsmqr {
+                p: 0,
+                i: 1,
+                j: 2,
+                k: 0
+            }
+            .class(),
             StepClass::UpdateElimination
         );
     }
@@ -208,7 +217,12 @@ mod tests {
 
     #[test]
     fn access_sets_are_disjoint_reads_writes() {
-        let t = TaskKind::Tsmqr { p: 0, i: 2, j: 3, k: 0 };
+        let t = TaskKind::Tsmqr {
+            p: 0,
+            i: 2,
+            j: 3,
+            k: 0,
+        };
         let reads = t.reads();
         let writes = t.writes();
         assert_eq!(reads, vec![(2, 0)]);
@@ -220,7 +234,16 @@ mod tests {
     fn home_column_is_output_column() {
         assert_eq!(TaskKind::Geqrt { i: 1, k: 1 }.home_column(), 1);
         assert_eq!(TaskKind::Unmqr { i: 1, j: 4, k: 1 }.home_column(), 4);
-        assert_eq!(TaskKind::Tsmqr { p: 1, i: 2, j: 5, k: 1 }.home_column(), 5);
+        assert_eq!(
+            TaskKind::Tsmqr {
+                p: 1,
+                i: 2,
+                j: 5,
+                k: 1
+            }
+            .home_column(),
+            5
+        );
     }
 
     #[test]

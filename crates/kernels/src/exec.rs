@@ -2,35 +2,67 @@
 //!
 //! [`FactorState`] owns the tiled matrix plus the accumulated reflector
 //! factors and knows how to run one DAG task at a time. Execution is split
-//! into three phases so a parallel runtime can hold the state lock only
-//! briefly:
+//! into three phases so a parallel runtime can keep critical sections to a
+//! few pointer swaps:
 //!
-//! 1. [`FactorState::stage`] — under the lock: move the written tiles out
-//!    of the state, clone the (shared) read tiles,
-//! 2. [`StagedTask::compute`] — no lock: run the kernel on owned data,
-//! 3. [`FactorState::commit`] — under the lock: put results back.
+//! 1. [`FactorState::stage`] — move the written tiles out of the state
+//!    (pointer swap against a shared zero placeholder) and hand read tiles
+//!    / `T` factors to the task as `Arc` clones — **no `O(b²)` copies**,
+//! 2. [`StagedTask::compute`] — no shared state: run the kernel on owned
+//!    (written) and `Arc`-shared (read) data,
+//! 3. [`FactorState::commit`] — put results back (pointer swaps again).
 //!
-//! [`FactorState::execute`] chains the three for sequential use. After all
-//! tasks of a [`TaskGraph`] have executed, the state holds `R` in the
-//! upper triangles and the implicit `Q` in the Householder blocks;
+//! `T` factors live in pre-sized dense `Vec`s indexed by tile coordinate
+//! rather than hash maps: a `GEQRT` factor is keyed by its panel tile
+//! `(i, k)`, and an elimination factor by its eliminated tile `(i, k)` —
+//! row `i` is eliminated exactly once per panel `k` in every supported
+//! elimination order, so `(i, k)` determines the pivot `p` uniquely and the
+//! pivot is stored alongside the factor.
+//!
+//! [`SharedFactorState`] is the parallel counterpart: the same data behind
+//! *per-slot* mutexes so independent tasks stage and commit concurrently —
+//! there is no whole-state lock anywhere.
+//!
+//! [`FactorState::execute`] chains the three phases for sequential use.
+//! After all tasks of a [`TaskGraph`] have executed, the state holds `R` in
+//! the upper triangles and the implicit `Q` in the Householder blocks;
 //! [`apply_qt_dense`] / [`apply_q_dense`] replay the factor kernels over a
 //! dense right-hand side in canonical program order, which is what makes
 //! `Q` reconstruction independent of the (nondeterministic) parallel
 //! schedule.
 
 use crate::{geqrt, geqrt_apply, tsmqr_apply, tsqrt, ttmqr_apply, ttqrt, ApplySide};
-use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 use tileqr_dag::{TaskGraph, TaskKind};
 use tileqr_matrix::{Matrix, MatrixError, Result, Scalar, TiledMatrix};
+
+/// Take ownership of an `Arc`'s payload. The DAG's WAR/WAW edges guarantee
+/// the handle is unique when a writer stages a tile (all readers have
+/// committed and dropped their clones), so this is normally a move; the
+/// clone fallback only fires if an external handle is still alive.
+fn unwrap_or_clone<T: Scalar>(a: Arc<Matrix<T>>) -> Matrix<T> {
+    Arc::try_unwrap(a).unwrap_or_else(|arc| (*arc).clone())
+}
+
+/// An elimination `T` factor together with the pivot row it merged into.
+#[derive(Debug, Clone)]
+struct ElimFactor<T: Scalar> {
+    p: usize,
+    tfac: Arc<Matrix<T>>,
+}
 
 /// Mutable factorization state: the tiled matrix plus reflector factors.
 #[derive(Debug, Clone)]
 pub struct FactorState<T: Scalar> {
     tiles: TiledMatrix<T>,
-    /// `T` factors of `GEQRT`, keyed by the factored tile `(i, k)`.
-    geqrt_t: HashMap<(usize, usize), Matrix<T>>,
-    /// `T` factors of `TSQRT`/`TTQRT`, keyed by `(p, i, k)`.
-    elim_t: HashMap<(usize, usize, usize), Matrix<T>>,
+    nt: usize,
+    /// `T` factors of `GEQRT`, dense-indexed by the factored tile `i*nt+k`.
+    geqrt_t: Vec<Option<Arc<Matrix<T>>>>,
+    /// `T` factors of `TSQRT`/`TTQRT`, dense-indexed by the *eliminated*
+    /// tile `i*nt+k` (which determines the pivot `p`, stored alongside).
+    elim_t: Vec<Option<ElimFactor<T>>>,
+    /// Shared all-zero placeholder swapped in when a tile is staged out.
+    empty: Arc<Matrix<T>>,
 }
 
 /// A task whose inputs have been extracted and which is ready to compute
@@ -43,18 +75,18 @@ pub struct StagedTask<T: Scalar> {
 enum Inputs<T: Scalar> {
     /// GEQRT: the tile to factor (taken).
     Factor { tile: Matrix<T> },
-    /// UNMQR: cloned factored tile + its T factor, plus the target (taken).
+    /// UNMQR: shared factored tile + its T factor, plus the target (taken).
     Update {
-        vr: Matrix<T>,
-        tfac: Matrix<T>,
+        vr: Arc<Matrix<T>>,
+        tfac: Arc<Matrix<T>>,
         c: Matrix<T>,
     },
     /// TSQRT/TTQRT: pivot and eliminated tiles (both taken).
     Elim { r1: Matrix<T>, a2: Matrix<T> },
-    /// TSMQR/TTMQR: cloned V2 + T factor, plus both targets (taken).
+    /// TSMQR/TTMQR: shared V2 + T factor, plus both targets (taken).
     PairUpdate {
-        v2: Matrix<T>,
-        tfac: Matrix<T>,
+        v2: Arc<Matrix<T>>,
+        tfac: Arc<Matrix<T>>,
         a1: Matrix<T>,
         a2: Matrix<T>,
     },
@@ -67,23 +99,43 @@ pub struct CompletedTask<T: Scalar> {
 }
 
 enum Outputs<T: Scalar> {
-    Factor { tile: Matrix<T>, tfac: Matrix<T> },
-    Update { c: Matrix<T> },
+    Factor {
+        tile: Matrix<T>,
+        tfac: Matrix<T>,
+    },
+    Update {
+        c: Matrix<T>,
+    },
     Elim {
         r1: Matrix<T>,
         a2: Matrix<T>,
         tfac: Matrix<T>,
     },
-    PairUpdate { a1: Matrix<T>, a2: Matrix<T> },
+    PairUpdate {
+        a1: Matrix<T>,
+        a2: Matrix<T>,
+    },
+}
+
+fn missing_factor_err() -> MatrixError {
+    MatrixError::DimensionMismatch {
+        op: "stage: dependency factor missing (DAG order violated)",
+        lhs: (0, 0),
+        rhs: (0, 0),
+    }
 }
 
 impl<T: Scalar> FactorState<T> {
     /// Wrap a tiled matrix for factorization.
     pub fn new(tiles: TiledMatrix<T>) -> Self {
+        let (mt, nt) = (tiles.tile_rows(), tiles.tile_cols());
+        let b = tiles.tile_size();
         FactorState {
             tiles,
-            geqrt_t: HashMap::new(),
-            elim_t: HashMap::new(),
+            nt,
+            geqrt_t: vec![None; mt * nt],
+            elim_t: vec![None; mt * nt],
+            empty: Arc::new(Matrix::zeros(b, b)),
         }
     }
 
@@ -99,36 +151,39 @@ impl<T: Scalar> FactorState<T> {
 
     /// `T` factor of `GEQRT` on tile `(i, k)`, if computed.
     pub fn geqrt_factor(&self, i: usize, k: usize) -> Option<&Matrix<T>> {
-        self.geqrt_t.get(&(i, k))
+        self.geqrt_t[i * self.nt + k].as_deref()
     }
 
     /// `T` factor of the elimination `(p, i, k)`, if computed.
     pub fn elim_factor(&self, p: usize, i: usize, k: usize) -> Option<&Matrix<T>> {
-        self.elim_t.get(&(p, i, k))
+        match &self.elim_t[i * self.nt + k] {
+            Some(e) if e.p == p => Some(&e.tfac),
+            _ => None,
+        }
     }
 
+    /// Move tile `(i, j)` out for writing: a pointer swap against the shared
+    /// zero placeholder, then (normally) a move out of the unique `Arc`.
     fn take_tile(&mut self, i: usize, j: usize) -> Matrix<T> {
-        let placeholder = Matrix::zeros(self.tiles.tile_size(), self.tiles.tile_size());
-        std::mem::replace(self.tiles.tile_mut(i, j), placeholder)
+        let arc = self.tiles.swap_tile_shared(i, j, Arc::clone(&self.empty));
+        unwrap_or_clone(arc)
     }
 
-    /// Phase 1: extract this task's inputs (take written tiles, clone read
+    /// Phase 1: extract this task's inputs (take written tiles, share read
     /// tiles). Fails if a required reflector factor is missing — i.e. the
     /// caller violated the DAG order.
     pub fn stage(&mut self, task: TaskKind) -> Result<StagedTask<T>> {
-        let missing = |_| MatrixError::DimensionMismatch {
-            op: "stage: dependency factor missing (DAG order violated)",
-            lhs: (0, 0),
-            rhs: (0, 0),
-        };
         let inputs = match task {
             TaskKind::Geqrt { i, k } => Inputs::Factor {
                 tile: self.take_tile(i, k),
             },
             TaskKind::Unmqr { i, j, k } => {
-                let tfac = self.geqrt_t.get(&(i, k)).ok_or(()).map_err(missing)?.clone();
+                let tfac = self.geqrt_t[i * self.nt + k]
+                    .as_ref()
+                    .ok_or_else(missing_factor_err)?
+                    .clone();
                 Inputs::Update {
-                    vr: self.tiles.tile(i, k).clone(),
+                    vr: self.tiles.tile_shared(i, k),
                     tfac,
                     c: self.take_tile(i, j),
                 }
@@ -138,14 +193,12 @@ impl<T: Scalar> FactorState<T> {
                 a2: self.take_tile(i, k),
             },
             TaskKind::Tsmqr { p, i, j, k } | TaskKind::Ttmqr { p, i, j, k } => {
-                let tfac = self
-                    .elim_t
-                    .get(&(p, i, k))
-                    .ok_or(())
-                    .map_err(missing)?
-                    .clone();
+                let tfac = match &self.elim_t[i * self.nt + k] {
+                    Some(e) if e.p == p => Arc::clone(&e.tfac),
+                    _ => return Err(missing_factor_err()),
+                };
                 Inputs::PairUpdate {
-                    v2: self.tiles.tile(i, k).clone(),
+                    v2: self.tiles.tile_shared(i, k),
                     tfac,
                     a1: self.take_tile(p, j),
                     a2: self.take_tile(i, j),
@@ -155,12 +208,12 @@ impl<T: Scalar> FactorState<T> {
         Ok(StagedTask { task, inputs })
     }
 
-    /// Phase 3: write a completed task's outputs back.
+    /// Phase 3: write a completed task's outputs back (pointer swaps).
     pub fn commit(&mut self, done: CompletedTask<T>) {
         match (done.task, done.outputs) {
             (TaskKind::Geqrt { i, k }, Outputs::Factor { tile, tfac }) => {
                 self.tiles.set_tile(i, k, tile);
-                self.geqrt_t.insert((i, k), tfac);
+                self.geqrt_t[i * self.nt + k] = Some(Arc::new(tfac));
             }
             (TaskKind::Unmqr { i, j, .. }, Outputs::Update { c }) => {
                 self.tiles.set_tile(i, j, c);
@@ -171,7 +224,10 @@ impl<T: Scalar> FactorState<T> {
             ) => {
                 self.tiles.set_tile(p, k, r1);
                 self.tiles.set_tile(i, k, a2);
-                self.elim_t.insert((p, i, k), tfac);
+                self.elim_t[i * self.nt + k] = Some(ElimFactor {
+                    p,
+                    tfac: Arc::new(tfac),
+                });
             }
             (
                 TaskKind::Tsmqr { p, i, j, .. } | TaskKind::Ttmqr { p, i, j, .. },
@@ -210,8 +266,189 @@ impl<T: Scalar> FactorState<T> {
     }
 }
 
+/// Parallel factorization state: the same tiles and `T` factors as
+/// [`FactorState`], each behind its **own** mutex so independent tasks
+/// stage and commit concurrently. Every critical section is a pointer
+/// swap or `Arc` clone — `O(1)`, never `O(b²)` — and no lock is ever held
+/// across a kernel or while another slot is locked.
+#[derive(Debug)]
+pub struct SharedFactorState<T: Scalar> {
+    /// Geometry template: an all-placeholder tiled matrix the `Arc`s swap
+    /// back into on [`into_state`](Self::into_state).
+    template: Mutex<TiledMatrix<T>>,
+    nt: usize,
+    tiles: Vec<Mutex<Arc<Matrix<T>>>>,
+    geqrt_t: Vec<Mutex<Option<Arc<Matrix<T>>>>>,
+    elim_t: Vec<Mutex<Option<ElimFactor<T>>>>,
+    empty: Arc<Matrix<T>>,
+}
+
+impl<T: Scalar> SharedFactorState<T> {
+    /// Split a sequential state into per-slot shared form.
+    pub fn new(state: FactorState<T>) -> Self {
+        let FactorState {
+            mut tiles,
+            nt,
+            geqrt_t,
+            elim_t,
+            empty,
+        } = state;
+        let mt = tiles.tile_rows();
+        let mut slots = Vec::with_capacity(mt * nt);
+        for i in 0..mt {
+            for j in 0..nt {
+                slots.push(Mutex::new(tiles.swap_tile_shared(i, j, Arc::clone(&empty))));
+            }
+        }
+        SharedFactorState {
+            template: Mutex::new(tiles),
+            nt,
+            tiles: slots,
+            geqrt_t: geqrt_t.into_iter().map(Mutex::new).collect(),
+            elim_t: elim_t.into_iter().map(Mutex::new).collect(),
+            empty,
+        }
+    }
+
+    /// Reassemble the sequential state after all tasks have committed.
+    pub fn into_state(self) -> FactorState<T> {
+        let mut tiles = self.template.into_inner().expect("no poisoned slots");
+        for (idx, slot) in self.tiles.into_iter().enumerate() {
+            let arc = slot.into_inner().expect("no poisoned slots");
+            tiles.set_tile_shared(idx / self.nt, idx % self.nt, arc);
+        }
+        FactorState {
+            tiles,
+            nt: self.nt,
+            geqrt_t: self
+                .geqrt_t
+                .into_iter()
+                .map(|m| m.into_inner().expect("no poisoned slots"))
+                .collect(),
+            elim_t: self
+                .elim_t
+                .into_iter()
+                .map(|m| m.into_inner().expect("no poisoned slots"))
+                .collect(),
+            empty: self.empty,
+        }
+    }
+
+    #[inline]
+    fn idx(&self, i: usize, j: usize) -> usize {
+        i * self.nt + j
+    }
+
+    /// Shared read of tile `(i, j)`: lock the slot, clone the pointer.
+    fn read_tile(&self, i: usize, j: usize) -> Arc<Matrix<T>> {
+        Arc::clone(
+            &self.tiles[self.idx(i, j)]
+                .lock()
+                .expect("tile slot poisoned"),
+        )
+    }
+
+    /// Take tile `(i, j)` for writing. The swap happens under the slot
+    /// lock; the (normally free) `Arc` unwrap happens outside it.
+    fn take_tile(&self, i: usize, j: usize) -> Matrix<T> {
+        let arc = {
+            let mut slot = self.tiles[self.idx(i, j)]
+                .lock()
+                .expect("tile slot poisoned");
+            std::mem::replace(&mut *slot, Arc::clone(&self.empty))
+        };
+        unwrap_or_clone(arc)
+    }
+
+    fn put_tile(&self, i: usize, j: usize, tile: Matrix<T>) {
+        let arc = Arc::new(tile);
+        *self.tiles[self.idx(i, j)]
+            .lock()
+            .expect("tile slot poisoned") = arc;
+    }
+
+    /// Phase 1 (parallel): identical contract to [`FactorState::stage`] but
+    /// takes `&self` and locks only the slots this task touches.
+    pub fn stage(&self, task: TaskKind) -> Result<StagedTask<T>> {
+        let inputs = match task {
+            TaskKind::Geqrt { i, k } => Inputs::Factor {
+                tile: self.take_tile(i, k),
+            },
+            TaskKind::Unmqr { i, j, k } => {
+                let tfac = self.geqrt_t[self.idx(i, k)]
+                    .lock()
+                    .expect("factor slot poisoned")
+                    .as_ref()
+                    .ok_or_else(missing_factor_err)?
+                    .clone();
+                Inputs::Update {
+                    vr: self.read_tile(i, k),
+                    tfac,
+                    c: self.take_tile(i, j),
+                }
+            }
+            TaskKind::Tsqrt { p, i, k } | TaskKind::Ttqrt { p, i, k } => Inputs::Elim {
+                r1: self.take_tile(p, k),
+                a2: self.take_tile(i, k),
+            },
+            TaskKind::Tsmqr { p, i, j, k } | TaskKind::Ttmqr { p, i, j, k } => {
+                let tfac = match &*self.elim_t[self.idx(i, k)]
+                    .lock()
+                    .expect("factor slot poisoned")
+                {
+                    Some(e) if e.p == p => Arc::clone(&e.tfac),
+                    _ => return Err(missing_factor_err()),
+                };
+                Inputs::PairUpdate {
+                    v2: self.read_tile(i, k),
+                    tfac,
+                    a1: self.take_tile(p, j),
+                    a2: self.take_tile(i, j),
+                }
+            }
+        };
+        Ok(StagedTask { task, inputs })
+    }
+
+    /// Phase 3 (parallel): write back under per-slot locks only.
+    pub fn commit(&self, done: CompletedTask<T>) {
+        match (done.task, done.outputs) {
+            (TaskKind::Geqrt { i, k }, Outputs::Factor { tile, tfac }) => {
+                self.put_tile(i, k, tile);
+                *self.geqrt_t[self.idx(i, k)]
+                    .lock()
+                    .expect("factor slot poisoned") = Some(Arc::new(tfac));
+            }
+            (TaskKind::Unmqr { i, j, .. }, Outputs::Update { c }) => {
+                self.put_tile(i, j, c);
+            }
+            (
+                TaskKind::Tsqrt { p, i, k } | TaskKind::Ttqrt { p, i, k },
+                Outputs::Elim { r1, a2, tfac },
+            ) => {
+                self.put_tile(p, k, r1);
+                self.put_tile(i, k, a2);
+                *self.elim_t[self.idx(i, k)]
+                    .lock()
+                    .expect("factor slot poisoned") = Some(ElimFactor {
+                    p,
+                    tfac: Arc::new(tfac),
+                });
+            }
+            (
+                TaskKind::Tsmqr { p, i, j, .. } | TaskKind::Ttmqr { p, i, j, .. },
+                Outputs::PairUpdate { a1, a2 },
+            ) => {
+                self.put_tile(p, j, a1);
+                self.put_tile(i, j, a2);
+            }
+            _ => unreachable!("task/output kind mismatch"),
+        }
+    }
+}
+
 impl<T: Scalar> StagedTask<T> {
-    /// Phase 2: the actual kernel, on owned data — safe to run outside any
+    /// Phase 2: the actual kernel, on owned/shared data — runs without any
     /// lock.
     pub fn compute(self) -> Result<CompletedTask<T>> {
         let outputs = match (self.task, self.inputs) {
@@ -269,14 +506,23 @@ impl<T: Scalar> StagedTask<T> {
     }
 }
 
+impl<T: Scalar> CompletedTask<T> {
+    /// The task these outputs belong to.
+    pub fn task(&self) -> TaskKind {
+        self.task
+    }
+}
+
 /// Extract row-block `i` (a `b x cols` matrix) of a dense `c`.
 fn row_block<T: Scalar>(c: &Matrix<T>, i: usize, b: usize) -> Matrix<T> {
-    c.submatrix(i * b, 0, b, c.cols()).expect("row block in range")
+    c.submatrix(i * b, 0, b, c.cols())
+        .expect("row block in range")
 }
 
 fn set_row_block<T: Scalar>(c: &mut Matrix<T>, i: usize, block: &Matrix<T>) {
     let b = block.rows();
-    c.set_submatrix(i * b, 0, block).expect("row block in range");
+    c.set_submatrix(i * b, 0, block)
+        .expect("row block in range");
 }
 
 /// Apply `Qᵀ` of a completed factorization to a dense `c` whose row count
@@ -334,11 +580,13 @@ fn apply_factor_task<T: Scalar>(
     match task {
         TaskKind::Geqrt { i, k } => {
             let vr = state.tiles.tile(i, k);
-            let tfac = state.geqrt_factor(i, k).ok_or(MatrixError::DimensionMismatch {
-                op: "apply: GEQRT factor missing",
-                lhs: (i, k),
-                rhs: (0, 0),
-            })?;
+            let tfac = state
+                .geqrt_factor(i, k)
+                .ok_or(MatrixError::DimensionMismatch {
+                    op: "apply: GEQRT factor missing",
+                    lhs: (i, k),
+                    rhs: (0, 0),
+                })?;
             let mut block = row_block(c, i, b);
             geqrt_apply(vr, tfac, &mut block, side)?;
             set_row_block(c, i, &block);
@@ -493,9 +741,7 @@ mod tests {
         let tiled = TiledMatrix::from_matrix(&a, 4).unwrap();
         let mut st = FactorState::new(tiled);
         // UNMQR before its GEQRT: must fail cleanly.
-        assert!(st
-            .stage(TaskKind::Unmqr { i: 0, j: 1, k: 0 })
-            .is_err());
+        assert!(st.stage(TaskKind::Unmqr { i: 0, j: 1, k: 0 }).is_err());
     }
 
     #[test]
@@ -521,5 +767,85 @@ mod tests {
             st2.commit(done);
         }
         assert_eq!(st1.tiles().to_matrix(), st2.tiles().to_matrix());
+    }
+
+    #[test]
+    fn stage_shares_read_inputs_without_copy() {
+        // The acceptance-criterion test: staging an update task must hand
+        // the read tile and T factor out as pointer clones of the ones the
+        // state holds — never deep copies.
+        let a = random_matrix::<f64>(8, 8, 5);
+        let tiled = TiledMatrix::from_matrix(&a, 4).unwrap();
+        let mut st = FactorState::new(tiled);
+        st.execute(TaskKind::Geqrt { i: 0, k: 0 }).unwrap();
+
+        let staged = st.stage(TaskKind::Unmqr { i: 0, j: 1, k: 0 }).unwrap();
+        match &staged.inputs {
+            Inputs::Update { vr, tfac, .. } => {
+                assert!(
+                    Arc::ptr_eq(vr, &st.tiles().tile_shared(0, 0)),
+                    "read tile must be Arc-shared, not copied"
+                );
+                let held = st.geqrt_t[0].as_ref().unwrap();
+                assert!(
+                    Arc::ptr_eq(tfac, held),
+                    "T factor must be Arc-shared, not copied"
+                );
+            }
+            _ => panic!("UNMQR staged wrong input kind"),
+        }
+        // Finish the task so the state stays consistent.
+        let done = staged.compute().unwrap();
+        st.commit(done);
+    }
+
+    #[test]
+    fn take_tile_is_a_move_when_unshared() {
+        // After all readers drop their handles, staging a written tile must
+        // move the unique Arc payload, not clone it: the tile the writer
+        // receives is the same allocation the state held.
+        let a = random_matrix::<f64>(8, 8, 6);
+        let tiled = TiledMatrix::from_matrix(&a, 4).unwrap();
+        let mut st = FactorState::new(tiled);
+        let before = st.tiles().tile(0, 0).as_slice().as_ptr() as usize;
+        let staged = st.stage(TaskKind::Geqrt { i: 0, k: 0 }).unwrap();
+        match &staged.inputs {
+            Inputs::Factor { tile } => {
+                // Same heap buffer: the payload was moved out of the unique
+                // Arc, not cloned.
+                assert_eq!(tile.as_slice().as_ptr() as usize, before);
+            }
+            _ => panic!("GEQRT staged wrong input kind"),
+        }
+        let done = staged.compute().unwrap();
+        st.commit(done);
+    }
+
+    #[test]
+    fn shared_state_matches_sequential() {
+        for order in [
+            EliminationOrder::FlatTs,
+            EliminationOrder::FlatTt,
+            EliminationOrder::BinaryTt,
+        ] {
+            let a = random_matrix::<f64>(16, 16, 9);
+            let tiled = TiledMatrix::from_matrix(&a, 4).unwrap();
+            let g = TaskGraph::build(4, 4, order);
+
+            let mut seq = FactorState::new(tiled.clone());
+            seq.run_all(&g).unwrap();
+
+            let shared = SharedFactorState::new(FactorState::new(tiled));
+            for &t in g.tasks() {
+                let staged = shared.stage(t).unwrap();
+                let done = staged.compute().unwrap();
+                shared.commit(done);
+            }
+            let st = shared.into_state();
+            assert_eq!(seq.tiles().to_matrix(), st.tiles().to_matrix());
+            assert_eq!(seq.r_matrix(), st.r_matrix());
+            // Factors must round-trip through the shared form too.
+            assert!(st.geqrt_factor(0, 0).is_some());
+        }
     }
 }

@@ -106,7 +106,10 @@ mod tests {
         let b = 16;
         let t1 = tiled_qr_flops(8, 8, b) as f64;
         let dense1 = qr_flops(8 * b, 8 * b) as f64;
-        assert!(t1 > dense1 * 0.9 && t1 < dense1 * 4.0, "t={t1} dense={dense1}");
+        assert!(
+            t1 > dense1 * 0.9 && t1 < dense1 * 4.0,
+            "t={t1} dense={dense1}"
+        );
 
         let t2 = tiled_qr_flops(16, 16, b) as f64;
         let ratio = t2 / t1;

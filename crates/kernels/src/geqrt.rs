@@ -57,15 +57,13 @@ pub fn geqrt<T: Scalar>(a: &mut Matrix<T>) -> Result<Matrix<T>> {
         //   T[0..k,k] = -tau_k * T[0..k,0..k] * (V[:,0..k]^T v_k)
         tfac[(k, k)] = tau;
         if tau != T::ZERO {
+            let vk = &a.col(k)[k + 1..];
             for (i, zi) in z.iter_mut().enumerate().take(k) {
                 // V[:,i]^T v_k with both unit diagonals implicit:
                 // row k contributes V[k,i] * 1, rows > k contribute products
                 // of stored entries.
-                let mut acc = a[(k, i)];
-                for r in k + 1..m {
-                    acc += a[(r, i)] * a[(r, k)];
-                }
-                *zi = acc;
+                let ci = a.col(i);
+                *zi = ci[k] + ops::dot(&ci[k + 1..], vk);
             }
             for i in 0..k {
                 let mut acc = T::ZERO;
@@ -108,31 +106,26 @@ pub fn geqrt_apply<T: Scalar>(
     let nc = c.cols();
     let mut w = Matrix::zeros(n, nc);
 
-    // W = V^T C  (V unit lower trapezoidal).
+    // W = V^T C  (V unit lower trapezoidal): each entry is the implicit
+    // unit-diagonal term plus a contiguous column dot below the diagonal.
     for jc in 0..nc {
         let cc = c.col(jc);
-        for i in 0..n {
-            let mut acc = cc[i];
-            for r in i + 1..m {
-                acc += vr[(r, i)] * cc[r];
-            }
-            w[(i, jc)] = acc;
+        let wc = w.col_mut(jc);
+        for (i, wi) in wc.iter_mut().enumerate() {
+            *wi = cc[i] + ops::dot(&vr.col(i)[i + 1..], &cc[i + 1..]);
         }
     }
 
     // W = op(T) W with T upper triangular.
     apply_tfac_in_place(tfac, &mut w, side);
 
-    // C -= V W.
+    // C -= V W: column sweep, one axpy per reflector (unit diagonal peeled).
     for jc in 0..nc {
-        for r in 0..m {
-            // V[r,r] = 1 (implicit unit diagonal), V[r,i] stored for i < r.
-            let mut acc = if r < n { w[(r, jc)] } else { T::ZERO };
-            let lim = r.min(n);
-            for i in 0..lim {
-                acc += vr[(r, i)] * w[(i, jc)];
-            }
-            c[(r, jc)] -= acc;
+        let wc = w.col(jc);
+        let cc = c.col_mut(jc);
+        for (i, &wi) in wc.iter().enumerate() {
+            cc[i] -= wi;
+            ops::axpy(-wi, &vr.col(i)[i + 1..], &mut cc[i + 1..]);
         }
     }
     Ok(())
@@ -149,23 +142,18 @@ pub(crate) fn apply_tfac_in_place<T: Scalar>(tfac: &Matrix<T>, w: &mut Matrix<T>
             let wc = w.col(jc);
             match side {
                 ApplySide::Transpose => {
-                    // (T^T w)[i] = sum_{p <= i} T[p,i] w[p]
+                    // (T^T w)[i] = sum_{p <= i} T[p,i] w[p]: a contiguous
+                    // dot over the stored prefix of T's column i.
                     for (i, t) in tmp.iter_mut().enumerate() {
-                        let mut acc = T::ZERO;
-                        for (p, &wp) in wc.iter().enumerate().take(i + 1) {
-                            acc += tfac[(p, i)] * wp;
-                        }
-                        *t = acc;
+                        *t = ops::dot(&tfac.col(i)[..=i], &wc[..=i]);
                     }
                 }
                 ApplySide::NoTranspose => {
-                    // (T w)[i] = sum_{p >= i} T[i,p] w[p]
-                    for (i, t) in tmp.iter_mut().enumerate() {
-                        let mut acc = T::ZERO;
-                        for p in i..n {
-                            acc += tfac[(i, p)] * wc[p];
-                        }
-                        *t = acc;
+                    // (T w)[i] = sum_{p >= i} T[i,p] w[p]: sweep T's columns,
+                    // one axpy per column over its stored prefix.
+                    tmp.fill(T::ZERO);
+                    for (p, &wp) in wc.iter().enumerate() {
+                        ops::axpy(wp, &tfac.col(p)[..=p], &mut tmp[..=p]);
                     }
                 }
             }
@@ -217,7 +205,7 @@ mod tests {
         let t = geqrt(&mut a).unwrap();
         assert_eq!(t.dims(), (5, 5));
         let q = form_q(&a, &t); // 12x12
-        // R is the 12x5 upper trapezoid.
+                                // R is the 12x5 upper trapezoid.
         let mut r = Matrix::zeros(12, 5);
         for j in 0..5 {
             for i in 0..=j {

@@ -229,10 +229,7 @@ mod tests {
             assert_eq!(ts.len(), 12usize.div_ceil(ib));
             let q = form_q(&a, &ts, ib);
             let r = a.upper_triangular();
-            assert!(
-                relative_residual(&a0, &q, &r).unwrap() < 1e-13,
-                "ib={ib}"
-            );
+            assert!(relative_residual(&a0, &q, &r).unwrap() < 1e-13, "ib={ib}");
             assert!(orthogonality_defect(&q).unwrap() < 1e-13, "ib={ib}");
         }
     }
@@ -248,7 +245,8 @@ mod tests {
             let mut a = a0.clone();
             let _ = geqrt_ib(&mut a, ib).unwrap();
             assert!(
-                a.upper_triangular().approx_eq(&a_full.upper_triangular(), 1e-12),
+                a.upper_triangular()
+                    .approx_eq(&a_full.upper_triangular(), 1e-12),
                 "ib={ib}"
             );
         }

@@ -41,7 +41,6 @@ pub fn tsqrt<T: Scalar>(r1: &mut Matrix<T>, a2: &mut Matrix<T>) -> Result<Matrix
             rhs: a2.dims(),
         });
     }
-    let m2 = a2.rows();
     let mut tfac = Matrix::zeros(n, n);
     let mut z = vec![T::ZERO; n];
 
@@ -70,12 +69,9 @@ pub fn tsqrt<T: Scalar>(r1: &mut Matrix<T>, a2: &mut Matrix<T>) -> Result<Matrix
         // for i != k, so z reduces to V2 inner products.
         tfac[(k, k)] = tau;
         if tau != T::ZERO {
+            let vk = a2.col(k);
             for (i, zi) in z.iter_mut().enumerate().take(k) {
-                let mut acc = T::ZERO;
-                for r in 0..m2 {
-                    acc += a2[(r, i)] * a2[(r, k)];
-                }
-                *zi = acc;
+                *zi = ops::dot(a2.col(i), vk);
             }
             for i in 0..k {
                 let mut acc = T::ZERO;
@@ -109,35 +105,28 @@ pub fn tsmqr_apply<T: Scalar>(
         });
     }
     let nc = a1.cols();
-    let m2 = v2.rows();
 
-    // W = [I; V2]^T [A1; A2] = A1 + V2^T A2.
+    // W = [I; V2]^T [A1; A2] = A1 + V2^T A2: column dots over V2.
     let mut w = a1.clone();
     for jc in 0..nc {
         let a2c = a2.col(jc);
-        for i in 0..n {
-            let mut acc = T::ZERO;
-            for r in 0..m2 {
-                acc += v2[(r, i)] * a2c[r];
-            }
-            w[(i, jc)] += acc;
+        let wc = w.col_mut(jc);
+        for (i, wi) in wc.iter_mut().enumerate() {
+            *wi += ops::dot(v2.col(i), a2c);
         }
     }
 
     // W = op(T) W.
     apply_tfac_in_place(tfac, &mut w, side);
 
-    // [A1; A2] -= [I; V2] W.
+    // [A1; A2] -= [I; V2] W: A1 gets W subtracted directly; A2 is swept
+    // column-by-column with one axpy per reflector.
     for jc in 0..nc {
-        for i in 0..n {
-            a1[(i, jc)] -= w[(i, jc)];
-        }
-        for r in 0..m2 {
-            let mut acc = T::ZERO;
-            for i in 0..n {
-                acc += v2[(r, i)] * w[(i, jc)];
-            }
-            a2[(r, jc)] -= acc;
+        let wc = w.col(jc);
+        ops::axpy(-T::ONE, wc, a1.col_mut(jc));
+        let a2c = a2.col_mut(jc);
+        for (i, &wi) in wc.iter().enumerate() {
+            ops::axpy(-wi, v2.col(i), a2c);
         }
     }
     Ok(())

@@ -13,7 +13,7 @@
 use crate::geqrt::apply_tfac_in_place;
 use crate::householder::larfg;
 use crate::ApplySide;
-use tileqr_matrix::{Matrix, MatrixError, Result, Scalar};
+use tileqr_matrix::{ops, Matrix, MatrixError, Result, Scalar};
 
 /// Eliminate the upper-triangular tile `r2` against the upper-triangular
 /// tile `r1` (PLASMA `CORE_ttqrt`).
@@ -51,27 +51,19 @@ pub fn ttqrt<T: Scalar>(r1: &mut Matrix<T>, r2: &mut Matrix<T>) -> Result<Matrix
             for j in k + 1..n {
                 let (vk, cj) = r2.two_cols_mut(k, j);
                 let vk = &vk[..=k];
-                let mut w = r1[(k, j)];
-                for (r, &v) in vk.iter().enumerate() {
-                    w += v * cj[r];
-                }
+                let mut w = r1[(k, j)] + ops::dot(vk, &cj[..=k]);
                 w *= tau;
                 r1[(k, j)] -= w;
-                for (r, &v) in vk.iter().enumerate() {
-                    cj[r] -= w * v;
-                }
+                ops::axpy(-w, vk, &mut cj[..=k]);
             }
         }
 
         tfac[(k, k)] = tau;
         if tau != T::ZERO {
+            let vk = r2.col(k);
             for (i, zi) in z.iter_mut().enumerate().take(k) {
                 // v_i is supported on rows 0..=i, a subset of v_k's support.
-                let mut acc = T::ZERO;
-                for r in 0..=i {
-                    acc += r2[(r, i)] * r2[(r, k)];
-                }
-                *zi = acc;
+                *zi = ops::dot(&r2.col(i)[..=i], &vk[..=i]);
             }
             for i in 0..k {
                 let mut acc = T::ZERO;
@@ -105,32 +97,25 @@ pub fn ttmqr_apply<T: Scalar>(
     let nc = a1.cols();
 
     // W = A1 + V2^T A2, with V2 upper triangular (column i supported on
-    // rows 0..=i).
+    // rows 0..=i): prefix column dots.
     let mut w = a1.clone();
     for jc in 0..nc {
         let a2c = a2.col(jc);
-        for i in 0..n {
-            let mut acc = T::ZERO;
-            for (r, &x) in a2c.iter().enumerate().take(i + 1) {
-                acc += v2[(r, i)] * x;
-            }
-            w[(i, jc)] += acc;
+        let wc = w.col_mut(jc);
+        for (i, wi) in wc.iter_mut().enumerate() {
+            *wi += ops::dot(&v2.col(i)[..=i], &a2c[..=i]);
         }
     }
 
     apply_tfac_in_place(tfac, &mut w, side);
 
-    // [A1; A2] -= [I; V2] W; row r of V2 is nonzero for columns i >= r.
+    // [A1; A2] -= [I; V2] W: column sweep over V2's stored prefixes.
     for jc in 0..nc {
-        for i in 0..n {
-            a1[(i, jc)] -= w[(i, jc)];
-        }
-        for r in 0..n {
-            let mut acc = T::ZERO;
-            for i in r..n {
-                acc += v2[(r, i)] * w[(i, jc)];
-            }
-            a2[(r, jc)] -= acc;
+        let wc = w.col(jc);
+        ops::axpy(-T::ONE, wc, a1.col_mut(jc));
+        let a2c = a2.col_mut(jc);
+        for (i, &wi) in wc.iter().enumerate() {
+            ops::axpy(-wi, &v2.col(i)[..=i], &mut a2c[..=i]);
         }
     }
     Ok(())

@@ -1,17 +1,20 @@
-//! Property-based tests of the individual tile kernels: every kernel must
-//! preserve the invariants that make tiled QR correct, for arbitrary
-//! well-formed inputs.
+//! Property-style tests of the individual tile kernels: every kernel must
+//! preserve the invariants that make tiled QR correct, across a sweep of
+//! deterministic seeded random inputs (48 cases per property, matching the
+//! breadth of the previous proptest suite without the external dependency).
 
-use proptest::prelude::*;
 use tileqr_kernels::{
     geqrt, geqrt_apply, larfg, tsmqr_apply, tsqrt, ttmqr_apply, ttqrt, ApplySide,
 };
 use tileqr_matrix::ops::{frobenius_norm, matmul, nrm2};
-use tileqr_matrix::Matrix;
+use tileqr_matrix::{Matrix, Rng64};
 
-fn matrix_strategy(n: usize) -> impl Strategy<Value = Matrix<f64>> {
-    proptest::collection::vec(-10.0f64..10.0, n * n)
-        .prop_map(move |v| Matrix::from_col_major(n, n, v).unwrap())
+const CASES: u64 = 48;
+
+/// `n x n` matrix with entries in `[-10, 10)`, deterministic in `(seed, n)`.
+fn seeded_matrix(n: usize, seed: u64) -> Matrix<f64> {
+    let mut rng = Rng64::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(n as u64));
+    Matrix::from_fn(n, n, |_, _| rng.range_f64(-10.0, 10.0))
 }
 
 fn vstack(top: &Matrix<f64>, bot: &Matrix<f64>) -> Matrix<f64> {
@@ -24,14 +27,14 @@ fn vstack(top: &Matrix<f64>, bot: &Matrix<f64>) -> Matrix<f64> {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+#[test]
+fn larfg_always_annihilates() {
+    for case in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(1000 + case);
+        let alpha = rng.range_f64(-50.0, 50.0);
+        let len = rng.range_i64(0, 11) as usize;
+        let tail: Vec<f64> = (0..len).map(|_| rng.range_f64(-50.0, 50.0)).collect();
 
-    #[test]
-    fn larfg_always_annihilates(
-        alpha in -50.0f64..50.0,
-        tail in proptest::collection::vec(-50.0f64..50.0, 0..12),
-    ) {
         let orig_norm = {
             let mut full = vec![alpha];
             full.extend_from_slice(&tail);
@@ -40,42 +43,55 @@ proptest! {
         let mut v = tail.clone();
         let h = larfg(alpha, &mut v);
         // Norm preservation: |beta| == ||[alpha, tail]||.
-        prop_assert!((h.beta.abs() - orig_norm).abs() <= 1e-10 * orig_norm.max(1.0));
+        assert!(
+            (h.beta.abs() - orig_norm).abs() <= 1e-10 * orig_norm.max(1.0),
+            "case {case}"
+        );
         // tau in the stable range (or 0 for the identity case).
-        prop_assert!(h.tau == 0.0 || (1.0..=2.0).contains(&h.tau));
+        assert!(h.tau == 0.0 || (1.0..=2.0).contains(&h.tau), "case {case}");
     }
+}
 
-    #[test]
-    fn geqrt_preserves_column_norms_of_r(a in matrix_strategy(6)) {
+#[test]
+fn geqrt_preserves_column_norms_of_r() {
+    for case in 0..CASES {
         // QR preserves each leading-column norm: ||R[..,0]|| == ||A[..,0]||.
+        let a = seeded_matrix(6, 2000 + case);
         let mut work = a.clone();
         let _ = geqrt(&mut work).unwrap();
-        let r0: f64 = (0..1).map(|_| work[(0, 0)].abs()).sum();
-        prop_assert!((r0 - nrm2(a.col(0))).abs() <= 1e-10 * nrm2(a.col(0)).max(1.0));
+        let r0 = work[(0, 0)].abs();
+        assert!(
+            (r0 - nrm2(a.col(0))).abs() <= 1e-10 * nrm2(a.col(0)).max(1.0),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn geqrt_apply_is_orthogonal(a in matrix_strategy(5)) {
+#[test]
+fn geqrt_apply_is_orthogonal() {
+    for case in 0..CASES {
         // Applying Q^T then Q must be the identity, and it must preserve
         // Frobenius norm.
+        let a = seeded_matrix(5, 3000 + case);
         let mut vr = a.clone();
         let t = geqrt(&mut vr).unwrap();
         let c0 = Matrix::from_fn(5, 3, |i, j| (i * 3 + j) as f64 - 7.0);
         let mut c = c0.clone();
         geqrt_apply(&vr, &t, &mut c, ApplySide::Transpose).unwrap();
-        prop_assert!(
-            (frobenius_norm(&c) - frobenius_norm(&c0)).abs()
-                <= 1e-9 * frobenius_norm(&c0).max(1.0)
+        assert!(
+            (frobenius_norm(&c) - frobenius_norm(&c0)).abs() <= 1e-9 * frobenius_norm(&c0).max(1.0),
+            "case {case}"
         );
         geqrt_apply(&vr, &t, &mut c, ApplySide::NoTranspose).unwrap();
-        prop_assert!(c.approx_eq(&c0, 1e-9));
+        assert!(c.approx_eq(&c0, 1e-9), "case {case}");
     }
+}
 
-    #[test]
-    fn tsqrt_preserves_stacked_norm(
-        top in matrix_strategy(4),
-        bot in matrix_strategy(4),
-    ) {
+#[test]
+fn tsqrt_preserves_stacked_norm() {
+    for case in 0..CASES {
+        let top = seeded_matrix(4, 4000 + case);
+        let bot = seeded_matrix(4, 4100 + case);
         let r1_0 = top.upper_triangular();
         let mut r1 = r1_0.clone();
         let mut a2 = bot.clone();
@@ -88,20 +104,21 @@ proptest! {
                 nrm2(&v)
             };
             let after = nrm2(&r1.col(j)[..=j]);
-            prop_assert!(
+            assert!(
                 (before - after).abs() <= 1e-9 * before.max(1.0),
-                "col {j}: {before} vs {after}"
+                "case {case}, col {j}: {before} vs {after}"
             );
         }
     }
+}
 
-    #[test]
-    fn tsmqr_apply_round_trips(
-        top in matrix_strategy(4),
-        bot in matrix_strategy(4),
-        c1 in matrix_strategy(4),
-        c2 in matrix_strategy(4),
-    ) {
+#[test]
+fn tsmqr_apply_round_trips() {
+    for case in 0..CASES {
+        let top = seeded_matrix(4, 5000 + case);
+        let bot = seeded_matrix(4, 5100 + case);
+        let c1 = seeded_matrix(4, 5200 + case);
+        let c2 = seeded_matrix(4, 5300 + case);
         let mut r1 = top.upper_triangular();
         let mut v2 = bot.clone();
         let t = tsqrt(&mut r1, &mut v2).unwrap();
@@ -111,35 +128,40 @@ proptest! {
         // Norm of the stack preserved.
         let before = frobenius_norm(&vstack(&c1, &c2));
         let after = frobenius_norm(&vstack(&x1, &x2));
-        prop_assert!((before - after).abs() <= 1e-9 * before.max(1.0));
+        assert!(
+            (before - after).abs() <= 1e-9 * before.max(1.0),
+            "case {case}"
+        );
         tsmqr_apply(&v2, &t, &mut x1, &mut x2, ApplySide::NoTranspose).unwrap();
-        prop_assert!(x1.approx_eq(&c1, 1e-9));
-        prop_assert!(x2.approx_eq(&c2, 1e-9));
+        assert!(x1.approx_eq(&c1, 1e-9), "case {case}");
+        assert!(x2.approx_eq(&c2, 1e-9), "case {case}");
     }
+}
 
-    #[test]
-    fn ttqrt_keeps_triangular_structure(
-        top in matrix_strategy(5),
-        bot in matrix_strategy(5),
-    ) {
+#[test]
+fn ttqrt_keeps_triangular_structure() {
+    for case in 0..CASES {
+        let top = seeded_matrix(5, 6000 + case);
+        let bot = seeded_matrix(5, 6100 + case);
         let mut r1 = top.upper_triangular();
         let mut r2 = bot.upper_triangular();
         let _ = ttqrt(&mut r1, &mut r2).unwrap();
         for j in 0..5 {
             for i in j + 1..5 {
-                prop_assert_eq!(r1[(i, j)], 0.0);
-                prop_assert_eq!(r2[(i, j)], 0.0);
+                assert_eq!(r1[(i, j)], 0.0, "case {case} at ({i},{j})");
+                assert_eq!(r2[(i, j)], 0.0, "case {case} at ({i},{j})");
             }
         }
     }
+}
 
-    #[test]
-    fn ttmqr_is_orthogonal(
-        top in matrix_strategy(4),
-        bot in matrix_strategy(4),
-        c1 in matrix_strategy(4),
-        c2 in matrix_strategy(4),
-    ) {
+#[test]
+fn ttmqr_is_orthogonal() {
+    for case in 0..CASES {
+        let top = seeded_matrix(4, 7000 + case);
+        let bot = seeded_matrix(4, 7100 + case);
+        let c1 = seeded_matrix(4, 7200 + case);
+        let c2 = seeded_matrix(4, 7300 + case);
         let mut r1 = top.upper_triangular();
         let mut v2 = bot.upper_triangular();
         let t = ttqrt(&mut r1, &mut v2).unwrap();
@@ -147,13 +169,16 @@ proptest! {
         let mut x2 = c2.clone();
         ttmqr_apply(&v2, &t, &mut x1, &mut x2, ApplySide::Transpose).unwrap();
         ttmqr_apply(&v2, &t, &mut x1, &mut x2, ApplySide::NoTranspose).unwrap();
-        prop_assert!(x1.approx_eq(&c1, 1e-9));
-        prop_assert!(x2.approx_eq(&c2, 1e-9));
+        assert!(x1.approx_eq(&c1, 1e-9), "case {case}");
+        assert!(x2.approx_eq(&c2, 1e-9), "case {case}");
     }
+}
 
-    #[test]
-    fn full_tile_qr_reconstructs(a in matrix_strategy(6)) {
+#[test]
+fn full_tile_qr_reconstructs() {
+    for case in 0..CASES {
         // QR of [A] via GEQRT + explicit Q: ||A - QR|| tiny.
+        let a = seeded_matrix(6, 8000 + case);
         let mut vr = a.clone();
         let t = geqrt(&mut vr).unwrap();
         let mut q = Matrix::identity(6);
@@ -161,9 +186,9 @@ proptest! {
         let r = vr.upper_triangular();
         let qr = matmul(&q, &r).unwrap();
         let scale = frobenius_norm(&a).max(1.0);
-        prop_assert!(
+        assert!(
             frobenius_norm(&qr.sub(&a).unwrap()) <= 1e-10 * scale,
-            "residual too large"
+            "case {case}: residual too large"
         );
     }
 }

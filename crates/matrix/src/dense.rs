@@ -323,7 +323,10 @@ impl<T: Scalar> Index<(usize, usize)> for Matrix<T> {
 
     #[inline]
     fn index(&self, (i, j): (usize, usize)) -> &T {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &self.data[i + j * self.rows]
     }
 }
@@ -331,7 +334,10 @@ impl<T: Scalar> Index<(usize, usize)> for Matrix<T> {
 impl<T: Scalar> IndexMut<(usize, usize)> for Matrix<T> {
     #[inline]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         let r = self.rows;
         &mut self.data[i + j * r]
     }
@@ -386,7 +392,10 @@ mod tests {
     fn bad_data_length_rejected() {
         assert!(matches!(
             Matrix::<f64>::from_col_major(2, 2, vec![1.0; 3]),
-            Err(MatrixError::BadDataLength { expected: 4, actual: 3 })
+            Err(MatrixError::BadDataLength {
+                expected: 4,
+                actual: 3
+            })
         ));
     }
 

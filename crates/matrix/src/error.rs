@@ -65,7 +65,10 @@ impl fmt::Display for MatrixError {
                 index.0, index.1, dims.0, dims.1
             ),
             MatrixError::BadDataLength { expected, actual } => {
-                write!(f, "data length {actual} does not match shape ({expected} expected)")
+                write!(
+                    f,
+                    "data length {actual} does not match shape ({expected} expected)"
+                )
             }
             MatrixError::BadTileSize { tile } => write!(f, "invalid tile size {tile}"),
         }

@@ -2,22 +2,25 @@
 //!
 //! The paper evaluates on "random floating point numbers" (§V). These
 //! helpers produce seeded random matrices plus a few structured matrices
-//! used by the test suite to probe conditioning edge cases.
+//! used by the test suite to probe conditioning edge cases. Randomness
+//! comes from the in-tree [`Rng64`] generator, so the streams are stable
+//! across platforms and never pull in an external crate.
 
+use crate::rng::Rng64;
 use crate::{Matrix, Scalar};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Uniform random matrix with entries in `[-1, 1)`, reproducible from `seed`.
 pub fn random_matrix<T: Scalar>(m: usize, n: usize, seed: u64) -> Matrix<T> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    Matrix::from_fn(m, n, |_, _| T::from_f64(rng.gen_range(-1.0..1.0)))
+    let mut rng = Rng64::seed_from_u64(seed);
+    Matrix::from_fn(m, n, |_, _| T::from_f64(rng.range_f64(-1.0, 1.0)))
 }
 
 /// Random vector with entries in `[-1, 1)`, reproducible from `seed`.
 pub fn random_vector<T: Scalar>(n: usize, seed: u64) -> Vec<T> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| T::from_f64(rng.gen_range(-1.0..1.0))).collect()
+    let mut rng = Rng64::seed_from_u64(seed);
+    (0..n)
+        .map(|_| T::from_f64(rng.range_f64(-1.0, 1.0)))
+        .collect()
 }
 
 /// Diagonally dominant random matrix (well conditioned: `n` added to the
@@ -47,11 +50,11 @@ pub fn low_rank<T: Scalar>(m: usize, n: usize, k: usize, seed: u64) -> Matrix<T>
 /// Matrix whose elements span many orders of magnitude
 /// (`a_ij ∈ ±[1e-8, 1e8]`), to exercise the scaled-norm paths.
 pub fn wide_dynamic_range<T: Scalar>(m: usize, n: usize, seed: u64) -> Matrix<T> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     Matrix::from_fn(m, n, |_, _| {
-        let exp: i32 = rng.gen_range(-8..=8);
-        let mantissa: f64 = rng.gen_range(1.0..10.0);
-        let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+        let exp = rng.range_i64(-8, 8) as i32;
+        let mantissa = rng.range_f64(1.0, 10.0);
+        let sign = if rng.chance(0.5) { 1.0 } else { -1.0 };
         T::from_f64(sign * mantissa * 10f64.powi(exp))
     })
 }

@@ -21,11 +21,13 @@ mod dense;
 mod error;
 pub mod gen;
 pub mod ops;
+pub mod rng;
 mod scalar;
 mod tiled;
 
 pub use dense::Matrix;
 pub use error::MatrixError;
+pub use rng::Rng64;
 pub use scalar::Scalar;
 pub use tiled::TiledMatrix;
 

@@ -6,8 +6,15 @@
 //! the right/bottom edges when the global dimensions are not multiples of
 //! the tile size, and remembers the true dimensions so the padding can be
 //! stripped on reassembly.
+//!
+//! Tiles are reference-counted ([`Arc`]): a parallel runtime hands a tile
+//! to a reader as a pointer clone instead of an `O(b²)` deep copy, and
+//! in-place mutation goes through [`Arc::make_mut`], which only copies when
+//! the tile is actually shared (copy-on-write). Sequential callers see the
+//! same `tile()` / `tile_mut()` API as before.
 
 use crate::{Matrix, MatrixError, Result, Scalar};
+use std::sync::Arc;
 
 /// A matrix partitioned into square tiles of side `tile_size`.
 #[derive(Clone, Debug, PartialEq)]
@@ -21,8 +28,8 @@ pub struct TiledMatrix<T: Scalar> {
     rows: usize,
     /// True (unpadded) column count.
     cols: usize,
-    /// Row-major grid of tiles: `tiles[i * nt + j]`.
-    tiles: Vec<Matrix<T>>,
+    /// Row-major grid of shared tiles: `tiles[i * nt + j]`.
+    tiles: Vec<Arc<Matrix<T>>>,
 }
 
 impl<T: Scalar> TiledMatrix<T> {
@@ -53,7 +60,7 @@ impl<T: Scalar> TiledMatrix<T> {
                         T::ZERO
                     }
                 });
-                tiles.push(tile);
+                tiles.push(Arc::new(tile));
             }
         }
         Ok(TiledMatrix {
@@ -134,18 +141,47 @@ impl<T: Scalar> TiledMatrix<T> {
         &self.tiles[i * self.nt + j]
     }
 
-    /// Mutably borrow tile `(i, j)`.
+    /// Shared handle to tile `(i, j)` — a pointer clone, never a data copy.
+    #[inline]
+    pub fn tile_shared(&self, i: usize, j: usize) -> Arc<Matrix<T>> {
+        assert!(i < self.mt && j < self.nt, "tile ({i},{j}) out of range");
+        Arc::clone(&self.tiles[i * self.nt + j])
+    }
+
+    /// Mutably borrow tile `(i, j)`. Copy-on-write: only clones the tile
+    /// data if an `Arc` handle from [`tile_shared`](Self::tile_shared) is
+    /// still alive elsewhere.
     #[inline]
     pub fn tile_mut(&mut self, i: usize, j: usize) -> &mut Matrix<T> {
         assert!(i < self.mt && j < self.nt, "tile ({i},{j}) out of range");
-        &mut self.tiles[i * self.nt + j]
+        Arc::make_mut(&mut self.tiles[i * self.nt + j])
     }
 
     /// Replace tile `(i, j)` wholesale.
     pub fn set_tile(&mut self, i: usize, j: usize, tile: Matrix<T>) {
         assert_eq!(tile.dims(), (self.tile_size, self.tile_size));
         assert!(i < self.mt && j < self.nt, "tile ({i},{j}) out of range");
+        self.tiles[i * self.nt + j] = Arc::new(tile);
+    }
+
+    /// Replace tile `(i, j)` with an already-shared handle (pointer swap).
+    pub fn set_tile_shared(&mut self, i: usize, j: usize, tile: Arc<Matrix<T>>) {
+        assert_eq!(tile.dims(), (self.tile_size, self.tile_size));
+        assert!(i < self.mt && j < self.nt, "tile ({i},{j}) out of range");
         self.tiles[i * self.nt + j] = tile;
+    }
+
+    /// Swap tile `(i, j)` with `replacement` and return the previous handle.
+    /// Both directions are pointer moves; no tile data is touched.
+    pub fn swap_tile_shared(
+        &mut self,
+        i: usize,
+        j: usize,
+        replacement: Arc<Matrix<T>>,
+    ) -> Arc<Matrix<T>> {
+        assert_eq!(replacement.dims(), (self.tile_size, self.tile_size));
+        assert!(i < self.mt && j < self.nt, "tile ({i},{j}) out of range");
+        std::mem::replace(&mut self.tiles[i * self.nt + j], replacement)
     }
 
     /// Borrow two distinct tiles mutably (e.g. the `[A1; A2]` pair consumed
@@ -161,11 +197,11 @@ impl<T: Scalar> TiledMatrix<T> {
         let ib = b.0 * self.nt + b.1;
         if ia < ib {
             let (lo, hi) = self.tiles.split_at_mut(ib);
-            (&mut lo[ia], &mut hi[0])
+            (Arc::make_mut(&mut lo[ia]), Arc::make_mut(&mut hi[0]))
         } else {
             let (lo, hi) = self.tiles.split_at_mut(ia);
-            let second = &mut lo[ib];
-            (&mut hi[0], second)
+            let second = Arc::make_mut(&mut lo[ib]);
+            (Arc::make_mut(&mut hi[0]), second)
         }
     }
 
@@ -175,13 +211,14 @@ impl<T: Scalar> TiledMatrix<T> {
         self.tiles
             .iter()
             .enumerate()
-            .map(move |(k, t)| (k / nt, k % nt, t))
+            .map(move |(k, t)| (k / nt, k % nt, t.as_ref()))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     fn seq_matrix(m: usize, n: usize) -> Matrix<f64> {
         Matrix::from_fn(m, n, |i, j| (i * n + j) as f64 + 1.0)
@@ -281,6 +318,43 @@ mod tests {
         assert_eq!(coords.len(), 6);
         assert_eq!(coords[0], (0, 0));
         assert_eq!(coords[5], (1, 2));
+    }
+
+    #[test]
+    fn shared_tiles_are_pointer_clones() {
+        let a = seq_matrix(4, 4);
+        let t = TiledMatrix::from_matrix(&a, 2).unwrap();
+        let h1 = t.tile_shared(0, 1);
+        let h2 = t.tile_shared(0, 1);
+        assert!(Arc::ptr_eq(&h1, &h2));
+        assert_eq!(h1[(0, 0)], a[(0, 2)]);
+    }
+
+    #[test]
+    fn tile_mut_copies_only_when_shared() {
+        let a = seq_matrix(4, 4);
+        let mut t = TiledMatrix::from_matrix(&a, 2).unwrap();
+        let reader = t.tile_shared(0, 0);
+        // Copy-on-write: the live reader keeps seeing the old value.
+        t.tile_mut(0, 0)[(0, 0)] = -9.0;
+        assert_eq!(reader[(0, 0)], a[(0, 0)]);
+        assert_eq!(t.tile(0, 0)[(0, 0)], -9.0);
+        drop(reader);
+        // Unshared now: mutation must not reallocate.
+        let before = t.tile_shared(0, 0);
+        drop(before);
+        t.tile_mut(0, 0)[(0, 1)] = -8.0;
+        assert_eq!(t.tile(0, 0)[(0, 1)], -8.0);
+    }
+
+    #[test]
+    fn swap_tile_shared_round_trips() {
+        let a = seq_matrix(4, 4);
+        let mut t = TiledMatrix::from_matrix(&a, 2).unwrap();
+        let fresh = Arc::new(Matrix::identity(2));
+        let old = t.swap_tile_shared(1, 1, Arc::clone(&fresh));
+        assert_eq!(old[(1, 1)], a[(3, 3)]);
+        assert!(Arc::ptr_eq(&t.tile_shared(1, 1), &fresh));
     }
 
     #[test]

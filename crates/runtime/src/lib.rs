@@ -8,14 +8,17 @@
 //! this runtime demonstrates real parallel speedup of the same DAG on the
 //! hardware we do have.
 //!
-//! Concurrency design: the [`FactorState`](tileqr_kernels::exec::FactorState) sits behind a
-//! [`parking_lot::Mutex`]; a worker holds the lock only to *stage* a task
-//! (move the written tiles out, clone the read tiles) and later to
-//! *commit* the results — the `O(b³)` kernel itself runs lock-free on
-//! owned data. Readiness bookkeeping lives in the manager loop, fed by a
-//! completion channel, so no atomics are spread through the data
-//! structures. Determinism of the *result* (not the schedule) is
-//! guaranteed because every task writes a disjoint tile set.
+//! Concurrency design: tiles and T factors live in per-slot locked cells
+//! of a [`SharedFactorState`](tileqr_kernels::exec::SharedFactorState);
+//! *staging* a task clones `Arc` handles for its read inputs and swaps its
+//! written tiles out, so each critical section is a pointer exchange on one
+//! slot — the `O(b³)` kernel itself runs lock-free on owned data and
+//! *commit* swaps results back in. Readiness bookkeeping lives in the
+//! manager loop ([`ReadyTracker`]), fed by a completion channel; the
+//! manager orders the ready set by [`SchedulePolicy`] — FIFO or highest
+//! static bottom level first ([`ReadyQueue`]). Determinism of the *result*
+//! (not the schedule) is guaranteed because every task writes a disjoint
+//! tile set.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,4 +27,4 @@ mod pool;
 mod scheduler;
 
 pub use pool::{parallel_factor, parallel_factor_traced, PoolConfig, RunReport};
-pub use scheduler::ReadyTracker;
+pub use scheduler::{ReadyQueue, ReadyTracker, SchedulePolicy};

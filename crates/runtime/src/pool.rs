@@ -1,10 +1,22 @@
 //! Manager + computing-thread pool (paper Fig. 7).
+//!
+//! The calling thread is the **manager**: it owns DAG readiness
+//! ([`ReadyTracker`]), orders the ready set by [`SchedulePolicy`]
+//! ([`ReadyQueue`]), and hands one task at a time to each idle worker over
+//! that worker's private channel. **Computing threads** stage the task's
+//! tiles out of the [`SharedFactorState`] (per-slot locks, pointer swaps
+//! only), run the kernel on owned/`Arc`-shared data with no lock held, and
+//! commit the results back the same way. Dispatching at most one task per
+//! worker keeps the ready set on the manager's side, which is what lets
+//! the priority policy actually pick the next task instead of draining a
+//! prefetched FIFO.
 
-use crate::scheduler::ReadyTracker;
-use crossbeam::channel;
-use parking_lot::Mutex;
-use tileqr_dag::{TaskGraph, TaskId};
-use tileqr_kernels::exec::FactorState;
+use crate::scheduler::{ReadyQueue, ReadyTracker, SchedulePolicy};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+use tileqr_dag::{TaskGraph, TaskId, TaskKind};
+use tileqr_kernels::exec::{FactorState, SharedFactorState};
+use tileqr_kernels::flops;
 use tileqr_matrix::{MatrixError, Result, Scalar};
 
 /// Worker-pool configuration.
@@ -12,6 +24,8 @@ use tileqr_matrix::{MatrixError, Result, Scalar};
 pub struct PoolConfig {
     /// Number of computing threads. `0` means one per available core.
     pub workers: usize,
+    /// Dispatch order for ready tasks.
+    pub policy: SchedulePolicy,
 }
 
 impl PoolConfig {
@@ -32,6 +46,15 @@ pub struct RunReport {
     pub tasks_per_worker: Vec<u64>,
     /// Wall-clock duration of the run.
     pub elapsed: std::time::Duration,
+    /// Total time workers spent inside `stage` (slot lock waits + pointer
+    /// swaps), summed across workers.
+    pub stage_wait: Duration,
+    /// Total time workers spent inside `commit`, summed across workers.
+    pub commit_wait: Duration,
+    /// High-water mark of the manager's ready-set depth.
+    pub max_ready_depth: usize,
+    /// Dispatch policy the run used.
+    pub policy: SchedulePolicy,
 }
 
 impl RunReport {
@@ -51,15 +74,33 @@ impl RunReport {
         let max = *self.tasks_per_worker.iter().max().unwrap() as f64;
         max / avg
     }
+
+    /// Total lock-path time (stage + commit) as a fraction of `elapsed`
+    /// summed over workers — how much of the run the hot path spent
+    /// touching shared state.
+    pub fn lock_fraction(&self) -> f64 {
+        let denom = self.elapsed.as_secs_f64() * self.tasks_per_worker.len().max(1) as f64;
+        if denom == 0.0 {
+            return 0.0;
+        }
+        (self.stage_wait.as_secs_f64() + self.commit_wait.as_secs_f64()) / denom
+    }
+}
+
+/// Per-kernel flop counts as scheduling weights, so the bottom levels
+/// reflect real work, not just DAG depth.
+fn flop_weight(b: usize) -> impl Fn(TaskKind) -> f64 + Copy {
+    move |t| match t {
+        TaskKind::Geqrt { .. } => flops::geqrt_flops(b) as f64,
+        TaskKind::Unmqr { .. } => flops::unmqr_flops(b) as f64,
+        TaskKind::Tsqrt { .. } => flops::tsqrt_flops(b) as f64,
+        TaskKind::Tsmqr { .. } => flops::tsmqr_flops(b) as f64,
+        TaskKind::Ttqrt { .. } => flops::ttqrt_flops(b) as f64,
+        TaskKind::Ttmqr { .. } => flops::ttmqr_flops(b) as f64,
+    }
 }
 
 /// Execute every task of `graph` over `state`, in parallel.
-///
-/// The calling thread acts as the manager (Fig. 7): it owns the
-/// [`ReadyTracker`], dispatches ready task ids over a channel, and receives
-/// completions. Computing threads stage a task under the state lock, run
-/// the kernel on owned tiles with the lock released, commit, and report
-/// back.
 ///
 /// Returns the completed state. Any kernel error aborts the run and is
 /// propagated (the pool drains cleanly first).
@@ -71,13 +112,17 @@ pub fn parallel_factor<T: Scalar>(
     parallel_factor_traced(state, graph, config).map(|(state, _)| state)
 }
 
+/// What a worker sends back per task: stage and commit durations on
+/// success, the kernel error otherwise.
+type Completion = (TaskId, usize, Result<(Duration, Duration)>);
+
 /// [`parallel_factor`] with a per-worker [`RunReport`].
 pub fn parallel_factor_traced<T: Scalar>(
     state: FactorState<T>,
     graph: &TaskGraph,
     config: PoolConfig,
 ) -> Result<(FactorState<T>, RunReport)> {
-    let started = std::time::Instant::now();
+    let started = Instant::now();
     let workers = config.effective_workers().max(1);
     if workers == 1 || graph.len() <= 1 {
         // Degenerate pool: run inline.
@@ -88,54 +133,90 @@ pub fn parallel_factor_traced<T: Scalar>(
             RunReport {
                 tasks_per_worker: vec![graph.len() as u64],
                 elapsed: started.elapsed(),
+                stage_wait: Duration::ZERO,
+                commit_wait: Duration::ZERO,
+                max_ready_depth: 0,
+                policy: config.policy,
             },
         ));
     }
 
-    let shared = Mutex::new(state);
-    let (task_tx, task_rx) = channel::unbounded::<TaskId>();
-    let (done_tx, done_rx) = channel::unbounded::<(TaskId, usize, Result<()>)>();
+    let b = state.tiles().tile_size();
+    let shared = SharedFactorState::new(state);
+    let (done_tx, done_rx) = mpsc::channel::<Completion>();
 
-    let run_result: Result<Vec<u64>> = crossbeam::thread::scope(|scope| {
+    struct ManagerStats {
+        tasks_per_worker: Vec<u64>,
+        stage_wait: Duration,
+        commit_wait: Duration,
+        max_ready_depth: usize,
+    }
+
+    let run_result: Result<ManagerStats> = std::thread::scope(|scope| {
+        // One private channel per worker: the manager chooses *which* idle
+        // worker gets the next task, so no shared ready queue exists on the
+        // worker side.
+        let mut task_txs = Vec::with_capacity(workers);
         for worker_id in 0..workers {
-            let task_rx = task_rx.clone();
+            let (tx, rx) = mpsc::channel::<TaskId>();
+            task_txs.push(tx);
             let done_tx = done_tx.clone();
             let shared = &shared;
-            scope.spawn(move |_| {
-                while let Ok(tid) = task_rx.recv() {
+            scope.spawn(move || {
+                while let Ok(tid) = rx.recv() {
                     let task = graph.task(tid);
-                    let staged = { shared.lock().stage(task) };
-                    let outcome = staged
-                        .and_then(|s| s.compute())
-                        .map(|done| shared.lock().commit(done));
+                    let t0 = Instant::now();
+                    let staged = shared.stage(task);
+                    let stage_wait = t0.elapsed();
+                    let outcome = staged.and_then(|s| s.compute()).map(|done| {
+                        let t1 = Instant::now();
+                        shared.commit(done);
+                        (stage_wait, t1.elapsed())
+                    });
                     if done_tx.send((tid, worker_id, outcome)).is_err() {
                         break; // manager gone
                     }
                 }
             });
         }
-        drop(task_rx);
         drop(done_tx);
 
-        // Manager loop.
+        // Manager loop: readiness tracking + policy-ordered dispatch.
         let mut tracker = ReadyTracker::new(graph);
-        let mut in_flight = 0usize;
+        let mut queue = ReadyQueue::for_policy(config.policy, graph, flop_weight(b));
         for t in tracker.initial_ready(graph) {
-            task_tx.send(t).expect("workers alive");
-            in_flight += 1;
+            queue.push(t);
         }
+        let mut idle: Vec<usize> = (0..workers).rev().collect();
+        let mut in_flight = 0usize;
         let mut first_error: Option<MatrixError> = None;
-        let mut tasks_per_worker = vec![0u64; workers];
-        while in_flight > 0 {
+        let mut stats = ManagerStats {
+            tasks_per_worker: vec![0u64; workers],
+            stage_wait: Duration::ZERO,
+            commit_wait: Duration::ZERO,
+            max_ready_depth: 0,
+        };
+        loop {
+            while first_error.is_none() && !idle.is_empty() && !queue.is_empty() {
+                let w = idle.pop().expect("nonempty");
+                let t = queue.pop().expect("nonempty");
+                task_txs[w].send(t).expect("worker alive");
+                in_flight += 1;
+            }
+            if in_flight == 0 {
+                break;
+            }
             let (tid, worker_id, outcome) = done_rx.recv().expect("workers alive");
             in_flight -= 1;
-            tasks_per_worker[worker_id] += 1;
+            idle.push(worker_id);
+            stats.tasks_per_worker[worker_id] += 1;
             match outcome {
-                Ok(()) => {
+                Ok((stage, commit)) => {
+                    stats.stage_wait += stage;
+                    stats.commit_wait += commit;
                     if first_error.is_none() {
                         for ready in tracker.complete(graph, tid) {
-                            task_tx.send(ready).expect("workers alive");
-                            in_flight += 1;
+                            queue.push(ready);
                         }
                     }
                 }
@@ -146,23 +227,27 @@ pub fn parallel_factor_traced<T: Scalar>(
                 }
             }
         }
-        drop(task_tx); // workers exit
+        drop(task_txs); // workers exit
+        stats.max_ready_depth = queue.max_depth();
         match first_error {
             Some(e) => Err(e),
             None => {
                 debug_assert!(tracker.all_done());
-                Ok(tasks_per_worker)
+                Ok(stats)
             }
         }
-    })
-    .expect("worker thread panicked");
+    });
 
-    let tasks_per_worker = run_result?;
+    let stats = run_result?;
     Ok((
-        shared.into_inner(),
+        shared.into_state(),
         RunReport {
-            tasks_per_worker,
+            tasks_per_worker: stats.tasks_per_worker,
             elapsed: started.elapsed(),
+            stage_wait: stats.stage_wait,
+            commit_wait: stats.commit_wait,
+            max_ready_depth: stats.max_ready_depth,
+            policy: config.policy,
         },
     ))
 }
@@ -176,11 +261,27 @@ mod tests {
     use tileqr_matrix::ops::matmul;
     use tileqr_matrix::{Matrix, TiledMatrix};
 
-    fn factor_parallel(n: usize, b: usize, workers: usize) -> (Matrix<f64>, FactorState<f64>, TaskGraph) {
+    fn factor_parallel(
+        n: usize,
+        b: usize,
+        workers: usize,
+    ) -> (Matrix<f64>, FactorState<f64>, TaskGraph) {
         let a = random_matrix::<f64>(n, n, 99);
         let tiled = TiledMatrix::from_matrix(&a, b).unwrap();
-        let g = TaskGraph::build(tiled.tile_rows(), tiled.tile_cols(), EliminationOrder::FlatTs);
-        let st = parallel_factor(FactorState::new(tiled), &g, PoolConfig { workers }).unwrap();
+        let g = TaskGraph::build(
+            tiled.tile_rows(),
+            tiled.tile_cols(),
+            EliminationOrder::FlatTs,
+        );
+        let st = parallel_factor(
+            FactorState::new(tiled),
+            &g,
+            PoolConfig {
+                workers,
+                ..PoolConfig::default()
+            },
+        )
+        .unwrap();
         (a, st, g)
     }
 
@@ -193,10 +294,46 @@ mod tests {
         let mut seq = FactorState::new(tiled.clone());
         seq.run_all(&g).unwrap();
 
-        let par = parallel_factor(FactorState::new(tiled), &g, PoolConfig { workers: 4 }).unwrap();
+        let par = parallel_factor(
+            FactorState::new(tiled),
+            &g,
+            PoolConfig {
+                workers: 4,
+                ..PoolConfig::default()
+            },
+        )
+        .unwrap();
         // Tiled QR is deterministic at the task level, so parallel and
         // sequential results are bit-identical.
         assert_eq!(seq.tiles().to_matrix(), par.tiles().to_matrix());
+    }
+
+    #[test]
+    fn critical_path_policy_matches_fifo_bitwise() {
+        let a = random_matrix::<f64>(24, 24, 2);
+        let tiled = TiledMatrix::from_matrix(&a, 4).unwrap();
+        let g = TaskGraph::build(6, 6, EliminationOrder::FlatTs);
+
+        let fifo = parallel_factor(
+            FactorState::new(tiled.clone()),
+            &g,
+            PoolConfig {
+                workers: 4,
+                policy: SchedulePolicy::Fifo,
+            },
+        )
+        .unwrap();
+        let cp = parallel_factor(
+            FactorState::new(tiled),
+            &g,
+            PoolConfig {
+                workers: 4,
+                policy: SchedulePolicy::CriticalPath,
+            },
+        )
+        .unwrap();
+        assert_eq!(fifo.tiles().to_matrix(), cp.tiles().to_matrix());
+        assert_eq!(fifo.r_matrix(), cp.r_matrix());
     }
 
     #[test]
@@ -233,6 +370,7 @@ mod tests {
     fn default_config_uses_all_cores() {
         let c = PoolConfig::default();
         assert!(c.effective_workers() >= 1);
+        assert_eq!(c.policy, SchedulePolicy::Fifo);
     }
 
     #[test]
@@ -240,7 +378,15 @@ mod tests {
         let a = random_matrix::<f64>(32, 8, 5);
         let tiled = TiledMatrix::from_matrix(&a, 4).unwrap();
         let g = TaskGraph::build(8, 2, EliminationOrder::BinaryTt);
-        let st = parallel_factor(FactorState::new(tiled), &g, PoolConfig { workers: 4 }).unwrap();
+        let st = parallel_factor(
+            FactorState::new(tiled),
+            &g,
+            PoolConfig {
+                workers: 4,
+                policy: SchedulePolicy::CriticalPath,
+            },
+        )
+        .unwrap();
         let (pm, _) = st.tiles().padded_dims();
         let mut q = Matrix::identity(pm);
         apply_q_dense(&st, &g, &mut q).unwrap();
@@ -254,13 +400,24 @@ mod tests {
         let a = random_matrix::<f64>(32, 32, 5);
         let tiled = TiledMatrix::from_matrix(&a, 4).unwrap();
         let g = TaskGraph::build(8, 8, EliminationOrder::FlatTs);
-        let (_, report) =
-            super::parallel_factor_traced(FactorState::new(tiled), &g, PoolConfig { workers: 3 })
-                .unwrap();
+        let (_, report) = super::parallel_factor_traced(
+            FactorState::new(tiled),
+            &g,
+            PoolConfig {
+                workers: 3,
+                policy: SchedulePolicy::CriticalPath,
+            },
+        )
+        .unwrap();
         assert_eq!(report.total_tasks() as usize, g.len());
         assert_eq!(report.tasks_per_worker.len(), 3);
         assert!(report.imbalance() >= 1.0);
         assert!(report.elapsed.as_nanos() > 0);
+        assert!(report.max_ready_depth >= 1);
+        assert_eq!(report.policy, SchedulePolicy::CriticalPath);
+        // The whole point of per-tile ownership: the lock path is a sliver
+        // of the run.
+        assert!(report.lock_fraction() < 0.5);
     }
 
     #[test]

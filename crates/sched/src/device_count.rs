@@ -141,7 +141,12 @@ pub fn tcomm_us_grid(platform: &Platform, devices: &[DeviceId], mt: usize, nt: u
 
 /// Run Algorithm 3: choose the `p` (1 ≤ p ≤ #devices) minimizing
 /// `Top(p) + Tcomm(p)`.
-pub fn select_device_count(platform: &Platform, main: DeviceId, mt: usize, nt: usize) -> CountSelection {
+pub fn select_device_count(
+    platform: &Platform,
+    main: DeviceId,
+    mt: usize,
+    nt: usize,
+) -> CountSelection {
     let ordered = ordered_devices(platform, main);
     let mut predictions = Vec::with_capacity(ordered.len());
     for p in 1..=ordered.len() {

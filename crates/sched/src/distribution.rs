@@ -44,10 +44,7 @@ impl Distribution {
         participants: &[DeviceId],
         strategy: DistributionStrategy,
     ) -> Self {
-        assert!(
-            participants.contains(&main),
-            "main device must participate"
-        );
+        assert!(participants.contains(&main), "main device must participate");
         let tile = platform.config().tile_size;
         let ratio = match strategy {
             DistributionStrategy::GuideArray | DistributionStrategy::GuideArrayBalanced => {

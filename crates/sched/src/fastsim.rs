@@ -74,10 +74,18 @@ pub fn simulate_fast(platform: &Platform, plan: &HeteroPlan, mt: usize, nt: usiz
     let ndev = platform.num_devices();
 
     let t_t: Vec<f64> = (0..ndev)
-        .map(|d| platform.device(d).kernel_time_us(KernelClass::Triangulation, b))
+        .map(|d| {
+            platform
+                .device(d)
+                .kernel_time_us(KernelClass::Triangulation, b)
+        })
         .collect();
     let t_e: Vec<f64> = (0..ndev)
-        .map(|d| platform.device(d).kernel_time_us(KernelClass::Elimination, b))
+        .map(|d| {
+            platform
+                .device(d)
+                .kernel_time_us(KernelClass::Elimination, b)
+        })
         .collect();
     let t_u: Vec<f64> = (0..ndev)
         .map(|d| platform.device(d).kernel_time_us(KernelClass::Update, b))
@@ -179,9 +187,7 @@ pub fn simulate_fast(platform: &Platform, plan: &HeteroPlan, mt: usize, nt: usiz
             let ready = head[j].max(factor_head[d]);
             let start = lanes[d].occupy(ready, own_dur);
             let own_full = start + own_dur;
-            full[j] = own_full
-                .max(full[j] + t_u[d])
-                .max(factor_full[d] + t_u[d]);
+            full[j] = own_full.max(full[j] + t_u[d]).max(factor_full[d] + t_u[d]);
             head[j] = start.max(factor_head[d]) + 2.0 * t_u[d];
             stats.device_busy_us[d] += own_dur;
             stats.tasks_per_device[d] += m as u64;
@@ -201,7 +207,14 @@ mod tests {
 
     fn run(nt: usize, force_p: Option<usize>, policy: MainDevicePolicy) -> SimStats {
         let p = profiles::paper_testbed(16);
-        let plan = plan_with(&p, nt, nt, policy, DistributionStrategy::GuideArray, force_p);
+        let plan = plan_with(
+            &p,
+            nt,
+            nt,
+            policy,
+            DistributionStrategy::GuideArray,
+            force_p,
+        );
         simulate_fast(&p, &plan, nt, nt)
     }
 

@@ -186,7 +186,10 @@ mod tests {
         let tiny = tileqr_sim::Platform::new(
             unbounded.devices().to_vec(),
             Link::pcie2_x16(),
-            SimConfig { tile_size: 16, elem_bytes: 4 },
+            SimConfig {
+                tile_size: 16,
+                elem_bytes: 4,
+            },
         )
         .with_device_memory(vec![Some(1 << 20); 4]);
         let p2 = plan(&tiny, 100, 100);
@@ -208,7 +211,10 @@ mod tests {
                 profiles::cpu_i7_3820(),
             ],
             Link::pcie2_x16(),
-            SimConfig { tile_size: 16, elem_bytes: 4 },
+            SimConfig {
+                tile_size: 16,
+                elem_bytes: 4,
+            },
         );
         let hp = plan(&platform, 400, 400);
         assert_eq!(hp.main, 0, "GTX580 still wins Alg. 2");

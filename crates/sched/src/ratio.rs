@@ -57,7 +57,11 @@ pub fn integer_ratio(throughputs: &[f64]) -> Vec<u64> {
 
 /// Update-throughput ratio for a set of devices on `platform` at the given
 /// tile size — the concrete `GET_RATIO` of Algorithm 4.
-pub fn device_update_ratio(platform: &Platform, devices: &[DeviceId], tile_size: usize) -> Vec<u64> {
+pub fn device_update_ratio(
+    platform: &Platform,
+    devices: &[DeviceId],
+    tile_size: usize,
+) -> Vec<u64> {
     let throughputs: Vec<f64> = devices
         .iter()
         .map(|&d| platform.device(d).update_throughput(tile_size))

@@ -101,10 +101,7 @@ mod tests {
             &TaskGraph::build(mt, 2, EliminationOrder::BinaryTt),
             weight,
         );
-        assert!(
-            tree_cp < flat_cp,
-            "tree CP {tree_cp} !< flat CP {flat_cp}"
-        );
+        assert!(tree_cp < flat_cp, "tree CP {tree_cp} !< flat CP {flat_cp}");
     }
 
     #[test]

@@ -107,7 +107,8 @@ fn simulate_impl(
     let mut deps_done = vec![false; g.len()];
     let mut transfers: HashMap<(TaskId, DeviceId), TransferState> = HashMap::new();
 
-    let mut ready: Vec<BinaryHeap<Reverse<TaskId>>> = (0..ndev).map(|_| BinaryHeap::new()).collect();
+    let mut ready: Vec<BinaryHeap<Reverse<TaskId>>> =
+        (0..ndev).map(|_| BinaryHeap::new()).collect();
     let mut busy = vec![0usize; ndev];
     let mut bus_free = 0.0f64;
 
@@ -131,7 +132,9 @@ fn simulate_impl(
         ($d:expr, $now:expr) => {{
             let d = $d;
             while busy[d] < slots[d] {
-                let Some(Reverse(t)) = ready[d].pop() else { break };
+                let Some(Reverse(t)) = ready[d].pop() else {
+                    break;
+                };
                 busy[d] += 1;
                 let dur = platform.task_time_us(d, g.task(t));
                 stats.device_busy_us[d] += dur;
@@ -389,12 +392,7 @@ mod tests {
         let te = g
             .tasks()
             .iter()
-            .filter(|t| {
-                matches!(
-                    t.class(),
-                    StepClass::Triangulation | StepClass::Elimination
-                )
-            })
+            .filter(|t| matches!(t.class(), StepClass::Triangulation | StepClass::Elimination))
             .count();
         assert!(s.tasks_per_device[0] as usize >= te);
     }

@@ -28,12 +28,12 @@ mod link;
 mod platform;
 pub mod profiles;
 pub mod stats;
-pub mod trace;
 mod timing;
+pub mod trace;
 
 pub use device::{DeviceId, DeviceKind, DeviceProfile, GPU_OVERSUBSCRIPTION};
 pub use link::Link;
 pub use platform::{Platform, SimConfig};
 pub use stats::SimStats;
-pub use trace::{TaskSpan, Timeline, TransferSpan};
 pub use timing::{KernelClass, KernelTiming, StepTimes};
+pub use trace::{TaskSpan, Timeline, TransferSpan};

@@ -154,7 +154,10 @@ mod tests {
 
     #[test]
     fn tile_bytes() {
-        let c = SimConfig { tile_size: 16, elem_bytes: 4 };
+        let c = SimConfig {
+            tile_size: 16,
+            elem_bytes: 4,
+        };
         assert_eq!(c.tile_bytes(), 1024);
     }
 
@@ -162,7 +165,12 @@ mod tests {
     fn factor_outputs_are_double_sized() {
         let p = profiles::paper_testbed(16);
         let f = p.output_bytes(TaskKind::Geqrt { i: 0, k: 0 });
-        let u = p.output_bytes(TaskKind::Tsmqr { p: 0, i: 1, j: 1, k: 0 });
+        let u = p.output_bytes(TaskKind::Tsmqr {
+            p: 0,
+            i: 1,
+            j: 1,
+            k: 0,
+        });
         assert_eq!(f, 2 * u);
     }
 
@@ -176,8 +184,8 @@ mod tests {
 
     #[test]
     fn memory_feasibility() {
-        let p = profiles::paper_testbed(16)
-            .with_device_memory(vec![Some(1 << 20), None, None, None]);
+        let p =
+            profiles::paper_testbed(16).with_device_memory(vec![Some(1 << 20), None, None, None]);
         // 1 MiB on device 0: a 16-row grid column is 16 KiB; ~60 columns fit.
         assert!(p.memory_feasible(16, &[10, 1000, 1000, 0]));
         assert!(!p.memory_feasible(16, &[100, 0, 0, 0]));
@@ -200,7 +208,10 @@ mod tests {
         let _ = Platform::new(
             vec![],
             Link::pcie2_x16(),
-            SimConfig { tile_size: 16, elem_bytes: 4 },
+            SimConfig {
+                tile_size: 16,
+                elem_bytes: 4,
+            },
         );
     }
 }

@@ -34,9 +34,21 @@ pub fn gtx580() -> DeviceProfile {
         kind: DeviceKind::Gpu,
         cores: 512,
         times: StepTimes {
-            triangulation: KernelTiming { c0: 20.0, c1: 0.020, c2: 0.0190 },
-            elimination: KernelTiming { c0: 18.0, c1: 0.015, c2: 0.0145 },
-            update: KernelTiming { c0: 12.0, c1: 0.005, c2: 0.0037 },
+            triangulation: KernelTiming {
+                c0: 20.0,
+                c1: 0.020,
+                c2: 0.0190,
+            },
+            elimination: KernelTiming {
+                c0: 18.0,
+                c1: 0.015,
+                c2: 0.0145,
+            },
+            update: KernelTiming {
+                c0: 12.0,
+                c1: 0.005,
+                c2: 0.0037,
+            },
         },
     }
 }
@@ -49,9 +61,21 @@ pub fn gtx680() -> DeviceProfile {
         kind: DeviceKind::Gpu,
         cores: 1536,
         times: StepTimes {
-            triangulation: KernelTiming { c0: 25.0, c1: 0.030, c2: 0.0285 },
-            elimination: KernelTiming { c0: 22.0, c1: 0.020, c2: 0.0213 },
-            update: KernelTiming { c0: 14.0, c1: 0.007, c2: 0.0046 },
+            triangulation: KernelTiming {
+                c0: 25.0,
+                c1: 0.030,
+                c2: 0.0285,
+            },
+            elimination: KernelTiming {
+                c0: 22.0,
+                c1: 0.020,
+                c2: 0.0213,
+            },
+            update: KernelTiming {
+                c0: 14.0,
+                c1: 0.007,
+                c2: 0.0046,
+            },
         },
     }
 }
@@ -63,9 +87,21 @@ pub fn cpu_i7_3820() -> DeviceProfile {
         kind: DeviceKind::Cpu,
         cores: 4,
         times: StepTimes {
-            triangulation: KernelTiming { c0: 30.0, c1: 0.100, c2: 0.1200 },
-            elimination: KernelTiming { c0: 28.0, c1: 0.080, c2: 0.0980 },
-            update: KernelTiming { c0: 15.0, c1: 0.030, c2: 0.0300 },
+            triangulation: KernelTiming {
+                c0: 30.0,
+                c1: 0.100,
+                c2: 0.1200,
+            },
+            elimination: KernelTiming {
+                c0: 28.0,
+                c1: 0.080,
+                c2: 0.0980,
+            },
+            update: KernelTiming {
+                c0: 15.0,
+                c1: 0.030,
+                c2: 0.0300,
+            },
         },
     }
 }
@@ -83,9 +119,21 @@ pub fn xeon_phi() -> DeviceProfile {
         kind: DeviceKind::Cpu,
         cores: 244,
         times: StepTimes {
-            triangulation: KernelTiming { c0: 35.0, c1: 0.060, c2: 0.0600 },
-            elimination: KernelTiming { c0: 32.0, c1: 0.050, c2: 0.0500 },
-            update: KernelTiming { c0: 16.0, c1: 0.015, c2: 0.0150 },
+            triangulation: KernelTiming {
+                c0: 35.0,
+                c1: 0.060,
+                c2: 0.0600,
+            },
+            elimination: KernelTiming {
+                c0: 32.0,
+                c1: 0.050,
+                c2: 0.0500,
+            },
+            update: KernelTiming {
+                c0: 16.0,
+                c1: 0.015,
+                c2: 0.0150,
+            },
         },
     }
 }

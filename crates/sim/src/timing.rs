@@ -79,14 +79,22 @@ mod tests {
 
     #[test]
     fn cubic_dominates_at_large_tiles() {
-        let t = KernelTiming { c0: 20.0, c1: 0.02, c2: 0.019 };
+        let t = KernelTiming {
+            c0: 20.0,
+            c1: 0.02,
+            c2: 0.019,
+        };
         let r = t.time_us(56) / t.time_us(28);
         assert!(r > 6.0 && r < 8.5, "expected near-cubic growth, got {r}");
     }
 
     #[test]
     fn overhead_dominates_at_small_tiles() {
-        let t = KernelTiming { c0: 20.0, c1: 0.02, c2: 0.019 };
+        let t = KernelTiming {
+            c0: 20.0,
+            c1: 0.02,
+            c2: 0.019,
+        };
         assert!(t.time_us(4) < 1.2 * t.c0);
     }
 
@@ -109,7 +117,12 @@ mod tests {
             KernelClass::Update
         );
         assert_eq!(
-            KernelClass::of(TaskKind::Tsmqr { p: 0, i: 1, j: 1, k: 0 }),
+            KernelClass::of(TaskKind::Tsmqr {
+                p: 0,
+                i: 1,
+                j: 1,
+                k: 0
+            }),
             KernelClass::Update
         );
     }

@@ -27,18 +27,31 @@ fn main() {
     let run = hetero::plan_and_simulate(&platform, n);
     let plan = &run.plan;
 
-    println!("\nplanning a {n}x{n} tiled QR (grid {}x{}):", run.grid.0, run.grid.1);
+    println!(
+        "\nplanning a {n}x{n} tiled QR (grid {}x{}):",
+        run.grid.0, run.grid.1
+    );
 
     // Algorithm 2: main computing device.
     let main_dev = platform.device(plan.main);
-    println!("  [Alg 2] main computing device: {} (device {})", main_dev.name, plan.main);
+    println!(
+        "  [Alg 2] main computing device: {} (device {})",
+        main_dev.name, plan.main
+    );
     if let Some(sel) = &plan.main_selection {
-        println!("          candidates passing the T/E-before-updates test: {:?}", sel.candidates);
+        println!(
+            "          candidates passing the T/E-before-updates test: {:?}",
+            sel.candidates
+        );
     }
 
     // Algorithm 3: number of devices.
     if let Some(count) = &plan.count_selection {
-        println!("  [Alg 3] participating devices: {} of {}", count.p, platform.num_devices());
+        println!(
+            "  [Alg 3] participating devices: {} of {}",
+            count.p,
+            platform.num_devices()
+        );
         for pred in &count.predictions {
             println!(
                 "          p={}  Top={:>10.1}us  Tcomm={:>9.1}us  T(p)={:>10.1}us{}",
@@ -57,7 +70,11 @@ fn main() {
         .iter()
         .map(|&d| platform.device(d).name.as_str())
         .collect();
-    println!("  [Alg 4] distribution guide array ({} entries): {:?}", guide.len(), names);
+    println!(
+        "  [Alg 4] distribution guide array ({} entries): {:?}",
+        guide.len(),
+        names
+    );
 
     // Simulated execution.
     println!("\nsimulated execution:");

@@ -18,7 +18,9 @@ fn main() {
     let samples = 2000;
     let degree = truth.len();
 
-    let ts: Vec<f64> = (0..samples).map(|i| i as f64 * 20.0 / samples as f64).collect();
+    let ts: Vec<f64> = (0..samples)
+        .map(|i| i as f64 * 20.0 / samples as f64)
+        .collect();
     let noise = tileqr::gen::random_vector::<f64>(samples, 123);
     let y: Vec<f64> = ts
         .iter()

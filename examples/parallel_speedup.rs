@@ -16,7 +16,11 @@ fn main() {
     let a = tileqr::gen::random_matrix::<f64>(n, n, 2024);
     let max_workers = std::thread::available_parallelism().map_or(4, |v| v.get());
 
-    println!("tiled QR of a {n}x{n} matrix, tile size {b} ({}x{} tiles):", n / b, n / b);
+    println!(
+        "tiled QR of a {n}x{n} matrix, tile size {b} ({}x{} tiles):",
+        n / b,
+        n / b
+    );
 
     let mut baseline = 0.0f64;
     let mut workers = 1usize;

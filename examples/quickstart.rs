@@ -24,8 +24,14 @@ fn main() {
     let report = validate::check_qr(&a, &q, &r).expect("validation failed");
     println!("tiled QR of a {n}x{n} matrix");
     println!("  ||A - QR||_F / (||A||_F * n) = {:.3e}", report.residual);
-    println!("  ||Q^T Q - I||_F / n          = {:.3e}", report.orthogonality);
-    println!("  max |R| below diagonal       = {:.3e}", report.max_below_diagonal);
+    println!(
+        "  ||Q^T Q - I||_F / n          = {:.3e}",
+        report.orthogonality
+    );
+    println!(
+        "  max |R| below diagonal       = {:.3e}",
+        report.max_below_diagonal
+    );
     assert!(report.passes(validate::qr_tolerance::<f64>(n, n)));
 
     // Use the factorization: solve A x = b.

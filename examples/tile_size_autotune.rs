@@ -21,7 +21,11 @@ fn main() {
     let result = autotune::tune_tile_size(profiles::paper_testbed, probe, &candidates);
     println!("\n tile |  simulated time");
     for (b, secs) in &result.probes {
-        let marker = if *b == result.best_tile { "  <- best" } else { "" };
+        let marker = if *b == result.best_tile {
+            "  <- best"
+        } else {
+            ""
+        };
         println!("{b:>5} |  {secs:>10.5} s{marker}");
     }
 

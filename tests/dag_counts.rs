@@ -57,5 +57,8 @@ fn class_totals_reconcile() {
     assert_eq!(t, 10);
     assert_eq!(e, (0..10).map(|k| 10 - k - 1).sum::<usize>());
     assert_eq!(ut, (0..10).map(|k| 10 - k - 1).sum::<usize>());
-    assert_eq!(ue, (0..10).map(|k| (10 - k - 1) * (10 - k - 1)).sum::<usize>());
+    assert_eq!(
+        ue,
+        (0..10).map(|k| (10 - k - 1) * (10 - k - 1)).sum::<usize>()
+    );
 }

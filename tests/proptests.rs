@@ -1,154 +1,189 @@
-//! Property-based tests over the core invariants.
+//! Property-style tests over the core invariants, swept across
+//! deterministic seeded random inputs (the breadth of the previous
+//! proptest suite, without the external dependency).
 
-use proptest::prelude::*;
 use tileqr::dag::{counts, critical_path, topo, EliminationOrder, TaskGraph};
 use tileqr::hetero::{guide, ratio};
 use tileqr::kernels::validate;
 use tileqr::ops;
 use tileqr::prelude::*;
+use tileqr_matrix::Rng64;
 
-fn arbitrary_matrix(m: usize, n: usize) -> impl Strategy<Value = Matrix<f64>> {
-    proptest::collection::vec(-100.0f64..100.0, m * n)
-        .prop_map(move |data| Matrix::from_col_major(m, n, data).unwrap())
+fn seeded_matrix(m: usize, n: usize, seed: u64) -> Matrix<f64> {
+    let mut rng = Rng64::seed_from_u64(
+        seed.wrapping_mul(0x9E37_79B9)
+            .wrapping_add((m * 1000 + n) as u64),
+    );
+    Matrix::from_fn(m, n, |_, _| rng.range_f64(-100.0, 100.0))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn qr_is_backward_stable_on_random_input(
-        a in (4usize..28).prop_flat_map(|n| (Just(n), arbitrary_matrix(n, n))),
-        b in 2usize..9,
-    ) {
-        let (n, a) = a;
+#[test]
+fn qr_is_backward_stable_on_random_input() {
+    for case in 0..24u64 {
+        let mut rng = Rng64::seed_from_u64(100 + case);
+        let n = rng.range_i64(4, 27) as usize;
+        let b = rng.range_i64(2, 8) as usize;
+        let a = seeded_matrix(n, n, 1000 + case);
         let f = TiledQr::factor(&a, &QrOptions::new().tile_size(b)).unwrap();
         let q = f.q().unwrap();
         let r = f.r();
         let report = validate::check_qr(&a, &q, &r).unwrap();
         // Scale-invariant backward error bound.
-        prop_assert!(report.passes(validate::qr_tolerance::<f64>(n, n) * 10.0),
-            "n={n} b={b}: {report:?}");
+        assert!(
+            report.passes(validate::qr_tolerance::<f64>(n, n) * 10.0),
+            "n={n} b={b}: {report:?}"
+        );
     }
+}
 
-    #[test]
-    fn r_diagonal_dominates_determinant(
-        a in arbitrary_matrix(12, 12),
-    ) {
+#[test]
+fn r_diagonal_dominates_determinant() {
+    for case in 0..24u64 {
+        let a = seeded_matrix(12, 12, 2000 + case);
         let f = TiledQr::factor(&a, &QrOptions::new().tile_size(4)).unwrap();
         // |det A| computed from R must be finite and non-negative.
         let d = f.det_abs().unwrap();
-        prop_assert!(d.is_finite());
-        prop_assert!(d >= 0.0);
+        assert!(d.is_finite(), "case {case}");
+        assert!(d >= 0.0, "case {case}");
     }
+}
 
-    #[test]
-    fn solve_then_multiply_round_trips(
-        x in proptest::collection::vec(-10.0f64..10.0, 12),
-    ) {
+#[test]
+fn solve_then_multiply_round_trips() {
+    for case in 0..24u64 {
+        let mut rng = Rng64::seed_from_u64(3000 + case);
+        let x: Vec<f64> = (0..12).map(|_| rng.range_f64(-10.0, 10.0)).collect();
         // Well-conditioned A: solving A x = b recovers x.
         let a = tileqr::gen::diagonally_dominant::<f64>(12, 99);
         let b = ops::matvec(&a, &x).unwrap();
         let f = TiledQr::factor(&a, &QrOptions::new().tile_size(4)).unwrap();
         let got = f.solve(&b).unwrap();
         for (g, want) in got.iter().zip(&x) {
-            prop_assert!((g - want).abs() < 1e-8);
+            assert!((g - want).abs() < 1e-8, "case {case}");
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn dag_is_always_acyclic_and_complete(
-        mt in 1usize..12,
-        nt in 1usize..12,
-        which in 0usize..3,
-    ) {
+#[test]
+fn dag_is_always_acyclic_and_complete() {
+    for case in 0..64u64 {
+        let mut rng = Rng64::seed_from_u64(4000 + case);
+        let mt = rng.range_i64(1, 11) as usize;
+        let nt = rng.range_i64(1, 11) as usize;
         let order = [
             EliminationOrder::FlatTs,
             EliminationOrder::FlatTt,
             EliminationOrder::BinaryTt,
-        ][which];
+        ][rng.range_i64(0, 2) as usize];
         let g = TaskGraph::build(mt, nt, order);
-        prop_assert!(topo::is_acyclic(&g));
+        assert!(topo::is_acyclic(&g), "{mt}x{nt} {order:?}");
         // Every non-source task has a pred; sources are GEQRTs.
         for id in g.sources() {
-            let is_geqrt = matches!(g.task(id), tileqr::dag::TaskKind::Geqrt { .. });
-            prop_assert!(is_geqrt);
+            assert!(
+                matches!(g.task(id), tileqr::dag::TaskKind::Geqrt { .. }),
+                "{mt}x{nt} {order:?}"
+            );
         }
         // Parallelism profile conserves tasks.
         let profile = topo::parallelism_profile(&g);
-        prop_assert_eq!(profile.iter().sum::<usize>(), g.len());
+        assert_eq!(profile.iter().sum::<usize>(), g.len());
         // Critical path length bounded by task count.
         let cp = critical_path::critical_path_length(&g, |_| 1.0);
-        prop_assert!(cp as usize <= g.len());
+        assert!(cp as usize <= g.len());
     }
+}
 
-    #[test]
-    fn ts_task_count_closed_form(mt in 1usize..16, nt in 1usize..16) {
+#[test]
+fn ts_task_count_closed_form() {
+    for case in 0..64u64 {
+        let mut rng = Rng64::seed_from_u64(5000 + case);
+        let mt = rng.range_i64(1, 15) as usize;
+        let nt = rng.range_i64(1, 15) as usize;
         let g = TaskGraph::build(mt, nt, EliminationOrder::FlatTs);
-        prop_assert_eq!(g.len(), counts::total_ts_tasks(mt, nt));
+        assert_eq!(g.len(), counts::total_ts_tasks(mt, nt), "{mt}x{nt}");
     }
+}
 
-    #[test]
-    fn guide_array_preserves_ratios(
-        ratios in proptest::collection::vec(0u64..20, 1..6),
-    ) {
-        prop_assume!(ratios.iter().any(|&r| r > 0));
+#[test]
+fn guide_array_preserves_ratios() {
+    for case in 0..64u64 {
+        let mut rng = Rng64::seed_from_u64(6000 + case);
+        let len = rng.range_i64(1, 5) as usize;
+        let mut ratios: Vec<u64> = (0..len).map(|_| rng.range_i64(0, 19) as u64).collect();
+        if ratios.iter().all(|&r| r == 0) {
+            ratios[0] = 1;
+        }
         let devices: Vec<usize> = (0..ratios.len()).collect();
         let g = guide::generate_guide_array(&devices, &ratios);
         let total: u64 = ratios.iter().sum();
-        prop_assert_eq!(g.len() as u64, total);
+        assert_eq!(g.len() as u64, total, "case {case}");
         for (d, &r) in devices.iter().zip(&ratios) {
-            prop_assert_eq!(g.iter().filter(|&&x| x == *d).count() as u64, r);
+            assert_eq!(g.iter().filter(|&&x| x == *d).count() as u64, r);
         }
     }
+}
 
-    #[test]
-    fn integer_ratio_preserves_ordering(
-        t in proptest::collection::vec(0.0f64..1000.0, 2..6),
-    ) {
-        prop_assume!(t.iter().any(|&x| x > 1.0));
+#[test]
+fn integer_ratio_preserves_ordering() {
+    for case in 0..64u64 {
+        let mut rng = Rng64::seed_from_u64(7000 + case);
+        let len = rng.range_i64(2, 5) as usize;
+        let mut t: Vec<f64> = (0..len).map(|_| rng.range_f64(0.0, 1000.0)).collect();
+        if !t.iter().any(|&x| x > 1.0) {
+            t[0] = 2.0;
+        }
         let r = ratio::integer_ratio(&t);
-        prop_assert_eq!(r.len(), t.len());
+        assert_eq!(r.len(), t.len());
         for i in 0..t.len() {
             for j in 0..t.len() {
                 if t[i] > t[j] {
                     // Faster devices never get a *smaller* ratio.
-                    prop_assert!(r[i] >= r[j],
-                        "throughputs {:?} -> ratios {:?}", t, r);
+                    assert!(r[i] >= r[j], "throughputs {t:?} -> ratios {r:?}");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn nrm2_is_scale_invariant(
-        v in proptest::collection::vec(-1.0f64..1.0, 1..20),
-        scale in 1.0f64..1e6,
-    ) {
+#[test]
+fn nrm2_is_scale_invariant() {
+    for case in 0..64u64 {
+        let mut rng = Rng64::seed_from_u64(8000 + case);
+        let len = rng.range_i64(1, 19) as usize;
+        let v: Vec<f64> = (0..len).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+        let scale = rng.range_f64(1.0, 1e6);
         let base = ops::nrm2(&v);
         let scaled: Vec<f64> = v.iter().map(|x| x * scale).collect();
         let got = ops::nrm2(&scaled);
-        prop_assert!((got - base * scale).abs() <= 1e-10 * (base * scale).max(1.0));
+        assert!(
+            (got - base * scale).abs() <= 1e-10 * (base * scale).max(1.0),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn transpose_involution(a in arbitrary_matrix(7, 5)) {
-        prop_assert_eq!(a.transpose().transpose(), a);
+#[test]
+fn transpose_involution() {
+    for case in 0..64u64 {
+        let a = seeded_matrix(7, 5, 9000 + case);
+        assert_eq!(a.transpose().transpose(), a);
     }
+}
 
-    #[test]
-    fn gemm_matches_matvec(
-        a in arbitrary_matrix(6, 4),
-        x in proptest::collection::vec(-10.0f64..10.0, 4),
-    ) {
+#[test]
+fn gemm_matches_matvec() {
+    for case in 0..64u64 {
+        let a = seeded_matrix(6, 4, 10_000 + case);
+        let mut rng = Rng64::seed_from_u64(11_000 + case);
+        let x: Vec<f64> = (0..4).map(|_| rng.range_f64(-10.0, 10.0)).collect();
         let xm = Matrix::from_col_major(4, 1, x.clone()).unwrap();
         let via_gemm = ops::matmul(&a, &xm).unwrap();
         let via_matvec = ops::matvec(&a, &x).unwrap();
         for i in 0..6 {
-            prop_assert!((via_gemm[(i, 0)] - via_matvec[i]).abs() < 1e-10);
+            assert!(
+                (via_gemm[(i, 0)] - via_matvec[i]).abs() < 1e-10,
+                "case {case}"
+            );
         }
     }
 }

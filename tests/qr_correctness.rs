@@ -2,10 +2,10 @@
 //! tile sizes, elimination orders and precisions, cross-checked against
 //! the reference (unblocked Householder) implementation.
 
+use tileqr::gen;
 use tileqr::kernels::{reference, validate};
 use tileqr::ops::{matmul, orthogonality_defect, relative_residual};
 use tileqr::prelude::*;
-use tileqr::gen;
 
 fn check_factorization(n_rows: usize, n_cols: usize, opts: &QrOptions, seed: u64) {
     let a = gen::random_matrix::<f64>(n_rows, n_cols, seed);
@@ -138,8 +138,7 @@ fn parallel_and_sequential_bitwise_equal() {
     for workers in [2, 4, 8] {
         let a = gen::random_matrix::<f64>(40, 40, 10);
         let seq = TiledQr::factor(&a, &QrOptions::new().tile_size(8)).unwrap();
-        let par =
-            TiledQr::factor(&a, &QrOptions::new().tile_size(8).workers(workers)).unwrap();
+        let par = TiledQr::factor(&a, &QrOptions::new().tile_size(8).workers(workers)).unwrap();
         assert_eq!(seq.r(), par.r(), "workers={workers}");
     }
 }

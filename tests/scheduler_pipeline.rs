@@ -103,7 +103,10 @@ fn main_device_ordering_of_fig9() {
     // In our calibration the 580/680 margin is compressed to low single
     // digits (see EXPERIMENTS.md); the CPU gap is the robust signal.
     assert!(d580 <= d680 * 1.05, "580 {d580} !<= ~680 {d680}");
-    assert!(dcpu > 3.0 * d580, "CPU-main must be far slower: {dcpu} vs {d580}");
+    assert!(
+        dcpu > 3.0 * d580,
+        "CPU-main must be far slower: {dcpu} vs {d580}"
+    );
     // Algorithm 2 agrees with the measurement.
     assert_eq!(main_select::select_main_device(&p, nt, nt).device, 0);
 }
@@ -114,14 +117,7 @@ fn distribution_strategies_ordering_of_fig10() {
     let p = profiles::paper_testbed(16);
     let nt = 1000; // 16000²
     let time_for = |strategy| {
-        let hp = plan::plan_with(
-            &p,
-            nt,
-            nt,
-            MainDevicePolicy::Fixed(0),
-            strategy,
-            Some(4),
-        );
+        let hp = plan::plan_with(&p, nt, nt, MainDevicePolicy::Fixed(0), strategy, Some(4));
         fastsim::simulate_fast(&p, &hp, nt, nt).makespan_s()
     };
     let guide = time_for(DistributionStrategy::GuideArray);
@@ -131,7 +127,10 @@ fn distribution_strategies_ordering_of_fig10() {
     // EXPERIMENTS.md); guide must never lose materially, and even must
     // lose clearly (the paper's 21%).
     assert!(guide <= cores * 1.05, "guide {guide} !<= ~cores {cores}");
-    assert!(even > guide * 1.15, "even {even} must clearly lose to guide {guide}");
+    assert!(
+        even > guide * 1.15,
+        "even {even} must clearly lose to guide {guide}"
+    );
     assert!(cores < even, "cores {cores} !< even {even}");
 }
 
