@@ -68,8 +68,8 @@ pub mod dag {
 /// Parallel runtime (re-export of `tileqr-runtime`).
 pub mod runtime {
     pub use tileqr_runtime::{
-        parallel_factor, parallel_factor_traced, PoolConfig, ReadyQueue, ReadyTracker, RunReport,
-        SchedulePolicy,
+        parallel_factor, parallel_factor_ordered, parallel_factor_traced, DispatchOrder,
+        PoolConfig, ReadyQueue, ReadyTracker, RunReport, SchedulePolicy,
     };
 }
 

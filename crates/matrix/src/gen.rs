@@ -59,6 +59,71 @@ pub fn wide_dynamic_range<T: Scalar>(m: usize, n: usize, seed: u64) -> Matrix<T>
     })
 }
 
+/// Graded matrix: row `i` of a uniform random matrix scaled by
+/// `decay^i`, so row norms fall geometrically. Graded matrices are a
+/// classic stress test for Householder QR because the trailing rows carry
+/// information many orders of magnitude below the leading ones.
+pub fn graded<T: Scalar>(m: usize, n: usize, decay: f64, seed: u64) -> Matrix<T> {
+    assert!(decay > 0.0 && decay <= 1.0, "decay must lie in (0, 1]");
+    let mut rng = Rng64::seed_from_u64(seed);
+    let mut a = Matrix::from_fn(m, n, |_, _| T::from_f64(rng.range_f64(-1.0, 1.0)));
+    let mut scale = 1.0;
+    for i in 0..m {
+        for j in 0..n {
+            a[(i, j)] *= T::from_f64(scale);
+        }
+        scale *= decay;
+    }
+    a
+}
+
+/// Nearly rank-deficient matrix: a rank-`k` product plus a uniform random
+/// perturbation of magnitude `eps`, so the trailing `min(m,n) - k`
+/// singular values are ~`eps` instead of exactly zero. With a small `eps`
+/// this sits right at the edge QR must handle: numerically singular but
+/// with no exact zero pivot.
+pub fn near_rank_deficient<T: Scalar>(
+    m: usize,
+    n: usize,
+    k: usize,
+    eps: f64,
+    seed: u64,
+) -> Matrix<T> {
+    assert!(eps >= 0.0);
+    let mut a = low_rank::<T>(m, n, k, seed);
+    let mut rng = Rng64::seed_from_u64(seed.wrapping_add(0x9e37_79b9_7f4a_7c15));
+    for v in a.as_mut_slice() {
+        *v += T::from_f64(eps * rng.range_f64(-1.0, 1.0));
+    }
+    a
+}
+
+/// Shifted-Cauchy ("Hilbert-like") matrix `a_ij = 1 / (x_i + y_j)` with
+/// seeded node perturbations. The Hilbert matrix is the `shift = 1`,
+/// unperturbed special case; jittering the nodes gives a whole family of
+/// severely ill-conditioned, non-symmetric, possibly rectangular matrices
+/// instead of the single classic instance.
+pub fn hilbert_like<T: Scalar>(m: usize, n: usize, shift: f64, seed: u64) -> Matrix<T> {
+    assert!(shift > 0.0, "shift must keep all denominators positive");
+    let mut rng = Rng64::seed_from_u64(seed);
+    // Nodes stay strictly increasing: x_i ∈ [i, i + 1/2), y_j ∈ [j, j + 1/2).
+    let xs: Vec<f64> = (0..m).map(|i| i as f64 + rng.range_f64(0.0, 0.5)).collect();
+    let ys: Vec<f64> = (0..n).map(|j| j as f64 + rng.range_f64(0.0, 0.5)).collect();
+    Matrix::from_fn(m, n, |i, j| {
+        T::from_f64(1.0 / (xs[i] + ys[j] + shift - 1.0))
+    })
+}
+
+/// Uniform random matrix scaled by `10^scale_exp` — probes overflow /
+/// underflow behavior of the factorization at huge (`scale_exp = 100`)
+/// and tiny (`scale_exp = -100`) magnitudes, where naive norm
+/// computations square themselves out of range.
+pub fn scaled_random<T: Scalar>(m: usize, n: usize, scale_exp: i32, seed: u64) -> Matrix<T> {
+    let s = 10f64.powi(scale_exp);
+    let mut rng = Rng64::seed_from_u64(seed);
+    Matrix::from_fn(m, n, |_, _| T::from_f64(s * rng.range_f64(-1.0, 1.0)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,6 +175,73 @@ mod tests {
         let a = low_rank::<f64>(6, 6, 2, 9);
         assert_eq!(a.dims(), (6, 6));
         assert!(frobenius_norm(&a) > 0.0);
+    }
+
+    #[test]
+    fn graded_rows_decay_geometrically() {
+        let m = 8;
+        let decay = 1e-2;
+        let a = graded::<f64>(m, 6, decay, 5);
+        let row_norm = |i: usize| (0..6).map(|j| a[(i, j)] * a[(i, j)]).sum::<f64>().sqrt();
+        for i in 1..m {
+            assert!(
+                row_norm(i) < row_norm(i - 1) * decay * 10.0,
+                "row {i} not graded"
+            );
+        }
+        assert!(a.all_finite());
+        assert_eq!(a, graded::<f64>(m, 6, decay, 5), "reproducible");
+    }
+
+    #[test]
+    #[should_panic]
+    fn graded_rejects_growth() {
+        let _ = graded::<f64>(4, 4, 1.5, 0);
+    }
+
+    #[test]
+    fn near_rank_deficient_is_a_perturbed_product() {
+        let base = low_rank::<f64>(6, 6, 2, 9);
+        let a = near_rank_deficient::<f64>(6, 6, 2, 1e-10, 9);
+        let mut diff: f64 = 0.0;
+        for i in 0..6 {
+            for j in 0..6 {
+                diff = diff.max((a[(i, j)] - base[(i, j)]).abs());
+            }
+        }
+        assert!(diff > 0.0, "perturbation applied");
+        assert!(diff <= 1e-10, "perturbation bounded by eps, got {diff}");
+        // eps = 0 degenerates to the exact low-rank matrix.
+        assert_eq!(near_rank_deficient::<f64>(6, 6, 2, 0.0, 9), base);
+    }
+
+    #[test]
+    fn hilbert_like_generalizes_hilbert() {
+        let a = hilbert_like::<f64>(5, 7, 1.0, 31);
+        assert_eq!(a.dims(), (5, 7));
+        assert!(a.all_finite());
+        assert!(a.as_slice().iter().all(|&v| v > 0.0));
+        // Entries decay away from the top-left corner along each row.
+        for i in 0..5 {
+            for j in 1..7 {
+                assert!(a[(i, j)] < a[(i, j - 1)]);
+            }
+        }
+        assert_ne!(
+            a,
+            hilbert_like::<f64>(5, 7, 1.0, 32),
+            "seed moves the nodes"
+        );
+    }
+
+    #[test]
+    fn scaled_random_hits_requested_magnitude() {
+        let huge = scaled_random::<f64>(6, 6, 100, 2);
+        assert!(huge.max_abs() > 1e98);
+        assert!(huge.all_finite());
+        let tiny = scaled_random::<f64>(6, 6, -100, 2);
+        assert!(tiny.max_abs() < 1e-98);
+        assert!(tiny.max_abs() > 0.0);
     }
 
     #[test]

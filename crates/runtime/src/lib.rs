@@ -26,5 +26,7 @@
 mod pool;
 mod scheduler;
 
-pub use pool::{parallel_factor, parallel_factor_traced, PoolConfig, RunReport};
-pub use scheduler::{ReadyQueue, ReadyTracker, SchedulePolicy};
+pub use pool::{
+    parallel_factor, parallel_factor_ordered, parallel_factor_traced, PoolConfig, RunReport,
+};
+pub use scheduler::{DispatchOrder, ReadyQueue, ReadyTracker, SchedulePolicy};

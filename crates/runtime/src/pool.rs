@@ -11,7 +11,7 @@
 //! the priority policy actually pick the next task instead of draining a
 //! prefetched FIFO.
 
-use crate::scheduler::{ReadyQueue, ReadyTracker, SchedulePolicy};
+use crate::scheduler::{DispatchOrder, ReadyQueue, ReadyTracker, SchedulePolicy};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 use tileqr_dag::{TaskGraph, TaskId, TaskKind};
@@ -125,7 +125,7 @@ pub fn parallel_factor_traced<T: Scalar>(
     let started = Instant::now();
     let workers = config.effective_workers().max(1);
     if workers == 1 || graph.len() <= 1 {
-        // Degenerate pool: run inline.
+        // Degenerate pool: run inline in program order.
         let mut state = state;
         state.run_all(graph)?;
         return Ok((
@@ -137,6 +137,39 @@ pub fn parallel_factor_traced<T: Scalar>(
                 commit_wait: Duration::ZERO,
                 max_ready_depth: 0,
                 policy: config.policy,
+            },
+        ));
+    }
+    parallel_factor_ordered(state, graph, config, DispatchOrder::Policy(config.policy))
+}
+
+/// [`parallel_factor_traced`] dispatching under an explicit
+/// [`DispatchOrder`] — the testkit's hook for driving the *real* pool
+/// (threads, channels, staged commits and all) through adversarial and
+/// seeded ready-set orders. Unlike [`parallel_factor_traced`], a
+/// single-worker config still runs the manager loop, so `workers == 1`
+/// honours the requested order instead of falling back to program order
+/// (the single-worker-starvation scenario).
+pub fn parallel_factor_ordered<T: Scalar>(
+    state: FactorState<T>,
+    graph: &TaskGraph,
+    config: PoolConfig,
+    order: DispatchOrder,
+) -> Result<(FactorState<T>, RunReport)> {
+    let started = Instant::now();
+    let workers = config.effective_workers().max(1);
+    if graph.len() <= 1 {
+        let mut state = state;
+        state.run_all(graph)?;
+        return Ok((
+            state,
+            RunReport {
+                tasks_per_worker: vec![graph.len() as u64],
+                elapsed: started.elapsed(),
+                stage_wait: Duration::ZERO,
+                commit_wait: Duration::ZERO,
+                max_ready_depth: 0,
+                policy: order.base_policy(),
             },
         ));
     }
@@ -183,7 +216,7 @@ pub fn parallel_factor_traced<T: Scalar>(
 
         // Manager loop: readiness tracking + policy-ordered dispatch.
         let mut tracker = ReadyTracker::new(graph);
-        let mut queue = ReadyQueue::for_policy(config.policy, graph, flop_weight(b));
+        let mut queue = ReadyQueue::for_order(order, graph, flop_weight(b));
         for t in tracker.initial_ready(graph) {
             queue.push(t);
         }
@@ -247,7 +280,7 @@ pub fn parallel_factor_traced<T: Scalar>(
             stage_wait: stats.stage_wait,
             commit_wait: stats.commit_wait,
             max_ready_depth: stats.max_ready_depth,
-            policy: config.policy,
+            policy: order.base_policy(),
         },
     ))
 }
@@ -418,6 +451,41 @@ mod tests {
         // The whole point of per-tile ownership: the lock path is a sliver
         // of the run.
         assert!(report.lock_fraction() < 0.5);
+    }
+
+    #[test]
+    fn adversarial_orders_match_sequential_bitwise() {
+        let a = random_matrix::<f64>(24, 24, 17);
+        let tiled = TiledMatrix::from_matrix(&a, 4).unwrap();
+        let g = TaskGraph::build(6, 6, EliminationOrder::FlatTs);
+        let mut seq = FactorState::new(tiled.clone());
+        seq.run_all(&g).unwrap();
+        let seq_tiles = seq.tiles().to_matrix();
+
+        for order in [
+            DispatchOrder::Lifo,
+            DispatchOrder::ReversePriority,
+            DispatchOrder::Seeded(7),
+        ] {
+            for workers in [1usize, 3] {
+                let (st, report) = super::parallel_factor_ordered(
+                    FactorState::new(tiled.clone()),
+                    &g,
+                    PoolConfig {
+                        workers,
+                        ..PoolConfig::default()
+                    },
+                    order,
+                )
+                .unwrap();
+                assert_eq!(
+                    st.tiles().to_matrix(),
+                    seq_tiles,
+                    "{order:?} workers={workers}"
+                );
+                assert_eq!(report.total_tasks() as usize, g.len());
+            }
+        }
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use std::collections::{BinaryHeap, VecDeque};
 use tileqr_dag::{TaskGraph, TaskId};
+use tileqr_matrix::Rng64;
 
 /// Order in which the manager hands ready tasks to idle workers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -24,6 +25,48 @@ impl SchedulePolicy {
         match self {
             SchedulePolicy::Fifo => "fifo",
             SchedulePolicy::CriticalPath => "critical_path",
+        }
+    }
+}
+
+/// Dispatch orders beyond the production [`SchedulePolicy`] pair — the
+/// hook the testkit's schedule explorer uses to drive the manager's ready
+/// set through adversarial and seeded permutations of the legal
+/// interleaving space. Every order is deterministic given its parameters,
+/// so any failure reproduces from the order alone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DispatchOrder {
+    /// A production policy, unchanged.
+    Policy(SchedulePolicy),
+    /// Newest-ready-first: a stack, starving the oldest ready tasks —
+    /// the single-worker-starvation adversary.
+    Lifo,
+    /// *Lowest* static bottom level first: the exact inverse of
+    /// [`SchedulePolicy::CriticalPath`], aggressively deferring the
+    /// critical path whenever legally possible.
+    ReversePriority,
+    /// Uniform seeded choice among the ready tasks; distinct seeds explore
+    /// distinct legal interleavings reproducibly.
+    Seeded(u64),
+}
+
+impl DispatchOrder {
+    /// The production policy this order perturbs (used for reporting).
+    pub fn base_policy(self) -> SchedulePolicy {
+        match self {
+            DispatchOrder::Policy(p) => p,
+            DispatchOrder::Lifo | DispatchOrder::Seeded(_) => SchedulePolicy::Fifo,
+            DispatchOrder::ReversePriority => SchedulePolicy::CriticalPath,
+        }
+    }
+
+    /// Stable lowercase name for diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            DispatchOrder::Policy(p) => p.name(),
+            DispatchOrder::Lifo => "lifo",
+            DispatchOrder::ReversePriority => "reverse_priority",
+            DispatchOrder::Seeded(_) => "seeded",
         }
     }
 }
@@ -52,18 +95,36 @@ impl PartialOrd for Prioritized {
     }
 }
 
-/// The manager's ready set, yielding tasks in [`SchedulePolicy`] order.
+/// Internal representation of the ready set, one variant per dispatch
+/// discipline.
+#[derive(Debug)]
+enum QueueRepr {
+    Fifo(VecDeque<TaskId>),
+    Lifo(Vec<TaskId>),
+    /// `sign` is `+1.0` for highest-first (critical path) and `-1.0` for
+    /// lowest-first (reverse priority).
+    Heap {
+        heap: BinaryHeap<Prioritized>,
+        priorities: Vec<f64>,
+        sign: f64,
+    },
+    Seeded {
+        rng: Rng64,
+        items: Vec<TaskId>,
+    },
+}
+
+/// The manager's ready set, yielding tasks in [`DispatchOrder`] order.
 ///
 /// FIFO keeps a queue; critical-path keeps a max-heap over the static
-/// priorities computed once per run. Also records the high-water depth of
-/// the ready set — a cheap observability hook for how much dispatch slack
-/// the scheduler actually had.
+/// priorities computed once per run; the exploration orders keep a stack,
+/// an inverted heap, or a seeded grab bag. Also records the high-water
+/// depth of the ready set — a cheap observability hook for how much
+/// dispatch slack the scheduler actually had.
 #[derive(Debug)]
 pub struct ReadyQueue {
-    policy: SchedulePolicy,
-    fifo: VecDeque<TaskId>,
-    heap: BinaryHeap<Prioritized>,
-    priorities: Vec<f64>,
+    order: DispatchOrder,
+    repr: QueueRepr,
     max_depth: usize,
 }
 
@@ -71,10 +132,17 @@ impl ReadyQueue {
     /// FIFO dispatch.
     pub fn fifo() -> Self {
         ReadyQueue {
-            policy: SchedulePolicy::Fifo,
-            fifo: VecDeque::new(),
-            heap: BinaryHeap::new(),
-            priorities: Vec::new(),
+            order: DispatchOrder::Policy(SchedulePolicy::Fifo),
+            repr: QueueRepr::Fifo(VecDeque::new()),
+            max_depth: 0,
+        }
+    }
+
+    /// Newest-ready-first dispatch (exploration adversary).
+    pub fn lifo() -> Self {
+        ReadyQueue {
+            order: DispatchOrder::Lifo,
+            repr: QueueRepr::Lifo(Vec::new()),
             max_depth: 0,
         }
     }
@@ -83,10 +151,39 @@ impl ReadyQueue {
     /// static priority (e.g. its bottom level).
     pub fn critical_path(priorities: Vec<f64>) -> Self {
         ReadyQueue {
-            policy: SchedulePolicy::CriticalPath,
-            fifo: VecDeque::new(),
-            heap: BinaryHeap::new(),
-            priorities,
+            order: DispatchOrder::Policy(SchedulePolicy::CriticalPath),
+            repr: QueueRepr::Heap {
+                heap: BinaryHeap::new(),
+                priorities,
+                sign: 1.0,
+            },
+            max_depth: 0,
+        }
+    }
+
+    /// *Lowest*-priority-first dispatch over the same priorities — the
+    /// exact inverse of [`ReadyQueue::critical_path`].
+    pub fn reverse_priority(priorities: Vec<f64>) -> Self {
+        ReadyQueue {
+            order: DispatchOrder::ReversePriority,
+            repr: QueueRepr::Heap {
+                heap: BinaryHeap::new(),
+                priorities,
+                sign: -1.0,
+            },
+            max_depth: 0,
+        }
+    }
+
+    /// Seeded uniform dispatch: each pop draws one of the ready tasks via
+    /// a deterministic [`Rng64`] stream.
+    pub fn seeded(seed: u64) -> Self {
+        ReadyQueue {
+            order: DispatchOrder::Seeded(seed),
+            repr: QueueRepr::Seeded {
+                rng: Rng64::seed_from_u64(seed),
+                items: Vec::new(),
+            },
             max_depth: 0,
         }
     }
@@ -98,44 +195,82 @@ impl ReadyQueue {
         graph: &TaskGraph,
         weight: impl Fn(tileqr_dag::TaskKind) -> f64,
     ) -> Self {
-        match policy {
-            SchedulePolicy::Fifo => Self::fifo(),
-            SchedulePolicy::CriticalPath => {
+        Self::for_order(DispatchOrder::Policy(policy), graph, weight)
+    }
+
+    /// Build a queue for any [`DispatchOrder`], computing priorities from
+    /// `graph` and a per-task weight when the order needs them.
+    pub fn for_order(
+        order: DispatchOrder,
+        graph: &TaskGraph,
+        weight: impl Fn(tileqr_dag::TaskKind) -> f64,
+    ) -> Self {
+        match order {
+            DispatchOrder::Policy(SchedulePolicy::Fifo) => Self::fifo(),
+            DispatchOrder::Policy(SchedulePolicy::CriticalPath) => {
                 Self::critical_path(tileqr_dag::critical_path::bottom_levels(graph, weight))
             }
+            DispatchOrder::Lifo => Self::lifo(),
+            DispatchOrder::ReversePriority => {
+                Self::reverse_priority(tileqr_dag::critical_path::bottom_levels(graph, weight))
+            }
+            DispatchOrder::Seeded(seed) => Self::seeded(seed),
         }
     }
 
-    /// The policy this queue dispatches under.
+    /// The policy this queue dispatches under (exploration orders report
+    /// the production policy they perturb).
     pub fn policy(&self) -> SchedulePolicy {
-        self.policy
+        self.order.base_policy()
+    }
+
+    /// The full dispatch order, including exploration variants.
+    pub fn order(&self) -> DispatchOrder {
+        self.order
     }
 
     /// Add a ready task.
     pub fn push(&mut self, id: TaskId) {
-        match self.policy {
-            SchedulePolicy::Fifo => self.fifo.push_back(id),
-            SchedulePolicy::CriticalPath => self.heap.push(Prioritized {
-                priority: self.priorities.get(id).copied().unwrap_or(0.0),
+        match &mut self.repr {
+            QueueRepr::Fifo(q) => q.push_back(id),
+            QueueRepr::Lifo(s) => s.push(id),
+            QueueRepr::Heap {
+                heap,
+                priorities,
+                sign,
+            } => heap.push(Prioritized {
+                priority: *sign * priorities.get(id).copied().unwrap_or(0.0),
                 id,
             }),
+            QueueRepr::Seeded { items, .. } => items.push(id),
         }
         self.max_depth = self.max_depth.max(self.len());
     }
 
     /// Remove and return the next task to dispatch.
     pub fn pop(&mut self) -> Option<TaskId> {
-        match self.policy {
-            SchedulePolicy::Fifo => self.fifo.pop_front(),
-            SchedulePolicy::CriticalPath => self.heap.pop().map(|p| p.id),
+        match &mut self.repr {
+            QueueRepr::Fifo(q) => q.pop_front(),
+            QueueRepr::Lifo(s) => s.pop(),
+            QueueRepr::Heap { heap, .. } => heap.pop().map(|p| p.id),
+            QueueRepr::Seeded { rng, items } => {
+                if items.is_empty() {
+                    None
+                } else {
+                    let idx = (rng.next_u64() % items.len() as u64) as usize;
+                    Some(items.swap_remove(idx))
+                }
+            }
         }
     }
 
     /// Tasks currently ready.
     pub fn len(&self) -> usize {
-        match self.policy {
-            SchedulePolicy::Fifo => self.fifo.len(),
-            SchedulePolicy::CriticalPath => self.heap.len(),
+        match &self.repr {
+            QueueRepr::Fifo(q) => q.len(),
+            QueueRepr::Lifo(s) => s.len(),
+            QueueRepr::Heap { heap, .. } => heap.len(),
+            QueueRepr::Seeded { items, .. } => items.len(),
         }
     }
 
@@ -290,6 +425,88 @@ mod tests {
             }
             assert_eq!(drained, g.len());
             assert!(tr.all_done());
+        }
+    }
+
+    #[test]
+    fn reverse_priority_pops_lowest_first() {
+        let mut q = ReadyQueue::reverse_priority(vec![1.0, 5.0, 3.0, 5.0]);
+        for id in 0..4 {
+            q.push(id);
+        }
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), Some(2));
+        // Equal priorities still break toward the lower id.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.order(), DispatchOrder::ReversePriority);
+        assert_eq!(q.policy(), SchedulePolicy::CriticalPath);
+    }
+
+    #[test]
+    fn lifo_pops_newest_first() {
+        let mut q = ReadyQueue::lifo();
+        for id in [7, 3, 9] {
+            q.push(id);
+        }
+        assert_eq!(q.pop(), Some(9));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(7));
+        assert_eq!(q.policy(), SchedulePolicy::Fifo);
+    }
+
+    #[test]
+    fn seeded_is_deterministic_and_seed_sensitive() {
+        let drain = |seed: u64| {
+            let mut q = ReadyQueue::seeded(seed);
+            for id in 0..32 {
+                q.push(id);
+            }
+            let mut out = Vec::new();
+            while let Some(t) = q.pop() {
+                out.push(t);
+            }
+            out
+        };
+        assert_eq!(drain(1), drain(1));
+        assert_ne!(drain(1), drain(2));
+        let mut sorted = drain(3);
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_order_drains_a_dag_safely() {
+        // The dispatch-safety invariant must hold under every exploration
+        // order, not just the production policies.
+        let g = TaskGraph::build(4, 4, EliminationOrder::FlatTs);
+        let orders = [
+            DispatchOrder::Policy(SchedulePolicy::Fifo),
+            DispatchOrder::Policy(SchedulePolicy::CriticalPath),
+            DispatchOrder::Lifo,
+            DispatchOrder::ReversePriority,
+            DispatchOrder::Seeded(99),
+        ];
+        for order in orders {
+            let mut q = ReadyQueue::for_order(order, &g, |_| 1.0);
+            let mut tr = ReadyTracker::new(&g);
+            let mut done = vec![false; g.len()];
+            for t in tr.initial_ready(&g) {
+                q.push(t);
+            }
+            let mut drained = 0;
+            while let Some(t) = q.pop() {
+                assert!(
+                    g.preds(t).iter().all(|&p| done[p]),
+                    "{order:?}: task {t} dispatched before a predecessor"
+                );
+                done[t] = true;
+                drained += 1;
+                for ready in tr.complete(&g, t) {
+                    q.push(ready);
+                }
+            }
+            assert_eq!(drained, g.len(), "{order:?}");
         }
     }
 

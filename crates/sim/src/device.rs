@@ -64,6 +64,35 @@ impl DeviceProfile {
     pub fn update_throughput(&self, b: usize) -> f64 {
         self.slots(b) as f64 / self.kernel_time_us(KernelClass::Update, b)
     }
+
+    /// A persistently degraded copy of this device: every timing
+    /// coefficient scaled by `factor` (`>= 1.0`), so all kernels run
+    /// `factor`× slower. This is the *steady-state* counterpart of a
+    /// [`crate::DeviceFault`] spike — feed it to the Alg. 2/3 predictors
+    /// to ask how the paper's selections shift when a device misbehaves
+    /// for a whole run.
+    pub fn slowed(&self, factor: f64) -> DeviceProfile {
+        assert!(factor >= 1.0, "degradation must not speed the device up");
+        let scale = |t: &StepTimes| StepTimes {
+            triangulation: scale_timing(t.triangulation, factor),
+            elimination: scale_timing(t.elimination, factor),
+            update: scale_timing(t.update, factor),
+        };
+        DeviceProfile {
+            name: format!("{}-slow{factor}", self.name),
+            kind: self.kind,
+            cores: self.cores,
+            times: scale(&self.times),
+        }
+    }
+}
+
+fn scale_timing(t: crate::timing::KernelTiming, factor: f64) -> crate::timing::KernelTiming {
+    crate::timing::KernelTiming {
+        c0: t.c0 * factor,
+        c1: t.c1 * factor,
+        c2: t.c2 * factor,
+    }
 }
 
 #[cfg(test)]

@@ -17,6 +17,7 @@
 //! [`DeviceProfile::slots`]: crate::DeviceProfile::slots
 
 use crate::device::DeviceId;
+use crate::fault::FaultPlan;
 use crate::platform::Platform;
 use crate::stats::SimStats;
 use crate::trace::{TaskSpan, Timeline, TransferSpan};
@@ -27,6 +28,9 @@ use tileqr_dag::{TaskGraph, TaskId};
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum EventKind {
     TaskDone(TaskId),
+    /// A transient-fault attempt burned its duration and produced nothing;
+    /// the retry hook re-queues the task on its device.
+    TaskAttemptFailed(TaskId),
     TransferDone(TaskId, DeviceId),
 }
 
@@ -70,7 +74,7 @@ enum TransferState {
 /// Panics if `assignment.len() != g.len()` or any device id is out of
 /// range.
 pub fn simulate(g: &TaskGraph, platform: &Platform, assignment: &[DeviceId]) -> SimStats {
-    simulate_impl(g, platform, assignment, None)
+    simulate_impl(g, platform, assignment, None, &FaultPlan::none())
 }
 
 /// [`simulate`], additionally recording the full execution [`Timeline`]
@@ -81,8 +85,28 @@ pub fn simulate_traced(
     assignment: &[DeviceId],
 ) -> (SimStats, Timeline) {
     let mut timeline = Timeline::default();
-    let stats = simulate_impl(g, platform, assignment, Some(&mut timeline));
+    let stats = simulate_impl(
+        g,
+        platform,
+        assignment,
+        Some(&mut timeline),
+        &FaultPlan::none(),
+    );
     (stats, timeline)
+}
+
+/// [`simulate`] under an injected [`FaultPlan`]: device slowdown spikes
+/// stretch kernels starting in their window, bus stalls/storms delay
+/// transfers, and transient kernel failures burn full-duration attempts
+/// before the retry succeeds. With [`FaultPlan::none`] the result is
+/// bit-identical to [`simulate`].
+pub fn simulate_with_faults(
+    g: &TaskGraph,
+    platform: &Platform,
+    assignment: &[DeviceId],
+    faults: &FaultPlan,
+) -> SimStats {
+    simulate_impl(g, platform, assignment, None, faults)
 }
 
 fn simulate_impl(
@@ -90,6 +114,7 @@ fn simulate_impl(
     platform: &Platform,
     assignment: &[DeviceId],
     mut trace: Option<&mut Timeline>,
+    faults: &FaultPlan,
 ) -> SimStats {
     assert_eq!(assignment.len(), g.len(), "one device per task required");
     let ndev = platform.num_devices();
@@ -127,6 +152,9 @@ fn simulate_impl(
         }};
     }
 
+    // Remaining failing attempts injected per task (usually all zero).
+    let mut attempts_left: Vec<usize> = (0..g.len()).map(|t| faults.failures_for(t)).collect();
+
     // Dispatch as much queued work as device `d` has free slots for.
     macro_rules! dispatch {
         ($d:expr, $now:expr) => {{
@@ -136,9 +164,14 @@ fn simulate_impl(
                     break;
                 };
                 busy[d] += 1;
-                let dur = platform.task_time_us(d, g.task(t));
+                let dur = platform.task_time_us(d, g.task(t)) * faults.slowdown_at(d, $now);
                 stats.device_busy_us[d] += dur;
-                stats.tasks_per_device[d] += 1;
+                let will_fail = attempts_left[t] > 0;
+                if will_fail {
+                    attempts_left[t] -= 1;
+                } else {
+                    stats.tasks_per_device[d] += 1;
+                }
                 if let Some(tl) = trace.as_deref_mut() {
                     tl.tasks.push(TaskSpan {
                         task: t,
@@ -148,7 +181,12 @@ fn simulate_impl(
                         end_us: $now + dur,
                     });
                 }
-                push_event!($now + dur, EventKind::TaskDone(t));
+                let kind = if will_fail {
+                    EventKind::TaskAttemptFailed(t)
+                } else {
+                    EventKind::TaskDone(t)
+                };
+                push_event!($now + dur, kind);
             }
         }};
     }
@@ -212,8 +250,8 @@ fn simulate_impl(
                 dests.sort_unstable();
                 dests.dedup();
                 for dest in dests {
-                    let start = bus_free.max(now);
-                    let dur = platform.transfer_time_us(bytes);
+                    let start = faults.bus_available_at(bus_free.max(now));
+                    let dur = platform.transfer_time_us(bytes) + faults.transfer_overhead_at(start);
                     bus_free = start + dur;
                     stats.bus_busy_us += dur;
                     stats.bytes_transferred += bytes;
@@ -237,6 +275,15 @@ fn simulate_impl(
                         on_deps_done!(s, now);
                     }
                 }
+                dispatch!(d, now);
+            }
+            EventKind::TaskAttemptFailed(t) => {
+                // Retry hook: free the slot, count the retry, and re-queue
+                // the task on its assigned device.
+                let d = assignment[t];
+                busy[d] -= 1;
+                stats.retry_count += 1;
+                ready[d].push(Reverse(t));
                 dispatch!(d, now);
             }
             EventKind::TransferDone(p, dest) => {
@@ -423,6 +470,100 @@ mod tests {
         for w in tl.transfers.windows(2) {
             assert!(w[1].start_us >= w[0].end_us - 1e-9);
         }
+    }
+
+    #[test]
+    fn empty_fault_plan_is_transparent() {
+        let g = TaskGraph::build(5, 5, EliminationOrder::FlatTs);
+        let p = profiles::paper_testbed(16);
+        let a = column_cyclic(&g, 3);
+        let plain = simulate(&g, &p, &a);
+        let faulted = simulate_with_faults(&g, &p, &a, &crate::FaultPlan::none());
+        assert_eq!(plain, faulted);
+        assert_eq!(faulted.retry_count, 0);
+    }
+
+    #[test]
+    fn device_slowdown_stretches_makespan_monotonically() {
+        let g = TaskGraph::build(5, 5, EliminationOrder::FlatTs);
+        let p = profiles::paper_testbed(16);
+        let a = all_on(&g, 0);
+        let base = simulate(&g, &p, &a).makespan_us;
+        let mut prev = base;
+        for slow in [1.5, 3.0, 10.0] {
+            let plan = crate::FaultPlan::none().with_device_slowdown(0, 0.0, f64::MAX, slow);
+            let s = simulate_with_faults(&g, &p, &a, &plan);
+            assert!(s.makespan_us > prev, "slowdown {slow} did not degrade");
+            // A whole-run slowdown of the only busy device scales the
+            // makespan by at most the slowdown factor.
+            assert!(s.makespan_us <= base * slow + 1e-6);
+            prev = s.makespan_us;
+        }
+    }
+
+    #[test]
+    fn link_stall_delays_only_communicating_runs() {
+        let g = TaskGraph::build(4, 4, EliminationOrder::FlatTs);
+        let p = profiles::paper_testbed(16);
+        let stall = crate::FaultPlan::none().with_link_stall(0.0, 50_000.0);
+        // Single-device run never touches the bus: stall is invisible.
+        let solo = simulate_with_faults(&g, &p, &all_on(&g, 0), &stall);
+        assert_eq!(solo, simulate(&g, &p, &all_on(&g, 0)));
+        // Cross-device run must wait out the stall.
+        let a = column_cyclic(&g, 3);
+        let faulted = simulate_with_faults(&g, &p, &a, &stall);
+        let clean = simulate(&g, &p, &a);
+        assert!(faulted.makespan_us > clean.makespan_us);
+        assert!(faulted.makespan_us >= 50_000.0);
+        assert_eq!(faulted.bytes_transferred, clean.bytes_transferred);
+    }
+
+    #[test]
+    fn link_storm_inflates_bus_time() {
+        let g = TaskGraph::build(4, 4, EliminationOrder::FlatTs);
+        let p = profiles::paper_testbed(16);
+        let a = column_cyclic(&g, 3);
+        let clean = simulate(&g, &p, &a);
+        let storm = crate::FaultPlan::none().with_link_storm(0.0, f64::MAX, 40.0);
+        let s = simulate_with_faults(&g, &p, &a, &storm);
+        let expect = clean.bus_busy_us + 40.0 * clean.transfer_count as f64;
+        assert!((s.bus_busy_us - expect).abs() < 1e-6);
+        assert!(s.makespan_us >= clean.makespan_us);
+    }
+
+    #[test]
+    fn transient_kernel_failures_retry_and_complete() {
+        let g = TaskGraph::build(4, 4, EliminationOrder::FlatTs);
+        let p = profiles::paper_testbed(16);
+        let a = column_cyclic(&g, 2);
+        let clean = simulate(&g, &p, &a);
+        // Fail the first task (a GEQRT on the critical path) twice and a
+        // mid-graph task once.
+        let plan = crate::FaultPlan::none()
+            .with_kernel_failures(0, 2)
+            .with_kernel_failures(g.len() / 2, 1);
+        let s = simulate_with_faults(&g, &p, &a, &plan);
+        assert_eq!(s.retry_count, 3);
+        // Work conservation: every task still completes exactly once.
+        let total: u64 = s.tasks_per_device.iter().sum();
+        assert_eq!(total as usize, g.len());
+        assert!(s.makespan_us > clean.makespan_us);
+        // Burned attempts show up as extra busy time.
+        assert!(s.total_compute_us() > clean.total_compute_us());
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let g = TaskGraph::build(6, 6, EliminationOrder::FlatTs);
+        let p = profiles::paper_testbed(16);
+        let a = column_cyclic(&g, 4);
+        let plan = crate::FaultPlan::none()
+            .with_device_slowdown(1, 1000.0, 5000.0, 4.0)
+            .with_link_stall(2000.0, 3000.0)
+            .with_kernel_failures(7, 1);
+        let s1 = simulate_with_faults(&g, &p, &a, &plan);
+        let s2 = simulate_with_faults(&g, &p, &a, &plan);
+        assert_eq!(s1, s2);
     }
 
     #[test]

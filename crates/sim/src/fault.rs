@@ -1,0 +1,257 @@
+//! Fault injection for the discrete-event simulator.
+//!
+//! The paper's schedules assume devices and the PCIe bus behave exactly as
+//! profiled. Real accelerators do not: thermal throttling slows a GPU for
+//! a stretch, driver contention stalls the bus, and a kernel launch
+//! occasionally fails and is retried. This module describes such
+//! misbehavior as a deterministic [`FaultPlan`] the engine replays, so a
+//! test can ask *how a predicted schedule degrades* — and assert the
+//! degradation is graceful (monotone in fault magnitude, never a deadlock,
+//! work conservation intact).
+//!
+//! Three fault classes mirror the three simulated resources:
+//!
+//! * [`DeviceFault`] — a slowdown spike on one [`DeviceId`]: every kernel
+//!   *starting* inside the window runs `slowdown`× longer,
+//! * [`LinkFault`] — bus misbehavior: a [`LinkFault::Stall`] blocks the
+//!   bus until the window ends; a [`LinkFault::Storm`] adds per-transfer
+//!   setup latency (a serialization storm of tiny driver transactions),
+//! * [`KernelFault`] — transient failure of one task: its first
+//!   `failures` attempts burn the full kernel duration and produce
+//!   nothing, then the retry hook re-queues it on the same device.
+//!
+//! Everything is pure data and replayed deterministically — a failing
+//! seed reproduces from the plan alone.
+
+use crate::device::DeviceId;
+use tileqr_dag::TaskId;
+
+/// A per-device slowdown spike (e.g. thermal throttling).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceFault {
+    /// Affected device.
+    pub device: DeviceId,
+    /// Window start, microseconds of simulated time.
+    pub start_us: f64,
+    /// Window end, microseconds.
+    pub end_us: f64,
+    /// Duration multiplier (`>= 1.0`) for kernels starting in the window.
+    pub slowdown: f64,
+}
+
+/// Bus misbehavior over a time window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinkFault {
+    /// The bus is unavailable for the whole window: any transfer that
+    /// would start inside it waits until the window ends.
+    Stall {
+        /// Window start, microseconds.
+        start_us: f64,
+        /// Window end, microseconds.
+        end_us: f64,
+    },
+    /// Serialization storm: every transfer starting inside the window pays
+    /// `extra_latency_us` of additional setup time.
+    Storm {
+        /// Window start, microseconds.
+        start_us: f64,
+        /// Window end, microseconds.
+        end_us: f64,
+        /// Extra per-transfer latency, microseconds.
+        extra_latency_us: f64,
+    },
+}
+
+/// Transient failure of one task's kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelFault {
+    /// The task whose kernel misbehaves.
+    pub task: TaskId,
+    /// Number of attempts that fail before one succeeds. Each failed
+    /// attempt occupies its device slot for the full kernel duration.
+    pub failures: usize,
+}
+
+/// A complete, deterministic fault scenario for one simulated run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Device slowdown spikes.
+    pub device_faults: Vec<DeviceFault>,
+    /// Bus stalls and storms.
+    pub link_faults: Vec<LinkFault>,
+    /// Transient kernel failures.
+    pub kernel_faults: Vec<KernelFault>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing — simulating with it must reproduce the
+    /// fault-free run exactly.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Add a device slowdown spike (builder style).
+    pub fn with_device_slowdown(
+        mut self,
+        device: DeviceId,
+        start_us: f64,
+        end_us: f64,
+        slowdown: f64,
+    ) -> Self {
+        assert!(slowdown >= 1.0, "slowdown must not speed the device up");
+        assert!(end_us >= start_us);
+        self.device_faults.push(DeviceFault {
+            device,
+            start_us,
+            end_us,
+            slowdown,
+        });
+        self
+    }
+
+    /// Add a bus stall window (builder style).
+    pub fn with_link_stall(mut self, start_us: f64, end_us: f64) -> Self {
+        assert!(end_us >= start_us);
+        self.link_faults.push(LinkFault::Stall { start_us, end_us });
+        self
+    }
+
+    /// Add a serialization storm (builder style).
+    pub fn with_link_storm(mut self, start_us: f64, end_us: f64, extra_latency_us: f64) -> Self {
+        assert!(end_us >= start_us);
+        assert!(extra_latency_us >= 0.0);
+        self.link_faults.push(LinkFault::Storm {
+            start_us,
+            end_us,
+            extra_latency_us,
+        });
+        self
+    }
+
+    /// Add a transient kernel failure (builder style).
+    pub fn with_kernel_failures(mut self, task: TaskId, failures: usize) -> Self {
+        self.kernel_faults.push(KernelFault { task, failures });
+        self
+    }
+
+    /// `true` when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.device_faults.is_empty()
+            && self.link_faults.is_empty()
+            && self.kernel_faults.is_empty()
+    }
+
+    /// Combined slowdown multiplier for a kernel starting on `device` at
+    /// time `now` (overlapping spikes multiply).
+    pub fn slowdown_at(&self, device: DeviceId, now: f64) -> f64 {
+        self.device_faults
+            .iter()
+            .filter(|f| f.device == device && f.start_us <= now && now < f.end_us)
+            .map(|f| f.slowdown)
+            .product()
+    }
+
+    /// Earliest time at or after `start` when the bus is not stalled.
+    pub fn bus_available_at(&self, start: f64) -> f64 {
+        // Stall windows can chain (one window ends inside another), so
+        // iterate to a fixed point; each pass can only move forward.
+        let mut t = start;
+        loop {
+            let mut moved = false;
+            for f in &self.link_faults {
+                if let LinkFault::Stall { start_us, end_us } = *f {
+                    if start_us <= t && t < end_us {
+                        t = end_us;
+                        moved = true;
+                    }
+                }
+            }
+            if !moved {
+                return t;
+            }
+        }
+    }
+
+    /// Extra setup latency for a transfer starting at `start`.
+    pub fn transfer_overhead_at(&self, start: f64) -> f64 {
+        self.link_faults
+            .iter()
+            .map(|f| match *f {
+                LinkFault::Storm {
+                    start_us,
+                    end_us,
+                    extra_latency_us,
+                } if start_us <= start && start < end_us => extra_latency_us,
+                _ => 0.0,
+            })
+            .sum()
+    }
+
+    /// Number of failing attempts injected for `task`.
+    pub fn failures_for(&self, task: TaskId) -> usize {
+        self.kernel_faults
+            .iter()
+            .filter(|f| f.task == task)
+            .map(|f| f.failures)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_transparent() {
+        let p = FaultPlan::none();
+        assert!(p.is_empty());
+        assert_eq!(p.slowdown_at(0, 123.0), 1.0);
+        assert_eq!(p.bus_available_at(50.0), 50.0);
+        assert_eq!(p.transfer_overhead_at(50.0), 0.0);
+        assert_eq!(p.failures_for(3), 0);
+    }
+
+    #[test]
+    fn slowdown_windows_compose() {
+        let p = FaultPlan::none()
+            .with_device_slowdown(1, 0.0, 100.0, 2.0)
+            .with_device_slowdown(1, 50.0, 150.0, 3.0);
+        assert_eq!(p.slowdown_at(1, 10.0), 2.0);
+        assert_eq!(p.slowdown_at(1, 75.0), 6.0);
+        assert_eq!(p.slowdown_at(1, 120.0), 3.0);
+        assert_eq!(p.slowdown_at(1, 200.0), 1.0);
+        assert_eq!(p.slowdown_at(0, 75.0), 1.0, "other devices unaffected");
+    }
+
+    #[test]
+    fn stall_windows_chain() {
+        let p = FaultPlan::none()
+            .with_link_stall(0.0, 100.0)
+            .with_link_stall(90.0, 200.0);
+        assert_eq!(p.bus_available_at(10.0), 200.0);
+        assert_eq!(p.bus_available_at(200.0), 200.0);
+    }
+
+    #[test]
+    fn storm_adds_latency_inside_window_only() {
+        let p = FaultPlan::none().with_link_storm(100.0, 200.0, 25.0);
+        assert_eq!(p.transfer_overhead_at(50.0), 0.0);
+        assert_eq!(p.transfer_overhead_at(150.0), 25.0);
+        assert_eq!(p.transfer_overhead_at(200.0), 0.0, "end exclusive");
+    }
+
+    #[test]
+    fn kernel_failures_accumulate_per_task() {
+        let p = FaultPlan::none()
+            .with_kernel_failures(4, 2)
+            .with_kernel_failures(4, 1);
+        assert_eq!(p.failures_for(4), 3);
+        assert_eq!(p.failures_for(5), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn speedup_rejected() {
+        let _ = FaultPlan::none().with_device_slowdown(0, 0.0, 1.0, 0.5);
+    }
+}

@@ -24,6 +24,7 @@
 
 mod device;
 pub mod engine;
+pub mod fault;
 mod link;
 mod platform;
 pub mod profiles;
@@ -32,6 +33,7 @@ mod timing;
 pub mod trace;
 
 pub use device::{DeviceId, DeviceKind, DeviceProfile, GPU_OVERSUBSCRIPTION};
+pub use fault::{DeviceFault, FaultPlan, KernelFault, LinkFault};
 pub use link::Link;
 pub use platform::{Platform, SimConfig};
 pub use stats::SimStats;

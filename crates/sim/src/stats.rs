@@ -17,6 +17,9 @@ pub struct SimStats {
     pub transfer_count: u64,
     /// Per-device task counts.
     pub tasks_per_device: Vec<u64>,
+    /// Kernel attempts that failed and were retried (always 0 without a
+    /// [`crate::FaultPlan`]).
+    pub retry_count: u64,
 }
 
 impl SimStats {
@@ -29,6 +32,7 @@ impl SimStats {
             bytes_transferred: 0,
             transfer_count: 0,
             tasks_per_device: vec![0; n],
+            retry_count: 0,
         }
     }
 

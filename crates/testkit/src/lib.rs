@@ -1,0 +1,80 @@
+//! Deterministic testkit for the tiled-QR stack.
+//!
+//! The runtime, simulator and schedulers are all *deterministic given
+//! their inputs* — but the space of inputs a production run can see
+//! (thread interleavings, device misbehavior, pathological matrices) is
+//! far larger than what unit tests naturally cover. This crate closes
+//! the gap with three instruments:
+//!
+//! * [`explorer`] — a virtual `k`-worker scheduler that drives
+//!   [`tileqr_kernels::exec::SharedFactorState`] through seeded and
+//!   adversarial dispatch/completion interleavings and hands back the
+//!   final state for bit-identity comparison against the sequential
+//!   factorization. Hundreds of distinct legal schedules per test, each
+//!   fully reproducible from a seed.
+//! * fault injection — [`tileqr_sim::FaultPlan`] scenarios (device
+//!   slowdown spikes, bus stalls and storms, transient kernel failures)
+//!   replayed through the discrete-event engine, with the paper's
+//!   Alg. 2/3 selections re-evaluated on degraded device profiles.
+//! * [`oracle`] — condition-scaled residual / orthogonality bounds and a
+//!   differential `R`-factor check against the reference Householder
+//!   path, for an adversarial matrix family (graded, near-rank-deficient,
+//!   Hilbert-like, huge/tiny scale).
+//!
+//! The integration suites live under `tests/` and read two environment
+//! variables so CI can sweep configurations without recompiling:
+//! `TILEQR_TESTKIT_WORKERS` (comma-separated worker counts) and
+//! `TILEQR_TESTKIT_POLICY` (`fifo`, `critical_path`, or `both`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod explorer;
+pub mod oracle;
+
+use tileqr_runtime::SchedulePolicy;
+
+/// Worker counts the integration suites should sweep. Reads
+/// `TILEQR_TESTKIT_WORKERS` (e.g. `"1,2,4"`); defaults to `[1, 2, 4]`.
+pub fn workers_under_test() -> Vec<usize> {
+    match std::env::var("TILEQR_TESTKIT_WORKERS") {
+        Ok(s) => s
+            .split(',')
+            .map(|w| {
+                w.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad TILEQR_TESTKIT_WORKERS entry {w:?}"))
+            })
+            .collect(),
+        Err(_) => vec![1, 2, 4],
+    }
+}
+
+/// Schedule policies the integration suites should sweep. Reads
+/// `TILEQR_TESTKIT_POLICY` (`fifo`, `critical_path` or `both`); defaults
+/// to both.
+pub fn policies_under_test() -> Vec<SchedulePolicy> {
+    match std::env::var("TILEQR_TESTKIT_POLICY").as_deref() {
+        Ok("fifo") => vec![SchedulePolicy::Fifo],
+        Ok("critical_path") => vec![SchedulePolicy::CriticalPath],
+        Ok("both") | Err(_) => vec![SchedulePolicy::Fifo, SchedulePolicy::CriticalPath],
+        Ok(other) => panic!("bad TILEQR_TESTKIT_POLICY {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_cover_the_ci_matrix() {
+        // CI sets the env vars per job; the in-process default is the
+        // full matrix (serial tests must not mutate the environment).
+        if std::env::var("TILEQR_TESTKIT_WORKERS").is_err() {
+            assert_eq!(workers_under_test(), vec![1, 2, 4]);
+        }
+        if std::env::var("TILEQR_TESTKIT_POLICY").is_err() {
+            assert_eq!(policies_under_test().len(), 2);
+        }
+    }
+}
