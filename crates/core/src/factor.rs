@@ -4,7 +4,7 @@ use crate::options::QrOptions;
 use tileqr_dag::TaskGraph;
 use tileqr_kernels::exec::{apply_q_dense, apply_qt_dense, FactorState};
 use tileqr_matrix::{Matrix, MatrixError, Result, Scalar, TiledMatrix};
-use tileqr_runtime::{parallel_factor, PoolConfig};
+use tileqr_runtime::{parallel_factor, parallel_factor_ft, PoolConfig};
 
 /// A completed tiled QR factorization `A = Q R`.
 ///
@@ -35,19 +35,22 @@ impl<T: Scalar> TiledQr<T> {
         let tiled = TiledMatrix::from_matrix(a, opts.get_tile_size())?;
         let graph = TaskGraph::build(tiled.tile_rows(), tiled.tile_cols(), opts.get_order());
         let state = FactorState::new(tiled);
-        let state = if opts.get_workers() == 1 {
-            let mut s = state;
-            s.run_all(&graph)?;
-            s
-        } else {
-            parallel_factor(
-                state,
-                &graph,
-                PoolConfig {
-                    workers: opts.get_workers(),
-                    policy: opts.get_schedule(),
-                },
-            )?
+        let config = PoolConfig {
+            workers: opts.get_workers(),
+            policy: opts.get_schedule(),
+        };
+        let state = match (opts.get_workers(), opts.get_fault_tolerance()) {
+            (1, _) => {
+                let mut s = state;
+                s.run_all(&graph)?;
+                s
+            }
+            (_, Some(ft)) => {
+                let (s, _report) = parallel_factor_ft(state, &graph, config, Some(ft), None)
+                    .map_err(MatrixError::from)?;
+                s
+            }
+            (_, None) => parallel_factor(state, &graph, config)?,
         };
         Ok(TiledQr {
             state,
@@ -297,6 +300,22 @@ mod tests {
         let seq = TiledQr::factor(&a, &QrOptions::new().tile_size(8)).unwrap();
         let par = TiledQr::factor(&a, &QrOptions::new().tile_size(8).workers(4)).unwrap();
         assert_eq!(seq.r(), par.r());
+    }
+
+    #[test]
+    fn fault_tolerant_option_produces_same_factor() {
+        use tileqr_runtime::FaultTolerance;
+        let a = random_matrix::<f64>(48, 48, 13);
+        let seq = TiledQr::factor(&a, &QrOptions::new().tile_size(8)).unwrap();
+        let ft = TiledQr::factor(
+            &a,
+            &QrOptions::new()
+                .tile_size(8)
+                .workers(4)
+                .fault_tolerance(FaultTolerance::default()),
+        )
+        .unwrap();
+        assert_eq!(seq.r(), ft.r(), "recovery-capable path stays bit-exact");
     }
 
     #[test]

@@ -7,12 +7,13 @@
 //! Algorithm 4 (guide-array distribution) → simulated execution.
 
 pub use tileqr_sched::{
-    assign, autotune, device_count, distribution, fastsim, guide, main_select, plan, ratio,
-    rowblock, Distribution, DistributionStrategy, HeteroPlan, MainDevicePolicy,
+    assign, autotune, device_count, distribution, fastsim, guide, main_select, plan, ratio, replan,
+    rowblock, AdaptiveRun, Distribution, DistributionStrategy, HeteroPlan, MainDevicePolicy,
+    ReplanEvent, ReplanPolicy,
 };
 pub use tileqr_sim::{
-    engine, profiles, DeviceId, DeviceKind, DeviceProfile, KernelClass, KernelTiming, Link,
-    Platform, SimConfig, SimStats, StepTimes,
+    engine, profiles, DeviceId, DeviceKind, DeviceProfile, FaultPlan, KernelClass, KernelTiming,
+    Link, Platform, SimConfig, SimStats, StepTimes,
 };
 
 /// Outcome of planning + simulating one heterogeneous tiled-QR run.
@@ -51,6 +52,22 @@ pub fn plan_and_simulate_shape(platform: &Platform, rows: usize, cols: usize) ->
     }
 }
 
+/// Plan an `n x n` run, then simulate it under `faults` with mid-run
+/// re-planning per `policy` — the fault-tolerant counterpart of
+/// [`plan_and_simulate`]. With an empty fault plan the statistics match
+/// the healthy run bit for bit.
+pub fn plan_and_simulate_faulted(
+    platform: &Platform,
+    n: usize,
+    faults: &FaultPlan,
+    policy: &ReplanPolicy,
+) -> AdaptiveRun {
+    let b = platform.config().tile_size;
+    let t = n.div_ceil(b).max(1);
+    let initial = plan::plan(platform, t, t);
+    replan::simulate_adaptive(platform, &initial, t, t, faults, policy)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -77,6 +94,27 @@ mod tests {
         let p = profiles::paper_testbed(16);
         let run = plan_and_simulate(&p, 100);
         assert_eq!(run.grid, (7, 7));
+    }
+
+    #[test]
+    fn faulted_run_with_no_faults_matches_healthy() {
+        let p = profiles::paper_testbed(16);
+        let healthy = plan_and_simulate(&p, 1600);
+        let run = plan_and_simulate_faulted(&p, 1600, &FaultPlan::none(), &ReplanPolicy::default());
+        assert_eq!(run.stats, healthy.stats);
+        assert_eq!(run.stats.replan_count, 0);
+    }
+
+    #[test]
+    fn faulted_run_survives_a_device_death() {
+        let p = profiles::paper_testbed(16);
+        let healthy = plan_and_simulate(&p, 1600);
+        let dead = healthy.plan.participants[0];
+        let faults = FaultPlan::none().with_device_death(dead, healthy.stats.makespan_us * 0.4);
+        let run = plan_and_simulate_faulted(&p, 1600, &faults, &ReplanPolicy::default());
+        assert!(run.stats.replan_count >= 1);
+        assert!(run.stats.makespan_us.is_finite());
+        assert!(run.plan.excluded.contains(&dead));
     }
 
     #[test]

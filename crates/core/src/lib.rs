@@ -68,8 +68,9 @@ pub mod dag {
 /// Parallel runtime (re-export of `tileqr-runtime`).
 pub mod runtime {
     pub use tileqr_runtime::{
-        parallel_factor, parallel_factor_ordered, parallel_factor_traced, DispatchOrder,
-        PoolConfig, ReadyQueue, ReadyTracker, RunReport, SchedulePolicy,
+        parallel_factor, parallel_factor_ft, parallel_factor_ordered, parallel_factor_traced,
+        DispatchOrder, FaultInjector, FaultTolerance, InjectedFault, NoFaults, PoolConfig,
+        ReadyQueue, ReadyTracker, RunReport, RuntimeError, SchedulePolicy, ScriptedFaults,
     };
 }
 
@@ -85,5 +86,5 @@ pub mod prelude {
     pub use crate::{qr, QrOptions, TiledQr};
     pub use tileqr_dag::EliminationOrder;
     pub use tileqr_matrix::{Matrix, Scalar, TiledMatrix};
-    pub use tileqr_runtime::SchedulePolicy;
+    pub use tileqr_runtime::{FaultTolerance, SchedulePolicy};
 }

@@ -1,7 +1,7 @@
 //! Factorization options.
 
 use tileqr_dag::EliminationOrder;
-use tileqr_runtime::SchedulePolicy;
+use tileqr_runtime::{FaultTolerance, SchedulePolicy};
 
 /// Options controlling a [`crate::TiledQr`] factorization.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -10,6 +10,7 @@ pub struct QrOptions {
     order: EliminationOrder,
     workers: usize,
     schedule: SchedulePolicy,
+    fault_tolerance: Option<FaultTolerance>,
 }
 
 impl Default for QrOptions {
@@ -21,6 +22,7 @@ impl Default for QrOptions {
             order: EliminationOrder::FlatTs,
             workers: 1,
             schedule: SchedulePolicy::Fifo,
+            fault_tolerance: None,
         }
     }
 }
@@ -61,6 +63,17 @@ impl QrOptions {
         self
     }
 
+    /// Enable fault-tolerant execution: worker panics and kernel errors
+    /// are retried within `ft`'s budget instead of failing the run, and
+    /// stalled workers are retired by the watchdog. Costs one tile-clone
+    /// per task staging (so requeues are possible) plus manager-side
+    /// commits; the factors remain bit-identical to the sequential run.
+    /// Irrelevant when `workers == 1`.
+    pub fn fault_tolerance(mut self, ft: FaultTolerance) -> Self {
+        self.fault_tolerance = Some(ft);
+        self
+    }
+
     /// Configured tile size.
     pub fn get_tile_size(&self) -> usize {
         self.tile_size
@@ -80,6 +93,11 @@ impl QrOptions {
     pub fn get_schedule(&self) -> SchedulePolicy {
         self.schedule
     }
+
+    /// Configured fault-tolerance bounds (`None` = fail fast).
+    pub fn get_fault_tolerance(&self) -> Option<FaultTolerance> {
+        self.fault_tolerance
+    }
 }
 
 #[cfg(test)]
@@ -93,6 +111,14 @@ mod tests {
         assert_eq!(o.get_order(), EliminationOrder::FlatTs);
         assert_eq!(o.get_workers(), 1);
         assert_eq!(o.get_schedule(), SchedulePolicy::Fifo);
+        assert_eq!(o.get_fault_tolerance(), None, "fail fast by default");
+    }
+
+    #[test]
+    fn fault_tolerance_knob() {
+        let ft = FaultTolerance::default();
+        let o = QrOptions::new().workers(4).fault_tolerance(ft);
+        assert_eq!(o.get_fault_tolerance(), Some(ft));
     }
 
     #[test]

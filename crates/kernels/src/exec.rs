@@ -360,6 +360,14 @@ impl<T: Scalar> SharedFactorState<T> {
         unwrap_or_clone(arc)
     }
 
+    /// Copy tile `(i, j)` for writing, leaving the slot's contents in
+    /// place. Costs an `O(b²)` clone, which buys the fault-tolerant pool
+    /// its requeue safety: if the attempt dies mid-kernel, the slot still
+    /// holds the pre-task value and a retry stages clean inputs.
+    fn clone_tile(&self, i: usize, j: usize) -> Matrix<T> {
+        (*self.read_tile(i, j)).clone()
+    }
+
     fn put_tile(&self, i: usize, j: usize, tile: Matrix<T>) {
         let arc = Arc::new(tile);
         *self.tiles[self.idx(i, j)]
@@ -404,6 +412,55 @@ impl<T: Scalar> SharedFactorState<T> {
                     tfac,
                     a1: self.take_tile(p, j),
                     a2: self.take_tile(i, j),
+                }
+            }
+        };
+        Ok(StagedTask { task, inputs })
+    }
+
+    /// Non-destructive variant of [`stage`](Self::stage): written tiles are
+    /// *cloned* out instead of swapped out, so the shared state is left
+    /// exactly as it was. An attempt staged this way can panic, stall, or
+    /// fail mid-kernel and the task remains retryable — nothing is lost
+    /// until [`commit`](Self::commit) swaps the outputs in. The fast path
+    /// keeps the zero-copy [`stage`](Self::stage); this one trades an
+    /// `O(b²)` copy per written tile (small next to the `O(b³)` kernel)
+    /// for idempotent re-execution.
+    pub fn stage_preserving(&self, task: TaskKind) -> Result<StagedTask<T>> {
+        let inputs = match task {
+            TaskKind::Geqrt { i, k } => Inputs::Factor {
+                tile: self.clone_tile(i, k),
+            },
+            TaskKind::Unmqr { i, j, k } => {
+                let tfac = self.geqrt_t[self.idx(i, k)]
+                    .lock()
+                    .expect("factor slot poisoned")
+                    .as_ref()
+                    .ok_or_else(missing_factor_err)?
+                    .clone();
+                Inputs::Update {
+                    vr: self.read_tile(i, k),
+                    tfac,
+                    c: self.clone_tile(i, j),
+                }
+            }
+            TaskKind::Tsqrt { p, i, k } | TaskKind::Ttqrt { p, i, k } => Inputs::Elim {
+                r1: self.clone_tile(p, k),
+                a2: self.clone_tile(i, k),
+            },
+            TaskKind::Tsmqr { p, i, j, k } | TaskKind::Ttmqr { p, i, j, k } => {
+                let tfac = match &*self.elim_t[self.idx(i, k)]
+                    .lock()
+                    .expect("factor slot poisoned")
+                {
+                    Some(e) if e.p == p => Arc::clone(&e.tfac),
+                    _ => return Err(missing_factor_err()),
+                };
+                Inputs::PairUpdate {
+                    v2: self.read_tile(i, k),
+                    tfac,
+                    a1: self.clone_tile(p, j),
+                    a2: self.clone_tile(i, j),
                 }
             }
         };

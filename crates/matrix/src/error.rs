@@ -43,6 +43,14 @@ pub enum MatrixError {
         /// Requested tile size.
         tile: usize,
     },
+    /// The parallel runtime failed for a non-numerical reason (worker
+    /// panic, retry budget exhausted, pool shutdown). Carries the
+    /// runtime's own diagnostic rendered to text so this crate stays
+    /// independent of the runtime layer.
+    Runtime {
+        /// Human-readable description of the runtime failure.
+        reason: String,
+    },
 }
 
 impl fmt::Display for MatrixError {
@@ -71,6 +79,7 @@ impl fmt::Display for MatrixError {
                 )
             }
             MatrixError::BadTileSize { tile } => write!(f, "invalid tile size {tile}"),
+            MatrixError::Runtime { reason } => write!(f, "runtime failure: {reason}"),
         }
     }
 }

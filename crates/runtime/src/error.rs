@@ -1,0 +1,140 @@
+//! Structured errors for the parallel runtime.
+//!
+//! The manager loop used to die on an `unwrap`/`expect` chain the moment
+//! anything unusual happened (worker panic, channel closure). Every one
+//! of those conditions is now a [`RuntimeError`] variant, so callers can
+//! distinguish "a kernel reported a numerical problem" from "a worker
+//! thread died" from "the retry budget ran out" — and the legacy
+//! [`tileqr_matrix::Result`]-returning entry points keep working through
+//! the `From<RuntimeError> for MatrixError` impl.
+
+use std::fmt;
+use tileqr_dag::TaskId;
+use tileqr_matrix::MatrixError;
+
+/// Why a parallel factorization run failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// A kernel returned a numerical error (fast path: fatal immediately;
+    /// fault-tolerant path: fatal once retries are exhausted).
+    Kernel {
+        /// Task whose kernel failed.
+        task: TaskId,
+        /// The underlying kernel error.
+        source: MatrixError,
+    },
+    /// A worker thread panicked while executing a task. In the fast path
+    /// this aborts the run (staging is destructive, so the task's inputs
+    /// are gone); the fault-tolerant path retires the worker and retries
+    /// the task instead, surfacing this only through `RunReport`.
+    TaskPanicked {
+        /// Task being executed when the panic fired.
+        task: TaskId,
+        /// Worker that panicked.
+        worker: usize,
+        /// Panic payload rendered to text (when downcastable).
+        message: String,
+    },
+    /// A task failed on every allowed attempt.
+    RetriesExhausted {
+        /// The task that kept failing.
+        task: TaskId,
+        /// Attempts consumed (equals the configured `max_attempts`).
+        attempts: u32,
+        /// Diagnostic from the final failed attempt.
+        last: String,
+    },
+    /// Every worker died (panicked or stalled past the watchdog) before
+    /// the DAG finished.
+    AllWorkersDead {
+        /// Tasks committed before the pool emptied.
+        completed: usize,
+        /// Total tasks in the graph.
+        total: usize,
+    },
+    /// The completion channel closed while tasks were still in flight —
+    /// worker threads vanished without reporting.
+    Disconnected {
+        /// Tasks that were dispatched but never reported back.
+        in_flight: usize,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Kernel { task, source } => {
+                write!(f, "kernel error on task {task}: {source}")
+            }
+            RuntimeError::TaskPanicked {
+                task,
+                worker,
+                message,
+            } => write!(f, "worker {worker} panicked on task {task}: {message}"),
+            RuntimeError::RetriesExhausted {
+                task,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "task {task} failed on all {attempts} attempts; last error: {last}"
+            ),
+            RuntimeError::AllWorkersDead { completed, total } => write!(
+                f,
+                "all workers died with {completed}/{total} tasks committed"
+            ),
+            RuntimeError::Disconnected { in_flight } => write!(
+                f,
+                "completion channel closed with {in_flight} tasks in flight"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<RuntimeError> for MatrixError {
+    fn from(e: RuntimeError) -> Self {
+        match e {
+            // Preserve the numerical error for callers matching on it.
+            RuntimeError::Kernel { source, .. } => source,
+            other => MatrixError::Runtime {
+                reason: other.to_string(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_task() {
+        let e = RuntimeError::TaskPanicked {
+            task: 7,
+            worker: 2,
+            message: "boom".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("task 7") && s.contains("worker 2") && s.contains("boom"));
+    }
+
+    #[test]
+    fn kernel_errors_round_trip_to_matrix_error() {
+        let src = MatrixError::Singular { index: 3 };
+        let e = RuntimeError::Kernel {
+            task: 1,
+            source: src.clone(),
+        };
+        assert_eq!(MatrixError::from(e), src);
+        let dead = RuntimeError::AllWorkersDead {
+            completed: 4,
+            total: 9,
+        };
+        match MatrixError::from(dead) {
+            MatrixError::Runtime { reason } => assert!(reason.contains("4/9")),
+            other => panic!("expected Runtime variant, got {other:?}"),
+        }
+    }
+}

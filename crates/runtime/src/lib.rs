@@ -19,14 +19,28 @@
 //! static bottom level first ([`ReadyQueue`]). Determinism of the *result*
 //! (not the schedule) is guaranteed because every task writes a disjoint
 //! tile set.
+//!
+//! Fault tolerance: workers run under `catch_unwind`, so a panic never
+//! hangs or aborts the process. [`parallel_factor_ft`] goes further —
+//! non-destructive staging plus a manager-side commit fence make task
+//! re-execution idempotent, so panicked or stalled workers are retired
+//! and their tasks retried (bounded attempts, deterministic backoff)
+//! while the run continues degraded. Failures surface as structured
+//! [`RuntimeError`]s and recovery activity is reported in
+//! [`RunReport`]'s `retries` / `requeues` / `worker_deaths` fields.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod error;
 mod pool;
+pub mod recovery;
 mod scheduler;
 
+pub use error::RuntimeError;
 pub use pool::{
-    parallel_factor, parallel_factor_ordered, parallel_factor_traced, PoolConfig, RunReport,
+    parallel_factor, parallel_factor_ft, parallel_factor_ordered, parallel_factor_traced,
+    PoolConfig, RunReport,
 };
+pub use recovery::{FaultInjector, FaultTolerance, InjectedFault, NoFaults, ScriptedFaults};
 pub use scheduler::{DispatchOrder, ReadyQueue, ReadyTracker, SchedulePolicy};

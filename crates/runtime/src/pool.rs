@@ -10,12 +10,32 @@
 //! worker keeps the ready set on the manager's side, which is what lets
 //! the priority policy actually pick the next task instead of draining a
 //! prefetched FIFO.
+//!
+//! Two execution modes share the manager loop:
+//!
+//! * **Fast** (the default): staging swaps written tiles out of the shared
+//!   state (zero-copy) and workers commit their own results. A worker
+//!   panic or kernel error is *isolated* (`catch_unwind`, no hang, no
+//!   abort) but fatal to the run, because the destructively-staged inputs
+//!   of the failed task are gone.
+//! * **Fault-tolerant** ([`parallel_factor_ft`]): staging clones written
+//!   tiles (`stage_preserving`) so the shared state is untouched until
+//!   commit, and all commits happen on the manager behind a per-task
+//!   `committed` fence. That makes re-execution idempotent: a panicked or
+//!   stalled worker is retired, its in-flight task is requeued with
+//!   bounded retry + deterministic backoff, and a late result from a
+//!   retired worker is either harvested (first commit wins) or dropped.
 
+use crate::error::RuntimeError;
+use crate::recovery::{FaultInjector, FaultTolerance, InjectedFault};
 use crate::scheduler::{DispatchOrder, ReadyQueue, ReadyTracker, SchedulePolicy};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 use tileqr_dag::{TaskGraph, TaskId, TaskKind};
-use tileqr_kernels::exec::{FactorState, SharedFactorState};
+use tileqr_kernels::exec::{CompletedTask, FactorState, SharedFactorState};
 use tileqr_kernels::flops;
 use tileqr_matrix::{MatrixError, Result, Scalar};
 
@@ -42,7 +62,9 @@ impl PoolConfig {
 /// Per-run report from [`parallel_factor_traced`].
 #[derive(Debug, Clone)]
 pub struct RunReport {
-    /// Tasks executed by each computing thread.
+    /// Tasks executed by each computing thread (credited to the worker
+    /// whose result was committed, so the counts sum to the graph size
+    /// even when recovery re-executed tasks).
     pub tasks_per_worker: Vec<u64>,
     /// Wall-clock duration of the run.
     pub elapsed: std::time::Duration,
@@ -55,6 +77,15 @@ pub struct RunReport {
     pub max_ready_depth: usize,
     /// Dispatch policy the run used.
     pub policy: SchedulePolicy,
+    /// Extra attempts scheduled after a failed attempt (transient kernel
+    /// error, worker panic, or stall).
+    pub retries: u64,
+    /// In-flight tasks returned to the pending set because their worker
+    /// died (panic, stall retirement, or a dead dispatch channel).
+    pub requeues: u64,
+    /// Workers retired mid-run (panicked, stalled past the watchdog, or
+    /// found dead at dispatch).
+    pub worker_deaths: u64,
 }
 
 impl RunReport {
@@ -64,14 +95,22 @@ impl RunReport {
     }
 
     /// Ratio of the busiest worker's task count to the average — 1.0 is
-    /// perfectly balanced.
+    /// perfectly balanced, 0.0 when there were no workers at all.
     pub fn imbalance(&self) -> f64 {
+        if self.tasks_per_worker.is_empty() {
+            return 0.0;
+        }
         let total = self.total_tasks();
-        if total == 0 || self.tasks_per_worker.is_empty() {
+        if total == 0 {
             return 1.0;
         }
         let avg = total as f64 / self.tasks_per_worker.len() as f64;
-        let max = *self.tasks_per_worker.iter().max().unwrap() as f64;
+        let max = self
+            .tasks_per_worker
+            .iter()
+            .max()
+            .copied()
+            .unwrap_or_default() as f64;
         max / avg
     }
 
@@ -112,10 +151,6 @@ pub fn parallel_factor<T: Scalar>(
     parallel_factor_traced(state, graph, config).map(|(state, _)| state)
 }
 
-/// What a worker sends back per task: stage and commit durations on
-/// success, the kernel error otherwise.
-type Completion = (TaskId, usize, Result<(Duration, Duration)>);
-
 /// [`parallel_factor`] with a per-worker [`RunReport`].
 pub fn parallel_factor_traced<T: Scalar>(
     state: FactorState<T>,
@@ -126,19 +161,7 @@ pub fn parallel_factor_traced<T: Scalar>(
     let workers = config.effective_workers().max(1);
     if workers == 1 || graph.len() <= 1 {
         // Degenerate pool: run inline in program order.
-        let mut state = state;
-        state.run_all(graph)?;
-        return Ok((
-            state,
-            RunReport {
-                tasks_per_worker: vec![graph.len() as u64],
-                elapsed: started.elapsed(),
-                stage_wait: Duration::ZERO,
-                commit_wait: Duration::ZERO,
-                max_ready_depth: 0,
-                policy: config.policy,
-            },
-        ));
+        return run_inline(state, graph, config.policy, started);
     }
     parallel_factor_ordered(state, graph, config, DispatchOrder::Policy(config.policy))
 }
@@ -157,112 +180,472 @@ pub fn parallel_factor_ordered<T: Scalar>(
     order: DispatchOrder,
 ) -> Result<(FactorState<T>, RunReport)> {
     let started = Instant::now();
-    let workers = config.effective_workers().max(1);
     if graph.len() <= 1 {
-        let mut state = state;
-        state.run_all(graph)?;
-        return Ok((
-            state,
-            RunReport {
-                tasks_per_worker: vec![graph.len() as u64],
-                elapsed: started.elapsed(),
-                stage_wait: Duration::ZERO,
-                commit_wait: Duration::ZERO,
-                max_ready_depth: 0,
-                policy: order.base_policy(),
-            },
-        ));
+        return run_inline(state, graph, order.base_policy(), started);
     }
+    run_pool(state, graph, config, order, None, None).map_err(MatrixError::from)
+}
 
-    let b = state.tiles().tile_size();
-    let shared = SharedFactorState::new(state);
-    let (done_tx, done_rx) = mpsc::channel::<Completion>();
+/// Fault-tolerant (or fault-isolated) parallel factorization.
+///
+/// With `ft = Some(..)` the pool recovers from worker panics, transient
+/// kernel failures, and stalls: the worker is retired (or the error
+/// absorbed), the task is requeued after deterministic backoff, and the
+/// run continues degraded on the remaining workers — failing only with a
+/// structured [`RuntimeError`] once the per-task attempt budget or the
+/// worker pool itself is exhausted. With `ft = None` the pool runs the
+/// zero-copy fast path: a fault still cannot hang or abort the process
+/// (workers execute under `catch_unwind`), but it fails the run, because
+/// destructive staging makes re-execution unsafe.
+///
+/// `injector` is the deterministic test seam — consulted before every
+/// attempt, it can script panics, transient failures, and stalls at exact
+/// `(task, attempt)` coordinates (see
+/// [`ScriptedFaults`](crate::recovery::ScriptedFaults)).
+pub fn parallel_factor_ft<T: Scalar>(
+    state: FactorState<T>,
+    graph: &TaskGraph,
+    config: PoolConfig,
+    ft: Option<FaultTolerance>,
+    injector: Option<&dyn FaultInjector>,
+) -> std::result::Result<(FactorState<T>, RunReport), RuntimeError> {
+    run_pool(
+        state,
+        graph,
+        config,
+        DispatchOrder::Policy(config.policy),
+        ft,
+        injector,
+    )
+}
 
-    struct ManagerStats {
-        tasks_per_worker: Vec<u64>,
+fn run_inline<T: Scalar>(
+    mut state: FactorState<T>,
+    graph: &TaskGraph,
+    policy: SchedulePolicy,
+    started: Instant,
+) -> Result<(FactorState<T>, RunReport)> {
+    state.run_all(graph)?;
+    Ok((
+        state,
+        RunReport {
+            tasks_per_worker: vec![graph.len() as u64],
+            elapsed: started.elapsed(),
+            stage_wait: Duration::ZERO,
+            commit_wait: Duration::ZERO,
+            max_ready_depth: 0,
+            policy,
+            retries: 0,
+            requeues: 0,
+            worker_deaths: 0,
+        },
+    ))
+}
+
+/// What a worker sends back per attempt.
+enum WorkerOutcome<T: Scalar> {
+    /// The attempt ran to completion. `completed` carries the outputs in
+    /// fault-tolerant mode (the manager commits); in fast mode the worker
+    /// already committed and sends `None`.
+    Done {
+        completed: Option<Box<CompletedTask<T>>>,
         stage_wait: Duration,
         commit_wait: Duration,
-        max_ready_depth: usize,
-    }
+    },
+    /// The kernel (or an injected transient fault) returned an error.
+    Failed(MatrixError),
+    /// The attempt panicked; the worker retires itself after reporting.
+    Panicked(String),
+}
 
-    let run_result: Result<ManagerStats> = std::thread::scope(|scope| {
-        // One private channel per worker: the manager chooses *which* idle
-        // worker gets the next task, so no shared ready queue exists on the
-        // worker side.
-        let mut task_txs = Vec::with_capacity(workers);
+struct Completion<T: Scalar> {
+    task: TaskId,
+    worker: usize,
+    outcome: WorkerOutcome<T>,
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+struct ManagerStats {
+    tasks_per_worker: Vec<u64>,
+    stage_wait: Duration,
+    commit_wait: Duration,
+    max_ready_depth: usize,
+    retries: u64,
+    requeues: u64,
+    worker_deaths: u64,
+}
+
+/// What one worker attempt hands back: the completed task when the
+/// commit is deferred to the manager (fault-tolerant mode), plus the
+/// stage and commit wait times.
+type AttemptOutput<T> = (Option<Box<CompletedTask<T>>>, Duration, Duration);
+
+/// The unified manager loop behind every multi-worker entry point.
+fn run_pool<T: Scalar>(
+    state: FactorState<T>,
+    graph: &TaskGraph,
+    config: PoolConfig,
+    order: DispatchOrder,
+    ft: Option<FaultTolerance>,
+    injector: Option<&dyn FaultInjector>,
+) -> std::result::Result<(FactorState<T>, RunReport), RuntimeError> {
+    let started = Instant::now();
+    let workers = config.effective_workers().max(1);
+    let b = state.tiles().tile_size();
+    let shared = SharedFactorState::new(state);
+    let (done_tx, done_rx) = mpsc::channel::<Completion<T>>();
+    let ft_mode = ft.is_some();
+
+    let run_result: std::result::Result<ManagerStats, RuntimeError> = std::thread::scope(|scope| {
+        // One private channel per worker: the manager chooses *which*
+        // idle worker gets the next task, so no shared ready queue
+        // exists on the worker side. `None` marks a retired worker.
+        let mut task_txs: Vec<Option<mpsc::Sender<(TaskId, u32)>>> = Vec::with_capacity(workers);
         for worker_id in 0..workers {
-            let (tx, rx) = mpsc::channel::<TaskId>();
-            task_txs.push(tx);
+            let (tx, rx) = mpsc::channel::<(TaskId, u32)>();
+            task_txs.push(Some(tx));
             let done_tx = done_tx.clone();
             let shared = &shared;
             scope.spawn(move || {
-                while let Ok(tid) = rx.recv() {
+                while let Ok((tid, attempt)) = rx.recv() {
                     let task = graph.task(tid);
-                    let t0 = Instant::now();
-                    let staged = shared.stage(task);
-                    let stage_wait = t0.elapsed();
-                    let outcome = staged.and_then(|s| s.compute()).map(|done| {
-                        let t1 = Instant::now();
-                        shared.commit(done);
-                        (stage_wait, t1.elapsed())
-                    });
-                    if done_tx.send((tid, worker_id, outcome)).is_err() {
-                        break; // manager gone
+                    let result = catch_unwind(AssertUnwindSafe(|| -> Result<AttemptOutput<T>> {
+                        match injector
+                            .map_or(InjectedFault::None, |f| f.before_attempt(tid, attempt))
+                        {
+                            InjectedFault::None => {}
+                            InjectedFault::Panic => {
+                                panic!("injected panic: task {tid} attempt {attempt}")
+                            }
+                            InjectedFault::TransientError => {
+                                return Err(MatrixError::Runtime {
+                                    reason: format!(
+                                        "injected transient failure: task {tid} attempt {attempt}"
+                                    ),
+                                })
+                            }
+                            InjectedFault::Stall(d) => std::thread::sleep(d),
+                        }
+                        let t0 = Instant::now();
+                        let staged = if ft_mode {
+                            shared.stage_preserving(task)
+                        } else {
+                            shared.stage(task)
+                        }?;
+                        let stage_wait = t0.elapsed();
+                        let done = staged.compute()?;
+                        if ft_mode {
+                            // Commit on the manager, behind the fence.
+                            Ok((Some(Box::new(done)), stage_wait, Duration::ZERO))
+                        } else {
+                            let t1 = Instant::now();
+                            shared.commit(done);
+                            Ok((None, stage_wait, t1.elapsed()))
+                        }
+                    }));
+                    let (outcome, retire) = match result {
+                        Ok(Ok((completed, stage_wait, commit_wait))) => (
+                            WorkerOutcome::Done {
+                                completed,
+                                stage_wait,
+                                commit_wait,
+                            },
+                            false,
+                        ),
+                        Ok(Err(e)) => (WorkerOutcome::Failed(e), false),
+                        Err(payload) => (
+                            WorkerOutcome::Panicked(panic_message(payload.as_ref())),
+                            true,
+                        ),
+                    };
+                    let gone = done_tx
+                        .send(Completion {
+                            task: tid,
+                            worker: worker_id,
+                            outcome,
+                        })
+                        .is_err();
+                    if gone || retire {
+                        break;
                     }
                 }
             });
         }
         drop(done_tx);
 
-        // Manager loop: readiness tracking + policy-ordered dispatch.
+        // Manager loop: readiness tracking + policy-ordered dispatch +
+        // recovery bookkeeping.
+        let total = graph.len();
         let mut tracker = ReadyTracker::new(graph);
         let mut queue = ReadyQueue::for_order(order, graph, flop_weight(b));
         for t in tracker.initial_ready(graph) {
             queue.push(t);
         }
         let mut idle: Vec<usize> = (0..workers).rev().collect();
+        let mut alive = vec![true; workers];
+        let mut in_flight_of: Vec<Option<(TaskId, Instant)>> = vec![None; workers];
         let mut in_flight = 0usize;
-        let mut first_error: Option<MatrixError> = None;
+        let mut committed = vec![false; total];
+        let mut completed = 0usize;
+        let mut attempts = vec![0u32; total];
+        let mut parked: BinaryHeap<Reverse<(Instant, TaskId)>> = BinaryHeap::new();
+        let mut fatal: Option<RuntimeError> = None;
         let mut stats = ManagerStats {
             tasks_per_worker: vec![0u64; workers],
             stage_wait: Duration::ZERO,
             commit_wait: Duration::ZERO,
             max_ready_depth: 0,
+            retries: 0,
+            requeues: 0,
+            worker_deaths: 0,
         };
+
+        // Park `t` for a backoff-delayed retry, or fail the run once
+        // its attempt budget is gone.
+        macro_rules! retry_or_fail {
+            ($t:expr, $last:expr) => {{
+                let t: TaskId = $t;
+                let ftc = ft.expect("retries only happen in fault-tolerant mode");
+                if attempts[t] >= ftc.max_attempts {
+                    if fatal.is_none() {
+                        fatal = Some(RuntimeError::RetriesExhausted {
+                            task: t,
+                            attempts: attempts[t],
+                            last: $last,
+                        });
+                    }
+                } else {
+                    stats.retries += 1;
+                    let delay = ftc.backoff(attempts[t]);
+                    parked.push(Reverse((Instant::now() + delay, t)));
+                }
+            }};
+        }
+
         loop {
-            while first_error.is_none() && !idle.is_empty() && !queue.is_empty() {
-                let w = idle.pop().expect("nonempty");
-                let t = queue.pop().expect("nonempty");
-                task_txs[w].send(t).expect("worker alive");
-                in_flight += 1;
+            // Wake parked retries whose backoff has elapsed.
+            let now = Instant::now();
+            while let Some(&Reverse((when, t))) = parked.peek() {
+                if when > now {
+                    break;
+                }
+                parked.pop();
+                if !committed[t] {
+                    queue.push(t);
+                }
             }
-            if in_flight == 0 {
+
+            // Dispatch: pair ready tasks with alive idle workers.
+            while fatal.is_none() {
+                while idle.last().is_some_and(|&w| !alive[w]) {
+                    idle.pop();
+                }
+                let Some(&w) = idle.last() else { break };
+                let Some(t) = queue.pop() else { break };
+                if committed[t] {
+                    continue; // superseded by a harvested late result
+                }
+                idle.pop();
+                attempts[t] += 1;
+                let attempt = attempts[t] - 1;
+                let sent = task_txs[w]
+                    .as_ref()
+                    .is_some_and(|tx| tx.send((t, attempt)).is_ok());
+                if sent {
+                    in_flight_of[w] = Some((t, Instant::now()));
+                    in_flight += 1;
+                } else {
+                    // Worker vanished without reporting: retire it and
+                    // put the task back (the attempt never started).
+                    alive[w] = false;
+                    task_txs[w] = None;
+                    stats.worker_deaths += 1;
+                    attempts[t] -= 1;
+                    stats.requeues += 1;
+                    queue.push(t);
+                }
+            }
+
+            // Termination.
+            if completed == total {
                 break;
             }
-            let (tid, worker_id, outcome) = done_rx.recv().expect("workers alive");
-            in_flight -= 1;
-            idle.push(worker_id);
-            stats.tasks_per_worker[worker_id] += 1;
-            match outcome {
-                Ok((stage, commit)) => {
-                    stats.stage_wait += stage;
-                    stats.commit_wait += commit;
-                    if first_error.is_none() {
-                        for ready in tracker.complete(graph, tid) {
-                            queue.push(ready);
+            if in_flight == 0 {
+                if fatal.is_some() {
+                    break;
+                }
+                if !alive.iter().any(|&a| a) {
+                    fatal = Some(RuntimeError::AllWorkersDead { completed, total });
+                    break;
+                }
+                if parked.is_empty() && queue.is_empty() {
+                    // Unreachable: every uncommitted task is queued,
+                    // parked, in flight, or behind one that is. Guard
+                    // instead of hanging if the invariant ever breaks.
+                    fatal = Some(RuntimeError::Disconnected { in_flight: 0 });
+                    break;
+                }
+            }
+
+            // Wait for the next completion, bounded by the earliest
+            // parked wake-up or watchdog expiry.
+            let mut deadline: Option<Instant> = parked.peek().map(|&Reverse((when, _))| when);
+            if let Some(st) = ft.and_then(|f| f.stall_timeout) {
+                for w in 0..workers {
+                    if !alive[w] {
+                        continue;
+                    }
+                    if let Some((_, since)) = in_flight_of[w] {
+                        let dl = since + st;
+                        deadline = Some(deadline.map_or(dl, |d| d.min(dl)));
+                    }
+                }
+            }
+            let received = match deadline {
+                None => match done_rx.recv() {
+                    Ok(m) => Some(m),
+                    Err(_) => {
+                        if fatal.is_none() {
+                            fatal = Some(RuntimeError::Disconnected { in_flight });
+                        }
+                        break;
+                    }
+                },
+                Some(dl) => {
+                    let wait = dl.saturating_duration_since(Instant::now());
+                    match done_rx.recv_timeout(wait) {
+                        Ok(m) => Some(m),
+                        Err(mpsc::RecvTimeoutError::Timeout) => None,
+                        Err(mpsc::RecvTimeoutError::Disconnected) => {
+                            if fatal.is_none() {
+                                fatal = Some(RuntimeError::Disconnected { in_flight });
+                            }
+                            break;
                         }
                     }
                 }
-                Err(e) => {
-                    if first_error.is_none() {
-                        first_error = Some(e);
+            };
+
+            let Some(Completion {
+                task: t,
+                worker: w,
+                outcome,
+            }) = received
+            else {
+                // Timeout: sweep the watchdog, retiring stalled workers
+                // and requeueing their tasks.
+                if let Some(st) = ft.and_then(|f| f.stall_timeout) {
+                    let now = Instant::now();
+                    for w in 0..workers {
+                        if !alive[w] {
+                            continue;
+                        }
+                        let Some((t, since)) = in_flight_of[w] else {
+                            continue;
+                        };
+                        if now.duration_since(since) >= st {
+                            alive[w] = false;
+                            task_txs[w] = None;
+                            in_flight_of[w] = None;
+                            in_flight -= 1;
+                            stats.worker_deaths += 1;
+                            if !committed[t] {
+                                stats.requeues += 1;
+                                retry_or_fail!(t, format!("worker {w} stalled past {st:?}"));
+                            }
+                        }
+                    }
+                }
+                continue;
+            };
+
+            // `expected` distinguishes the attempt the manager is
+            // waiting on from a late report by a retired worker.
+            let expected = alive[w] && in_flight_of[w].is_some_and(|(xt, _)| xt == t);
+            if expected {
+                in_flight_of[w] = None;
+                in_flight -= 1;
+            }
+            match outcome {
+                WorkerOutcome::Done {
+                    completed: payload,
+                    stage_wait,
+                    commit_wait,
+                } => {
+                    stats.stage_wait += stage_wait;
+                    stats.commit_wait += commit_wait;
+                    if !committed[t] {
+                        // First result wins — even from a retired
+                        // worker: duplicate attempts stage identical
+                        // inputs (nothing conflicting runs before the
+                        // commit), so outputs are bit-identical.
+                        if let Some(done) = payload {
+                            let t1 = Instant::now();
+                            shared.commit(*done);
+                            stats.commit_wait += t1.elapsed();
+                        }
+                        committed[t] = true;
+                        completed += 1;
+                        stats.tasks_per_worker[w] += 1;
+                        let ready = tracker.complete(graph, t);
+                        if fatal.is_none() {
+                            for r in ready {
+                                queue.push(r);
+                            }
+                        }
+                    }
+                    if expected {
+                        idle.push(w);
+                    }
+                }
+                WorkerOutcome::Failed(e) => {
+                    if expected {
+                        idle.push(w);
+                        if !committed[t] {
+                            if ft_mode {
+                                retry_or_fail!(t, e.to_string());
+                            } else if fatal.is_none() {
+                                fatal = Some(RuntimeError::Kernel { task: t, source: e });
+                            }
+                        }
+                    }
+                    // A late failure from a retired worker is ignored:
+                    // its task was already requeued at retirement.
+                }
+                WorkerOutcome::Panicked(message) => {
+                    if alive[w] {
+                        alive[w] = false;
+                        task_txs[w] = None;
+                        stats.worker_deaths += 1;
+                    }
+                    if expected && !committed[t] {
+                        stats.requeues += 1;
+                        if ft_mode {
+                            retry_or_fail!(t, format!("panic: {message}"));
+                        } else if fatal.is_none() {
+                            fatal = Some(RuntimeError::TaskPanicked {
+                                task: t,
+                                worker: w,
+                                message,
+                            });
+                        }
                     }
                 }
             }
         }
-        drop(task_txs); // workers exit
+
         stats.max_ready_depth = queue.max_depth();
-        match first_error {
+        drop(task_txs); // workers exit
+        match fatal {
             Some(e) => Err(e),
             None => {
                 debug_assert!(tracker.all_done());
@@ -281,6 +664,9 @@ pub fn parallel_factor_ordered<T: Scalar>(
             commit_wait: stats.commit_wait,
             max_ready_depth: stats.max_ready_depth,
             policy: order.base_policy(),
+            retries: stats.retries,
+            requeues: stats.requeues,
+            worker_deaths: stats.worker_deaths,
         },
     ))
 }
@@ -288,6 +674,7 @@ pub fn parallel_factor_ordered<T: Scalar>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::recovery::ScriptedFaults;
     use tileqr_dag::EliminationOrder;
     use tileqr_kernels::exec::{apply_q_dense, FactorState};
     use tileqr_matrix::gen::random_matrix;
@@ -316,6 +703,20 @@ mod tests {
         )
         .unwrap();
         (a, st, g)
+    }
+
+    /// Sequential reference for bit-identity checks.
+    fn sequential_tiles(a: &Matrix<f64>, b: usize) -> (TiledMatrix<f64>, TaskGraph, Matrix<f64>) {
+        let tiled = TiledMatrix::from_matrix(a, b).unwrap();
+        let g = TaskGraph::build(
+            tiled.tile_rows(),
+            tiled.tile_cols(),
+            EliminationOrder::FlatTs,
+        );
+        let mut seq = FactorState::new(tiled.clone());
+        seq.run_all(&g).unwrap();
+        let m = seq.tiles().to_matrix();
+        (tiled, g, m)
     }
 
     #[test]
@@ -448,6 +849,10 @@ mod tests {
         assert!(report.elapsed.as_nanos() > 0);
         assert!(report.max_ready_depth >= 1);
         assert_eq!(report.policy, SchedulePolicy::CriticalPath);
+        // A clean run records no recovery activity.
+        assert_eq!(report.retries, 0);
+        assert_eq!(report.requeues, 0);
+        assert_eq!(report.worker_deaths, 0);
         // The whole point of per-tile ownership: the lock path is a sliver
         // of the run.
         assert!(report.lock_fraction() < 0.5);
@@ -493,5 +898,183 @@ mod tests {
         let (_, st1, _) = factor_parallel(24, 4, 4);
         let (_, st2, _) = factor_parallel(24, 4, 4);
         assert_eq!(st1.tiles().to_matrix(), st2.tiles().to_matrix());
+    }
+
+    #[test]
+    fn imbalance_on_empty_worker_vec_is_zero() {
+        // Regression: used to divide through an unwrap on `iter().max()`;
+        // an empty report must report 0.0, not panic.
+        let report = RunReport {
+            tasks_per_worker: vec![],
+            elapsed: Duration::ZERO,
+            stage_wait: Duration::ZERO,
+            commit_wait: Duration::ZERO,
+            max_ready_depth: 0,
+            policy: SchedulePolicy::Fifo,
+            retries: 0,
+            requeues: 0,
+            worker_deaths: 0,
+        };
+        assert_eq!(report.imbalance(), 0.0);
+        assert_eq!(report.total_tasks(), 0);
+    }
+
+    #[test]
+    fn ft_recovers_from_worker_panic_bit_identical() {
+        let a = random_matrix::<f64>(24, 24, 31);
+        let (tiled, g, seq_tiles) = sequential_tiles(&a, 4);
+        // Panic the first attempt of a mid-graph task; the worker dies,
+        // the task is requeued, and the run completes on the survivors.
+        let victim = g.len() / 2;
+        let faults = ScriptedFaults::new().panic_on(victim, 1);
+        let (st, report) = parallel_factor_ft(
+            FactorState::new(tiled),
+            &g,
+            PoolConfig {
+                workers: 3,
+                ..PoolConfig::default()
+            },
+            Some(FaultTolerance::default()),
+            Some(&faults),
+        )
+        .unwrap();
+        assert_eq!(st.tiles().to_matrix(), seq_tiles);
+        assert_eq!(report.total_tasks() as usize, g.len());
+        assert_eq!(report.worker_deaths, 1);
+        assert_eq!(report.requeues, 1);
+        assert_eq!(report.retries, 1);
+    }
+
+    #[test]
+    fn ft_retries_transient_kernel_failures() {
+        let a = random_matrix::<f64>(16, 16, 32);
+        let (tiled, g, seq_tiles) = sequential_tiles(&a, 4);
+        let faults = ScriptedFaults::new().fail_on(0, 2).fail_on(g.len() - 1, 1);
+        let (st, report) = parallel_factor_ft(
+            FactorState::new(tiled),
+            &g,
+            PoolConfig {
+                workers: 2,
+                ..PoolConfig::default()
+            },
+            Some(FaultTolerance::default()),
+            Some(&faults),
+        )
+        .unwrap();
+        assert_eq!(st.tiles().to_matrix(), seq_tiles);
+        assert_eq!(report.retries, 3);
+        // Transient failures don't kill workers.
+        assert_eq!(report.worker_deaths, 0);
+        assert_eq!(report.requeues, 0);
+    }
+
+    #[test]
+    fn ft_exhausted_retries_is_structured_error() {
+        let a = random_matrix::<f64>(16, 16, 33);
+        let tiled = TiledMatrix::from_matrix(&a, 4).unwrap();
+        let g = TaskGraph::build(4, 4, EliminationOrder::FlatTs);
+        let faults = ScriptedFaults::new().fail_on(1, 99);
+        let err = parallel_factor_ft(
+            FactorState::new(tiled),
+            &g,
+            PoolConfig {
+                workers: 2,
+                ..PoolConfig::default()
+            },
+            Some(FaultTolerance {
+                max_attempts: 2,
+                ..FaultTolerance::default()
+            }),
+            Some(&faults),
+        )
+        .unwrap_err();
+        match err {
+            RuntimeError::RetriesExhausted { task, attempts, .. } => {
+                assert_eq!(task, 1);
+                assert_eq!(attempts, 2);
+            }
+            other => panic!("expected RetriesExhausted, got {other}"),
+        }
+    }
+
+    #[test]
+    fn ft_all_workers_dead_is_structured_error() {
+        let a = random_matrix::<f64>(16, 16, 34);
+        let tiled = TiledMatrix::from_matrix(&a, 4).unwrap();
+        let g = TaskGraph::build(4, 4, EliminationOrder::FlatTs);
+        // Task 0 panics on every attempt: each try kills one worker, so a
+        // 2-worker pool empties before the generous attempt budget does.
+        let faults = ScriptedFaults::new().panic_on(0, 99);
+        let err = parallel_factor_ft(
+            FactorState::new(tiled),
+            &g,
+            PoolConfig {
+                workers: 2,
+                ..PoolConfig::default()
+            },
+            Some(FaultTolerance {
+                max_attempts: 99,
+                ..FaultTolerance::default()
+            }),
+            Some(&faults),
+        )
+        .unwrap_err();
+        match err {
+            RuntimeError::AllWorkersDead { total, .. } => assert_eq!(total, g.len()),
+            other => panic!("expected AllWorkersDead, got {other}"),
+        }
+    }
+
+    #[test]
+    fn fast_mode_panic_fails_cleanly_without_hanging() {
+        // ft = None: the panic is isolated (no process abort, no hang) but
+        // fatal, because destructive staging lost the task's inputs.
+        let a = random_matrix::<f64>(16, 16, 35);
+        let tiled = TiledMatrix::from_matrix(&a, 4).unwrap();
+        let g = TaskGraph::build(4, 4, EliminationOrder::FlatTs);
+        let faults = ScriptedFaults::new().panic_on(2, 1);
+        let err = parallel_factor_ft(
+            FactorState::new(tiled),
+            &g,
+            PoolConfig {
+                workers: 3,
+                ..PoolConfig::default()
+            },
+            None,
+            Some(&faults),
+        )
+        .unwrap_err();
+        match err {
+            RuntimeError::TaskPanicked { task, .. } => assert_eq!(task, 2),
+            other => panic!("expected TaskPanicked, got {other}"),
+        }
+    }
+
+    #[test]
+    fn ft_watchdog_retires_stalled_worker() {
+        let a = random_matrix::<f64>(16, 16, 36);
+        let (tiled, g, seq_tiles) = sequential_tiles(&a, 4);
+        // One attempt sleeps far past the watchdog; the stalled worker is
+        // retired, the task re-runs elsewhere, and the eventual late
+        // result is deduplicated at the commit fence.
+        let faults = ScriptedFaults::new().stall_on(1, 1, Duration::from_millis(400));
+        let (st, report) = parallel_factor_ft(
+            FactorState::new(tiled),
+            &g,
+            PoolConfig {
+                workers: 2,
+                ..PoolConfig::default()
+            },
+            Some(FaultTolerance {
+                stall_timeout: Some(Duration::from_millis(50)),
+                ..FaultTolerance::default()
+            }),
+            Some(&faults),
+        )
+        .unwrap();
+        assert_eq!(st.tiles().to_matrix(), seq_tiles);
+        assert_eq!(report.total_tasks() as usize, g.len());
+        assert!(report.worker_deaths >= 1);
+        assert!(report.requeues >= 1);
     }
 }

@@ -44,8 +44,24 @@ pub struct CountSelection {
 /// Devices ordered for Algorithm 3: main first, the rest by update
 /// throughput descending (ties by id for determinism).
 pub fn ordered_devices(platform: &Platform, main: DeviceId) -> Vec<DeviceId> {
+    ordered_devices_excluding(platform, main, &[])
+}
+
+/// [`ordered_devices`] with a device blacklist (the re-planning path).
+/// `main` must not itself be excluded.
+pub fn ordered_devices_excluding(
+    platform: &Platform,
+    main: DeviceId,
+    exclude: &[DeviceId],
+) -> Vec<DeviceId> {
+    assert!(
+        !exclude.contains(&main),
+        "main device {main} is on the blacklist"
+    );
     let b = platform.config().tile_size;
-    let mut rest: Vec<DeviceId> = (0..platform.num_devices()).filter(|&d| d != main).collect();
+    let mut rest: Vec<DeviceId> = (0..platform.num_devices())
+        .filter(|&d| d != main && !exclude.contains(&d))
+        .collect();
     rest.sort_by(|&a, &c| {
         platform
             .device(c)
@@ -147,7 +163,20 @@ pub fn select_device_count(
     mt: usize,
     nt: usize,
 ) -> CountSelection {
-    let ordered = ordered_devices(platform, main);
+    select_device_count_excluding(platform, main, mt, nt, &[])
+}
+
+/// [`select_device_count`] over the non-blacklisted devices only (the
+/// re-planning path): prefixes are drawn from the surviving ordered list,
+/// so a dead device can never be a participant.
+pub fn select_device_count_excluding(
+    platform: &Platform,
+    main: DeviceId,
+    mt: usize,
+    nt: usize,
+    exclude: &[DeviceId],
+) -> CountSelection {
+    let ordered = ordered_devices_excluding(platform, main, exclude);
     let mut predictions = Vec::with_capacity(ordered.len());
     for p in 1..=ordered.len() {
         let devices = ordered[..p].to_vec();
@@ -235,6 +264,32 @@ mod tests {
         for other in &sel.predictions {
             assert!(chosen.total_us() <= other.total_us() + 1e-9);
         }
+    }
+
+    #[test]
+    fn exclusion_removes_devices_from_every_prefix() {
+        let p = profiles::paper_testbed(16);
+        let sel = select_device_count_excluding(&p, 0, 200, 200, &[1]);
+        assert_eq!(sel.predictions.len(), 3, "one device blacklisted");
+        for pred in &sel.predictions {
+            assert!(!pred.devices.contains(&1));
+        }
+        assert!(!sel.devices.contains(&1));
+    }
+
+    #[test]
+    fn exclusion_to_single_device_still_plans() {
+        let p = profiles::paper_testbed(16);
+        let sel = select_device_count_excluding(&p, 3, 20, 20, &[0, 1, 2]);
+        assert_eq!(sel.p, 1);
+        assert_eq!(sel.devices, vec![3]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn excluded_main_panics() {
+        let p = profiles::paper_testbed(16);
+        let _ = ordered_devices_excluding(&p, 0, &[0]);
     }
 
     #[test]

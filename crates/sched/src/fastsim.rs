@@ -43,7 +43,7 @@ impl Ord for Time {
 }
 
 /// Per-device lane pool: the earliest-available of `slots` chain lanes.
-struct Lanes {
+pub(crate) struct Lanes {
     heap: BinaryHeap<Reverse<Time>>,
 }
 
@@ -66,135 +66,192 @@ impl Lanes {
     }
 }
 
+/// Mutable state of the column-chain pipeline, factored out of
+/// [`simulate_fast`] so the adaptive re-planning simulator
+/// ([`crate::replan`]) can advance it panel by panel, inspect the clock at
+/// panel boundaries, and splice in migration transfers.
+pub(crate) struct PipelineState {
+    /// Per column: when its first row-block is up to date.
+    pub(crate) head: Vec<f64>,
+    /// Per column: when its last row-block is up to date.
+    pub(crate) full: Vec<f64>,
+    /// Per device: the `slots` parallel chain lanes.
+    pub(crate) lanes: Vec<Lanes>,
+    /// When the shared bus next frees up.
+    pub(crate) bus_free: f64,
+    /// Accumulated statistics (makespan filled in at the end).
+    pub(crate) stats: SimStats,
+    /// Per-device nominal kernel times, microseconds.
+    pub(crate) t_t: Vec<f64>,
+    pub(crate) t_e: Vec<f64>,
+    pub(crate) t_u: Vec<f64>,
+    /// Wire time of one tile at bus bandwidth, microseconds.
+    pub(crate) per_tile_wire: f64,
+    /// Bus bandwidth, bytes per microsecond.
+    pub(crate) bandwidth: f64,
+    /// Batched-transfer setup latency, microseconds.
+    pub(crate) batch_lat: f64,
+    /// Bytes of one tile.
+    pub(crate) tile_bytes: u64,
+}
+
+impl PipelineState {
+    pub(crate) fn new(platform: &Platform, nt: usize) -> Self {
+        let b = platform.config().tile_size;
+        let tile_bytes = platform.config().tile_bytes();
+        let ndev = platform.num_devices();
+        PipelineState {
+            head: vec![0.0; nt],
+            full: vec![0.0; nt],
+            lanes: (0..ndev)
+                .map(|d| Lanes::new(platform.device(d).slots(b)))
+                .collect(),
+            bus_free: 0.0,
+            stats: SimStats::new(ndev),
+            t_t: (0..ndev)
+                .map(|d| {
+                    platform
+                        .device(d)
+                        .kernel_time_us(KernelClass::Triangulation, b)
+                })
+                .collect(),
+            t_e: (0..ndev)
+                .map(|d| {
+                    platform
+                        .device(d)
+                        .kernel_time_us(KernelClass::Elimination, b)
+                })
+                .collect(),
+            t_u: (0..ndev)
+                .map(|d| platform.device(d).kernel_time_us(KernelClass::Update, b))
+                .collect(),
+            per_tile_wire: tile_bytes as f64 / platform.link().bandwidth_bytes_per_us,
+            bandwidth: platform.link().bandwidth_bytes_per_us,
+            batch_lat: platform.link().batch_latency_us,
+            tile_bytes,
+        }
+    }
+
+    /// Makespan seen so far: the latest column completion.
+    pub(crate) fn frontier_us(&self) -> f64 {
+        self.full.iter().cloned().fold(0.0, f64::max)
+    }
+}
+
+/// Advance the pipeline by one panel. `slow[d]` multiplies device `d`'s
+/// kernel times for this panel (1.0 = nominal; multiplying by 1.0 is
+/// bit-exact, so a run with all-ones `slow` reproduces the un-faulted
+/// simulation to the last bit). An `INFINITY` entry models a dead device:
+/// any chain placed on it — and everything downstream — never finishes.
+pub(crate) fn panel_step(
+    state: &mut PipelineState,
+    owner: &[usize],
+    te_dev: usize,
+    k: usize,
+    mt: usize,
+    nt: usize,
+    slow: &[f64],
+) {
+    let m = mt - k; // tiles in the panel column
+    let ndev = state.lanes.len();
+    let tt = state.t_t[te_dev] * slow[te_dev];
+    let te = state.t_e[te_dev] * slow[te_dev];
+
+    // Bring the panel column to the T/E device (chunked batched copy:
+    // one setup, then tiles stream at wire rate).
+    let (mut in_head, mut in_full) = (state.head[k], state.full[k]);
+    if owner[k] != te_dev {
+        let t0 = state.bus_free.max(in_head);
+        let occupancy = state.batch_lat + m as f64 * state.per_tile_wire;
+        state.bus_free = t0 + occupancy;
+        state.stats.bus_busy_us += occupancy;
+        state.stats.bytes_transferred += m as u64 * state.tile_bytes;
+        state.stats.transfer_count += 1;
+        in_head = t0 + state.batch_lat + state.per_tile_wire;
+        in_full = in_full.max(t0 + occupancy);
+    }
+
+    // T/E chain on the T/E device: starts when the column head is
+    // there, finishes no earlier than its own serial chain and no
+    // earlier than the column's last row plus one elimination.
+    let chain = tt + (m - 1) as f64 * te;
+    let te_start = state.lanes[te_dev].occupy(in_head, chain);
+    let te_head = te_start + tt + if m > 1 { te } else { 0.0 };
+    let te_full = (te_start + chain).max(in_full + te);
+    state.stats.device_busy_us[te_dev] += chain;
+    state.stats.tasks_per_device[te_dev] += m as u64;
+    state.head[k] = te_start + tt;
+    state.full[k] = te_full;
+
+    // Broadcast the Q data (Eq. 11: 3MT² elements) to every other
+    // device that owns trailing columns. `factor_head` is when a
+    // device sees the panel's first V+T block, `factor_full` when it
+    // has the last one.
+    let mut factor_head = vec![f64::INFINITY; ndev];
+    let mut factor_full = vec![f64::INFINITY; ndev];
+    factor_head[te_dev] = te_head;
+    factor_full[te_dev] = te_full;
+    let mut needs: Vec<bool> = vec![false; ndev];
+    for &o in owner.iter().take(nt).skip(k + 1) {
+        needs[o] = true;
+    }
+    for d in 0..ndev {
+        if d == te_dev || !needs[d] {
+            continue;
+        }
+        let t0 = state.bus_free.max(te_head);
+        let payload = 3 * m as u64 * state.tile_bytes;
+        let occupancy = state.batch_lat + payload as f64 / state.bandwidth;
+        state.bus_free = t0 + occupancy;
+        state.stats.bus_busy_us += occupancy;
+        state.stats.bytes_transferred += payload;
+        state.stats.transfer_count += 1;
+        // The first V+T block lands after the setup; the last when the
+        // stream drains and the chain has produced it.
+        factor_head[d] = t0 + state.batch_lat + 2.0 * state.per_tile_wire;
+        factor_full[d] = (t0 + occupancy).max(te_full + 2.0 * state.per_tile_wire);
+    }
+
+    // Update chains, next panel's column first. A chain occupies a
+    // lane for its own work; its completion is additionally floored by
+    // (a) the previous chain on the same column finishing its last
+    // row, and (b) the last factor arriving — endpoint constraints
+    // that bound any link-level schedule without ratcheting the
+    // device's throughput.
+    for (j, &d) in owner.iter().enumerate().take(nt).skip(k + 1) {
+        let tu = state.t_u[d] * slow[d];
+        let links = m as f64; // 1 UNMQR + (m-1) TSMQRs
+        let own_dur = links * tu;
+        let ready = state.head[j].max(factor_head[d]);
+        let start = state.lanes[d].occupy(ready, own_dur);
+        let own_full = start + own_dur;
+        state.full[j] = own_full.max(state.full[j] + tu).max(factor_full[d] + tu);
+        state.head[j] = start.max(factor_head[d]) + 2.0 * tu;
+        state.stats.device_busy_us[d] += own_dur;
+        state.stats.tasks_per_device[d] += m as u64;
+    }
+}
+
 /// Simulate a full tiled QR of an `mt x nt` tile grid under `plan`.
 pub fn simulate_fast(platform: &Platform, plan: &HeteroPlan, mt: usize, nt: usize) -> SimStats {
     assert!(mt > 0 && nt > 0);
-    let b = platform.config().tile_size;
-    let tile_bytes = platform.config().tile_bytes();
     let ndev = platform.num_devices();
-
-    let t_t: Vec<f64> = (0..ndev)
-        .map(|d| {
-            platform
-                .device(d)
-                .kernel_time_us(KernelClass::Triangulation, b)
-        })
-        .collect();
-    let t_e: Vec<f64> = (0..ndev)
-        .map(|d| {
-            platform
-                .device(d)
-                .kernel_time_us(KernelClass::Elimination, b)
-        })
-        .collect();
-    let t_u: Vec<f64> = (0..ndev)
-        .map(|d| platform.device(d).kernel_time_us(KernelClass::Update, b))
-        .collect();
-
-    let mut lanes: Vec<Lanes> = (0..ndev)
-        .map(|d| Lanes::new(platform.device(d).slots(b)))
-        .collect();
-
     let dist = &plan.distribution;
     let owner: Vec<usize> = (0..nt).map(|j| dist.owner(j)).collect();
-
-    // Per-column pipeline state: when the first row-block of the column is
-    // up to date (head) and when its last row is (full). A consumer chain
-    // may start at `head` and must end no earlier than `full` plus one of
-    // its own links — the two endpoint constraints that bound any
-    // link-level schedule of the chain.
-    let mut head = vec![0.0f64; nt];
-    let mut full = vec![0.0f64; nt];
-
-    let mut stats = SimStats::new(ndev);
-    let mut bus_free = 0.0f64;
-    let per_tile_wire = tile_bytes as f64 / platform.link().bandwidth_bytes_per_us;
-    let batch_lat = platform.link().batch_latency_us;
+    let mut state = PipelineState::new(platform, nt);
+    let nominal = vec![1.0f64; ndev];
 
     let kmax = mt.min(nt);
     for k in 0..kmax {
-        let m = mt - k; // tiles in the panel column
         let te_dev = match plan.policy {
             MainDevicePolicy::None => owner[k],
             _ => plan.main,
         };
-
-        // Bring the panel column to the T/E device (chunked batched copy:
-        // one setup, then tiles stream at wire rate).
-        let (mut in_head, mut in_full) = (head[k], full[k]);
-        if owner[k] != te_dev {
-            let t0 = bus_free.max(in_head);
-            let occupancy = batch_lat + m as f64 * per_tile_wire;
-            bus_free = t0 + occupancy;
-            stats.bus_busy_us += occupancy;
-            stats.bytes_transferred += m as u64 * tile_bytes;
-            stats.transfer_count += 1;
-            in_head = t0 + batch_lat + per_tile_wire;
-            in_full = in_full.max(t0 + occupancy);
-        }
-
-        // T/E chain on the T/E device: starts when the column head is
-        // there, finishes no earlier than its own serial chain and no
-        // earlier than the column's last row plus one elimination.
-        let chain = t_t[te_dev] + (m - 1) as f64 * t_e[te_dev];
-        let te_start = lanes[te_dev].occupy(in_head, chain);
-        let te_head = te_start + t_t[te_dev] + if m > 1 { t_e[te_dev] } else { 0.0 };
-        let te_full = (te_start + chain).max(in_full + t_e[te_dev]);
-        stats.device_busy_us[te_dev] += chain;
-        stats.tasks_per_device[te_dev] += m as u64;
-        head[k] = te_start + t_t[te_dev];
-        full[k] = te_full;
-
-        // Broadcast the Q data (Eq. 11: 3MT² elements) to every other
-        // device that owns trailing columns. `factor_head` is when a
-        // device sees the panel's first V+T block, `factor_full` when it
-        // has the last one.
-        let mut factor_head = vec![f64::INFINITY; ndev];
-        let mut factor_full = vec![f64::INFINITY; ndev];
-        factor_head[te_dev] = te_head;
-        factor_full[te_dev] = te_full;
-        let mut needs: Vec<bool> = vec![false; ndev];
-        for &o in owner.iter().take(nt).skip(k + 1) {
-            needs[o] = true;
-        }
-        for d in 0..ndev {
-            if d == te_dev || !needs[d] {
-                continue;
-            }
-            let t0 = bus_free.max(te_head);
-            let payload = 3 * m as u64 * tile_bytes;
-            let occupancy = batch_lat + payload as f64 / platform.link().bandwidth_bytes_per_us;
-            bus_free = t0 + occupancy;
-            stats.bus_busy_us += occupancy;
-            stats.bytes_transferred += payload;
-            stats.transfer_count += 1;
-            // The first V+T block lands after the setup; the last when the
-            // stream drains and the chain has produced it.
-            factor_head[d] = t0 + batch_lat + 2.0 * per_tile_wire;
-            factor_full[d] = (t0 + occupancy).max(te_full + 2.0 * per_tile_wire);
-        }
-
-        // Update chains, next panel's column first. A chain occupies a
-        // lane for its own work; its completion is additionally floored by
-        // (a) the previous chain on the same column finishing its last
-        // row, and (b) the last factor arriving — endpoint constraints
-        // that bound any link-level schedule without ratcheting the
-        // device's throughput.
-        for j in k + 1..nt {
-            let d = owner[j];
-            let links = m as f64; // 1 UNMQR + (m-1) TSMQRs
-            let own_dur = links * t_u[d];
-            let ready = head[j].max(factor_head[d]);
-            let start = lanes[d].occupy(ready, own_dur);
-            let own_full = start + own_dur;
-            full[j] = own_full.max(full[j] + t_u[d]).max(factor_full[d] + t_u[d]);
-            head[j] = start.max(factor_head[d]) + 2.0 * t_u[d];
-            stats.device_busy_us[d] += own_dur;
-            stats.tasks_per_device[d] += m as u64;
-        }
+        panel_step(&mut state, &owner, te_dev, k, mt, nt, &nominal);
     }
 
-    stats.makespan_us = full.iter().cloned().fold(0.0, f64::max);
+    let mut stats = state.stats;
+    stats.makespan_us = state.full.iter().cloned().fold(0.0, f64::max);
     stats
 }
 

@@ -39,7 +39,9 @@ pub mod guide;
 pub mod main_select;
 pub mod plan;
 pub mod ratio;
+pub mod replan;
 pub mod rowblock;
 
 pub use distribution::{Distribution, DistributionStrategy};
 pub use plan::{HeteroPlan, MainDevicePolicy};
+pub use replan::{simulate_adaptive, AdaptiveRun, ReplanEvent, ReplanPolicy};

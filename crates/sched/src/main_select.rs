@@ -40,13 +40,20 @@ fn te_chain_us(platform: &Platform, dev: DeviceId, mt: usize) -> f64 {
     t + (mt.saturating_sub(1)) as f64 * e
 }
 
-/// Update-phase time of the first panel if every device *except* `dev`
-/// shares the `M(N−1)` update tiles in proportion to throughput.
-fn update_time_without_us(platform: &Platform, dev: DeviceId, mt: usize, nt: usize) -> f64 {
+/// Update-phase time of the first panel if every non-excluded device
+/// *except* `dev` shares the `M(N−1)` update tiles in proportion to
+/// throughput.
+fn update_time_without_us(
+    platform: &Platform,
+    dev: DeviceId,
+    mt: usize,
+    nt: usize,
+    excluded: &[bool],
+) -> f64 {
     let b = platform.config().tile_size;
     let tiles = (mt * nt.saturating_sub(1)) as f64;
     let throughput: f64 = (0..platform.num_devices())
-        .filter(|&d| d != dev)
+        .filter(|&d| d != dev && !excluded[d])
         .map(|d| platform.device(d).update_throughput(b))
         .sum();
     if throughput == 0.0 {
@@ -59,29 +66,57 @@ fn update_time_without_us(platform: &Platform, dev: DeviceId, mt: usize, nt: usi
 /// Run Algorithm 2 over every device of `platform` for an `mt x nt` tile
 /// grid.
 pub fn select_main_device(platform: &Platform, mt: usize, nt: usize) -> MainSelection {
+    select_main_device_excluding(platform, mt, nt, &[])
+}
+
+/// [`select_main_device`] with a device blacklist — the re-planning path:
+/// after a mid-run device death, Algorithm 2 is re-run over the survivors
+/// only. `te_time_us` still covers every device (diagnostics), but
+/// excluded devices can neither be candidates nor win the fallback.
+/// Panics if exclusion leaves no device.
+pub fn select_main_device_excluding(
+    platform: &Platform,
+    mt: usize,
+    nt: usize,
+    exclude: &[DeviceId],
+) -> MainSelection {
     assert!(mt > 0 && nt > 0);
     let n = platform.num_devices();
+    let mut excluded = vec![false; n];
+    for &d in exclude {
+        assert!(d < n, "unknown excluded device {d}");
+        excluded[d] = true;
+    }
+    let eligible: Vec<DeviceId> = (0..n).filter(|&d| !excluded[d]).collect();
+    assert!(
+        !eligible.is_empty(),
+        "exclusion left no device to plan with"
+    );
     let te_time_us: Vec<f64> = (0..n).map(|d| te_chain_us(platform, d, mt)).collect();
 
-    if n == 1 {
+    if eligible.len() == 1 {
         return MainSelection {
-            device: 0,
-            candidates: vec![0],
+            device: eligible[0],
+            candidates: eligible,
             te_time_us,
         };
     }
 
-    let candidates: Vec<DeviceId> = (0..n)
-        .filter(|&d| te_time_us[d] <= update_time_without_us(platform, d, mt, nt))
+    let candidates: Vec<DeviceId> = eligible
+        .iter()
+        .copied()
+        .filter(|&d| te_time_us[d] <= update_time_without_us(platform, d, mt, nt, &excluded))
         .collect();
 
     let b = platform.config().tile_size;
     let device = if candidates.is_empty() {
         // Fallback: no device keeps up with the others' updates — take the
         // one with the fastest T/E chain.
-        (0..n)
+        eligible
+            .iter()
+            .copied()
             .min_by(|&a, &c| te_time_us[a].total_cmp(&te_time_us[c]))
-            .expect("non-empty platform")
+            .expect("non-empty eligible set")
     } else {
         // "find_minimum_speed_device_id": slowest *updater* among the
         // candidates, so the fast updaters stay on update duty.
@@ -163,6 +198,31 @@ mod tests {
         let p = profiles::paper_testbed(16);
         let sel = select_main_device(&p, 2, 2);
         assert_eq!(sel.device, 0);
+    }
+
+    #[test]
+    fn excluding_the_winner_promotes_a_survivor() {
+        let p = profiles::paper_testbed(16);
+        let sel = select_main_device(&p, 400, 400);
+        assert_eq!(sel.device, 0);
+        let degraded = select_main_device_excluding(&p, 400, 400, &[0]);
+        assert_ne!(degraded.device, 0, "dead device must not be re-selected");
+        assert!(!degraded.candidates.contains(&0));
+    }
+
+    #[test]
+    fn exclusion_down_to_one_device_selects_it() {
+        let p = profiles::paper_testbed(16);
+        let sel = select_main_device_excluding(&p, 50, 50, &[0, 1, 2]);
+        assert_eq!(sel.device, 3, "only the CPU remains");
+        assert_eq!(sel.candidates, vec![3]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn excluding_everything_panics() {
+        let p = profiles::testbed_subset(1, false, 16);
+        let _ = select_main_device_excluding(&p, 10, 10, &[0]);
     }
 
     #[test]

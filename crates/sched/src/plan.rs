@@ -1,8 +1,10 @@
 //! End-to-end planning: Algorithm 2 → Algorithm 3 → Algorithm 4.
 
-use crate::device_count::{select_device_count, CountSelection};
+use crate::device_count::{
+    ordered_devices_excluding, select_device_count_excluding, CountSelection,
+};
 use crate::distribution::{Distribution, DistributionStrategy};
-use crate::main_select::{select_main_device, MainSelection};
+use crate::main_select::{select_main_device_excluding, MainSelection};
 use tileqr_sim::{DeviceId, Platform};
 
 /// How the main computing device is chosen.
@@ -34,6 +36,9 @@ pub struct HeteroPlan {
     pub main_selection: Option<MainSelection>,
     /// Diagnostics from Algorithm 3 (when it ran).
     pub count_selection: Option<CountSelection>,
+    /// Devices blacklisted when the plan was built (empty for a healthy
+    /// plan; populated by mid-run re-planning after a device death).
+    pub excluded: Vec<DeviceId>,
 }
 
 impl HeteroPlan {
@@ -80,22 +85,43 @@ pub fn plan_with(
     strategy: DistributionStrategy,
     force_p: Option<usize>,
 ) -> HeteroPlan {
+    plan_degraded(platform, mt, nt, policy, strategy, force_p, &[])
+}
+
+/// [`plan_with`] over the survivors of a device blacklist — the mid-run
+/// re-planning entry point. Algorithms 2, 3 and 4 all run on the
+/// non-excluded devices only, so a dead device can be neither main nor a
+/// participant. With an empty blacklist this *is* `plan_with`.
+///
+/// Panics if the blacklist covers every device, or if
+/// [`MainDevicePolicy::Fixed`] names an excluded device.
+pub fn plan_degraded(
+    platform: &Platform,
+    mt: usize,
+    nt: usize,
+    policy: MainDevicePolicy,
+    strategy: DistributionStrategy,
+    force_p: Option<usize>,
+    exclude: &[DeviceId],
+) -> HeteroPlan {
     let (main, main_selection) = match policy {
         MainDevicePolicy::Auto | MainDevicePolicy::None => {
-            let sel = select_main_device(platform, mt, nt);
+            let sel = select_main_device_excluding(platform, mt, nt, exclude);
             (sel.device, Some(sel))
         }
         MainDevicePolicy::Fixed(d) => {
             assert!(d < platform.num_devices(), "unknown device {d}");
+            assert!(!exclude.contains(&d), "fixed main device {d} is excluded");
             (d, None)
         }
     };
 
-    let count = select_device_count(platform, main, mt, nt);
+    let count = select_device_count_excluding(platform, main, mt, nt, exclude);
+    let survivors = platform.num_devices() - exclude.len();
     let participants = match force_p {
         Some(p) => {
-            let p = p.clamp(1, platform.num_devices());
-            crate::device_count::ordered_devices(platform, main)[..p].to_vec()
+            let p = p.clamp(1, survivors);
+            ordered_devices_excluding(platform, main, exclude)[..p].to_vec()
         }
         None => count.devices.clone(),
     };
@@ -108,6 +134,7 @@ pub fn plan_with(
         distribution,
         main_selection,
         count_selection: Some(count),
+        excluded: exclude.to_vec(),
     }
 }
 
@@ -224,6 +251,67 @@ mod tests {
         // And the fast simulator runs it.
         let stats = crate::fastsim::simulate_fast(&platform, &hp, 400, 400);
         assert!(stats.makespan_us > 0.0);
+    }
+
+    #[test]
+    fn degraded_plan_excludes_dead_devices_everywhere() {
+        let p = profiles::paper_testbed(16);
+        let healthy = plan(&p, 400, 400);
+        assert_eq!(healthy.main, 0);
+        assert!(healthy.excluded.is_empty());
+
+        // Kill the healthy main device: the degraded plan must promote a
+        // survivor and keep device 0 out of every structure.
+        let degraded = plan_degraded(
+            &p,
+            400,
+            400,
+            MainDevicePolicy::Auto,
+            DistributionStrategy::GuideArray,
+            None,
+            &[0],
+        );
+        assert_ne!(degraded.main, 0);
+        assert!(!degraded.participants.contains(&0));
+        assert!(degraded.distribution.guide().iter().all(|&d| d != 0));
+        assert_eq!(degraded.excluded, vec![0]);
+        for pred in &degraded.count_selection.as_ref().unwrap().predictions {
+            assert!(!pred.devices.contains(&0));
+        }
+    }
+
+    #[test]
+    fn degraded_to_single_survivor_is_a_valid_plan() {
+        let p = profiles::paper_testbed(16);
+        let solo = plan_degraded(
+            &p,
+            50,
+            50,
+            MainDevicePolicy::Auto,
+            DistributionStrategy::GuideArray,
+            None,
+            &[0, 1, 2],
+        );
+        assert_eq!(solo.main, 3);
+        assert_eq!(solo.participants, vec![3]);
+        for j in 0..50 {
+            assert_eq!(solo.distribution.owner(j), 3);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn degraded_fixed_main_on_blacklist_panics() {
+        let p = profiles::paper_testbed(16);
+        let _ = plan_degraded(
+            &p,
+            10,
+            10,
+            MainDevicePolicy::Fixed(1),
+            DistributionStrategy::Even,
+            None,
+            &[1],
+        );
     }
 
     #[test]

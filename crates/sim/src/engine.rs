@@ -164,7 +164,7 @@ fn simulate_impl(
                     break;
                 };
                 busy[d] += 1;
-                let dur = platform.task_time_us(d, g.task(t)) * faults.slowdown_at(d, $now);
+                let dur = platform.task_time_us(d, g.task(t)) * faults.effective_slowdown(d, $now);
                 stats.device_busy_us[d] += dur;
                 let will_fail = attempts_left[t] > 0;
                 if will_fail {

@@ -9,7 +9,7 @@
 //! degradation is graceful (monotone in fault magnitude, never a deadlock,
 //! work conservation intact).
 //!
-//! Three fault classes mirror the three simulated resources:
+//! Four fault classes cover the simulated resources:
 //!
 //! * [`DeviceFault`] — a slowdown spike on one [`DeviceId`]: every kernel
 //!   *starting* inside the window runs `slowdown`× longer,
@@ -18,7 +18,11 @@
 //!   setup latency (a serialization storm of tiny driver transactions),
 //! * [`KernelFault`] — transient failure of one task: its first
 //!   `failures` attempts burn the full kernel duration and produce
-//!   nothing, then the retry hook re-queues it on the same device.
+//!   nothing, then the retry hook re-queues it on the same device,
+//! * [`DeviceDeath`] — permanent loss of a device: from `at_us` on its
+//!   kernels never finish ([`FaultPlan::effective_slowdown`] returns
+//!   `+∞`), so any plan that keeps routing work to it predicts an
+//!   infinite makespan — the signal the re-planner reacts to.
 //!
 //! Everything is pure data and replayed deterministically — a failing
 //! seed reproduces from the plan alone.
@@ -62,6 +66,18 @@ pub enum LinkFault {
     },
 }
 
+/// Permanent loss of a device (driver crash, card falling off the bus).
+/// From `at_us` on, the device executes nothing: every kernel assigned to
+/// it takes forever, which is how the simulators model "this schedule
+/// never finishes unless ownership moves off the dead device".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceDeath {
+    /// Device that dies.
+    pub device: DeviceId,
+    /// Time of death, microseconds of simulated time.
+    pub at_us: f64,
+}
+
 /// Transient failure of one task's kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KernelFault {
@@ -81,6 +97,8 @@ pub struct FaultPlan {
     pub link_faults: Vec<LinkFault>,
     /// Transient kernel failures.
     pub kernel_faults: Vec<KernelFault>,
+    /// Permanent device losses.
+    pub device_deaths: Vec<DeviceDeath>,
 }
 
 impl FaultPlan {
@@ -134,11 +152,19 @@ impl FaultPlan {
         self
     }
 
+    /// Kill `device` permanently at `at_us` (builder style).
+    pub fn with_device_death(mut self, device: DeviceId, at_us: f64) -> Self {
+        assert!(at_us >= 0.0);
+        self.device_deaths.push(DeviceDeath { device, at_us });
+        self
+    }
+
     /// `true` when the plan injects nothing.
     pub fn is_empty(&self) -> bool {
         self.device_faults.is_empty()
             && self.link_faults.is_empty()
             && self.kernel_faults.is_empty()
+            && self.device_deaths.is_empty()
     }
 
     /// Combined slowdown multiplier for a kernel starting on `device` at
@@ -185,6 +211,33 @@ impl FaultPlan {
                 _ => 0.0,
             })
             .sum()
+    }
+
+    /// Time of death of `device`, if the plan kills it (earliest wins when
+    /// several deaths target the same device).
+    pub fn death_time(&self, device: DeviceId) -> Option<f64> {
+        self.device_deaths
+            .iter()
+            .filter(|d| d.device == device)
+            .map(|d| d.at_us)
+            .min_by(|a, b| a.total_cmp(b))
+    }
+
+    /// `true` if `device` is dead at time `now`.
+    pub fn device_dead_at(&self, device: DeviceId, now: f64) -> bool {
+        self.death_time(device).is_some_and(|t| t <= now)
+    }
+
+    /// Duration multiplier a kernel starting on `device` at `now` actually
+    /// experiences: the spike product, or `+∞` once the device is dead —
+    /// dead devices never finish anything, so a schedule that still routes
+    /// work to one predicts an infinite makespan.
+    pub fn effective_slowdown(&self, device: DeviceId, now: f64) -> f64 {
+        if self.device_dead_at(device, now) {
+            f64::INFINITY
+        } else {
+            self.slowdown_at(device, now)
+        }
     }
 
     /// Number of failing attempts injected for `task`.
@@ -247,6 +300,28 @@ mod tests {
             .with_kernel_failures(4, 1);
         assert_eq!(p.failures_for(4), 3);
         assert_eq!(p.failures_for(5), 0);
+    }
+
+    #[test]
+    fn death_is_permanent_and_per_device() {
+        let p = FaultPlan::none().with_device_death(1, 500.0);
+        assert!(!p.is_empty());
+        assert_eq!(p.death_time(1), Some(500.0));
+        assert_eq!(p.death_time(0), None);
+        assert!(!p.device_dead_at(1, 499.9));
+        assert!(p.device_dead_at(1, 500.0));
+        assert!(p.device_dead_at(1, 1e12));
+        assert_eq!(p.effective_slowdown(1, 400.0), 1.0);
+        assert_eq!(p.effective_slowdown(1, 600.0), f64::INFINITY);
+        assert_eq!(p.effective_slowdown(0, 600.0), 1.0);
+    }
+
+    #[test]
+    fn earliest_death_wins() {
+        let p = FaultPlan::none()
+            .with_device_death(2, 900.0)
+            .with_device_death(2, 300.0);
+        assert_eq!(p.death_time(2), Some(300.0));
     }
 
     #[test]

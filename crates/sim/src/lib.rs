@@ -33,7 +33,7 @@ mod timing;
 pub mod trace;
 
 pub use device::{DeviceId, DeviceKind, DeviceProfile, GPU_OVERSUBSCRIPTION};
-pub use fault::{DeviceFault, FaultPlan, KernelFault, LinkFault};
+pub use fault::{DeviceDeath, DeviceFault, FaultPlan, KernelFault, LinkFault};
 pub use link::Link;
 pub use platform::{Platform, SimConfig};
 pub use stats::SimStats;

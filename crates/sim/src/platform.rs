@@ -84,6 +84,27 @@ impl Platform {
             })
     }
 
+    /// Observed-profile copy of this platform: device `d`'s timing
+    /// coefficients are scaled by `factors[d]` (`1.0` leaves the profile
+    /// untouched). This is what mid-run re-planning feeds to Alg. 2/3/4 —
+    /// the platform *as measured*, with degraded devices slowed to their
+    /// observed throughput.
+    pub fn observed(&self, factors: &[f64]) -> Platform {
+        assert_eq!(factors.len(), self.devices.len());
+        let devices = self
+            .devices
+            .iter()
+            .zip(factors)
+            .map(|(d, &f)| if f > 1.0 { d.slowed(f) } else { d.clone() })
+            .collect();
+        Platform {
+            devices,
+            link: self.link,
+            config: self.config,
+            device_memory: self.device_memory.clone(),
+        }
+    }
+
     /// Number of devices.
     pub fn num_devices(&self) -> usize {
         self.devices.len()

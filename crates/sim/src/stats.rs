@@ -20,6 +20,13 @@ pub struct SimStats {
     /// Kernel attempts that failed and were retried (always 0 without a
     /// [`crate::FaultPlan`]).
     pub retry_count: u64,
+    /// Mid-run re-planning events (Alg. 2/3/4 re-run at a panel boundary
+    /// after a device death or degradation). Always 0 for non-adaptive
+    /// simulations.
+    pub replan_count: u64,
+    /// Bytes moved solely to migrate column ownership at replan
+    /// boundaries (a subset of `bytes_transferred`).
+    pub migrated_bytes: u64,
 }
 
 impl SimStats {
@@ -33,6 +40,8 @@ impl SimStats {
             transfer_count: 0,
             tasks_per_device: vec![0; n],
             retry_count: 0,
+            replan_count: 0,
+            migrated_bytes: 0,
         }
     }
 

@@ -7,8 +7,10 @@
 //! never lets any device fall more than one appearance behind its share).
 
 use tileqr_matrix::Rng64;
+use tileqr_sched::distribution::DistributionStrategy;
 use tileqr_sched::guide::{column_owner, generate_guide_array};
-use tileqr_sim::DeviceId;
+use tileqr_sched::plan::{plan_degraded, MainDevicePolicy};
+use tileqr_sim::{profiles, DeviceId};
 
 fn random_config(rng: &mut Rng64) -> (Vec<DeviceId>, Vec<u64>) {
     let n = rng.range_i64(1, 7) as usize;
@@ -113,4 +115,77 @@ fn paper_worked_example_holds() {
         generate_guide_array(&[0, 1, 2], &[2, 3, 1]),
         vec![1, 0, 1, 0, 1, 2]
     );
+}
+
+#[test]
+fn blacklisting_down_to_one_survivor_yields_a_valid_single_device_guide() {
+    // Satellite of the re-planning path: when a device blacklist leaves a
+    // single survivor, Alg. 4 must degenerate to a guide that maps every
+    // column — including column 0 — to that survivor, never to an empty
+    // or mixed array.
+    let p = profiles::paper_testbed(16);
+    let n = p.num_devices();
+    for survivor in 0..n {
+        let exclude: Vec<DeviceId> = (0..n).filter(|&d| d != survivor).collect();
+        let plan = plan_degraded(
+            &p,
+            40,
+            40,
+            MainDevicePolicy::Auto,
+            DistributionStrategy::GuideArray,
+            None,
+            &exclude,
+        );
+        assert_eq!(plan.main, survivor);
+        assert_eq!(plan.participants, vec![survivor]);
+        let g = plan.distribution.guide();
+        assert!(
+            !g.is_empty(),
+            "survivor {survivor}: guide must not be empty"
+        );
+        assert!(
+            g.iter().all(|&d| d == survivor),
+            "survivor {survivor}: {g:?}"
+        );
+        for j in 0..40 {
+            assert_eq!(plan.distribution.owner(j), survivor);
+        }
+    }
+}
+
+#[test]
+fn random_blacklists_never_leak_excluded_devices_into_the_guide() {
+    // Seeded sweep over random exclusion subsets (always leaving at least
+    // one survivor), random grid shapes and every distribution strategy:
+    // the guide array and every column owner must come from the survivor
+    // set, and every survivor with a nonzero share must appear.
+    let p = profiles::paper_testbed(16);
+    let n = p.num_devices();
+    let strategies = [
+        DistributionStrategy::GuideArray,
+        DistributionStrategy::GuideArrayBalanced,
+        DistributionStrategy::CoresProportional,
+        DistributionStrategy::Even,
+    ];
+    let mut rng = Rng64::seed_from_u64(0xD44);
+    for round in 0..100 {
+        let keep = (rng.next_u64() % n as u64) as usize;
+        let mask = rng.range_i64(0, (1 << n) - 1) as usize & !(1 << keep); // ≥1 survivor
+        let exclude: Vec<DeviceId> = (0..n).filter(|&d| mask & (1 << d) != 0).collect();
+        let nt = rng.range_i64(2, 60) as usize;
+        let mt = nt + rng.range_i64(0, 20) as usize;
+        let strategy = strategies[round % strategies.len()];
+        let plan = plan_degraded(&p, mt, nt, MainDevicePolicy::Auto, strategy, None, &exclude);
+        assert!(!exclude.contains(&plan.main));
+        for &d in plan.distribution.guide() {
+            assert!(
+                !exclude.contains(&d),
+                "round {round}: excluded device {d} in guide {:?} (exclude {exclude:?})",
+                plan.distribution.guide()
+            );
+        }
+        for j in 0..nt {
+            assert!(!exclude.contains(&plan.distribution.owner(j)));
+        }
+    }
 }
