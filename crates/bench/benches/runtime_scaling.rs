@@ -89,7 +89,11 @@ fn main() {
                 let (_, report) = parallel_factor_traced(
                     FactorState::new(tiled.clone()),
                     &graph,
-                    PoolConfig { workers: w, policy },
+                    PoolConfig {
+                        workers: w,
+                        policy,
+                        ..PoolConfig::default()
+                    },
                 )
                 .expect("factorization");
                 last_report = Some(report);

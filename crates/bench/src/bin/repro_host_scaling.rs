@@ -58,7 +58,11 @@ fn main() {
             let (_, report) = parallel_factor_traced(
                 FactorState::new(tiled.clone()),
                 &graph,
-                PoolConfig { workers: w, policy },
+                PoolConfig {
+                    workers: w,
+                    policy,
+                    ..PoolConfig::default()
+                },
             )
             .expect("factorization");
             let secs = report.elapsed.as_secs_f64();

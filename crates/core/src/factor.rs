@@ -4,7 +4,7 @@ use crate::options::QrOptions;
 use tileqr_dag::TaskGraph;
 use tileqr_kernels::exec::{apply_q_dense, apply_qt_dense, FactorState};
 use tileqr_matrix::{Matrix, MatrixError, Result, Scalar, TiledMatrix};
-use tileqr_runtime::{parallel_factor, parallel_factor_ft, PoolConfig};
+use tileqr_runtime::{parallel_factor_ft, parallel_factor_traced, PoolConfig, RunReport};
 
 /// A completed tiled QR factorization `A = Q R`.
 ///
@@ -24,6 +24,15 @@ pub struct TiledQr<T: Scalar> {
 impl<T: Scalar> TiledQr<T> {
     /// Factor `a` (requires `rows >= cols`).
     pub fn factor(a: &Matrix<T>, opts: &QrOptions) -> Result<Self> {
+        Self::factor_traced(a, opts).map(|(f, _)| f)
+    }
+
+    /// [`TiledQr::factor`] returning the runtime's [`RunReport`]
+    /// alongside the factorization. With [`QrOptions::tracing`] enabled
+    /// the report carries the run's unified lifecycle trace
+    /// (`report.trace`), ready for Chrome-trace export, latency
+    /// histograms, or calibration via the `obs` module.
+    pub fn factor_traced(a: &Matrix<T>, opts: &QrOptions) -> Result<(Self, RunReport)> {
         let (rows, cols) = a.dims();
         if rows < cols {
             return Err(MatrixError::DimensionMismatch {
@@ -38,26 +47,26 @@ impl<T: Scalar> TiledQr<T> {
         let config = PoolConfig {
             workers: opts.get_workers(),
             policy: opts.get_schedule(),
+            trace: opts.get_tracing(),
         };
-        let state = match (opts.get_workers(), opts.get_fault_tolerance()) {
-            (1, _) => {
-                let mut s = state;
-                s.run_all(&graph)?;
-                s
+        let (state, report) = match opts.get_fault_tolerance() {
+            // A single worker runs inline either way, so fault tolerance
+            // only engages the recovering pool on a real pool.
+            Some(ft) if opts.get_workers() != 1 => {
+                parallel_factor_ft(state, &graph, config, Some(ft), None)
+                    .map_err(MatrixError::from)?
             }
-            (_, Some(ft)) => {
-                let (s, _report) = parallel_factor_ft(state, &graph, config, Some(ft), None)
-                    .map_err(MatrixError::from)?;
-                s
-            }
-            (_, None) => parallel_factor(state, &graph, config)?,
+            _ => parallel_factor_traced(state, &graph, config)?,
         };
-        Ok(TiledQr {
-            state,
-            graph,
-            rows,
-            cols,
-        })
+        Ok((
+            TiledQr {
+                state,
+                graph,
+                rows,
+                cols,
+            },
+            report,
+        ))
     }
 
     /// Original (unpadded) dimensions of the factored matrix.

@@ -71,7 +71,15 @@ pub mod runtime {
         parallel_factor, parallel_factor_ft, parallel_factor_ordered, parallel_factor_traced,
         DispatchOrder, FaultInjector, FaultTolerance, InjectedFault, NoFaults, PoolConfig,
         ReadyQueue, ReadyTracker, RunReport, RuntimeError, SchedulePolicy, ScriptedFaults,
+        TraceConfig,
     };
+}
+
+/// Unified observability: lifecycle traces over the real pool and the
+/// simulator, Chrome-trace export, per-kernel latency histograms, and
+/// sim-vs-real calibration (re-export of `tileqr-obs`).
+pub mod obs {
+    pub use tileqr_obs::*;
 }
 
 /// Convenience one-shot QR: factor `a` with default options and return

@@ -1,7 +1,7 @@
 //! Factorization options.
 
 use tileqr_dag::EliminationOrder;
-use tileqr_runtime::{FaultTolerance, SchedulePolicy};
+use tileqr_runtime::{FaultTolerance, SchedulePolicy, TraceConfig};
 
 /// Options controlling a [`crate::TiledQr`] factorization.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -11,11 +11,12 @@ pub struct QrOptions {
     workers: usize,
     schedule: SchedulePolicy,
     fault_tolerance: Option<FaultTolerance>,
+    tracing: TraceConfig,
 }
 
 impl Default for QrOptions {
     /// Tile size 16 (the paper's choice, §V), TS elimination, sequential,
-    /// FIFO dispatch.
+    /// FIFO dispatch, tracing off.
     fn default() -> Self {
         QrOptions {
             tile_size: 16,
@@ -23,6 +24,7 @@ impl Default for QrOptions {
             workers: 1,
             schedule: SchedulePolicy::Fifo,
             fault_tolerance: None,
+            tracing: TraceConfig::default(),
         }
     }
 }
@@ -74,6 +76,16 @@ impl QrOptions {
         self
     }
 
+    /// Record a lifecycle trace of the run: per-worker
+    /// stage/compute/commit spans plus manager scheduling instants,
+    /// surfaced through [`crate::TiledQr::factor_traced`]'s
+    /// [`tileqr_runtime::RunReport::trace`]. Off by default — a disabled
+    /// config costs nothing on the execution hot path.
+    pub fn tracing(mut self, trace: TraceConfig) -> Self {
+        self.tracing = trace;
+        self
+    }
+
     /// Configured tile size.
     pub fn get_tile_size(&self) -> usize {
         self.tile_size
@@ -98,6 +110,11 @@ impl QrOptions {
     pub fn get_fault_tolerance(&self) -> Option<FaultTolerance> {
         self.fault_tolerance
     }
+
+    /// Configured tracing (disabled by default).
+    pub fn get_tracing(&self) -> TraceConfig {
+        self.tracing
+    }
 }
 
 #[cfg(test)]
@@ -112,6 +129,13 @@ mod tests {
         assert_eq!(o.get_workers(), 1);
         assert_eq!(o.get_schedule(), SchedulePolicy::Fifo);
         assert_eq!(o.get_fault_tolerance(), None, "fail fast by default");
+        assert!(!o.get_tracing().enabled, "tracing off by default");
+    }
+
+    #[test]
+    fn tracing_knob() {
+        let o = QrOptions::new().tracing(TraceConfig::enabled());
+        assert!(o.get_tracing().enabled);
     }
 
     #[test]

@@ -1,0 +1,264 @@
+//! Log-bucketed latency histograms over recorded spans.
+//!
+//! Buckets are powers of two over nanoseconds: bucket `i` holds
+//! durations in `[2^i, 2^(i+1))` ns (bucket 0 additionally holds 0).
+//! That gives ~±50% resolution over 19 decades with a fixed 64-word
+//! footprint, exact count conservation, and a merge that is plain
+//! element-wise addition — the three properties the histogram property
+//! suite locks down. Exact minimum and maximum are tracked alongside so
+//! quantile estimates never leave the observed range.
+
+use crate::span::{kind_index, Phase, Trace, KIND_NAMES, NUM_KINDS};
+
+/// Number of log2 buckets (covers the full u64 nanosecond range).
+pub const NUM_BUCKETS: usize = 64;
+
+/// One log2-bucketed latency distribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: [u64; NUM_BUCKETS],
+    total: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: [0; NUM_BUCKETS],
+            total: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+}
+
+/// Bucket index of a duration: `floor(log2(ns))`, with 0 ns in bucket 0.
+pub fn bucket_of(ns: u64) -> usize {
+    if ns == 0 {
+        0
+    } else {
+        63 - ns.leading_zeros() as usize
+    }
+}
+
+/// Inclusive-exclusive `[lo, hi)` nanosecond bounds of bucket `i`
+/// (bucket 63's upper bound saturates at `u64::MAX`).
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    assert!(i < NUM_BUCKETS);
+    let lo = if i == 0 { 0 } else { 1u64 << i };
+    let hi = if i >= 63 { u64::MAX } else { 1u64 << (i + 1) };
+    (lo, hi)
+}
+
+impl LatencyHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one duration in nanoseconds.
+    pub fn record_ns(&mut self, ns: u64) {
+        self.counts[bucket_of(ns)] += 1;
+        self.total += 1;
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Record one duration in microseconds (negative values clamp to 0).
+    pub fn record_us(&mut self, us: f64) {
+        self.record_ns((us.max(0.0) * 1e3).round() as u64);
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Raw bucket counts.
+    pub fn bucket_counts(&self) -> &[u64; NUM_BUCKETS] {
+        &self.counts
+    }
+
+    /// Smallest recorded duration, µs (`None` when empty).
+    pub fn min_us(&self) -> Option<f64> {
+        (self.total > 0).then(|| self.min_ns as f64 / 1e3)
+    }
+
+    /// Largest recorded duration, µs (`None` when empty).
+    pub fn max_us(&self) -> Option<f64> {
+        (self.total > 0).then(|| self.max_ns as f64 / 1e3)
+    }
+
+    /// Merge another histogram into this one. Equivalent to having
+    /// recorded the union of both sample streams (asserted by the
+    /// property suite).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Quantile estimate in µs: the upper bound of the bucket holding the
+    /// `q`-th sample (log-resolution, so within 2× of the true value),
+    /// clamped to the exactly-tracked `[min, max]`. `None` when empty.
+    pub fn quantile_us(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (_, hi) = bucket_bounds(i);
+                let est = hi as f64 / 1e3;
+                return Some(est.clamp(self.min_ns as f64 / 1e3, self.max_ns as f64 / 1e3));
+            }
+        }
+        Some(self.max_ns as f64 / 1e3)
+    }
+
+    /// Median estimate, µs.
+    pub fn p50_us(&self) -> Option<f64> {
+        self.quantile_us(0.50)
+    }
+
+    /// 95th-percentile estimate, µs.
+    pub fn p95_us(&self) -> Option<f64> {
+        self.quantile_us(0.95)
+    }
+
+    /// 99th-percentile estimate, µs.
+    pub fn p99_us(&self) -> Option<f64> {
+        self.quantile_us(0.99)
+    }
+}
+
+/// Per-kernel latency histograms over a run's compute spans — the
+/// paper's Fig. 4 view of a live system, one distribution per
+/// [`tileqr_dag::TaskKind`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KernelHistograms {
+    per_kind: [LatencyHistogram; NUM_KINDS],
+}
+
+impl KernelHistograms {
+    /// Build from every `Compute` span of `trace`.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let mut h = KernelHistograms::default();
+        for s in trace.phase_spans(Phase::Compute) {
+            h.per_kind[kind_index(s.kind)].record_us(s.duration_us());
+        }
+        h
+    }
+
+    /// Histogram of one kernel by [`kind_index`] slot.
+    pub fn kind(&self, idx: usize) -> &LatencyHistogram {
+        &self.per_kind[idx]
+    }
+
+    /// `(name, histogram)` pairs for the kinds that recorded samples.
+    pub fn non_empty(&self) -> impl Iterator<Item = (&'static str, &LatencyHistogram)> {
+        self.per_kind
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.count() > 0)
+            .map(|(i, h)| (KIND_NAMES[i], h))
+    }
+
+    /// Total samples across all kinds.
+    pub fn total(&self) -> u64 {
+        self.per_kind.iter().map(|h| h.count()).sum()
+    }
+
+    /// Merge another set into this one, kind by kind.
+    pub fn merge(&mut self, other: &KernelHistograms) {
+        for (a, b) in self.per_kind.iter_mut().zip(other.per_kind.iter()) {
+            a.merge(b);
+        }
+    }
+
+    /// One-line-per-kernel summary: `name count p50 p95 p99 max`, µs.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for (name, h) in self.non_empty() {
+            out.push_str(&format!(
+                "{name:>6}: n={:<6} p50={:<10.1} p95={:<10.1} p99={:<10.1} max={:.1} µs\n",
+                h.count(),
+                h.p50_us().unwrap_or(0.0),
+                h.p95_us().unwrap_or(0.0),
+                h.p99_us().unwrap_or(0.0),
+                h.max_us().unwrap_or(0.0),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), 63);
+        for i in 0..NUM_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo < hi);
+            assert_eq!(bucket_of(lo), i, "lower bound lands in its own bucket");
+        }
+    }
+
+    #[test]
+    fn counts_conserved_and_quantiles_ordered() {
+        let mut h = LatencyHistogram::new();
+        for v in [1u64, 10, 100, 1_000, 10_000, 100_000, 1_000_000] {
+            h.record_ns(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), 7);
+        let (p50, p95, p99) = (
+            h.p50_us().unwrap(),
+            h.p95_us().unwrap(),
+            h.p99_us().unwrap(),
+        );
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        assert!(p99 <= h.max_us().unwrap());
+        assert!(h.min_us().unwrap() <= p50);
+    }
+
+    #[test]
+    fn merge_is_sample_union() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut both = LatencyHistogram::new();
+        for v in [5u64, 50, 500] {
+            a.record_ns(v);
+            both.record_ns(v);
+        }
+        for v in [7u64, 70_000] {
+            b.record_ns(v);
+            both.record_ns(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn empty_histogram_yields_none() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_us(0.5), None);
+        assert_eq!(h.min_us(), None);
+        assert_eq!(h.max_us(), None);
+    }
+}

@@ -28,6 +28,14 @@
 //! while the run continues degraded. Failures surface as structured
 //! [`RuntimeError`]s and recovery activity is reported in
 //! [`RunReport`]'s `retries` / `requeues` / `worker_deaths` fields.
+//!
+//! Observability: enabling [`TraceConfig`] in the [`PoolConfig`] makes
+//! every worker record its task lifecycle (stage/compute/commit spans,
+//! plus manager-side ready/dispatch/recovery instants) into a per-thread
+//! ring buffer, merged at join into the unified
+//! [`Trace`](tileqr_obs::Trace) carried by [`RunReport::trace`] — see
+//! the `tileqr-obs` crate for Chrome-trace export, latency histograms,
+//! and sim-vs-real calibration built on top.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,3 +52,4 @@ pub use pool::{
 };
 pub use recovery::{FaultInjector, FaultTolerance, InjectedFault, NoFaults, ScriptedFaults};
 pub use scheduler::{DispatchOrder, ReadyQueue, ReadyTracker, SchedulePolicy};
+pub use tileqr_obs::TraceConfig;

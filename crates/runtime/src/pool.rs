@@ -38,6 +38,9 @@ use tileqr_dag::{TaskGraph, TaskId, TaskKind};
 use tileqr_kernels::exec::{CompletedTask, FactorState, SharedFactorState};
 use tileqr_kernels::flops;
 use tileqr_matrix::{MatrixError, Result, Scalar};
+use tileqr_obs::{
+    merge_recorders, KernelHistograms, RawEvent, RawKind, Trace, TraceConfig, WorkerRecorder,
+};
 
 /// Worker-pool configuration.
 #[derive(Debug, Clone, Copy, Default)]
@@ -46,6 +49,9 @@ pub struct PoolConfig {
     pub workers: usize,
     /// Dispatch order for ready tasks.
     pub policy: SchedulePolicy,
+    /// Lifecycle tracing. Disabled by default; when disabled the pool
+    /// allocates no recorders and reads no extra clocks.
+    pub trace: TraceConfig,
 }
 
 impl PoolConfig {
@@ -86,6 +92,11 @@ pub struct RunReport {
     /// Workers retired mid-run (panicked, stalled past the watchdog, or
     /// found dead at dispatch).
     pub worker_deaths: u64,
+    /// Unified lifecycle trace of the run — `Some` iff the run's
+    /// [`TraceConfig`] was enabled. One lane per worker plus a `manager`
+    /// lane carrying ready/dispatch/recovery instants (and, in
+    /// fault-tolerant mode, the fenced commits).
+    pub trace: Option<Trace>,
 }
 
 impl RunReport {
@@ -124,6 +135,12 @@ impl RunReport {
         }
         (self.stage_wait.as_secs_f64() + self.commit_wait.as_secs_f64()) / denom
     }
+
+    /// Per-kernel latency histograms over the run's compute spans.
+    /// `None` when the run was not traced.
+    pub fn kernel_histograms(&self) -> Option<KernelHistograms> {
+        self.trace.as_ref().map(KernelHistograms::from_trace)
+    }
 }
 
 /// Per-kernel flop counts as scheduling weights, so the bottom levels
@@ -161,7 +178,7 @@ pub fn parallel_factor_traced<T: Scalar>(
     let workers = config.effective_workers().max(1);
     if workers == 1 || graph.len() <= 1 {
         // Degenerate pool: run inline in program order.
-        return run_inline(state, graph, config.policy, started);
+        return run_inline(state, graph, config.policy, started, config.trace);
     }
     parallel_factor_ordered(state, graph, config, DispatchOrder::Policy(config.policy))
 }
@@ -181,7 +198,7 @@ pub fn parallel_factor_ordered<T: Scalar>(
 ) -> Result<(FactorState<T>, RunReport)> {
     let started = Instant::now();
     if graph.len() <= 1 {
-        return run_inline(state, graph, order.base_policy(), started);
+        return run_inline(state, graph, order.base_policy(), started, config.trace);
     }
     run_pool(state, graph, config, order, None, None).map_err(MatrixError::from)
 }
@@ -224,8 +241,28 @@ fn run_inline<T: Scalar>(
     graph: &TaskGraph,
     policy: SchedulePolicy,
     started: Instant,
+    trace_cfg: TraceConfig,
 ) -> Result<(FactorState<T>, RunReport)> {
-    state.run_all(graph)?;
+    let trace = if trace_cfg.enabled {
+        // Inline runs have no staging or commit contention; one compute
+        // span per task on the single worker lane is the whole story.
+        let mut rec = WorkerRecorder::new(trace_cfg.capacity_per_lane.max(graph.len()));
+        for tid in 0..graph.len() {
+            let t0 = ns_since(started);
+            state.execute(graph.task(tid))?;
+            rec.record(RawEvent::interval(
+                RawKind::Compute,
+                tid,
+                0,
+                t0,
+                ns_since(started),
+            ));
+        }
+        Some(merge_recorders(&[rec], vec!["worker0".to_string()], graph))
+    } else {
+        state.run_all(graph)?;
+        None
+    };
     Ok((
         state,
         RunReport {
@@ -238,8 +275,21 @@ fn run_inline<T: Scalar>(
             retries: 0,
             requeues: 0,
             worker_deaths: 0,
+            trace,
         },
     ))
+}
+
+/// Nanoseconds elapsed since `base`, as the trace timestamp.
+#[inline]
+fn ns_since(base: Instant) -> u64 {
+    base.elapsed().as_nanos() as u64
+}
+
+/// Nanosecond trace timestamp of an already-captured `Instant`.
+#[inline]
+fn ns_since_at(base: Instant, t: Instant) -> u64 {
+    t.duration_since(base).as_nanos() as u64
 }
 
 /// What a worker sends back per attempt.
@@ -261,6 +311,7 @@ enum WorkerOutcome<T: Scalar> {
 struct Completion<T: Scalar> {
     task: TaskId,
     worker: usize,
+    attempt: u32,
     outcome: WorkerOutcome<T>,
 }
 
@@ -282,6 +333,7 @@ struct ManagerStats {
     retries: u64,
     requeues: u64,
     worker_deaths: u64,
+    trace: Option<Trace>,
 }
 
 /// What one worker attempt hands back: the completed task when the
@@ -304,6 +356,10 @@ fn run_pool<T: Scalar>(
     let shared = SharedFactorState::new(state);
     let (done_tx, done_rx) = mpsc::channel::<Completion<T>>();
     let ft_mode = ft.is_some();
+    let trace_cfg = config.trace;
+    // Retired workers hand their recorder back over this channel; the
+    // manager collects them after closing the dispatch channels.
+    let (rec_tx, rec_rx) = mpsc::channel::<(usize, WorkerRecorder)>();
 
     let run_result: std::result::Result<ManagerStats, RuntimeError> = std::thread::scope(|scope| {
         // One private channel per worker: the manager chooses *which*
@@ -314,10 +370,15 @@ fn run_pool<T: Scalar>(
             let (tx, rx) = mpsc::channel::<(TaskId, u32)>();
             task_txs.push(Some(tx));
             let done_tx = done_tx.clone();
+            let rec_tx = rec_tx.clone();
             let shared = &shared;
+            let mut rec = trace_cfg
+                .enabled
+                .then(|| WorkerRecorder::new(trace_cfg.capacity_per_lane));
             scope.spawn(move || {
                 while let Ok((tid, attempt)) = rx.recv() {
                     let task = graph.task(tid);
+                    let rec_ref = &mut rec;
                     let result = catch_unwind(AssertUnwindSafe(|| -> Result<AttemptOutput<T>> {
                         match injector
                             .map_or(InjectedFault::None, |f| f.before_attempt(tid, attempt))
@@ -341,14 +402,49 @@ fn run_pool<T: Scalar>(
                         } else {
                             shared.stage(task)
                         }?;
-                        let stage_wait = t0.elapsed();
+                        let t_staged = Instant::now();
+                        let stage_wait = t_staged.duration_since(t0);
                         let done = staged.compute()?;
                         if ft_mode {
+                            if let Some(r) = rec_ref.as_mut() {
+                                let now = ns_since(started);
+                                let t0 = ns_since_at(started, t0);
+                                let ts = ns_since_at(started, t_staged);
+                                r.record(RawEvent::interval(RawKind::Stage, tid, attempt, t0, ts));
+                                r.record(RawEvent::interval(
+                                    RawKind::Compute,
+                                    tid,
+                                    attempt,
+                                    ts,
+                                    now,
+                                ));
+                            }
                             // Commit on the manager, behind the fence.
                             Ok((Some(Box::new(done)), stage_wait, Duration::ZERO))
                         } else {
                             let t1 = Instant::now();
                             shared.commit(done);
+                            if let Some(r) = rec_ref.as_mut() {
+                                let now = ns_since(started);
+                                let t0 = ns_since_at(started, t0);
+                                let ts = ns_since_at(started, t_staged);
+                                let tc = ns_since_at(started, t1);
+                                r.record(RawEvent::interval(RawKind::Stage, tid, attempt, t0, ts));
+                                r.record(RawEvent::interval(
+                                    RawKind::Compute,
+                                    tid,
+                                    attempt,
+                                    ts,
+                                    tc,
+                                ));
+                                r.record(RawEvent::interval(
+                                    RawKind::Commit,
+                                    tid,
+                                    attempt,
+                                    tc,
+                                    now,
+                                ));
+                            }
                             Ok((None, stage_wait, t1.elapsed()))
                         }
                     }));
@@ -371,6 +467,7 @@ fn run_pool<T: Scalar>(
                         .send(Completion {
                             task: tid,
                             worker: worker_id,
+                            attempt,
                             outcome,
                         })
                         .is_err();
@@ -378,16 +475,28 @@ fn run_pool<T: Scalar>(
                         break;
                     }
                 }
+                if let Some(r) = rec {
+                    let _ = rec_tx.send((worker_id, r));
+                }
             });
         }
         drop(done_tx);
+        drop(rec_tx);
 
         // Manager loop: readiness tracking + policy-ordered dispatch +
         // recovery bookkeeping.
         let total = graph.len();
         let mut tracker = ReadyTracker::new(graph);
         let mut queue = ReadyQueue::for_order(order, graph, flop_weight(b));
+        // The manager's own lane: ready/dispatch/recovery instants, plus
+        // the fenced commits in fault-tolerant mode.
+        let mut mgr_rec = trace_cfg
+            .enabled
+            .then(|| WorkerRecorder::new(trace_cfg.capacity_per_lane));
         for t in tracker.initial_ready(graph) {
+            if let Some(r) = mgr_rec.as_mut() {
+                r.record(RawEvent::instant(RawKind::Ready, t, 0, ns_since(started)));
+            }
             queue.push(t);
         }
         let mut idle: Vec<usize> = (0..workers).rev().collect();
@@ -407,6 +516,7 @@ fn run_pool<T: Scalar>(
             retries: 0,
             requeues: 0,
             worker_deaths: 0,
+            trace: None,
         };
 
         // Park `t` for a backoff-delayed retry, or fail the run once
@@ -425,8 +535,34 @@ fn run_pool<T: Scalar>(
                     }
                 } else {
                     stats.retries += 1;
+                    if let Some(r) = mgr_rec.as_mut() {
+                        r.record(RawEvent::instant(
+                            RawKind::Retry,
+                            t,
+                            attempts[t] as u64,
+                            ns_since(started),
+                        ));
+                    }
                     let delay = ftc.backoff(attempts[t]);
                     parked.push(Reverse((Instant::now() + delay, t)));
+                }
+            }};
+        }
+
+        // Record a worker-death (and optional requeue) instant pair.
+        macro_rules! trace_death {
+            ($w:expr, $t:expr) => {{
+                if let Some(r) = mgr_rec.as_mut() {
+                    let now = ns_since(started);
+                    r.record(RawEvent::instant(
+                        RawKind::WorkerDeath,
+                        RawEvent::NO_TASK,
+                        $w as u64,
+                        now,
+                    ));
+                    if let Some(t) = $t {
+                        r.record(RawEvent::instant(RawKind::Requeue, t, $w as u64, now));
+                    }
                 }
             }};
         }
@@ -461,6 +597,14 @@ fn run_pool<T: Scalar>(
                     .as_ref()
                     .is_some_and(|tx| tx.send((t, attempt)).is_ok());
                 if sent {
+                    if let Some(r) = mgr_rec.as_mut() {
+                        r.record(RawEvent::instant(
+                            RawKind::Dispatch,
+                            t,
+                            w as u64,
+                            ns_since(started),
+                        ));
+                    }
                     in_flight_of[w] = Some((t, Instant::now()));
                     in_flight += 1;
                 } else {
@@ -471,6 +615,7 @@ fn run_pool<T: Scalar>(
                     stats.worker_deaths += 1;
                     attempts[t] -= 1;
                     stats.requeues += 1;
+                    trace_death!(w, Some(t));
                     queue.push(t);
                 }
             }
@@ -538,6 +683,7 @@ fn run_pool<T: Scalar>(
             let Some(Completion {
                 task: t,
                 worker: w,
+                attempt: done_attempt,
                 outcome,
             }) = received
             else {
@@ -560,7 +706,10 @@ fn run_pool<T: Scalar>(
                             stats.worker_deaths += 1;
                             if !committed[t] {
                                 stats.requeues += 1;
+                                trace_death!(w, Some(t));
                                 retry_or_fail!(t, format!("worker {w} stalled past {st:?}"));
+                            } else {
+                                trace_death!(w, None::<TaskId>);
                             }
                         }
                     }
@@ -592,6 +741,15 @@ fn run_pool<T: Scalar>(
                             let t1 = Instant::now();
                             shared.commit(*done);
                             stats.commit_wait += t1.elapsed();
+                            if let Some(r) = mgr_rec.as_mut() {
+                                r.record(RawEvent::interval(
+                                    RawKind::Commit,
+                                    t,
+                                    done_attempt,
+                                    ns_since_at(started, t1),
+                                    ns_since(started),
+                                ));
+                            }
                         }
                         committed[t] = true;
                         completed += 1;
@@ -599,6 +757,14 @@ fn run_pool<T: Scalar>(
                         let ready = tracker.complete(graph, t);
                         if fatal.is_none() {
                             for r in ready {
+                                if let Some(rec) = mgr_rec.as_mut() {
+                                    rec.record(RawEvent::instant(
+                                        RawKind::Ready,
+                                        r,
+                                        0,
+                                        ns_since(started),
+                                    ));
+                                }
                                 queue.push(r);
                             }
                         }
@@ -626,9 +792,18 @@ fn run_pool<T: Scalar>(
                         alive[w] = false;
                         task_txs[w] = None;
                         stats.worker_deaths += 1;
+                        trace_death!(w, None::<TaskId>);
                     }
                     if expected && !committed[t] {
                         stats.requeues += 1;
+                        if let Some(r) = mgr_rec.as_mut() {
+                            r.record(RawEvent::instant(
+                                RawKind::Requeue,
+                                t,
+                                w as u64,
+                                ns_since(started),
+                            ));
+                        }
                         if ft_mode {
                             retry_or_fail!(t, format!("panic: {message}"));
                         } else if fatal.is_none() {
@@ -645,6 +820,23 @@ fn run_pool<T: Scalar>(
 
         stats.max_ready_depth = queue.max_depth();
         drop(task_txs); // workers exit
+        if let Some(mgr) = mgr_rec {
+            // Blocks until every worker (even one finishing a late
+            // attempt) has exited and returned its recorder — exactly
+            // the join the enclosing scope performs anyway.
+            let mut slots: Vec<Option<WorkerRecorder>> = (0..workers).map(|_| None).collect();
+            for (w, r) in rec_rx.iter() {
+                slots[w] = Some(r);
+            }
+            let mut recorders: Vec<WorkerRecorder> = slots
+                .into_iter()
+                .map(|s| s.unwrap_or_else(|| WorkerRecorder::new(1)))
+                .collect();
+            recorders.push(mgr);
+            let mut lanes: Vec<String> = (0..workers).map(|w| format!("worker{w}")).collect();
+            lanes.push("manager".to_string());
+            stats.trace = Some(merge_recorders(&recorders, lanes, graph));
+        }
         match fatal {
             Some(e) => Err(e),
             None => {
@@ -667,6 +859,7 @@ fn run_pool<T: Scalar>(
             retries: stats.retries,
             requeues: stats.requeues,
             worker_deaths: stats.worker_deaths,
+            trace: stats.trace,
         },
     ))
 }
@@ -754,6 +947,7 @@ mod tests {
             PoolConfig {
                 workers: 4,
                 policy: SchedulePolicy::Fifo,
+                ..PoolConfig::default()
             },
         )
         .unwrap();
@@ -763,6 +957,7 @@ mod tests {
             PoolConfig {
                 workers: 4,
                 policy: SchedulePolicy::CriticalPath,
+                ..PoolConfig::default()
             },
         )
         .unwrap();
@@ -818,6 +1013,7 @@ mod tests {
             PoolConfig {
                 workers: 4,
                 policy: SchedulePolicy::CriticalPath,
+                ..PoolConfig::default()
             },
         )
         .unwrap();
@@ -840,6 +1036,7 @@ mod tests {
             PoolConfig {
                 workers: 3,
                 policy: SchedulePolicy::CriticalPath,
+                ..PoolConfig::default()
             },
         )
         .unwrap();
@@ -901,6 +1098,49 @@ mod tests {
     }
 
     #[test]
+    fn traced_run_captures_full_lifecycle() {
+        let a = random_matrix::<f64>(24, 24, 8);
+        let tiled = TiledMatrix::from_matrix(&a, 4).unwrap();
+        let g = TaskGraph::build(6, 6, EliminationOrder::FlatTs);
+        let (_, report) = super::parallel_factor_traced(
+            FactorState::new(tiled),
+            &g,
+            PoolConfig {
+                workers: 3,
+                trace: TraceConfig::enabled(),
+                ..PoolConfig::default()
+            },
+        )
+        .unwrap();
+        let trace = report.trace.as_ref().expect("tracing was enabled");
+        assert_eq!(trace.compute_span_count(), g.len());
+        assert_eq!(trace.lanes.len(), 4, "3 workers + manager");
+        assert_eq!(trace.dropped, 0);
+        assert_eq!(trace.hot_path_reallocations, 0);
+        trace.validate(true).unwrap();
+        let hists = report.kernel_histograms().unwrap();
+        assert_eq!(hists.total(), g.len() as u64);
+    }
+
+    #[test]
+    fn untraced_run_reports_no_trace() {
+        let a = random_matrix::<f64>(16, 16, 9);
+        let tiled = TiledMatrix::from_matrix(&a, 4).unwrap();
+        let g = TaskGraph::build(4, 4, EliminationOrder::FlatTs);
+        let (_, report) = super::parallel_factor_traced(
+            FactorState::new(tiled),
+            &g,
+            PoolConfig {
+                workers: 2,
+                ..PoolConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(report.trace.is_none());
+        assert!(report.kernel_histograms().is_none());
+    }
+
+    #[test]
     fn imbalance_on_empty_worker_vec_is_zero() {
         // Regression: used to divide through an unwrap on `iter().max()`;
         // an empty report must report 0.0, not panic.
@@ -914,6 +1154,7 @@ mod tests {
             retries: 0,
             requeues: 0,
             worker_deaths: 0,
+            trace: None,
         };
         assert_eq!(report.imbalance(), 0.0);
         assert_eq!(report.total_tasks(), 0);

@@ -47,7 +47,11 @@ fn ft_run(
     parallel_factor_ft(
         FactorState::new(tiled.clone()),
         g,
-        PoolConfig { workers, policy },
+        PoolConfig {
+            workers,
+            policy,
+            ..PoolConfig::default()
+        },
         Some(ft),
         Some(injector),
     )

@@ -1,0 +1,258 @@
+//! Golden-trace suite: lock down the observability layer's guarantees
+//! on the *real* pool, swept across worker counts and schedule policies
+//! (`TILEQR_TESTKIT_WORKERS` / `TILEQR_TESTKIT_POLICY`).
+//!
+//! For a fixed seed and tile geometry, every traced run must produce a
+//! trace that is
+//!
+//! 1. **complete** — exactly one committed compute span per DAG task,
+//!    with per-kernel-class span counts matching [`counts::class_totals`],
+//! 2. **well-nested** — per task attempt, stage ends before compute
+//!    starts and compute ends before commit starts,
+//! 3. **sequential per lane** — spans on one worker lane never overlap,
+//! 4. **recovery-faithful** — retry/requeue/worker-death events appear
+//!    iff faults were injected.
+
+use std::collections::BTreeSet;
+use tileqr_dag::{counts, EliminationOrder, TaskGraph};
+use tileqr_kernels::exec::FactorState;
+use tileqr_matrix::TiledMatrix;
+use tileqr_obs::{kind_index, EventKind, Phase, Trace, TraceConfig};
+use tileqr_runtime::{
+    parallel_factor_ft, parallel_factor_ordered, DispatchOrder, FaultTolerance, PoolConfig,
+    ScriptedFaults,
+};
+use tileqr_testkit::{policies_under_test, workers_under_test};
+
+const N: usize = 32;
+const B: usize = 4;
+const SEED: u64 = 424_242;
+
+fn fixture() -> (TiledMatrix<f64>, TaskGraph) {
+    let a = tileqr_matrix::gen::random_matrix::<f64>(N, N, SEED);
+    let tiled = TiledMatrix::from_matrix(&a, B).unwrap();
+    let g = TaskGraph::build(
+        tiled.tile_rows(),
+        tiled.tile_cols(),
+        EliminationOrder::FlatTs,
+    );
+    (tiled, g)
+}
+
+/// The completeness contract: one compute span per DAG task, and the
+/// per-class breakdown matches the graph's analytic totals.
+fn assert_complete(trace: &Trace, g: &TaskGraph) {
+    let tasks: BTreeSet<usize> = trace.phase_spans(Phase::Compute).map(|s| s.task).collect();
+    assert_eq!(tasks.len(), g.len(), "every task computed exactly once");
+    assert_eq!(
+        trace.compute_span_count(),
+        g.len(),
+        "no duplicate compute spans"
+    );
+    let (t, e, ut, ue) = counts::class_totals(g);
+    let mut per_kind = [0usize; tileqr_obs::NUM_KINDS];
+    for s in trace.phase_spans(Phase::Compute) {
+        per_kind[kind_index(s.kind)] += 1;
+    }
+    // kind_index order: geqrt, unmqr, tsqrt, tsmqr, ttqrt, ttmqr.
+    assert_eq!(per_kind[0], t, "GEQRT count");
+    assert_eq!(per_kind[1], ut, "UNMQR count");
+    assert_eq!(per_kind[2] + per_kind[4], e, "TSQRT+TTQRT count");
+    assert_eq!(per_kind[3] + per_kind[5], ue, "TSMQR+TTMQR count");
+}
+
+#[test]
+fn golden_traces_across_workers_and_policies() {
+    let (tiled, g) = fixture();
+    for &workers in &workers_under_test() {
+        for &policy in &policies_under_test() {
+            // `parallel_factor_ordered` runs the real manager loop even
+            // at one worker, so the single-lane golden trace exercises
+            // the same recording paths as the multi-worker runs.
+            let (_, report) = parallel_factor_ordered(
+                FactorState::new(tiled.clone()),
+                &g,
+                PoolConfig {
+                    workers,
+                    policy,
+                    trace: TraceConfig::enabled(),
+                },
+                DispatchOrder::Policy(policy),
+            )
+            .unwrap();
+            let trace = report
+                .trace
+                .as_ref()
+                .unwrap_or_else(|| panic!("workers={workers} {policy:?}: trace missing"));
+
+            assert_complete(trace, &g);
+            trace
+                .validate(true)
+                .unwrap_or_else(|e| panic!("workers={workers} {policy:?}: {e}"));
+            assert_eq!(
+                trace.lanes.len(),
+                workers + 1,
+                "one lane per worker plus the manager"
+            );
+            assert_eq!(trace.dropped, 0, "default capacity never overwrites");
+            assert_eq!(
+                trace.hot_path_reallocations, 0,
+                "hot path allocates nothing"
+            );
+
+            // Scheduling instants: each task becomes ready exactly once
+            // and is dispatched exactly once on a clean run.
+            assert_eq!(trace.events_of(EventKind::Ready).count(), g.len());
+            assert_eq!(trace.events_of(EventKind::Dispatch).count(), g.len());
+
+            // Fast-path runs stage and commit on the worker: both phases
+            // present for every task.
+            assert_eq!(trace.phase_spans(Phase::Stage).count(), g.len());
+            assert_eq!(trace.phase_spans(Phase::Commit).count(), g.len());
+
+            // Clean runs carry zero recovery events.
+            for kind in [EventKind::Retry, EventKind::Requeue, EventKind::WorkerDeath] {
+                assert_eq!(
+                    trace.events_of(kind).count(),
+                    0,
+                    "workers={workers} {policy:?}: unexpected {kind:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn golden_trace_ft_clean_run_has_no_recovery_events() {
+    let (tiled, g) = fixture();
+    for &workers in &workers_under_test() {
+        if workers < 2 {
+            continue; // the recovering pool needs a real pool
+        }
+        let (_, report) = parallel_factor_ft(
+            FactorState::new(tiled.clone()),
+            &g,
+            PoolConfig {
+                workers,
+                trace: TraceConfig::enabled(),
+                ..PoolConfig::default()
+            },
+            Some(FaultTolerance::default()),
+            None,
+        )
+        .unwrap();
+        let trace = report.trace.as_ref().unwrap();
+        assert_complete(trace, &g);
+        trace.validate(true).unwrap();
+        // Fault-tolerant commits happen on the manager lane.
+        let manager = trace.lanes.len() - 1;
+        assert!(
+            trace.phase_spans(Phase::Commit).all(|s| s.lane == manager),
+            "ft commits are fenced on the manager"
+        );
+        assert_eq!(trace.phase_spans(Phase::Commit).count(), g.len());
+        for kind in [EventKind::Retry, EventKind::Requeue, EventKind::WorkerDeath] {
+            assert_eq!(trace.events_of(kind).count(), 0);
+        }
+    }
+}
+
+#[test]
+fn golden_trace_records_retries_iff_faults_injected() {
+    let (tiled, g) = fixture();
+    // Two scripted transient failures: attempt 0 of two tasks errors
+    // before staging, so the retried attempts are the only compute spans.
+    let faults = ScriptedFaults::new().fail_on(1, 1).fail_on(g.len() / 2, 1);
+    let (_, report) = parallel_factor_ft(
+        FactorState::new(tiled),
+        &g,
+        PoolConfig {
+            workers: 2,
+            trace: TraceConfig::enabled(),
+            ..PoolConfig::default()
+        },
+        Some(FaultTolerance::default()),
+        Some(&faults),
+    )
+    .unwrap();
+    let trace = report.trace.as_ref().unwrap();
+    assert_complete(trace, &g);
+    trace.validate(true).unwrap();
+    assert_eq!(
+        trace.events_of(EventKind::Retry).count(),
+        2,
+        "one retry instant per injected transient failure"
+    );
+    assert_eq!(report.retries, 2, "report and trace agree");
+    // Transient failures kill no workers.
+    assert_eq!(trace.events_of(EventKind::WorkerDeath).count(), 0);
+    // The retried tasks carry attempt 1 on their compute span.
+    for victim in [1, g.len() / 2] {
+        let attempts: Vec<u32> = trace
+            .phase_spans(Phase::Compute)
+            .filter(|s| s.task == victim)
+            .map(|s| s.attempt)
+            .collect();
+        assert_eq!(attempts, vec![1], "task {victim} computed on attempt 1");
+    }
+}
+
+#[test]
+fn golden_trace_worker_death_leaves_marker() {
+    let (tiled, g) = fixture();
+    let victim = g.len() / 3;
+    let faults = ScriptedFaults::new().panic_on(victim, 1);
+    let (_, report) = parallel_factor_ft(
+        FactorState::new(tiled),
+        &g,
+        PoolConfig {
+            workers: 3,
+            trace: TraceConfig::enabled(),
+            ..PoolConfig::default()
+        },
+        Some(FaultTolerance::default()),
+        Some(&faults),
+    )
+    .unwrap();
+    let trace = report.trace.as_ref().unwrap();
+    assert_complete(trace, &g);
+    trace.validate(true).unwrap();
+    assert_eq!(trace.events_of(EventKind::WorkerDeath).count(), 1);
+    assert_eq!(trace.events_of(EventKind::Requeue).count(), 1);
+    assert_eq!(trace.events_of(EventKind::Retry).count(), 1);
+    let requeue = trace.events_of(EventKind::Requeue).next().unwrap();
+    assert_eq!(requeue.task, Some(victim));
+}
+
+#[test]
+fn traced_and_untraced_runs_factor_identically() {
+    let (tiled, g) = fixture();
+    let plain = parallel_factor_ordered(
+        FactorState::new(tiled.clone()),
+        &g,
+        PoolConfig {
+            workers: 2,
+            ..PoolConfig::default()
+        },
+        DispatchOrder::Policy(Default::default()),
+    )
+    .unwrap()
+    .0;
+    let traced = parallel_factor_ordered(
+        FactorState::new(tiled),
+        &g,
+        PoolConfig {
+            workers: 2,
+            trace: TraceConfig::enabled(),
+            ..PoolConfig::default()
+        },
+        DispatchOrder::Policy(Default::default()),
+    )
+    .unwrap()
+    .0;
+    assert_eq!(
+        plain.tiles().to_matrix(),
+        traced.tiles().to_matrix(),
+        "observing the run must not change it"
+    );
+}

@@ -114,6 +114,7 @@ fn real_pool_honors_adversarial_dispatch_orders() {
                 PoolConfig {
                     workers,
                     policy: order.base_policy(),
+                    ..PoolConfig::default()
                 },
                 order,
             )
@@ -144,6 +145,7 @@ fn pool_seeded_orders_sample_many_interleavings_safely() {
             PoolConfig {
                 workers: 4,
                 policy: SchedulePolicy::Fifo,
+                ..PoolConfig::default()
             },
             DispatchOrder::Seeded(seed),
         )

@@ -1,6 +1,8 @@
 //! Visualize a heterogeneous tiled-QR schedule: run the exact task-level
-//! simulator with tracing and print a text Gantt chart per device
-//! (T = triangulation, E = elimination, u/U = updates, . = idle).
+//! simulator with tracing, convert the timeline into the unified
+//! observability [`Span`](tileqr::obs::Span) model, and print a text
+//! Gantt chart per device (T = triangulation, E = elimination,
+//! u/U = updates, . = idle).
 //!
 //! ```text
 //! cargo run --release --example schedule_gantt [tile_grid] [width]
@@ -8,6 +10,7 @@
 
 use tileqr::dag::{EliminationOrder, TaskGraph};
 use tileqr::hetero::{assign, engine, plan, profiles, DistributionStrategy, MainDevicePolicy};
+use tileqr::obs::Trace;
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -28,6 +31,18 @@ fn main() {
 
     let (stats, timeline) = engine::simulate_traced(&graph, &platform, &assignment);
 
+    // The same unified model the real pool records into — one Compute
+    // span per kernel, one lane per device.
+    let lane_names: Vec<String> = (0..platform.num_devices())
+        .map(|d| platform.device(d).name.clone())
+        .collect();
+    let trace = Trace::from_timeline(&timeline, &lane_names);
+    // Multi-slot devices legitimately overlap spans within a lane.
+    trace
+        .validate(false)
+        .expect("simulator trace is well-formed");
+    assert_eq!(trace.compute_span_count(), graph.len());
+
     println!(
         "tiled QR of a {0}x{0} tile grid ({1} tasks) on the paper's testbed",
         nt,
@@ -40,7 +55,7 @@ fn main() {
         100.0 * stats.comm_fraction()
     );
 
-    print!("{}", timeline.gantt(platform.num_devices(), width));
+    print!("{}", trace.gantt(width));
     println!("\nlegend: T triangulation, E elimination, u/U updates, . idle");
     for d in 0..platform.num_devices() {
         println!(

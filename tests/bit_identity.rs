@@ -29,9 +29,16 @@ fn parallel_runs_bit_identical_to_sequential_across_the_sweep() {
             for policy in [SchedulePolicy::Fifo, SchedulePolicy::CriticalPath] {
                 let tiled = TiledMatrix::from_matrix(&a, b).unwrap();
                 let g = TaskGraph::build(tiled.tile_rows(), tiled.tile_cols(), order);
-                let st =
-                    parallel_factor(FactorState::new(tiled), &g, PoolConfig { workers, policy })
-                        .unwrap();
+                let st = parallel_factor(
+                    FactorState::new(tiled),
+                    &g,
+                    PoolConfig {
+                        workers,
+                        policy,
+                        ..PoolConfig::default()
+                    },
+                )
+                .unwrap();
                 // Bit-identical, not approximately equal: `==` on the raw
                 // f64 storage.
                 assert_eq!(
@@ -61,9 +68,16 @@ fn tall_matrix_sweep_is_bit_identical() {
             for policy in [SchedulePolicy::Fifo, SchedulePolicy::CriticalPath] {
                 let tiled = TiledMatrix::from_matrix(&a, b).unwrap();
                 let g = TaskGraph::build(tiled.tile_rows(), tiled.tile_cols(), order);
-                let st =
-                    parallel_factor(FactorState::new(tiled), &g, PoolConfig { workers, policy })
-                        .unwrap();
+                let st = parallel_factor(
+                    FactorState::new(tiled),
+                    &g,
+                    PoolConfig {
+                        workers,
+                        policy,
+                        ..PoolConfig::default()
+                    },
+                )
+                .unwrap();
                 assert_eq!(
                     st.tiles().to_matrix(),
                     seq_tiles,

@@ -1,0 +1,208 @@
+//! Property suite for the log-bucketed latency histograms
+//! (`tileqr_obs::hist`): bucket monotonicity, exact count conservation,
+//! quantile ordering, and merge-equals-union — each checked over
+//! seeded [`Rng64`] sample sweeps rather than a handful of fixed points.
+
+use tileqr_dag::TaskKind;
+use tileqr_matrix::Rng64;
+use tileqr_obs::{
+    bucket_bounds, bucket_of, KernelHistograms, LatencyHistogram, Phase, Span, Trace, NUM_BUCKETS,
+};
+
+/// Draw a duration spread across many decades: a random bucket first,
+/// then a random offset inside it, so small and huge values are equally
+/// likely (uniform u64 draws would almost never exercise low buckets).
+fn sample_ns(rng: &mut Rng64) -> u64 {
+    let bucket = (rng.next_u64() % 40) as usize; // up to ~18 minutes
+    let (lo, hi) = bucket_bounds(bucket);
+    lo + rng.next_u64() % (hi - lo)
+}
+
+#[test]
+fn bucket_of_is_monotone_and_bounds_partition() {
+    // Monotone: a larger duration never maps to a smaller bucket.
+    let mut rng = Rng64::seed_from_u64(0xB0);
+    for _ in 0..10_000 {
+        let a = sample_ns(&mut rng);
+        let b = sample_ns(&mut rng);
+        let (lo, hi) = (a.min(b), a.max(b));
+        assert!(
+            bucket_of(lo) <= bucket_of(hi),
+            "bucket_of({lo}) > bucket_of({hi})"
+        );
+    }
+    // Bounds tile the u64 range with no gaps or overlap, and every
+    // value lands inside its own bucket's bounds.
+    for i in 0..NUM_BUCKETS - 1 {
+        let (_, hi) = bucket_bounds(i);
+        let (next_lo, _) = bucket_bounds(i + 1);
+        assert_eq!(hi, next_lo, "bucket {i} must abut bucket {}", i + 1);
+    }
+    for _ in 0..10_000 {
+        let v = sample_ns(&mut rng);
+        let (lo, hi) = bucket_bounds(bucket_of(v));
+        assert!(
+            lo <= v && (v < hi || hi == u64::MAX),
+            "{v} outside [{lo},{hi})"
+        );
+    }
+}
+
+#[test]
+fn counts_are_conserved_exactly() {
+    for seed in 0..20u64 {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let n = 1 + (rng.next_u64() % 5_000) as usize;
+        let mut h = LatencyHistogram::new();
+        for _ in 0..n {
+            h.record_ns(sample_ns(&mut rng));
+        }
+        assert_eq!(h.count(), n as u64, "seed {seed}");
+        assert_eq!(
+            h.bucket_counts().iter().sum::<u64>(),
+            n as u64,
+            "seed {seed}: bucket sum must equal samples recorded"
+        );
+    }
+}
+
+#[test]
+fn quantiles_are_ordered_and_bounded() {
+    for seed in 100..120u64 {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let mut h = LatencyHistogram::new();
+        let mut exact = Vec::new();
+        for _ in 0..(1 + rng.next_u64() % 2_000) {
+            let v = sample_ns(&mut rng);
+            exact.push(v);
+            h.record_ns(v);
+        }
+        let min = h.min_us().unwrap();
+        let max = h.max_us().unwrap();
+        let mut prev = min;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            let v = h.quantile_us(q).unwrap();
+            assert!(v >= prev - 1e-12, "seed {seed}: quantile({q}) regressed");
+            assert!(
+                (min..=max).contains(&v),
+                "seed {seed}: quantile({q})={v} outside [{min},{max}]"
+            );
+            prev = v;
+        }
+        // The estimate is log-resolution: it may not exceed 2x the true
+        // quantile (and never undershoots the true rank's bucket).
+        exact.sort_unstable();
+        let true_p50 = exact[(exact.len() - 1) / 2] as f64 / 1e3;
+        let est_p50 = h.p50_us().unwrap();
+        assert!(
+            est_p50 <= (true_p50 * 2.0).max(max.min(true_p50 + 2e-3)),
+            "seed {seed}: p50 estimate {est_p50} vs exact {true_p50}"
+        );
+    }
+}
+
+#[test]
+fn merge_equals_histogram_of_union() {
+    for seed in 200..220u64 {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let (mut h1, mut h2, mut union) = (
+            LatencyHistogram::new(),
+            LatencyHistogram::new(),
+            LatencyHistogram::new(),
+        );
+        for i in 0..(rng.next_u64() % 3_000) {
+            let v = sample_ns(&mut rng);
+            if i % 3 == 0 {
+                h1.record_ns(v);
+            } else {
+                h2.record_ns(v);
+            }
+            union.record_ns(v);
+        }
+        let mut merged = h1.clone();
+        merged.merge(&h2);
+        assert_eq!(merged, union, "seed {seed}: merge(h1,h2) != hist(s1∪s2)");
+        // Merge is symmetric.
+        let mut other_way = h2.clone();
+        other_way.merge(&h1);
+        assert_eq!(other_way, union, "seed {seed}: merge must commute");
+    }
+}
+
+#[test]
+fn merging_an_empty_histogram_is_identity() {
+    let mut rng = Rng64::seed_from_u64(7);
+    let mut h = LatencyHistogram::new();
+    for _ in 0..256 {
+        h.record_ns(sample_ns(&mut rng));
+    }
+    let before = h.clone();
+    h.merge(&LatencyHistogram::new());
+    assert_eq!(h, before);
+}
+
+/// Synthetic single-lane trace of `n` compute spans with seeded kinds
+/// and durations.
+fn synth_trace(seed: u64, n: usize, task_base: usize) -> Trace {
+    let mut rng = Rng64::seed_from_u64(seed);
+    let mut trace = Trace {
+        lanes: vec!["lane0".to_string()],
+        ..Trace::default()
+    };
+    let mut t = 0.0;
+    for idx in 0..n {
+        let kind = match rng.next_u64() % 6 {
+            0 => TaskKind::Geqrt { i: 0, k: 0 },
+            1 => TaskKind::Unmqr { i: 0, j: 1, k: 0 },
+            2 => TaskKind::Tsqrt { p: 0, i: 1, k: 0 },
+            3 => TaskKind::Tsmqr {
+                p: 0,
+                i: 1,
+                j: 1,
+                k: 0,
+            },
+            4 => TaskKind::Ttqrt { p: 0, i: 1, k: 0 },
+            _ => TaskKind::Ttmqr {
+                p: 0,
+                i: 1,
+                j: 1,
+                k: 0,
+            },
+        };
+        let dur = sample_ns(&mut rng) as f64 / 1e3;
+        trace.spans.push(Span {
+            task: task_base + idx,
+            kind,
+            lane: 0,
+            phase: Phase::Compute,
+            attempt: 0,
+            start_us: t,
+            end_us: t + dur,
+        });
+        t += dur;
+    }
+    trace
+}
+
+#[test]
+fn kernel_histograms_merge_kind_by_kind() {
+    // The union law lifted to the per-kernel array: merging histograms
+    // of two traces equals the histogram of the concatenated trace.
+    for seed in 300..310u64 {
+        let t1 = synth_trace(seed, 200, 0);
+        let t2 = synth_trace(seed.wrapping_mul(31).wrapping_add(1), 150, 200);
+        let mut both = t1.clone();
+        both.spans.extend(t2.spans.iter().cloned());
+
+        let mut merged = KernelHistograms::from_trace(&t1);
+        merged.merge(&KernelHistograms::from_trace(&t2));
+        let union = KernelHistograms::from_trace(&both);
+        assert_eq!(merged, union, "seed {seed}");
+        assert_eq!(merged.total(), 350);
+        // Per-kind counts also conserve exactly.
+        let per_kind_sum: u64 = (0..tileqr_obs::NUM_KINDS)
+            .map(|i| merged.kind(i).count())
+            .sum();
+        assert_eq!(per_kind_sum, 350, "seed {seed}");
+    }
+}
