@@ -8,6 +8,13 @@
 //! row in `BENCH_runtime.json` (written to the current directory) so the
 //! speedup claim is reproducible from a committed artifact.
 //!
+//! Each row also records the memory discipline of the executor: heap
+//! allocations per task (counted by a [`CountingAlloc`] global allocator
+//! over one untimed run with a uniquely-owned input) and, for the
+//! per-tile runtime, the hot-path counters from the run report
+//! (`cow_clones`, `workspace_resizes` — both 0 when the arena plumbing is
+//! healthy).
+//!
 //! Usage: `cargo bench --bench runtime_scaling [-- n b]` (default 1024 32).
 
 use std::fmt::Write as _;
@@ -16,7 +23,11 @@ use tileqr::gen::random_matrix;
 use tileqr::kernels::{flops, FactorState};
 use tileqr::runtime::{parallel_factor_traced, PoolConfig, SchedulePolicy};
 use tileqr::TiledMatrix;
+use tileqr_bench::alloc_counter::{self, CountingAlloc};
 use tileqr_bench::{baseline, harness};
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 struct Row {
     executor: &'static str,
@@ -28,6 +39,9 @@ struct Row {
     stage_wait_s: f64,
     commit_wait_s: f64,
     max_ready_depth: usize,
+    allocs_per_task: f64,
+    cow_clones: Option<u64>,
+    workspace_resizes: Option<u64>,
 }
 
 fn main() {
@@ -62,8 +76,16 @@ fn main() {
         let stats = harness::measure(samples, || {
             baseline::global_lock_factor(tiled.clone(), &graph, w).expect("baseline");
         });
+        // Allocation discipline is measured on a separate untimed run with
+        // a uniquely-owned input, so the number reflects the executor, not
+        // the bench's reuse of `tiled` across samples.
+        let fresh = TiledMatrix::from_matrix(&a, b).expect("tiling");
+        let allocs = alloc_counter::count(|| {
+            baseline::global_lock_factor(fresh, &graph, w).expect("baseline");
+        });
+        let allocs_per_task = allocs as f64 / graph.len() as f64;
         println!(
-            "{:<40} {:>12} {:>12} {:>10.2} GFLOP/s",
+            "{:<40} {:>12} {:>12} {:>10.2} GFLOP/s  ({allocs_per_task:.1} allocs/task)",
             format!("global_lock_fifo/{w}"),
             harness::format_secs(stats.median),
             harness::format_secs(stats.min),
@@ -79,6 +101,9 @@ fn main() {
             stage_wait_s: f64::NAN,
             commit_wait_s: f64::NAN,
             max_ready_depth: 0,
+            allocs_per_task,
+            cow_clones: None,
+            workspace_resizes: None,
         });
     }
 
@@ -99,13 +124,34 @@ fn main() {
                 last_report = Some(report);
             });
             let report = last_report.expect("at least one run");
+            // Memory discipline on a uniquely-owned input: cow_clones must
+            // be 0 here (nobody else holds tile handles), and the
+            // pre-sized per-worker arenas must never regrow.
+            let fresh = TiledMatrix::from_matrix(&a, b).expect("tiling");
+            let mut counted_report = None;
+            let allocs = alloc_counter::count(|| {
+                let (_, rep) = parallel_factor_traced(
+                    FactorState::new(fresh),
+                    &graph,
+                    PoolConfig {
+                        workers: w,
+                        policy,
+                        ..PoolConfig::default()
+                    },
+                )
+                .expect("factorization");
+                counted_report = Some(rep);
+            });
+            let counted = counted_report.expect("counted run");
+            let allocs_per_task = allocs as f64 / graph.len() as f64;
             println!(
-                "{:<40} {:>12} {:>12} {:>10.2} GFLOP/s  (imb {:.2})",
+                "{:<40} {:>12} {:>12} {:>10.2} GFLOP/s  (imb {:.2}, {allocs_per_task:.1} allocs/task, cow {})",
                 format!("per_tile_{}/{w}", policy.name()),
                 harness::format_secs(stats.median),
                 harness::format_secs(stats.min),
                 gflop / stats.median,
-                report.imbalance()
+                report.imbalance(),
+                counted.cow_clones()
             );
             rows.push(Row {
                 executor: "per_tile",
@@ -117,6 +163,9 @@ fn main() {
                 stage_wait_s: report.stage_wait.as_secs_f64(),
                 commit_wait_s: report.commit_wait.as_secs_f64(),
                 max_ready_depth: report.max_ready_depth,
+                allocs_per_task,
+                cow_clones: Some(counted.cow_clones()),
+                workspace_resizes: Some(counted.counters.workspace_resizes),
             });
         }
     }
@@ -163,7 +212,7 @@ fn main() {
         let sep = if idx + 1 == rows.len() { "" } else { "," };
         let _ = writeln!(
             json,
-            "    {{\"executor\": \"{}\", \"policy\": \"{}\", \"workers\": {}, \"seconds\": {:.6}, \"gflops\": {:.3}, \"imbalance\": {}, \"stage_wait_s\": {}, \"commit_wait_s\": {}, \"max_ready_depth\": {}}}{sep}",
+            "    {{\"executor\": \"{}\", \"policy\": \"{}\", \"workers\": {}, \"seconds\": {:.6}, \"gflops\": {:.3}, \"imbalance\": {}, \"stage_wait_s\": {}, \"commit_wait_s\": {}, \"max_ready_depth\": {}, \"allocs_per_task\": {:.2}, \"cow_clones\": {}, \"workspace_resizes\": {}}}{sep}",
             r.executor,
             r.policy,
             r.workers,
@@ -173,6 +222,9 @@ fn main() {
             json_f64(r.stage_wait_s),
             json_f64(r.commit_wait_s),
             r.max_ready_depth,
+            r.allocs_per_task,
+            json_u64(r.cow_clones),
+            json_u64(r.workspace_resizes),
         );
     }
     let _ = writeln!(json, "  ]");
@@ -191,4 +243,9 @@ fn json_f64(v: f64) -> String {
     } else {
         "null".to_string()
     }
+}
+
+/// `null` for executors that do not expose a given counter.
+fn json_u64(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".to_string(), |v| v.to_string())
 }

@@ -1,0 +1,68 @@
+//! Counting wrapper around the system allocator, for the hot-path benches.
+//!
+//! A bench binary registers it with
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static GLOBAL: tileqr_bench::alloc_counter::CountingAlloc = CountingAlloc;
+//! ```
+//!
+//! and then wraps the region of interest in [`count`] to learn how many
+//! heap allocations it performed. Only acquisitions (`alloc`, `realloc`,
+//! `alloc_zeroed`) are counted — the zero-allocation claim for the
+//! workspace hot path is about *acquiring* memory in steady state, and
+//! ignoring frees keeps regions that drop pre-existing buffers from
+//! muddying the number.
+//!
+//! The bench crate is the one place in the workspace allowed to hold this
+//! `unsafe impl`: the kernel crates all `#![forbid(unsafe_code)]`, and the
+//! instrumentation only needs to exist where the A/B evidence is produced.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// System allocator that bumps a process-wide counter on every
+/// allocation. Zero-cost when nobody reads the counter: one relaxed
+/// atomic increment per `malloc`.
+pub struct CountingAlloc;
+
+// SAFETY: every operation defers directly to `System`; the only addition
+// is a relaxed counter increment with no effect on the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Total heap allocations observed so far in this process.
+pub fn total() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Heap allocations performed while running `f`.
+///
+/// Meaningful only in a binary that registered [`CountingAlloc`] as its
+/// `#[global_allocator]`; elsewhere it always returns 0. Keep printing and
+/// collection out of `f` — the counter is process-wide.
+pub fn count<F: FnOnce()>(f: F) -> u64 {
+    let before = total();
+    f();
+    total() - before
+}

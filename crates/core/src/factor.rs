@@ -43,11 +43,15 @@ impl<T: Scalar> TiledQr<T> {
         }
         let tiled = TiledMatrix::from_matrix(a, opts.get_tile_size())?;
         let graph = TaskGraph::build(tiled.tile_rows(), tiled.tile_cols(), opts.get_order());
-        let state = FactorState::new(tiled);
+        let state = match opts.get_inner_block() {
+            Some(ib) => FactorState::with_inner_block(tiled, ib),
+            None => FactorState::new(tiled),
+        };
         let config = PoolConfig {
             workers: opts.get_workers(),
             policy: opts.get_schedule(),
             trace: opts.get_tracing(),
+            workspace: opts.get_workspace(),
         };
         let (state, report) = match opts.get_fault_tolerance() {
             // A single worker runs inline either way, so fault tolerance
@@ -325,6 +329,43 @@ mod tests {
         )
         .unwrap();
         assert_eq!(seq.r(), ft.r(), "recovery-capable path stays bit-exact");
+    }
+
+    #[test]
+    fn inner_blocked_option_factorizes_correctly() {
+        let a = random_matrix::<f64>(32, 32, 15);
+        let f = TiledQr::factor(&a, &QrOptions::new().tile_size(8).inner_block(4)).unwrap();
+        let q = f.q().unwrap();
+        let r = f.r();
+        assert!(relative_residual(&a, &q, &r).unwrap() < 1e-13);
+        assert!(orthogonality_defect(&q).unwrap() < 1e-13);
+        // Solves work off the inner-blocked factors too.
+        let x_true = random_vector::<f64>(32, 16);
+        let b = matvec(&a, &x_true).unwrap();
+        let x = f.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn workspace_policies_produce_identical_factors() {
+        use tileqr_kernels::WorkspacePolicy;
+        let a = random_matrix::<f64>(40, 40, 16);
+        let base = QrOptions::new().tile_size(8).workers(3);
+        let pw = TiledQr::factor(&a, &base.workspace(WorkspacePolicy::PerWorker)).unwrap();
+        let pc = TiledQr::factor(&a, &base.workspace(WorkspacePolicy::PerCall)).unwrap();
+        assert_eq!(pw.r(), pc.r(), "scratch strategy must not change bits");
+    }
+
+    #[test]
+    fn run_report_counters_surface_through_core() {
+        let a = random_matrix::<f64>(32, 32, 17);
+        let (_, report) =
+            TiledQr::factor_traced(&a, &QrOptions::new().tile_size(8).workers(2)).unwrap();
+        assert_eq!(report.cow_clones(), 0);
+        assert_eq!(report.counters.workspace_resizes, 0);
+        assert!(report.counters.workspace_bytes > 0);
     }
 
     #[test]

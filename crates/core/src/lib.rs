@@ -50,13 +50,15 @@ pub use tileqr_matrix::ops;
 
 /// Low-level tile kernels, for users composing their own algorithms.
 pub mod kernels {
-    pub use tileqr_kernels::exec::{apply_q_dense, apply_qt_dense, FactorState};
+    pub use tileqr_kernels::exec::{apply_q_dense, apply_qt_dense, FactorState, PanelFactor};
     pub use tileqr_kernels::flops;
     pub use tileqr_kernels::reference;
     pub use tileqr_kernels::validate;
     pub use tileqr_kernels::{
-        geqrt, geqrt_apply, geqrt_ib, geqrt_ib_apply, larfg, tsmqr, tsmqr_apply, tsqrt, ttmqr,
-        ttmqr_apply, ttqrt, unmqr, ApplySide, HouseholderReflector,
+        geqrt, geqrt_apply, geqrt_apply_ws, geqrt_ib, geqrt_ib_apply, geqrt_ib_apply_ws,
+        geqrt_ib_ws, geqrt_ws, larfg, tsmqr, tsmqr_apply, tsmqr_apply_ws, tsqrt, tsqrt_ws, ttmqr,
+        ttmqr_apply, ttmqr_apply_ws, ttqrt, ttqrt_ws, unmqr, unmqr_ws, ApplySide,
+        HouseholderReflector, Workspace, WorkspacePolicy,
     };
 }
 

@@ -1,6 +1,7 @@
 //! Factorization options.
 
 use tileqr_dag::EliminationOrder;
+use tileqr_kernels::WorkspacePolicy;
 use tileqr_runtime::{FaultTolerance, SchedulePolicy, TraceConfig};
 
 /// Options controlling a [`crate::TiledQr`] factorization.
@@ -12,11 +13,14 @@ pub struct QrOptions {
     schedule: SchedulePolicy,
     fault_tolerance: Option<FaultTolerance>,
     tracing: TraceConfig,
+    inner_block: Option<usize>,
+    workspace: WorkspacePolicy,
 }
 
 impl Default for QrOptions {
     /// Tile size 16 (the paper's choice, §V), TS elimination, sequential,
-    /// FIFO dispatch, tracing off.
+    /// FIFO dispatch, tracing off, full-tile inner blocking, per-worker
+    /// scratch arenas.
     fn default() -> Self {
         QrOptions {
             tile_size: 16,
@@ -25,6 +29,8 @@ impl Default for QrOptions {
             schedule: SchedulePolicy::Fifo,
             fault_tolerance: None,
             tracing: TraceConfig::default(),
+            inner_block: None,
+            workspace: WorkspacePolicy::default(),
         }
     }
 }
@@ -86,6 +92,28 @@ impl QrOptions {
         self
     }
 
+    /// Inner block size `ib` for `GEQRT` panels (PLASMA-style). `None`
+    /// (the default) factors each tile with one full-tile `T` factor;
+    /// `Some(ib)` with `ib < b` stores one factor per `ib`-column panel,
+    /// trading slightly more apply work for smaller working sets. Clamped
+    /// to `[1, b]` at execution.
+    pub fn inner_block(mut self, ib: usize) -> Self {
+        assert!(ib > 0, "inner block must be positive");
+        self.inner_block = Some(ib);
+        self
+    }
+
+    /// Kernel-scratch strategy for the execution hot path:
+    /// [`WorkspacePolicy::PerWorker`] (default) reuses one pre-sized arena
+    /// per computing thread — zero steady-state heap allocations —
+    /// while [`WorkspacePolicy::PerCall`] re-allocates scratch in every
+    /// kernel invocation (the baseline behaviour, kept for comparison).
+    /// Both produce bit-identical factors.
+    pub fn workspace(mut self, policy: WorkspacePolicy) -> Self {
+        self.workspace = policy;
+        self
+    }
+
     /// Configured tile size.
     pub fn get_tile_size(&self) -> usize {
         self.tile_size
@@ -115,6 +143,16 @@ impl QrOptions {
     pub fn get_tracing(&self) -> TraceConfig {
         self.tracing
     }
+
+    /// Configured inner block (`None` = full-tile factors).
+    pub fn get_inner_block(&self) -> Option<usize> {
+        self.inner_block
+    }
+
+    /// Configured workspace policy.
+    pub fn get_workspace(&self) -> WorkspacePolicy {
+        self.workspace
+    }
 }
 
 #[cfg(test)]
@@ -130,6 +168,23 @@ mod tests {
         assert_eq!(o.get_schedule(), SchedulePolicy::Fifo);
         assert_eq!(o.get_fault_tolerance(), None, "fail fast by default");
         assert!(!o.get_tracing().enabled, "tracing off by default");
+        assert_eq!(o.get_inner_block(), None, "full-tile factors by default");
+        assert_eq!(o.get_workspace(), WorkspacePolicy::PerWorker);
+    }
+
+    #[test]
+    fn memory_knobs() {
+        let o = QrOptions::new()
+            .inner_block(4)
+            .workspace(WorkspacePolicy::PerCall);
+        assert_eq!(o.get_inner_block(), Some(4));
+        assert_eq!(o.get_workspace(), WorkspacePolicy::PerCall);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_inner_block_rejected() {
+        let _ = QrOptions::new().inner_block(0);
     }
 
     #[test]

@@ -31,7 +31,12 @@
 //! `Q` reconstruction independent of the (nondeterministic) parallel
 //! schedule.
 
-use crate::{geqrt, geqrt_apply, tsmqr_apply, tsqrt, ttmqr_apply, ttqrt, ApplySide};
+use crate::workspace::Workspace;
+use crate::{
+    geqrt_apply, geqrt_apply_ws, geqrt_ib_apply, geqrt_ib_apply_ws, geqrt_ib_ws, geqrt_ws,
+    tsmqr_apply, tsmqr_apply_ws, tsqrt_ws, ttmqr_apply, ttmqr_apply_ws, ttqrt_ws, ApplySide,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use tileqr_dag::{TaskGraph, TaskKind};
 use tileqr_matrix::{Matrix, MatrixError, Result, Scalar, TiledMatrix};
@@ -39,9 +44,54 @@ use tileqr_matrix::{Matrix, MatrixError, Result, Scalar, TiledMatrix};
 /// Take ownership of an `Arc`'s payload. The DAG's WAR/WAW edges guarantee
 /// the handle is unique when a writer stages a tile (all readers have
 /// committed and dropped their clones), so this is normally a move; the
-/// clone fallback only fires if an external handle is still alive.
-fn unwrap_or_clone<T: Scalar>(a: Arc<Matrix<T>>) -> Matrix<T> {
-    Arc::try_unwrap(a).unwrap_or_else(|arc| (*arc).clone())
+/// clone fallback only fires if an external handle is still alive, and
+/// every such full-tile copy is counted — it is the copy-on-write slow
+/// path the runtime surfaces as `RunReport::cow_clones`.
+fn unwrap_or_clone<T: Scalar>(a: Arc<Matrix<T>>, cow: &AtomicU64) -> Matrix<T> {
+    Arc::try_unwrap(a).unwrap_or_else(|arc| {
+        cow.fetch_add(1, Ordering::Relaxed);
+        (*arc).clone()
+    })
+}
+
+/// The reflector `T` factor(s) of one `GEQRT` panel tile: a single
+/// full-tile factor (inner block = tile size, the default) or PLASMA-style
+/// per-panel factors from [`geqrt_ib`](crate::geqrt_ib).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PanelFactor<T: Scalar> {
+    /// One `b x b` factor covering the whole tile.
+    Full(Matrix<T>),
+    /// Inner-blocked factorization: one factor per `ib`-column panel.
+    Blocked {
+        /// Inner block size the tile was factored with.
+        ib: usize,
+        /// Per-panel upper-triangular factors, leftmost panel first.
+        tfacs: Vec<Matrix<T>>,
+    },
+}
+
+impl<T: Scalar> PanelFactor<T> {
+    /// Apply this factor's `Q`/`Qᵀ` to `c`, borrowing scratch from `ws`.
+    fn apply_ws(
+        &self,
+        vr: &Matrix<T>,
+        c: &mut Matrix<T>,
+        side: ApplySide,
+        ws: &mut Workspace<T>,
+    ) -> Result<()> {
+        match self {
+            PanelFactor::Full(t) => geqrt_apply_ws(vr, t, c, side, ws),
+            PanelFactor::Blocked { ib, tfacs } => geqrt_ib_apply_ws(vr, tfacs, *ib, c, side, ws),
+        }
+    }
+
+    /// Allocating variant of [`apply_ws`](Self::apply_ws) for cold paths.
+    fn apply(&self, vr: &Matrix<T>, c: &mut Matrix<T>, side: ApplySide) -> Result<()> {
+        match self {
+            PanelFactor::Full(t) => geqrt_apply(vr, t, c, side),
+            PanelFactor::Blocked { ib, tfacs } => geqrt_ib_apply(vr, tfacs, *ib, c, side),
+        }
+    }
 }
 
 /// An elimination `T` factor together with the pivot row it merged into.
@@ -52,17 +102,42 @@ struct ElimFactor<T: Scalar> {
 }
 
 /// Mutable factorization state: the tiled matrix plus reflector factors.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct FactorState<T: Scalar> {
     tiles: TiledMatrix<T>,
     nt: usize,
+    /// Inner block size handed to `GEQRT` (`ib == b` means one full-tile
+    /// `T` factor, the default).
+    ib: usize,
     /// `T` factors of `GEQRT`, dense-indexed by the factored tile `i*nt+k`.
-    geqrt_t: Vec<Option<Arc<Matrix<T>>>>,
+    geqrt_t: Vec<Option<Arc<PanelFactor<T>>>>,
     /// `T` factors of `TSQRT`/`TTQRT`, dense-indexed by the *eliminated*
     /// tile `i*nt+k` (which determines the pivot `p`, stored alongside).
     elim_t: Vec<Option<ElimFactor<T>>>,
     /// Shared all-zero placeholder swapped in when a tile is staged out.
     empty: Arc<Matrix<T>>,
+    /// Copy-on-write fallback counter: full-tile clones taken because an
+    /// `Arc` that should have been unique was still shared.
+    cow: Arc<AtomicU64>,
+    /// Scratch arena for the sequential execution path.
+    ws: Workspace<T>,
+}
+
+impl<T: Scalar> Clone for FactorState<T> {
+    fn clone(&self) -> Self {
+        FactorState {
+            tiles: self.tiles.clone(),
+            nt: self.nt,
+            ib: self.ib,
+            geqrt_t: self.geqrt_t.clone(),
+            elim_t: self.elim_t.clone(),
+            empty: Arc::clone(&self.empty),
+            // The clone gets its own counter (seeded with the current
+            // value) so two states never alias their slow-path accounting.
+            cow: Arc::new(AtomicU64::new(self.cow.load(Ordering::Relaxed))),
+            ws: self.ws.clone(),
+        }
+    }
 }
 
 /// A task whose inputs have been extracted and which is ready to compute
@@ -73,12 +148,12 @@ pub struct StagedTask<T: Scalar> {
 }
 
 enum Inputs<T: Scalar> {
-    /// GEQRT: the tile to factor (taken).
-    Factor { tile: Matrix<T> },
+    /// GEQRT: the tile to factor (taken) and the inner block size.
+    Factor { tile: Matrix<T>, ib: usize },
     /// UNMQR: shared factored tile + its T factor, plus the target (taken).
     Update {
         vr: Arc<Matrix<T>>,
-        tfac: Arc<Matrix<T>>,
+        tfac: Arc<PanelFactor<T>>,
         c: Matrix<T>,
     },
     /// TSQRT/TTQRT: pivot and eliminated tiles (both taken).
@@ -101,7 +176,7 @@ pub struct CompletedTask<T: Scalar> {
 enum Outputs<T: Scalar> {
     Factor {
         tile: Matrix<T>,
-        tfac: Matrix<T>,
+        tfac: PanelFactor<T>,
     },
     Update {
         c: Matrix<T>,
@@ -126,16 +201,30 @@ fn missing_factor_err() -> MatrixError {
 }
 
 impl<T: Scalar> FactorState<T> {
-    /// Wrap a tiled matrix for factorization.
+    /// Wrap a tiled matrix for factorization with the default inner block
+    /// (`ib = b`: one full-tile `T` factor per panel, the seed behaviour).
     pub fn new(tiles: TiledMatrix<T>) -> Self {
+        let b = tiles.tile_size();
+        Self::with_inner_block(tiles, b)
+    }
+
+    /// Wrap a tiled matrix for factorization with inner block size `ib`
+    /// (clamped to `[1, b]`). `GEQRT` tasks factor in `ib`-column panels
+    /// and store [`PanelFactor::Blocked`] factors; `ib == b` is the
+    /// full-tile default.
+    pub fn with_inner_block(tiles: TiledMatrix<T>, ib: usize) -> Self {
         let (mt, nt) = (tiles.tile_rows(), tiles.tile_cols());
         let b = tiles.tile_size();
+        let ib = ib.clamp(1, b.max(1));
         FactorState {
             tiles,
             nt,
+            ib,
             geqrt_t: vec![None; mt * nt],
             elim_t: vec![None; mt * nt],
             empty: Arc::new(Matrix::zeros(b, b)),
+            cow: Arc::new(AtomicU64::new(0)),
+            ws: Workspace::new(b, ib),
         }
     }
 
@@ -149,8 +238,41 @@ impl<T: Scalar> FactorState<T> {
         self.tiles
     }
 
-    /// `T` factor of `GEQRT` on tile `(i, k)`, if computed.
+    /// Inner block size `GEQRT` tasks factor with.
+    pub fn inner_block(&self) -> usize {
+        self.ib
+    }
+
+    /// How many copy-on-write fallback clones [`unwrap_or_clone`] took.
+    /// Single-owner execution (sequential, or the pool's move-based
+    /// staging) keeps this at 0; every increment is a full `O(b²)` tile
+    /// copy that should not have happened.
+    pub fn cow_clones(&self) -> u64 {
+        self.cow.load(Ordering::Relaxed)
+    }
+
+    /// Bytes held by the sequential-path scratch arena.
+    pub fn workspace_bytes(&self) -> usize {
+        self.ws.bytes()
+    }
+
+    /// Scratch-arena growths since construction (0 in steady state).
+    pub fn workspace_resizes(&self) -> u64 {
+        self.ws.resizes()
+    }
+
+    /// `T` factor of `GEQRT` on tile `(i, k)`, if computed with the
+    /// default full-tile inner blocking. Inner-blocked factors are reached
+    /// through [`geqrt_panel_factor`](Self::geqrt_panel_factor).
     pub fn geqrt_factor(&self, i: usize, k: usize) -> Option<&Matrix<T>> {
+        match self.geqrt_t[i * self.nt + k].as_deref() {
+            Some(PanelFactor::Full(t)) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The full panel factor (single or inner-blocked) of tile `(i, k)`.
+    pub fn geqrt_panel_factor(&self, i: usize, k: usize) -> Option<&PanelFactor<T>> {
         self.geqrt_t[i * self.nt + k].as_deref()
     }
 
@@ -162,11 +284,20 @@ impl<T: Scalar> FactorState<T> {
         }
     }
 
+    /// Elimination factor of eliminated tile `(i, k)` with its pivot row,
+    /// whatever the pivot was (used by bit-identity sweeps that compare
+    /// every stored factor).
+    pub fn elim_factor_any(&self, i: usize, k: usize) -> Option<(usize, &Matrix<T>)> {
+        self.elim_t[i * self.nt + k]
+            .as_ref()
+            .map(|e| (e.p, &*e.tfac))
+    }
+
     /// Move tile `(i, j)` out for writing: a pointer swap against the shared
     /// zero placeholder, then (normally) a move out of the unique `Arc`.
     fn take_tile(&mut self, i: usize, j: usize) -> Matrix<T> {
         let arc = self.tiles.swap_tile_shared(i, j, Arc::clone(&self.empty));
-        unwrap_or_clone(arc)
+        unwrap_or_clone(arc, &self.cow)
     }
 
     /// Phase 1: extract this task's inputs (take written tiles, share read
@@ -176,6 +307,7 @@ impl<T: Scalar> FactorState<T> {
         let inputs = match task {
             TaskKind::Geqrt { i, k } => Inputs::Factor {
                 tile: self.take_tile(i, k),
+                ib: self.ib,
             },
             TaskKind::Unmqr { i, j, k } => {
                 let tfac = self.geqrt_t[i * self.nt + k]
@@ -240,10 +372,12 @@ impl<T: Scalar> FactorState<T> {
         }
     }
 
-    /// Run one task start to finish (sequential convenience).
+    /// Run one task start to finish (sequential convenience). Kernels
+    /// borrow scratch from the state-owned arena, so the steady state
+    /// performs no heap allocation beyond the task's `T`-factor output.
     pub fn execute(&mut self, task: TaskKind) -> Result<()> {
         let staged = self.stage(task)?;
-        let done = staged.compute()?;
+        let done = staged.compute_with(&mut self.ws)?;
         self.commit(done);
         Ok(())
     }
@@ -277,10 +411,15 @@ pub struct SharedFactorState<T: Scalar> {
     /// back into on [`into_state`](Self::into_state).
     template: Mutex<TiledMatrix<T>>,
     nt: usize,
+    ib: usize,
     tiles: Vec<Mutex<Arc<Matrix<T>>>>,
-    geqrt_t: Vec<Mutex<Option<Arc<Matrix<T>>>>>,
+    geqrt_t: Vec<Mutex<Option<Arc<PanelFactor<T>>>>>,
     elim_t: Vec<Mutex<Option<ElimFactor<T>>>>,
     empty: Arc<Matrix<T>>,
+    cow: Arc<AtomicU64>,
+    /// Sequential-path arena, parked here so it round-trips through
+    /// [`into_state`](Self::into_state); workers bring their own.
+    ws: Workspace<T>,
 }
 
 impl<T: Scalar> SharedFactorState<T> {
@@ -289,9 +428,12 @@ impl<T: Scalar> SharedFactorState<T> {
         let FactorState {
             mut tiles,
             nt,
+            ib,
             geqrt_t,
             elim_t,
             empty,
+            cow,
+            ws,
         } = state;
         let mt = tiles.tile_rows();
         let mut slots = Vec::with_capacity(mt * nt);
@@ -303,10 +445,13 @@ impl<T: Scalar> SharedFactorState<T> {
         SharedFactorState {
             template: Mutex::new(tiles),
             nt,
+            ib,
             tiles: slots,
             geqrt_t: geqrt_t.into_iter().map(Mutex::new).collect(),
             elim_t: elim_t.into_iter().map(Mutex::new).collect(),
             empty,
+            cow,
+            ws,
         }
     }
 
@@ -320,6 +465,7 @@ impl<T: Scalar> SharedFactorState<T> {
         FactorState {
             tiles,
             nt: self.nt,
+            ib: self.ib,
             geqrt_t: self
                 .geqrt_t
                 .into_iter()
@@ -331,7 +477,20 @@ impl<T: Scalar> SharedFactorState<T> {
                 .map(|m| m.into_inner().expect("no poisoned slots"))
                 .collect(),
             empty: self.empty,
+            cow: self.cow,
+            ws: self.ws,
         }
+    }
+
+    /// Inner block size `GEQRT` tasks factor with (workspace sizing input).
+    pub fn inner_block(&self) -> usize {
+        self.ib
+    }
+
+    /// Copy-on-write fallback clones taken so far (see
+    /// [`FactorState::cow_clones`]).
+    pub fn cow_clones(&self) -> u64 {
+        self.cow.load(Ordering::Relaxed)
     }
 
     #[inline]
@@ -357,7 +516,7 @@ impl<T: Scalar> SharedFactorState<T> {
                 .expect("tile slot poisoned");
             std::mem::replace(&mut *slot, Arc::clone(&self.empty))
         };
-        unwrap_or_clone(arc)
+        unwrap_or_clone(arc, &self.cow)
     }
 
     /// Copy tile `(i, j)` for writing, leaving the slot's contents in
@@ -381,6 +540,7 @@ impl<T: Scalar> SharedFactorState<T> {
         let inputs = match task {
             TaskKind::Geqrt { i, k } => Inputs::Factor {
                 tile: self.take_tile(i, k),
+                ib: self.ib,
             },
             TaskKind::Unmqr { i, j, k } => {
                 let tfac = self.geqrt_t[self.idx(i, k)]
@@ -430,6 +590,7 @@ impl<T: Scalar> SharedFactorState<T> {
         let inputs = match task {
             TaskKind::Geqrt { i, k } => Inputs::Factor {
                 tile: self.clone_tile(i, k),
+                ib: self.ib,
             },
             TaskKind::Unmqr { i, j, k } => {
                 let tfac = self.geqrt_t[self.idx(i, k)]
@@ -505,24 +666,45 @@ impl<T: Scalar> SharedFactorState<T> {
 }
 
 impl<T: Scalar> StagedTask<T> {
-    /// Phase 2: the actual kernel, on owned/shared data — runs without any
-    /// lock.
+    /// Phase 2 with a throwaway workspace: allocates scratch on every call.
+    /// Kept for API compatibility and cold paths; hot loops should thread a
+    /// per-worker arena through [`compute_with`](Self::compute_with).
     pub fn compute(self) -> Result<CompletedTask<T>> {
+        self.compute_with(&mut Workspace::minimal())
+    }
+
+    /// Phase 2: the actual kernel, on owned/shared data — runs without any
+    /// lock. All scratch is borrowed from `ws`; once the arena has warmed
+    /// up to the tile size, the only heap allocations left are the task's
+    /// own `T`-factor outputs.
+    pub fn compute_with(self, ws: &mut Workspace<T>) -> Result<CompletedTask<T>> {
         let outputs = match (self.task, self.inputs) {
-            (TaskKind::Geqrt { .. }, Inputs::Factor { mut tile }) => {
-                let tfac = geqrt(&mut tile)?;
+            (TaskKind::Geqrt { .. }, Inputs::Factor { mut tile, ib }) => {
+                let tfac = if ib >= tile.cols().min(tile.rows()) {
+                    let n = tile.cols();
+                    let mut t = Matrix::zeros(n, n);
+                    geqrt_ws(&mut tile, &mut t, ws)?;
+                    PanelFactor::Full(t)
+                } else {
+                    let tfacs = geqrt_ib_ws(&mut tile, ib, ws)?;
+                    PanelFactor::Blocked { ib, tfacs }
+                };
                 Outputs::Factor { tile, tfac }
             }
             (TaskKind::Unmqr { .. }, Inputs::Update { vr, tfac, mut c }) => {
-                geqrt_apply(&vr, &tfac, &mut c, ApplySide::Transpose)?;
+                tfac.apply_ws(&vr, &mut c, ApplySide::Transpose, ws)?;
                 Outputs::Update { c }
             }
             (TaskKind::Tsqrt { .. }, Inputs::Elim { mut r1, mut a2 }) => {
-                let tfac = tsqrt(&mut r1, &mut a2)?;
+                let n = r1.cols();
+                let mut tfac = Matrix::zeros(n, n);
+                tsqrt_ws(&mut r1, &mut a2, &mut tfac, ws)?;
                 Outputs::Elim { r1, a2, tfac }
             }
             (TaskKind::Ttqrt { .. }, Inputs::Elim { mut r1, mut a2 }) => {
-                let tfac = ttqrt(&mut r1, &mut a2)?;
+                let n = r1.cols();
+                let mut tfac = Matrix::zeros(n, n);
+                ttqrt_ws(&mut r1, &mut a2, &mut tfac, ws)?;
                 Outputs::Elim { r1, a2, tfac }
             }
             (
@@ -534,7 +716,7 @@ impl<T: Scalar> StagedTask<T> {
                     mut a2,
                 },
             ) => {
-                tsmqr_apply(&v2, &tfac, &mut a1, &mut a2, ApplySide::Transpose)?;
+                tsmqr_apply_ws(&v2, &tfac, &mut a1, &mut a2, ApplySide::Transpose, ws)?;
                 Outputs::PairUpdate { a1, a2 }
             }
             (
@@ -546,7 +728,7 @@ impl<T: Scalar> StagedTask<T> {
                     mut a2,
                 },
             ) => {
-                ttmqr_apply(&v2, &tfac, &mut a1, &mut a2, ApplySide::Transpose)?;
+                ttmqr_apply_ws(&v2, &tfac, &mut a1, &mut a2, ApplySide::Transpose, ws)?;
                 Outputs::PairUpdate { a1, a2 }
             }
             _ => unreachable!("task/input kind mismatch"),
@@ -638,14 +820,14 @@ fn apply_factor_task<T: Scalar>(
         TaskKind::Geqrt { i, k } => {
             let vr = state.tiles.tile(i, k);
             let tfac = state
-                .geqrt_factor(i, k)
+                .geqrt_panel_factor(i, k)
                 .ok_or(MatrixError::DimensionMismatch {
                     op: "apply: GEQRT factor missing",
                     lhs: (i, k),
                     rhs: (0, 0),
                 })?;
             let mut block = row_block(c, i, b);
-            geqrt_apply(vr, tfac, &mut block, side)?;
+            tfac.apply(vr, &mut block, side)?;
             set_row_block(c, i, &block);
         }
         TaskKind::Tsqrt { p, i, k } | TaskKind::Ttqrt { p, i, k } => {
@@ -867,7 +1049,7 @@ mod tests {
         let before = st.tiles().tile(0, 0).as_slice().as_ptr() as usize;
         let staged = st.stage(TaskKind::Geqrt { i: 0, k: 0 }).unwrap();
         match &staged.inputs {
-            Inputs::Factor { tile } => {
+            Inputs::Factor { tile, .. } => {
                 // Same heap buffer: the payload was moved out of the unique
                 // Arc, not cloned.
                 assert_eq!(tile.as_slice().as_ptr() as usize, before);
@@ -904,5 +1086,81 @@ mod tests {
             // Factors must round-trip through the shared form too.
             assert!(st.geqrt_factor(0, 0).is_some());
         }
+    }
+
+    #[test]
+    fn sequential_run_takes_no_cow_clones_and_no_resizes() {
+        // The single-owner guarantee the PR is built on: a sequential
+        // `run_all` never hits the copy-on-write fallback, and the arena
+        // sized at construction never grows.
+        for order in [
+            EliminationOrder::FlatTs,
+            EliminationOrder::FlatTt,
+            EliminationOrder::BinaryTt,
+        ] {
+            let (_, st, _) = factor(16, 4, order);
+            assert_eq!(st.cow_clones(), 0, "{order:?} hit the COW slow path");
+            assert_eq!(st.workspace_resizes(), 0, "{order:?} grew the arena");
+            assert!(st.workspace_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn external_handle_forces_counted_cow_clone() {
+        let a = random_matrix::<f64>(8, 8, 11);
+        let tiled = TiledMatrix::from_matrix(&a, 4).unwrap();
+        let mut st = FactorState::new(tiled);
+        // Keep an external Arc alive across a staging of the same tile:
+        // the writer can no longer move the payload and must copy.
+        let external = st.tiles().tile_shared(0, 0);
+        let staged = st.stage(TaskKind::Geqrt { i: 0, k: 0 }).unwrap();
+        assert_eq!(st.cow_clones(), 1, "external handle must force a clone");
+        drop(external);
+        let done = staged.compute().unwrap();
+        st.commit(done);
+        // No further slow-path hits once the handle is gone.
+        st.execute(TaskKind::Unmqr { i: 0, j: 1, k: 0 }).unwrap();
+        assert_eq!(st.cow_clones(), 1);
+    }
+
+    #[test]
+    fn inner_blocked_factorization_reconstructs() {
+        let a = random_matrix::<f64>(16, 16, 13);
+        let tiled = TiledMatrix::from_matrix(&a, 8).unwrap();
+        let g = TaskGraph::build(2, 2, EliminationOrder::FlatTs);
+        let mut st = FactorState::with_inner_block(tiled, 4);
+        assert_eq!(st.inner_block(), 4);
+        st.run_all(&g).unwrap();
+        // Full-tile accessor must refuse blocked factors...
+        assert!(st.geqrt_factor(0, 0).is_none());
+        // ...while the panel accessor exposes them.
+        assert!(matches!(
+            st.geqrt_panel_factor(0, 0),
+            Some(PanelFactor::Blocked { ib: 4, .. })
+        ));
+        let q = form_q(&st, &g);
+        let r = st.r_matrix();
+        let qr = matmul(&q, &r).unwrap();
+        assert!(qr.approx_eq(&a, 1e-11), "ib-blocked QR != A");
+        assert!(orthogonality_defect(&q).unwrap() < 1e-12);
+        assert_eq!(st.cow_clones(), 0);
+        assert_eq!(st.workspace_resizes(), 0);
+    }
+
+    #[test]
+    fn shared_state_counts_cow_and_round_trips_counters() {
+        let a = random_matrix::<f64>(8, 8, 17);
+        let tiled = TiledMatrix::from_matrix(&a, 4).unwrap();
+        let g = TaskGraph::build(2, 2, EliminationOrder::FlatTs);
+        let shared = SharedFactorState::new(FactorState::new(tiled));
+        for &t in g.tasks() {
+            let staged = shared.stage(t).unwrap();
+            let done = staged.compute().unwrap();
+            shared.commit(done);
+        }
+        assert_eq!(shared.cow_clones(), 0);
+        assert_eq!(shared.inner_block(), 4);
+        let st = shared.into_state();
+        assert_eq!(st.cow_clones(), 0);
     }
 }

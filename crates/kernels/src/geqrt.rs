@@ -10,15 +10,32 @@
 //! the diagonal (paper Eq. 6, the "update for triangulation" step).
 
 use crate::householder::larfg;
+use crate::workspace::Workspace;
 use crate::ApplySide;
-use tileqr_matrix::{ops, Matrix, MatrixError, Result, Scalar};
+use tileqr_matrix::{ops, Matrix, MatrixError, MatrixViewMut, Result, Scalar};
 
 /// QR-factor one tile in place (PLASMA `CORE_geqrt` with inner block = n).
 ///
 /// `a` is `m x n` with `m >= n`. On exit the upper triangle of `a` is `R`
 /// and the strict lower part stores the Householder vectors. Returns the
 /// `n x n` upper-triangular block-reflector factor `T`.
+///
+/// Allocating convenience wrapper over [`geqrt_ws`].
 pub fn geqrt<T: Scalar>(a: &mut Matrix<T>) -> Result<Matrix<T>> {
+    let n = a.cols();
+    let mut tfac = Matrix::zeros(n, n);
+    geqrt_ws(a, &mut tfac, &mut Workspace::minimal())?;
+    Ok(tfac)
+}
+
+/// [`geqrt`] with caller-provided output and scratch: writes the `T`
+/// factor into `tfac` (shape `n x n`, overwritten) and borrows the
+/// reflector-accumulation vector from `ws` — no heap allocation.
+pub fn geqrt_ws<T: Scalar>(
+    a: &mut Matrix<T>,
+    tfac: &mut Matrix<T>,
+    ws: &mut Workspace<T>,
+) -> Result<()> {
     let (m, n) = a.dims();
     if m < n {
         return Err(MatrixError::DimensionMismatch {
@@ -27,8 +44,15 @@ pub fn geqrt<T: Scalar>(a: &mut Matrix<T>) -> Result<Matrix<T>> {
             rhs: (n, n),
         });
     }
-    let mut tfac = Matrix::zeros(n, n);
-    let mut z = vec![T::ZERO; n];
+    if tfac.dims() != (n, n) {
+        return Err(MatrixError::DimensionMismatch {
+            op: "geqrt (T factor shape)",
+            lhs: (n, n),
+            rhs: tfac.dims(),
+        });
+    }
+    tfac.as_mut_slice().fill(T::ZERO);
+    let z = ws.reflector_scratch(n);
 
     for k in 0..n {
         // Generate reflector H_k annihilating a[k+1.., k].
@@ -74,7 +98,7 @@ pub fn geqrt<T: Scalar>(a: &mut Matrix<T>) -> Result<Matrix<T>> {
             }
         }
     }
-    Ok(tfac)
+    Ok(())
 }
 
 /// Apply the block reflector from [`geqrt`] to `c`.
@@ -82,11 +106,25 @@ pub fn geqrt<T: Scalar>(a: &mut Matrix<T>) -> Result<Matrix<T>> {
 /// `vr` is the factored tile (V below the diagonal), `tfac` its `T` factor.
 /// Computes `c ← Qᵀ c` ([`ApplySide::Transpose`]) or `c ← Q c`
 /// ([`ApplySide::NoTranspose`]) where `Q = I − V T Vᵀ`.
+///
+/// Allocating convenience wrapper over [`geqrt_apply_ws`].
 pub fn geqrt_apply<T: Scalar>(
     vr: &Matrix<T>,
     tfac: &Matrix<T>,
     c: &mut Matrix<T>,
     side: ApplySide,
+) -> Result<()> {
+    geqrt_apply_ws(vr, tfac, c, side, &mut Workspace::minimal())
+}
+
+/// [`geqrt_apply`] borrowing the `W` block and `op(T)` column buffer from
+/// `ws` — no heap allocation when the workspace is presized.
+pub fn geqrt_apply_ws<T: Scalar>(
+    vr: &Matrix<T>,
+    tfac: &Matrix<T>,
+    c: &mut Matrix<T>,
+    side: ApplySide,
+    ws: &mut Workspace<T>,
 ) -> Result<()> {
     let (m, n) = vr.dims();
     if tfac.dims() != (n, n) {
@@ -104,10 +142,12 @@ pub fn geqrt_apply<T: Scalar>(
         });
     }
     let nc = c.cols();
-    let mut w = Matrix::zeros(n, nc);
+    let (mut w, tmp) = ws.apply_scratch(n, nc);
 
     // W = V^T C  (V unit lower trapezoidal): each entry is the implicit
     // unit-diagonal term plus a contiguous column dot below the diagonal.
+    // Every element of W is written before it is read, so the recycled
+    // scratch needs no zeroing.
     for jc in 0..nc {
         let cc = c.col(jc);
         let wc = w.col_mut(jc);
@@ -117,7 +157,7 @@ pub fn geqrt_apply<T: Scalar>(
     }
 
     // W = op(T) W with T upper triangular.
-    apply_tfac_in_place(tfac, &mut w, side);
+    apply_tfac_in_place(tfac, &mut w, tmp, side);
 
     // C -= V W: column sweep, one axpy per reflector (unit diagonal peeled).
     for jc in 0..nc {
@@ -132,11 +172,18 @@ pub fn geqrt_apply<T: Scalar>(
 }
 
 /// Multiply `w ← op(T) w` for upper-triangular `T`, in place, column by
-/// column. Shared by the GEQRT/TSQRT/TTQRT apply paths.
-pub(crate) fn apply_tfac_in_place<T: Scalar>(tfac: &Matrix<T>, w: &mut Matrix<T>, side: ApplySide) {
+/// column. Shared by the GEQRT/TSQRT/TTQRT apply paths; `tmp` is the
+/// caller's length-`n` column buffer (workspace-owned, so the apply paths
+/// cannot drift apart in their scratch sizing).
+pub(crate) fn apply_tfac_in_place<T: Scalar>(
+    tfac: &Matrix<T>,
+    w: &mut MatrixViewMut<'_, T>,
+    tmp: &mut [T],
+    side: ApplySide,
+) {
     let n = tfac.rows();
     let nc = w.cols();
-    let mut tmp = vec![T::ZERO; n];
+    let tmp = &mut tmp[..n];
     for jc in 0..nc {
         {
             let wc = w.col(jc);
@@ -158,7 +205,7 @@ pub(crate) fn apply_tfac_in_place<T: Scalar>(tfac: &Matrix<T>, w: &mut Matrix<T>
                 }
             }
         }
-        w.col_mut(jc).copy_from_slice(&tmp);
+        w.col_mut(jc).copy_from_slice(tmp);
     }
 }
 
@@ -166,6 +213,16 @@ pub(crate) fn apply_tfac_in_place<T: Scalar>(tfac: &Matrix<T>, w: &mut Matrix<T>
 /// factorization produced by [`geqrt`] on the diagonal tile.
 pub fn unmqr<T: Scalar>(vr: &Matrix<T>, tfac: &Matrix<T>, c: &mut Matrix<T>) -> Result<()> {
     geqrt_apply(vr, tfac, c, ApplySide::Transpose)
+}
+
+/// [`unmqr`] borrowing scratch from `ws` — no heap allocation.
+pub fn unmqr_ws<T: Scalar>(
+    vr: &Matrix<T>,
+    tfac: &Matrix<T>,
+    c: &mut Matrix<T>,
+    ws: &mut Workspace<T>,
+) -> Result<()> {
+    geqrt_apply_ws(vr, tfac, c, ApplySide::Transpose, ws)
 }
 
 #[cfg(test)]
@@ -299,5 +356,39 @@ mod tests {
         let t2 = geqrt(&mut a2).unwrap();
         assert_eq!(a1, a2);
         assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn ws_variant_bit_identical_and_reusable_dirty() {
+        // One reused (never-zeroed) workspace across many tiles must give
+        // byte-identical results to the allocating wrapper: every scratch
+        // read is preceded by a write in the same invocation.
+        let mut ws = Workspace::new(8, 8);
+        for seed in 0..6 {
+            let a0 = random_matrix::<f64>(8, 8, 100 + seed);
+            let mut a_ref = a0.clone();
+            let t_ref = geqrt(&mut a_ref).unwrap();
+
+            let mut a = a0.clone();
+            let mut t = Matrix::filled(8, 8, f64::NAN); // poison the output
+            geqrt_ws(&mut a, &mut t, &mut ws).unwrap();
+            assert_eq!(a, a_ref);
+            assert_eq!(t, t_ref);
+
+            let c0 = random_matrix::<f64>(8, 5, 200 + seed);
+            let mut c_ref = c0.clone();
+            geqrt_apply(&a_ref, &t_ref, &mut c_ref, ApplySide::Transpose).unwrap();
+            let mut c = c0.clone();
+            geqrt_apply_ws(&a, &t, &mut c, ApplySide::Transpose, &mut ws).unwrap();
+            assert_eq!(c, c_ref);
+        }
+        assert_eq!(ws.resizes(), 0, "tile-sized workspace must not grow");
+    }
+
+    #[test]
+    fn ws_variant_rejects_wrong_tfac_shape() {
+        let mut a = random_matrix::<f64>(4, 4, 11);
+        let mut bad = Matrix::<f64>::zeros(3, 3);
+        assert!(geqrt_ws(&mut a, &mut bad, &mut Workspace::minimal()).is_err());
     }
 }

@@ -10,6 +10,7 @@
 //! `benches/elimination_trees.rs` and the DESIGN.md ablation list).
 
 use crate::householder::larfg;
+use crate::workspace::Workspace;
 use crate::ApplySide;
 use tileqr_matrix::{ops, Matrix, MatrixError, Result, Scalar};
 
@@ -19,7 +20,20 @@ use tileqr_matrix::{ops, Matrix, MatrixError, Result, Scalar};
 /// the Householder vectors below, exactly like [`crate::geqrt`]. Returns
 /// one upper-triangular `T` factor per column panel (each at most
 /// `ib x ib`; the last may be smaller).
+///
+/// Allocating convenience wrapper over [`geqrt_ib_ws`].
 pub fn geqrt_ib<T: Scalar>(a: &mut Matrix<T>, ib: usize) -> Result<Vec<Matrix<T>>> {
+    geqrt_ib_ws(a, ib, &mut Workspace::minimal())
+}
+
+/// [`geqrt_ib`] borrowing all scratch from `ws`. The per-panel `T`
+/// factors are outputs and still allocated; the panel-application scratch
+/// (packed panel, `W` block, `op(T)` buffer) comes from the arena.
+pub fn geqrt_ib_ws<T: Scalar>(
+    a: &mut Matrix<T>,
+    ib: usize,
+    ws: &mut Workspace<T>,
+) -> Result<Vec<Matrix<T>>> {
     let (m, n) = a.dims();
     if m < n {
         return Err(MatrixError::DimensionMismatch {
@@ -37,7 +51,6 @@ pub fn geqrt_ib<T: Scalar>(a: &mut Matrix<T>, ib: usize) -> Result<Vec<Matrix<T>
         let e = (s + ib).min(n); // panel columns [s, e)
         let pw = e - s;
         let mut tfac = Matrix::zeros(pw, pw);
-        let mut z = vec![T::ZERO; pw];
 
         for k in s..e {
             // Reflector annihilating a[k+1.., k].
@@ -65,6 +78,7 @@ pub fn geqrt_ib<T: Scalar>(a: &mut Matrix<T>, ib: usize) -> Result<Vec<Matrix<T>
             let lk = k - s;
             tfac[(lk, lk)] = tau;
             if tau != T::ZERO {
+                let z = ws.reflector_scratch(pw);
                 for (li, zi) in z.iter_mut().enumerate().take(lk) {
                     let i = s + li;
                     let mut acc = a[(k, i)];
@@ -85,7 +99,7 @@ pub fn geqrt_ib<T: Scalar>(a: &mut Matrix<T>, ib: usize) -> Result<Vec<Matrix<T>
 
         // Apply the finished panel's block reflector to trailing columns.
         if e < n {
-            apply_panel(a, s, e, &tfac, e, n, ApplySide::Transpose)?;
+            apply_panel(a, s, e, &tfac, e, n, ApplySide::Transpose, ws)?;
         }
         tfacs.push(tfac);
         s = e;
@@ -95,6 +109,12 @@ pub fn geqrt_ib<T: Scalar>(a: &mut Matrix<T>, ib: usize) -> Result<Vec<Matrix<T>
 
 /// Apply the block reflector of panel columns `[s, e)` of `vr` to the
 /// column range `[c0, c1)` of the same matrix, in place.
+///
+/// The unit-lower-trapezoidal panel is packed into contiguous column-major
+/// workspace scratch with the implicit 0/1 entries made explicit, so every
+/// inner loop is a branch-free contiguous dot or axpy over packed memory
+/// instead of a strided walk of `a`.
+#[allow(clippy::too_many_arguments)]
 fn apply_panel<T: Scalar>(
     a: &mut Matrix<T>,
     s: usize,
@@ -103,33 +123,37 @@ fn apply_panel<T: Scalar>(
     c0: usize,
     c1: usize,
     side: ApplySide,
+    ws: &mut Workspace<T>,
 ) -> Result<()> {
     let m = a.rows();
     let pw = e - s;
     let nc = c1 - c0;
-    // W = V^T C with V unit lower trapezoidal in columns s..e, rows s..m.
-    let mut w = Matrix::zeros(pw, nc);
+    let mr = m - s; // rows the panel reflectors touch
+    let (mut pv, mut w, tmp) = ws.packed_apply_scratch(mr, pw, pw, nc);
+    // Pack V: column li of the panel lives in a[s.., s+li], unit diagonal
+    // implicit at local row li, zeros above it.
+    for li in 0..pw {
+        let src = &a.col(s + li)[s..];
+        let dst = pv.col_mut(li);
+        dst[..li].fill(T::ZERO);
+        dst[li] = T::ONE;
+        dst[li + 1..].copy_from_slice(&src[li + 1..]);
+    }
+    // W = V^T C: contiguous column dots over the packed panel.
     for (jc, wj) in (c0..c1).zip(0..nc) {
-        for li in 0..pw {
-            let i = s + li;
-            let mut acc = a[(i, jc)];
-            for r in i + 1..m {
-                acc += a[(r, s + li)] * a[(r, jc)];
-            }
-            w[(li, wj)] = acc;
+        let cc = &a.col(jc)[s..];
+        let wc = w.col_mut(wj);
+        for (li, wi) in wc.iter_mut().enumerate() {
+            *wi = ops::dot(pv.col(li), cc);
         }
     }
-    crate::geqrt::apply_tfac_in_place(tfac, &mut w, side);
-    // C -= V W.
+    crate::geqrt::apply_tfac_in_place(tfac, &mut w, tmp, side);
+    // C -= V W: one contiguous axpy per (reflector, column).
     for (jc, wj) in (c0..c1).zip(0..nc) {
-        for r in s..m {
-            let lim = (r + 1 - s).min(pw);
-            let mut acc = T::ZERO;
-            for li in 0..lim {
-                let v = if s + li == r { T::ONE } else { a[(r, s + li)] };
-                acc += v * w[(li, wj)];
-            }
-            a[(r, jc)] -= acc;
+        let cc = &mut a.col_mut(jc)[s..];
+        let wc = w.col(wj);
+        for (li, &wi) in wc.iter().enumerate() {
+            ops::axpy(-wi, pv.col(li), cc);
         }
     }
     Ok(())
@@ -137,12 +161,28 @@ fn apply_panel<T: Scalar>(
 
 /// Apply `Q` or `Qᵀ` from a [`geqrt_ib`] factorization to a dense `c`
 /// (`c.rows() == vr.rows()`).
+///
+/// Allocating convenience wrapper over [`geqrt_ib_apply_ws`].
 pub fn geqrt_ib_apply<T: Scalar>(
     vr: &Matrix<T>,
     tfacs: &[Matrix<T>],
     ib: usize,
     c: &mut Matrix<T>,
     side: ApplySide,
+) -> Result<()> {
+    geqrt_ib_apply_ws(vr, tfacs, ib, c, side, &mut Workspace::minimal())
+}
+
+/// [`geqrt_ib_apply`] borrowing all scratch from `ws`, with each panel
+/// packed into contiguous column-major scratch before its update sweep —
+/// no heap allocation when the workspace is presized.
+pub fn geqrt_ib_apply_ws<T: Scalar>(
+    vr: &Matrix<T>,
+    tfacs: &[Matrix<T>],
+    ib: usize,
+    c: &mut Matrix<T>,
+    side: ApplySide,
+    ws: &mut Workspace<T>,
 ) -> Result<()> {
     let (m, n) = vr.dims();
     if c.rows() != m {
@@ -157,38 +197,42 @@ pub fn geqrt_ib_apply<T: Scalar>(
         return Err(MatrixError::BadTileSize { tile: ib });
     }
     let nc = c.cols();
-    let panels: Vec<usize> = (0..tfacs.len()).collect();
-    let order: Box<dyn Iterator<Item = usize>> = match side {
-        ApplySide::Transpose => Box::new(panels.into_iter()),
-        ApplySide::NoTranspose => Box::new(panels.into_iter().rev()),
-    };
-    for p in order {
+    let np = tfacs.len();
+    for idx in 0..np {
+        // Qᵀ applies panels first-to-last, Q last-to-first.
+        let p = match side {
+            ApplySide::Transpose => idx,
+            ApplySide::NoTranspose => np - 1 - idx,
+        };
         let s = p * ib;
         let e = (s + ib).min(n);
         let pw = e - s;
         let tfac = &tfacs[p];
-        // W = V_p^T C.
-        let mut w = Matrix::zeros(pw, nc);
+        let mr = m - s;
+        let (mut pv, mut w, tmp) = ws.packed_apply_scratch(mr, pw, pw, nc);
+        // Pack V_p with explicit unit diagonal / zero upper wedge.
+        for li in 0..pw {
+            let src = &vr.col(s + li)[s..];
+            let dst = pv.col_mut(li);
+            dst[..li].fill(T::ZERO);
+            dst[li] = T::ONE;
+            dst[li + 1..].copy_from_slice(&src[li + 1..]);
+        }
+        // W = V_p^T C: contiguous column dots over the packed panel.
         for jc in 0..nc {
-            for li in 0..pw {
-                let i = s + li;
-                let mut acc = c[(i, jc)];
-                for r in i + 1..m {
-                    acc += vr[(r, s + li)] * c[(r, jc)];
-                }
-                w[(li, jc)] = acc;
+            let cc = &c.col(jc)[s..];
+            let wc = w.col_mut(jc);
+            for (li, wi) in wc.iter_mut().enumerate() {
+                *wi = ops::dot(pv.col(li), cc);
             }
         }
-        crate::geqrt::apply_tfac_in_place(tfac, &mut w, side);
+        crate::geqrt::apply_tfac_in_place(tfac, &mut w, tmp, side);
+        // C -= V_p W: one contiguous axpy per (reflector, column).
         for jc in 0..nc {
-            for r in s..m {
-                let lim = (r + 1 - s).min(pw);
-                let mut acc = T::ZERO;
-                for li in 0..lim {
-                    let v = if s + li == r { T::ONE } else { vr[(r, s + li)] };
-                    acc += v * w[(li, jc)];
-                }
-                c[(r, jc)] -= acc;
+            let cc = &mut c.col_mut(jc)[s..];
+            let wc = w.col(jc);
+            for (li, &wi) in wc.iter().enumerate() {
+                ops::axpy(-wi, pv.col(li), cc);
             }
         }
     }
@@ -277,6 +321,29 @@ mod tests {
         geqrt_ib_apply(&a, &ts, 3, &mut c, ApplySide::Transpose).unwrap();
         geqrt_ib_apply(&a, &ts, 3, &mut c, ApplySide::NoTranspose).unwrap();
         assert!(c.approx_eq(&c0, 1e-12));
+    }
+
+    #[test]
+    fn ws_variants_bit_identical_with_dirty_reuse() {
+        let mut ws = Workspace::new(12, 4);
+        for seed in 0..4 {
+            let a0 = random_matrix::<f64>(12, 12, 300 + seed);
+            let mut a_ref = a0.clone();
+            let ts_ref = geqrt_ib(&mut a_ref, 4).unwrap();
+
+            let mut a = a0.clone();
+            let ts = geqrt_ib_ws(&mut a, 4, &mut ws).unwrap();
+            assert_eq!(a, a_ref);
+            assert_eq!(ts, ts_ref);
+
+            let c0 = random_matrix::<f64>(12, 6, 400 + seed);
+            let mut c_ref = c0.clone();
+            geqrt_ib_apply(&a_ref, &ts_ref, 4, &mut c_ref, ApplySide::Transpose).unwrap();
+            let mut c = c0.clone();
+            geqrt_ib_apply_ws(&a, &ts, 4, &mut c, ApplySide::Transpose, &mut ws).unwrap();
+            assert_eq!(c, c_ref);
+        }
+        assert_eq!(ws.resizes(), 0, "tile-sized workspace must not grow");
     }
 
     #[test]

@@ -17,6 +17,12 @@
 //! block of `k` reflectors is `Q = I − V T Vᵀ` with `T` upper triangular
 //! (the output of [`geqrt`]/[`tsqrt`]/[`ttqrt`]).
 //!
+//! Every kernel has two entry points: the allocating legacy signature
+//! (`geqrt`, `tsmqr_apply`, …) and a `*_ws` variant that borrows all
+//! scratch from a reusable [`Workspace`] arena and allocates nothing on
+//! the heap. The legacy wrappers call straight into the `*_ws` code with
+//! a grow-on-demand workspace, so the two paths cannot drift apart.
+//!
 //! The crate also ships the paper's Algorithm 1 — plain unblocked
 //! Householder QR — in [`mod@reference`], used as the ground truth by the test
 //! suite, plus flop models ([`flops`]) and factorization validators
@@ -34,12 +40,14 @@ pub mod reference;
 mod tsqrt;
 mod ttqrt;
 pub mod validate;
+mod workspace;
 
-pub use geqrt::{geqrt, geqrt_apply, unmqr};
-pub use geqrt_ib::{geqrt_ib, geqrt_ib_apply};
+pub use geqrt::{geqrt, geqrt_apply, geqrt_apply_ws, geqrt_ws, unmqr, unmqr_ws};
+pub use geqrt_ib::{geqrt_ib, geqrt_ib_apply, geqrt_ib_apply_ws, geqrt_ib_ws};
 pub use householder::{larfg, HouseholderReflector};
-pub use tsqrt::{tsmqr, tsmqr_apply, tsqrt};
-pub use ttqrt::{ttmqr, ttmqr_apply, ttqrt};
+pub use tsqrt::{tsmqr, tsmqr_apply, tsmqr_apply_ws, tsqrt, tsqrt_ws};
+pub use ttqrt::{ttmqr, ttmqr_apply, ttmqr_apply_ws, ttqrt, ttqrt_ws};
+pub use workspace::{Workspace, WorkspacePolicy};
 
 /// Which orthogonal factor to apply in an update kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -19,6 +19,7 @@
 
 use crate::geqrt::apply_tfac_in_place;
 use crate::householder::larfg;
+use crate::workspace::Workspace;
 use crate::ApplySide;
 use tileqr_matrix::{ops, Matrix, MatrixError, Result, Scalar};
 
@@ -29,7 +30,24 @@ use tileqr_matrix::{ops, Matrix, MatrixError, Result, Scalar};
 /// and on exit stores the Householder block `V2`. Returns the `n x n`
 /// upper-triangular `T` factor of the block reflector `Q = I − V T Vᵀ`
 /// with `V = [I; V2]`.
+///
+/// Allocating convenience wrapper over [`tsqrt_ws`].
 pub fn tsqrt<T: Scalar>(r1: &mut Matrix<T>, a2: &mut Matrix<T>) -> Result<Matrix<T>> {
+    let n = r1.rows();
+    let mut tfac = Matrix::zeros(n, n);
+    tsqrt_ws(r1, a2, &mut tfac, &mut Workspace::minimal())?;
+    Ok(tfac)
+}
+
+/// [`tsqrt`] with caller-provided output and scratch: the `T` factor is
+/// written into `tfac` (shape `n x n`, overwritten) and the reflector
+/// accumulation vector is borrowed from `ws` — no heap allocation.
+pub fn tsqrt_ws<T: Scalar>(
+    r1: &mut Matrix<T>,
+    a2: &mut Matrix<T>,
+    tfac: &mut Matrix<T>,
+    ws: &mut Workspace<T>,
+) -> Result<()> {
     let n = r1.rows();
     if !r1.is_square() {
         return Err(MatrixError::NotSquare { dims: r1.dims() });
@@ -41,8 +59,15 @@ pub fn tsqrt<T: Scalar>(r1: &mut Matrix<T>, a2: &mut Matrix<T>) -> Result<Matrix
             rhs: a2.dims(),
         });
     }
-    let mut tfac = Matrix::zeros(n, n);
-    let mut z = vec![T::ZERO; n];
+    if tfac.dims() != (n, n) {
+        return Err(MatrixError::DimensionMismatch {
+            op: "tsqrt (T factor shape)",
+            lhs: (n, n),
+            rhs: tfac.dims(),
+        });
+    }
+    tfac.as_mut_slice().fill(T::ZERO);
+    let z = ws.reflector_scratch(n);
 
     for k in 0..n {
         // Reflector annihilating a2[:, k] against the diagonal entry r1[k,k].
@@ -82,19 +107,36 @@ pub fn tsqrt<T: Scalar>(r1: &mut Matrix<T>, a2: &mut Matrix<T>) -> Result<Matrix
             }
         }
     }
-    Ok(tfac)
+    Ok(())
 }
 
 /// Apply the block reflector from [`tsqrt`] to a stacked pair `[a1; a2]`.
 ///
 /// `v2` is the Householder block stored where the eliminated tile was,
 /// `tfac` the `T` factor. `a1` is `n x nc`, `a2` is `m2 x nc`.
+///
+/// Allocating convenience wrapper over [`tsmqr_apply_ws`].
 pub fn tsmqr_apply<T: Scalar>(
     v2: &Matrix<T>,
     tfac: &Matrix<T>,
     a1: &mut Matrix<T>,
     a2: &mut Matrix<T>,
     side: ApplySide,
+) -> Result<()> {
+    tsmqr_apply_ws(v2, tfac, a1, a2, side, &mut Workspace::minimal())
+}
+
+/// [`tsmqr_apply`] borrowing all scratch from `ws`, with `V2ᵀ` packed into
+/// contiguous column-major scratch so the `W` accumulation runs as
+/// branch-free contiguous `axpy` sweeps (the PR-1 `gemm_nn` idiom) instead
+/// of strided per-element dot reductions.
+pub fn tsmqr_apply_ws<T: Scalar>(
+    v2: &Matrix<T>,
+    tfac: &Matrix<T>,
+    a1: &mut Matrix<T>,
+    a2: &mut Matrix<T>,
+    side: ApplySide,
+    ws: &mut Workspace<T>,
 ) -> Result<()> {
     let n = tfac.rows();
     if v2.cols() != n || a1.rows() != n || a2.rows() != v2.rows() || a1.cols() != a2.cols() {
@@ -105,19 +147,31 @@ pub fn tsmqr_apply<T: Scalar>(
         });
     }
     let nc = a1.cols();
+    let m2 = v2.rows();
+    let (mut p, mut w, tmp) = ws.packed_apply_scratch(n, m2, n, nc);
 
-    // W = [I; V2]^T [A1; A2] = A1 + V2^T A2: column dots over V2.
-    let mut w = a1.clone();
+    // Pack P = V2ᵀ (n x m2): walk V2's columns contiguously, scatter into
+    // P's rows. One O(b²) pass that turns every inner loop below into a
+    // contiguous sweep.
+    for i in 0..n {
+        for (r, &v) in v2.col(i).iter().enumerate() {
+            p[(i, r)] = v;
+        }
+    }
+
+    // W = [I; V2]^T [A1; A2] = A1 + P·A2: load A1, then one contiguous
+    // axpy per (row of A2, column) — the gemm_nn column sweep.
     for jc in 0..nc {
         let a2c = a2.col(jc);
         let wc = w.col_mut(jc);
-        for (i, wi) in wc.iter_mut().enumerate() {
-            *wi += ops::dot(v2.col(i), a2c);
+        wc.copy_from_slice(a1.col(jc));
+        for (r, &arj) in a2c.iter().enumerate() {
+            ops::axpy(arj, p.col(r), wc);
         }
     }
 
     // W = op(T) W.
-    apply_tfac_in_place(tfac, &mut w, side);
+    apply_tfac_in_place(tfac, &mut w, tmp, side);
 
     // [A1; A2] -= [I; V2] W: A1 gets W subtracted directly; A2 is swept
     // column-by-column with one axpy per reflector.
@@ -286,6 +340,42 @@ mod tests {
         let mut a1_ok = Matrix::<f64>::zeros(4, 2);
         let mut a2_bad = Matrix::<f64>::zeros(5, 2);
         assert!(tsmqr(&v2, &t, &mut a1_ok, &mut a2_bad).is_err());
+    }
+
+    #[test]
+    fn ws_variants_bit_identical_with_dirty_reuse() {
+        // A reused workspace (never zeroed between calls) must reproduce
+        // the fresh-scratch results byte for byte.
+        let n = 6;
+        let mut ws = Workspace::new(n, n);
+        for seed in 0..5 {
+            let r1_0 = random_matrix::<f64>(n, n, 20 + seed).upper_triangular();
+            let a2_0 = random_matrix::<f64>(n, n, 40 + seed);
+
+            let mut r1_ref = r1_0.clone();
+            let mut a2_ref = a2_0.clone();
+            let t_ref = tsqrt(&mut r1_ref, &mut a2_ref).unwrap();
+
+            let mut r1 = r1_0.clone();
+            let mut a2 = a2_0.clone();
+            let mut t = Matrix::filled(n, n, f64::NAN);
+            tsqrt_ws(&mut r1, &mut a2, &mut t, &mut ws).unwrap();
+            assert_eq!(r1, r1_ref);
+            assert_eq!(a2, a2_ref);
+            assert_eq!(t, t_ref);
+
+            let c1_0 = random_matrix::<f64>(n, 4, 60 + seed);
+            let c2_0 = random_matrix::<f64>(n, 4, 80 + seed);
+            let mut c1_ref = c1_0.clone();
+            let mut c2_ref = c2_0.clone();
+            tsmqr_apply(&a2, &t, &mut c1_ref, &mut c2_ref, ApplySide::Transpose).unwrap();
+            let mut c1 = c1_0.clone();
+            let mut c2 = c2_0.clone();
+            tsmqr_apply_ws(&a2, &t, &mut c1, &mut c2, ApplySide::Transpose, &mut ws).unwrap();
+            assert_eq!(c1, c1_ref);
+            assert_eq!(c2, c2_ref);
+        }
+        assert_eq!(ws.resizes(), 0, "tile-sized workspace must not grow");
     }
 
     #[test]

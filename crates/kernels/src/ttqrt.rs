@@ -12,6 +12,7 @@
 
 use crate::geqrt::apply_tfac_in_place;
 use crate::householder::larfg;
+use crate::workspace::Workspace;
 use crate::ApplySide;
 use tileqr_matrix::{ops, Matrix, MatrixError, Result, Scalar};
 
@@ -22,7 +23,24 @@ use tileqr_matrix::{ops, Matrix, MatrixError, Result, Scalar};
 /// and the upper triangle of `r2` stores the (triangular) Householder block
 /// `V2`. Returns the `n x n` `T` factor with `Q = I − V T Vᵀ`,
 /// `V = [I; V2]`.
+///
+/// Allocating convenience wrapper over [`ttqrt_ws`].
 pub fn ttqrt<T: Scalar>(r1: &mut Matrix<T>, r2: &mut Matrix<T>) -> Result<Matrix<T>> {
+    let n = r1.rows();
+    let mut tfac = Matrix::zeros(n, n);
+    ttqrt_ws(r1, r2, &mut tfac, &mut Workspace::minimal())?;
+    Ok(tfac)
+}
+
+/// [`ttqrt`] with caller-provided output and scratch: the `T` factor is
+/// written into `tfac` (shape `n x n`, overwritten) and the reflector
+/// accumulation vector is borrowed from `ws` — no heap allocation.
+pub fn ttqrt_ws<T: Scalar>(
+    r1: &mut Matrix<T>,
+    r2: &mut Matrix<T>,
+    tfac: &mut Matrix<T>,
+    ws: &mut Workspace<T>,
+) -> Result<()> {
     let n = r1.rows();
     if !r1.is_square() {
         return Err(MatrixError::NotSquare { dims: r1.dims() });
@@ -34,8 +52,15 @@ pub fn ttqrt<T: Scalar>(r1: &mut Matrix<T>, r2: &mut Matrix<T>) -> Result<Matrix
             rhs: r2.dims(),
         });
     }
-    let mut tfac = Matrix::zeros(n, n);
-    let mut z = vec![T::ZERO; n];
+    if tfac.dims() != (n, n) {
+        return Err(MatrixError::DimensionMismatch {
+            op: "ttqrt (T factor shape)",
+            lhs: (n, n),
+            rhs: tfac.dims(),
+        });
+    }
+    tfac.as_mut_slice().fill(T::ZERO);
+    let z = ws.reflector_scratch(n);
 
     for k in 0..n {
         // Column k of R2 is nonzero only in rows 0..=k.
@@ -74,17 +99,33 @@ pub fn ttqrt<T: Scalar>(r1: &mut Matrix<T>, r2: &mut Matrix<T>) -> Result<Matrix
             }
         }
     }
-    Ok(tfac)
+    Ok(())
 }
 
 /// Apply the block reflector from [`ttqrt`] to a stacked pair `[a1; a2]`,
 /// exploiting the triangular structure of `v2`.
+///
+/// Allocating convenience wrapper over [`ttmqr_apply_ws`].
 pub fn ttmqr_apply<T: Scalar>(
     v2: &Matrix<T>,
     tfac: &Matrix<T>,
     a1: &mut Matrix<T>,
     a2: &mut Matrix<T>,
     side: ApplySide,
+) -> Result<()> {
+    ttmqr_apply_ws(v2, tfac, a1, a2, side, &mut Workspace::minimal())
+}
+
+/// [`ttmqr_apply`] borrowing the `W` block and `op(T)` column buffer from
+/// `ws` — no heap allocation. The triangular profile of `V2` already makes
+/// every dot/axpy a contiguous prefix, so no packing is needed here.
+pub fn ttmqr_apply_ws<T: Scalar>(
+    v2: &Matrix<T>,
+    tfac: &Matrix<T>,
+    a1: &mut Matrix<T>,
+    a2: &mut Matrix<T>,
+    side: ApplySide,
+    ws: &mut Workspace<T>,
 ) -> Result<()> {
     let n = tfac.rows();
     if v2.dims() != (n, n) || a1.rows() != n || a2.rows() != n || a1.cols() != a2.cols() {
@@ -95,19 +136,20 @@ pub fn ttmqr_apply<T: Scalar>(
         });
     }
     let nc = a1.cols();
+    let (mut w, tmp) = ws.apply_scratch(n, nc);
 
     // W = A1 + V2^T A2, with V2 upper triangular (column i supported on
     // rows 0..=i): prefix column dots.
-    let mut w = a1.clone();
     for jc in 0..nc {
         let a2c = a2.col(jc);
         let wc = w.col_mut(jc);
+        wc.copy_from_slice(a1.col(jc));
         for (i, wi) in wc.iter_mut().enumerate() {
             *wi += ops::dot(&v2.col(i)[..=i], &a2c[..=i]);
         }
     }
 
-    apply_tfac_in_place(tfac, &mut w, side);
+    apply_tfac_in_place(tfac, &mut w, tmp, side);
 
     // [A1; A2] -= [I; V2] W: column sweep over V2's stored prefixes.
     for jc in 0..nc {

@@ -1,0 +1,193 @@
+//! Reusable per-thread scratch arena for the tile kernels.
+//!
+//! Every kernel in this crate needs the same small set of scratch blocks:
+//! a reflector-accumulation vector `z`, a `T`-application vector `tmp`,
+//! the `W = VᵀC` work block, and (for the packed variants) a contiguous
+//! copy of the reflector panel. The seed kernels allocated these with
+//! `vec!`/`Matrix::zeros` on every invocation, which made the steady-state
+//! hot path allocator-bound. A [`Workspace`] is sized once from the tile
+//! geometry `(b, ib)` and handed to the `*_ws` kernel entry points, which
+//! borrow slices out of it instead of allocating.
+//!
+//! Sizing (scalars, for tile size `b`, inner block `ib ≤ b`):
+//!
+//! | buffer | capacity | used by |
+//! |--------|----------|---------|
+//! | `z`    | `b`      | `geqrt_ws`/`tsqrt_ws`/`ttqrt_ws` reflector dot accumulation |
+//! | `tmp`  | `b`      | `apply_tfac_in_place` (one column of `op(T)·W`) |
+//! | `w`    | `b·b`    | the `W` block of every update kernel (`n × nc ≤ b × b` on the tile path) |
+//! | `pack` | `b·b`    | packed `V2ᵀ` (TSMQR, `n × m2`) / packed panel (`(m−s) × ib ≤ b·ib`) |
+//!
+//! Requests beyond the presized capacity (e.g. applying `Q` to a dense
+//! right-hand side wider than one tile) grow the buffer and are counted in
+//! [`resizes`](Workspace::resizes); on the tile-sized steady state that
+//! counter stays at zero, which the `kernel_hotpath` bench asserts with a
+//! counting allocator.
+
+use tileqr_matrix::{MatrixViewMut, Scalar};
+
+/// Who owns kernel scratch during parallel execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WorkspacePolicy {
+    /// One [`Workspace`] per worker thread, created before the task loop
+    /// and reused for every kernel — the allocation-free steady state.
+    #[default]
+    PerWorker,
+    /// A fresh workspace per task (the seed behaviour, kept as the
+    /// explicit slow path for A/B measurement and leak hunting).
+    PerCall,
+}
+
+/// Grow-once scratch arena backing the `*_ws` kernels.
+#[derive(Debug, Clone)]
+pub struct Workspace<T: Scalar> {
+    z: Vec<T>,
+    tmp: Vec<T>,
+    w: Vec<T>,
+    pack: Vec<T>,
+    resizes: u64,
+}
+
+fn ensure<T: Scalar>(buf: &mut Vec<T>, len: usize, resizes: &mut u64) {
+    if buf.len() < len {
+        *resizes += 1;
+        buf.resize(len, T::ZERO);
+    }
+}
+
+impl<T: Scalar> Workspace<T> {
+    /// Workspace presized for tiles of size `b` with inner block `ib`.
+    ///
+    /// `ib` never exceeds `b`, so the packed-panel block is covered by the
+    /// same `b·b` capacity as `W`; the parameter is part of the signature
+    /// because it is the sizing contract the runtime plumbs through.
+    pub fn new(b: usize, ib: usize) -> Self {
+        debug_assert!(ib >= 1 && ib <= b.max(1), "inner block {ib} vs tile {b}");
+        Workspace {
+            z: vec![T::ZERO; b],
+            tmp: vec![T::ZERO; b],
+            w: vec![T::ZERO; b * b],
+            pack: vec![T::ZERO; b * b],
+            resizes: 0,
+        }
+    }
+
+    /// Empty workspace that grows on first use. This is what the
+    /// allocating compatibility wrappers (`geqrt`, `tsmqr_apply`, …) pass,
+    /// so the legacy API keeps its per-call allocation behaviour while
+    /// sharing one code path with the `*_ws` variants.
+    pub fn minimal() -> Self {
+        Workspace {
+            z: Vec::new(),
+            tmp: Vec::new(),
+            w: Vec::new(),
+            pack: Vec::new(),
+            resizes: 0,
+        }
+    }
+
+    /// Reflector-accumulation vector of length `n` (the `z` of the factor
+    /// kernels). Contents are unspecified; the kernels write before reading.
+    pub fn reflector_scratch(&mut self, n: usize) -> &mut [T] {
+        ensure(&mut self.z, n, &mut self.resizes);
+        &mut self.z[..n]
+    }
+
+    /// Scratch for an update kernel: the `wr × wc` work block `W` plus the
+    /// length-`wr` column buffer for `op(T)·W`.
+    pub fn apply_scratch(&mut self, wr: usize, wc: usize) -> (MatrixViewMut<'_, T>, &mut [T]) {
+        ensure(&mut self.w, wr * wc, &mut self.resizes);
+        ensure(&mut self.tmp, wr, &mut self.resizes);
+        (
+            MatrixViewMut::new(wr, wc, &mut self.w[..wr * wc]),
+            &mut self.tmp[..wr],
+        )
+    }
+
+    /// Scratch for a packed update kernel: the `pr × pc` packed reflector
+    /// block, the `wr × wc` work block, and the `op(T)` column buffer.
+    pub fn packed_apply_scratch(
+        &mut self,
+        pr: usize,
+        pc: usize,
+        wr: usize,
+        wc: usize,
+    ) -> (MatrixViewMut<'_, T>, MatrixViewMut<'_, T>, &mut [T]) {
+        ensure(&mut self.pack, pr * pc, &mut self.resizes);
+        ensure(&mut self.w, wr * wc, &mut self.resizes);
+        ensure(&mut self.tmp, wr, &mut self.resizes);
+        (
+            MatrixViewMut::new(pr, pc, &mut self.pack[..pr * pc]),
+            MatrixViewMut::new(wr, wc, &mut self.w[..wr * wc]),
+            &mut self.tmp[..wr],
+        )
+    }
+
+    /// Total capacity currently held, in bytes.
+    pub fn bytes(&self) -> usize {
+        (self.z.capacity() + self.tmp.capacity() + self.w.capacity() + self.pack.capacity())
+            * std::mem::size_of::<T>()
+    }
+
+    /// How many times a scratch request outgrew the arena (0 in the sized
+    /// steady state; each growth is one reallocation on the slow path).
+    pub fn resizes(&self) -> u64 {
+        self.resizes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presized_requests_do_not_resize() {
+        let mut ws = Workspace::<f64>::new(8, 4);
+        for _ in 0..10 {
+            let _ = ws.reflector_scratch(8);
+            let _ = ws.apply_scratch(8, 8);
+            let _ = ws.packed_apply_scratch(8, 8, 8, 8);
+            let _ = ws.packed_apply_scratch(8, 4, 4, 8);
+        }
+        assert_eq!(ws.resizes(), 0);
+    }
+
+    #[test]
+    fn oversized_request_grows_and_counts() {
+        let mut ws = Workspace::<f64>::new(4, 4);
+        {
+            let (w, tmp) = ws.apply_scratch(4, 12);
+            assert_eq!((w.rows(), w.cols()), (4, 12));
+            assert_eq!(tmp.len(), 4);
+        }
+        assert_eq!(ws.resizes(), 1);
+        // Second identical request is served from the grown buffer.
+        let _ = ws.apply_scratch(4, 12);
+        assert_eq!(ws.resizes(), 1);
+    }
+
+    #[test]
+    fn minimal_starts_empty_and_grows() {
+        let mut ws = Workspace::<f64>::minimal();
+        let _ = ws.reflector_scratch(6);
+        assert_eq!(ws.resizes(), 1);
+        assert!(ws.bytes() >= 6 * std::mem::size_of::<f64>());
+    }
+
+    #[test]
+    fn views_are_disjoint() {
+        let mut ws = Workspace::<f64>::new(4, 2);
+        let (mut p, mut w, tmp) = ws.packed_apply_scratch(4, 2, 4, 3);
+        p.fill(1.0);
+        w.fill(2.0);
+        tmp.fill(3.0);
+        assert!(p.as_slice().iter().all(|&x| x == 1.0));
+        assert!(w.as_slice().iter().all(|&x| x == 2.0));
+        assert!(tmp.iter().all(|&x| x == 3.0));
+    }
+
+    #[test]
+    fn policy_default_is_per_worker() {
+        assert_eq!(WorkspacePolicy::default(), WorkspacePolicy::PerWorker);
+    }
+}

@@ -1,0 +1,139 @@
+//! Borrowed column-major matrix view over externally owned storage.
+//!
+//! [`MatrixViewMut`] gives kernel scratch blocks (the `W = VᵀC` work
+//! matrix, packed reflector panels) the same column-major access API as
+//! [`Matrix`](crate::Matrix) without owning an allocation: the backing
+//! slice comes from a reusable workspace arena, so resizing a view between
+//! kernel invocations is a reinterpretation of the same buffer, not a heap
+//! round trip.
+
+use crate::Scalar;
+use std::ops::{Index, IndexMut};
+
+/// Mutable column-major matrix view over a borrowed slice.
+///
+/// Element `(i, j)` lives at `data[i + j * rows]`, exactly like
+/// [`Matrix`](crate::Matrix); the slice length must equal `rows * cols`.
+/// The view does not initialize its storage — callers that read before
+/// writing must [`fill`](Self::fill) first.
+pub struct MatrixViewMut<'a, T: Scalar> {
+    rows: usize,
+    cols: usize,
+    data: &'a mut [T],
+}
+
+impl<'a, T: Scalar> MatrixViewMut<'a, T> {
+    /// Wrap `data` as a `rows x cols` column-major matrix.
+    ///
+    /// Panics if the slice length disagrees with the shape; views are
+    /// internal scratch whose sizes are computed, never user input.
+    pub fn new(rows: usize, cols: usize, data: &'a mut [T]) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "view shape {rows}x{cols} needs {} elements, got {}",
+            rows * cols,
+            data.len()
+        );
+        MatrixViewMut { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Column `j` as a contiguous slice.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[T] {
+        &self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Column `j` as a contiguous mutable slice.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [T] {
+        &mut self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Set every element to `v`.
+    pub fn fill(&mut self, v: T) {
+        self.data.fill(v);
+    }
+
+    /// The whole backing storage as one column-major slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        self.data
+    }
+}
+
+impl<T: Scalar> Index<(usize, usize)> for MatrixViewMut<'_, T> {
+    type Output = T;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &T {
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
+        &self.data[i + j * self.rows]
+    }
+}
+
+impl<T: Scalar> IndexMut<(usize, usize)> for MatrixViewMut<'_, T> {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
+        &mut self.data[i + j * self.rows]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_matches_matrix() {
+        let mut buf = vec![0.0f64; 6];
+        let mut v = MatrixViewMut::new(2, 3, &mut buf);
+        v[(0, 0)] = 1.0;
+        v[(1, 2)] = 5.0;
+        assert_eq!(v.col(0), &[1.0, 0.0]);
+        assert_eq!(v.col(2), &[0.0, 5.0]);
+        assert_eq!(buf, vec![1.0, 0.0, 0.0, 0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn col_mut_is_contiguous() {
+        let mut buf = vec![0.0f64; 4];
+        let mut v = MatrixViewMut::new(2, 2, &mut buf);
+        v.col_mut(1).copy_from_slice(&[3.0, 4.0]);
+        assert_eq!(v[(0, 1)], 3.0);
+        assert_eq!(v[(1, 1)], 4.0);
+    }
+
+    #[test]
+    fn fill_overwrites_everything() {
+        let mut buf = vec![7.0f64; 6];
+        let mut v = MatrixViewMut::new(3, 2, &mut buf);
+        v.fill(0.0);
+        assert!(v.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "view shape")]
+    fn wrong_length_panics() {
+        let mut buf = vec![0.0f64; 5];
+        let _ = MatrixViewMut::new(2, 3, &mut buf);
+    }
+}

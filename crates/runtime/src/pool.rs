@@ -36,10 +36,11 @@ use std::sync::mpsc;
 use std::time::{Duration, Instant};
 use tileqr_dag::{TaskGraph, TaskId, TaskKind};
 use tileqr_kernels::exec::{CompletedTask, FactorState, SharedFactorState};
-use tileqr_kernels::flops;
+use tileqr_kernels::{flops, Workspace, WorkspacePolicy};
 use tileqr_matrix::{MatrixError, Result, Scalar};
 use tileqr_obs::{
-    merge_recorders, KernelHistograms, RawEvent, RawKind, Trace, TraceConfig, WorkerRecorder,
+    merge_recorders, HotPathCounters, KernelHistograms, RawEvent, RawKind, Trace, TraceConfig,
+    WorkerRecorder,
 };
 
 /// Worker-pool configuration.
@@ -52,6 +53,11 @@ pub struct PoolConfig {
     /// Lifecycle tracing. Disabled by default; when disabled the pool
     /// allocates no recorders and reads no extra clocks.
     pub trace: TraceConfig,
+    /// Kernel-scratch strategy. [`WorkspacePolicy::PerWorker`] (default)
+    /// gives each computing thread one pre-sized arena reused across all
+    /// its tasks — zero steady-state allocations. `PerCall` re-allocates
+    /// scratch inside every kernel, the pre-arena baseline behaviour.
+    pub workspace: WorkspacePolicy,
 }
 
 impl PoolConfig {
@@ -97,12 +103,23 @@ pub struct RunReport {
     /// lane carrying ready/dispatch/recovery instants (and, in
     /// fault-tolerant mode, the fenced commits).
     pub trace: Option<Trace>,
+    /// Memory-discipline counters: copy-on-write fallback clones plus
+    /// workspace-arena bytes and growths, summed over all workers.
+    pub counters: HotPathCounters,
 }
 
 impl RunReport {
     /// Total tasks executed.
     pub fn total_tasks(&self) -> u64 {
         self.tasks_per_worker.iter().sum()
+    }
+
+    /// Copy-on-write fallback clones the run took — full `O(b²)` tile
+    /// copies on the stage path. 0 for every single-owner execution; any
+    /// other value means an `Arc` that should have been unique was still
+    /// shared when its writer staged it.
+    pub fn cow_clones(&self) -> u64 {
+        self.counters.cow_clones
     }
 
     /// Ratio of the busiest worker's task count to the average — 1.0 is
@@ -263,6 +280,14 @@ fn run_inline<T: Scalar>(
         state.run_all(graph)?;
         None
     };
+    // Nonzero cow_clones here means the *caller* kept tile handles alive
+    // (e.g. a shallow `TiledMatrix` clone) — the run pays one copy per
+    // shared tile on first take. With uniquely-owned input this is 0.
+    let counters = HotPathCounters {
+        cow_clones: state.cow_clones(),
+        workspace_bytes: state.workspace_bytes(),
+        workspace_resizes: state.workspace_resizes(),
+    };
     Ok((
         state,
         RunReport {
@@ -276,6 +301,7 @@ fn run_inline<T: Scalar>(
             requeues: 0,
             worker_deaths: 0,
             trace,
+            counters,
         },
     ))
 }
@@ -354,12 +380,17 @@ fn run_pool<T: Scalar>(
     let workers = config.effective_workers().max(1);
     let b = state.tiles().tile_size();
     let shared = SharedFactorState::new(state);
+    let ib = shared.inner_block();
     let (done_tx, done_rx) = mpsc::channel::<Completion<T>>();
     let ft_mode = ft.is_some();
     let trace_cfg = config.trace;
+    let per_worker_ws = config.workspace == WorkspacePolicy::PerWorker;
     // Retired workers hand their recorder back over this channel; the
     // manager collects them after closing the dispatch channels.
     let (rec_tx, rec_rx) = mpsc::channel::<(usize, WorkerRecorder)>();
+    // Exiting workers report their arena's final size and growth count
+    // here; drained after the scope joins, so it never blocks.
+    let (ws_tx, ws_rx) = mpsc::channel::<(usize, u64)>();
 
     let run_result: std::result::Result<ManagerStats, RuntimeError> = std::thread::scope(|scope| {
         // One private channel per worker: the manager chooses *which*
@@ -371,14 +402,24 @@ fn run_pool<T: Scalar>(
             task_txs.push(Some(tx));
             let done_tx = done_tx.clone();
             let rec_tx = rec_tx.clone();
+            let ws_tx = ws_tx.clone();
             let shared = &shared;
             let mut rec = trace_cfg
                 .enabled
                 .then(|| WorkerRecorder::new(trace_cfg.capacity_per_lane));
+            // One arena per computing thread, sized once for the run's
+            // (b, ib): every kernel this worker executes borrows scratch
+            // from it instead of allocating.
+            let mut ws = if per_worker_ws {
+                Workspace::<T>::new(b, ib)
+            } else {
+                Workspace::minimal()
+            };
             scope.spawn(move || {
                 while let Ok((tid, attempt)) = rx.recv() {
                     let task = graph.task(tid);
                     let rec_ref = &mut rec;
+                    let ws_ref = &mut ws;
                     let result = catch_unwind(AssertUnwindSafe(|| -> Result<AttemptOutput<T>> {
                         match injector
                             .map_or(InjectedFault::None, |f| f.before_attempt(tid, attempt))
@@ -404,7 +445,12 @@ fn run_pool<T: Scalar>(
                         }?;
                         let t_staged = Instant::now();
                         let stage_wait = t_staged.duration_since(t0);
-                        let done = staged.compute()?;
+                        let done = if per_worker_ws {
+                            staged.compute_with(ws_ref)?
+                        } else {
+                            // PerCall baseline: throwaway scratch every task.
+                            staged.compute()?
+                        };
                         if ft_mode {
                             if let Some(r) = rec_ref.as_mut() {
                                 let now = ns_since(started);
@@ -478,10 +524,12 @@ fn run_pool<T: Scalar>(
                 if let Some(r) = rec {
                     let _ = rec_tx.send((worker_id, r));
                 }
+                let _ = ws_tx.send((ws.bytes(), ws.resizes()));
             });
         }
         drop(done_tx);
         drop(rec_tx);
+        drop(ws_tx);
 
         // Manager loop: readiness tracking + policy-ordered dispatch +
         // recovery bookkeeping.
@@ -847,8 +895,18 @@ fn run_pool<T: Scalar>(
     });
 
     let stats = run_result?;
+    // Every worker has exited (the scope joined them), so this drains
+    // without blocking. Workers that died before reporting simply
+    // contribute nothing.
+    let mut counters = HotPathCounters::default();
+    for (bytes, resizes) in ws_rx.try_iter() {
+        counters.workspace_bytes += bytes;
+        counters.workspace_resizes += resizes;
+    }
+    let state = shared.into_state();
+    counters.cow_clones = state.cow_clones();
     Ok((
-        shared.into_state(),
+        state,
         RunReport {
             tasks_per_worker: stats.tasks_per_worker,
             elapsed: started.elapsed(),
@@ -860,6 +918,7 @@ fn run_pool<T: Scalar>(
             requeues: stats.requeues,
             worker_deaths: stats.worker_deaths,
             trace: stats.trace,
+            counters,
         },
     ))
 }
@@ -1155,9 +1214,93 @@ mod tests {
             requeues: 0,
             worker_deaths: 0,
             trace: None,
+            counters: HotPathCounters::default(),
         };
         assert_eq!(report.imbalance(), 0.0);
         assert_eq!(report.total_tasks(), 0);
+        assert_eq!(report.cow_clones(), 0);
+    }
+
+    #[test]
+    fn pool_runs_are_cow_free_with_sized_arenas() {
+        // The zero-allocation contract: the pool's move-based staging never
+        // hits the copy-on-write fallback, and per-worker arenas sized at
+        // spawn never grow.
+        let a = random_matrix::<f64>(24, 24, 41);
+        let g = TaskGraph::build(6, 6, EliminationOrder::FlatTs);
+        for workers in [1usize, 2, 4] {
+            // Freshly-tiled input each run: no external handle may survive,
+            // or the first take of each shared tile would count as a COW.
+            let tiled = TiledMatrix::from_matrix(&a, 4).unwrap();
+            let (_, report) = super::parallel_factor_traced(
+                FactorState::new(tiled),
+                &g,
+                PoolConfig {
+                    workers,
+                    ..PoolConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(report.cow_clones(), 0, "workers={workers}");
+            assert_eq!(report.counters.workspace_resizes, 0, "workers={workers}");
+            assert!(report.counters.workspace_bytes > 0, "workers={workers}");
+            assert!(report.counters.is_clean());
+        }
+    }
+
+    #[test]
+    fn per_call_workspace_policy_matches_per_worker_bitwise() {
+        let a = random_matrix::<f64>(24, 24, 42);
+        let tiled = TiledMatrix::from_matrix(&a, 4).unwrap();
+        let g = TaskGraph::build(6, 6, EliminationOrder::FlatTs);
+        let (per_worker, _) = super::parallel_factor_traced(
+            FactorState::new(tiled.clone()),
+            &g,
+            PoolConfig {
+                workers: 3,
+                workspace: WorkspacePolicy::PerWorker,
+                ..PoolConfig::default()
+            },
+        )
+        .unwrap();
+        let (per_call, report) = super::parallel_factor_traced(
+            FactorState::new(tiled),
+            &g,
+            PoolConfig {
+                workers: 3,
+                workspace: WorkspacePolicy::PerCall,
+                ..PoolConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(per_worker.tiles().to_matrix(), per_call.tiles().to_matrix());
+        // PerCall tracks no arena: the throwaway scratch is invisible.
+        assert_eq!(report.counters.workspace_bytes, 0);
+        assert_eq!(report.cow_clones(), 0);
+    }
+
+    #[test]
+    fn ft_mode_reports_clean_counters_after_recovery() {
+        // stage_preserving's defensive clones are deliberate copies, not
+        // COW fallbacks — recovery must not dirty the counter.
+        let a = random_matrix::<f64>(16, 16, 43);
+        let (tiled, g, seq_tiles) = sequential_tiles(&a, 4);
+        let faults = ScriptedFaults::new().panic_on(2, 1).fail_on(5, 1);
+        let (st, report) = parallel_factor_ft(
+            FactorState::new(tiled),
+            &g,
+            PoolConfig {
+                workers: 3,
+                ..PoolConfig::default()
+            },
+            Some(FaultTolerance::default()),
+            Some(&faults),
+        )
+        .unwrap();
+        assert_eq!(st.tiles().to_matrix(), seq_tiles);
+        assert!(report.retries >= 2);
+        assert_eq!(report.cow_clones(), 0);
+        assert_eq!(report.counters.workspace_resizes, 0);
     }
 
     #[test]

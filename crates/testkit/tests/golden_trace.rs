@@ -76,6 +76,7 @@ fn golden_traces_across_workers_and_policies() {
                     workers,
                     policy,
                     trace: TraceConfig::enabled(),
+                    ..PoolConfig::default()
                 },
                 DispatchOrder::Policy(policy),
             )

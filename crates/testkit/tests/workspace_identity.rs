@@ -1,0 +1,202 @@
+//! Bit-identity of the zero-allocation hot path.
+//!
+//! The workspace arena changed *where* kernel scratch lives, and packing
+//! changed *how* reflector blocks are traversed — neither may change a
+//! single bit of the output. Every test here runs the factorization with
+//! reused per-worker arenas ([`WorkspacePolicy::PerWorker`]) and with
+//! per-call scratch ([`WorkspacePolicy::PerCall`], the seed's allocation
+//! behaviour) across the CI worker/policy sweep, then holds the full
+//! factored tile matrix **and every stored `T` factor** (panel factors
+//! via [`FactorState::geqrt_panel_factor`], elimination factors via
+//! [`FactorState::elim_factor_any`]) to byte identity with the sequential
+//! ground truth — with and without injected faults.
+
+use tileqr_dag::{EliminationOrder, TaskGraph};
+use tileqr_kernels::exec::FactorState;
+use tileqr_kernels::WorkspacePolicy;
+use tileqr_matrix::gen::random_matrix;
+use tileqr_matrix::{Matrix, TiledMatrix};
+use tileqr_runtime::{
+    parallel_factor_ft, parallel_factor_traced, FaultTolerance, PoolConfig, ScriptedFaults,
+};
+use tileqr_testkit::{policies_under_test, workers_under_test};
+
+/// Sequential ground truth (which itself runs on a reused arena).
+fn sequential(a: &Matrix<f64>, b: usize) -> (TiledMatrix<f64>, TaskGraph, FactorState<f64>) {
+    let tiled = TiledMatrix::from_matrix(a, b).unwrap();
+    let g = TaskGraph::build(
+        tiled.tile_rows(),
+        tiled.tile_cols(),
+        EliminationOrder::FlatTs,
+    );
+    let mut seq = FactorState::new(tiled.clone());
+    seq.run_all(&g).unwrap();
+    (tiled, g, seq)
+}
+
+/// Assert that two factor states carry byte-identical tiles, panel
+/// factors, and elimination factors.
+fn assert_factors_identical(got: &FactorState<f64>, want: &FactorState<f64>, ctx: &str) {
+    assert_eq!(
+        got.tiles().to_matrix(),
+        want.tiles().to_matrix(),
+        "{ctx}: factored tiles must be bit-identical"
+    );
+    let (mt, nt) = (want.tiles().tile_rows(), want.tiles().tile_cols());
+    for i in 0..mt {
+        for k in 0..nt {
+            assert_eq!(
+                got.geqrt_panel_factor(i, k),
+                want.geqrt_panel_factor(i, k),
+                "{ctx}: panel T factor ({i},{k}) must be bit-identical"
+            );
+            assert_eq!(
+                got.elim_factor_any(i, k),
+                want.elim_factor_any(i, k),
+                "{ctx}: elimination T factor ({i},{k}) must be bit-identical"
+            );
+        }
+    }
+}
+
+#[test]
+fn arena_runs_match_the_sequential_path_bitwise() {
+    // Rectangular on purpose: exercises TSQRT/TSMQR rows below the
+    // diagonal as well as the panel chain.
+    let a = random_matrix::<f64>(40, 32, 0xA1);
+    let (tiled, g, seq) = sequential(&a, 8);
+    for workers in workers_under_test() {
+        for policy in policies_under_test() {
+            for workspace in [WorkspacePolicy::PerWorker, WorkspacePolicy::PerCall] {
+                let (state, report) = parallel_factor_traced(
+                    FactorState::new(tiled.clone()),
+                    &g,
+                    PoolConfig {
+                        workers,
+                        policy,
+                        workspace,
+                        ..PoolConfig::default()
+                    },
+                )
+                .expect("factorization");
+                let ctx = format!("workers={workers} policy={policy:?} workspace={workspace:?}");
+                assert_factors_identical(&state, &seq, &ctx);
+                assert_eq!(
+                    report.counters.workspace_resizes, 0,
+                    "{ctx}: pre-sized arenas must never regrow"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn arena_runs_with_fault_injection_stay_bit_identical() {
+    let a = random_matrix::<f64>(32, 32, 0xA2);
+    let (tiled, g, seq) = sequential(&a, 8);
+    for workers in workers_under_test().into_iter().filter(|&w| w >= 2) {
+        for policy in policies_under_test() {
+            for workspace in [WorkspacePolicy::PerWorker, WorkspacePolicy::PerCall] {
+                // A worker death plus transient kernel failures: requeued
+                // attempts re-run on a *different* worker's arena, which
+                // must be invisible in the factors.
+                let inj = ScriptedFaults::new()
+                    .panic_on(g.len() / 2, 1)
+                    .fail_on(g.len() / 4, 1)
+                    .fail_on(g.len() - 1, 1);
+                let (state, report) = parallel_factor_ft(
+                    FactorState::new(tiled.clone()),
+                    &g,
+                    PoolConfig {
+                        workers,
+                        policy,
+                        workspace,
+                        ..PoolConfig::default()
+                    },
+                    Some(FaultTolerance {
+                        max_attempts: 4,
+                        ..FaultTolerance::default()
+                    }),
+                    Some(&inj),
+                )
+                .expect("recovery must succeed");
+                let ctx = format!("workers={workers} policy={policy:?} workspace={workspace:?}");
+                assert_factors_identical(&state, &seq, &ctx);
+                assert!(report.retries >= 2, "{ctx}: the injected faults must fire");
+                assert_eq!(
+                    report.counters.cow_clones, 0,
+                    "{ctx}: ft staging clones are deliberate copies, never counted COW falls"
+                );
+                assert_eq!(report.counters.workspace_resizes, 0, "{ctx}");
+            }
+        }
+    }
+}
+
+#[test]
+fn inner_blocked_arena_runs_match_sequential_bitwise() {
+    let a = random_matrix::<f64>(32, 32, 0xA3);
+    let tiled = TiledMatrix::from_matrix(&a, 8).unwrap();
+    let g = TaskGraph::build(
+        tiled.tile_rows(),
+        tiled.tile_cols(),
+        EliminationOrder::FlatTs,
+    );
+    let mut seq = FactorState::with_inner_block(tiled.clone(), 4);
+    seq.run_all(&g).unwrap();
+    for workers in workers_under_test() {
+        for policy in policies_under_test() {
+            for workspace in [WorkspacePolicy::PerWorker, WorkspacePolicy::PerCall] {
+                let (state, _) = parallel_factor_traced(
+                    FactorState::with_inner_block(tiled.clone(), 4),
+                    &g,
+                    PoolConfig {
+                        workers,
+                        policy,
+                        workspace,
+                        ..PoolConfig::default()
+                    },
+                )
+                .expect("factorization");
+                let ctx =
+                    format!("ib=4 workers={workers} policy={policy:?} workspace={workspace:?}");
+                assert_factors_identical(&state, &seq, &ctx);
+            }
+        }
+    }
+}
+
+#[test]
+fn counters_are_clean_on_uniquely_owned_input() {
+    // Unlike the sweeps above (which share `tiled` and therefore pay one
+    // counted COW copy per tile), a moved-in, uniquely-owned input must
+    // run the entire factorization without a single fallback clone.
+    let a = random_matrix::<f64>(48, 48, 0xA4);
+    for workers in workers_under_test() {
+        let tiled = TiledMatrix::from_matrix(&a, 8).unwrap();
+        let g = TaskGraph::build(
+            tiled.tile_rows(),
+            tiled.tile_cols(),
+            EliminationOrder::FlatTs,
+        );
+        let (_, report) = parallel_factor_traced(
+            FactorState::new(tiled),
+            &g,
+            PoolConfig {
+                workers,
+                ..PoolConfig::default()
+            },
+        )
+        .expect("factorization");
+        assert_eq!(report.cow_clones(), 0, "workers={workers}");
+        assert!(
+            report.counters.is_clean(),
+            "workers={workers}: {:?}",
+            report.counters
+        );
+        assert!(
+            report.counters.workspace_bytes > 0 || workers == 0,
+            "workers={workers}: sized arenas must report their footprint"
+        );
+    }
+}
