@@ -3,7 +3,9 @@
 //! (`tileqr::kernels::*_ws`).
 //!
 //! For every kernel and tile size this records two things side by side:
-//! wall time per call (median over the timed runs) and heap allocations
+//! wall time per call (minimum over batched timed samples — the robust
+//! estimator on a shared host, see `harness::measure_calibrated`) and
+//! heap allocations
 //! per call, counted by a [`CountingAlloc`] global allocator. The
 //! workspace path is *asserted* to allocate zero times in steady state —
 //! a regression here fails the bench, not just a number in a report.
@@ -51,17 +53,37 @@ fn improvement_pct(legacy_ns: f64, ws_ns: f64) -> f64 {
     (legacy_ns - ws_ns) / legacy_ns * 100.0
 }
 
+/// Flop model for one call of `kernel` at tile size `b` (the crate's
+/// leading-order counts from `tileqr::kernels::flops`).
+fn kernel_flops(kernel: &str, b: usize) -> u64 {
+    use tileqr::kernels::flops;
+    match kernel {
+        "geqrt" => flops::geqrt_flops(b),
+        "unmqr" => flops::unmqr_flops(b),
+        "tsqrt" => flops::tsqrt_flops(b),
+        "tsmqr" => flops::tsmqr_flops(b),
+        "ttqrt" => flops::ttqrt_flops(b),
+        "ttmqr" => flops::ttmqr_flops(b),
+        other => unreachable!("no flop model for kernel {other}"),
+    }
+}
+
+fn gflops(kernel: &str, b: usize, ns: f64) -> f64 {
+    kernel_flops(kernel, b) as f64 / ns
+}
+
 fn reset(dst: &mut Matrix<f64>, src: &Matrix<f64>) {
     dst.as_mut_slice().copy_from_slice(src.as_slice());
 }
 
 fn record(rows: &mut Vec<Row>, kernel: &'static str, b: usize, row: Row) {
     println!(
-        "{:<24} {:>11.0} ns {:>11.0} ns {:>+7.1}%   allocs/call {} -> {}",
+        "{:<24} {:>11.0} ns {:>11.0} ns {:>+7.1}%  {:>6.2} GF/s  allocs/call {} -> {}",
         format!("{kernel}/b{b}"),
         row.legacy_ns,
         row.ws_ns,
         improvement_pct(row.legacy_ns, row.ws_ns),
+        gflops(kernel, b, row.ws_ns),
         row.legacy_allocs,
         row.ws_allocs,
     );
@@ -80,11 +102,11 @@ fn micro(b: usize, samples: usize, rows: &mut Vec<Row>) {
     // GEQRT: panel factorization of one square tile.
     let a0 = random_matrix::<f64>(b, b, 21);
     let mut a = a0.clone();
-    let legacy = harness::measure(samples, || {
+    let legacy = harness::measure_calibrated(samples, || {
         reset(&mut a, &a0);
         black_box(legacy_geqrt(&mut a).unwrap());
     });
-    let new = harness::measure(samples, || {
+    let new = harness::measure_calibrated(samples, || {
         reset(&mut a, &a0);
         geqrt_ws(&mut a, &mut tfac, &mut ws).unwrap();
     });
@@ -103,8 +125,8 @@ fn micro(b: usize, samples: usize, rows: &mut Vec<Row>) {
         Row {
             kernel: "geqrt",
             b,
-            legacy_ns: legacy.median * 1e9,
-            ws_ns: new.median * 1e9,
+            legacy_ns: legacy.min * 1e9,
+            ws_ns: new.min * 1e9,
             legacy_allocs: la,
             ws_allocs: wa,
         },
@@ -115,11 +137,11 @@ fn micro(b: usize, samples: usize, rows: &mut Vec<Row>) {
     let t_apply = legacy_geqrt(&mut vr).unwrap();
     let c0 = random_matrix::<f64>(b, b, 23);
     let mut c = c0.clone();
-    let legacy = harness::measure(samples, || {
+    let legacy = harness::measure_calibrated(samples, || {
         reset(&mut c, &c0);
         legacy_geqrt_apply(&vr, &t_apply, &mut c, ApplySide::Transpose).unwrap();
     });
-    let new = harness::measure(samples, || {
+    let new = harness::measure_calibrated(samples, || {
         reset(&mut c, &c0);
         geqrt_apply_ws(&vr, &t_apply, &mut c, ApplySide::Transpose, &mut ws).unwrap();
     });
@@ -138,8 +160,8 @@ fn micro(b: usize, samples: usize, rows: &mut Vec<Row>) {
         Row {
             kernel: "unmqr",
             b,
-            legacy_ns: legacy.median * 1e9,
-            ws_ns: new.median * 1e9,
+            legacy_ns: legacy.min * 1e9,
+            ws_ns: new.min * 1e9,
             legacy_allocs: la,
             ws_allocs: wa,
         },
@@ -150,12 +172,12 @@ fn micro(b: usize, samples: usize, rows: &mut Vec<Row>) {
     let a2_0 = random_matrix::<f64>(b, b, 25);
     let mut r1 = r0.clone();
     let mut a2 = a2_0.clone();
-    let legacy = harness::measure(samples, || {
+    let legacy = harness::measure_calibrated(samples, || {
         reset(&mut r1, &r0);
         reset(&mut a2, &a2_0);
         black_box(legacy_tsqrt(&mut r1, &mut a2).unwrap());
     });
-    let new = harness::measure(samples, || {
+    let new = harness::measure_calibrated(samples, || {
         reset(&mut r1, &r0);
         reset(&mut a2, &a2_0);
         tsqrt_ws(&mut r1, &mut a2, &mut tfac, &mut ws).unwrap();
@@ -177,8 +199,8 @@ fn micro(b: usize, samples: usize, rows: &mut Vec<Row>) {
         Row {
             kernel: "tsqrt",
             b,
-            legacy_ns: legacy.median * 1e9,
-            ws_ns: new.median * 1e9,
+            legacy_ns: legacy.min * 1e9,
+            ws_ns: new.min * 1e9,
             legacy_allocs: la,
             ws_allocs: wa,
         },
@@ -192,12 +214,12 @@ fn micro(b: usize, samples: usize, rows: &mut Vec<Row>) {
     let a2b_0 = random_matrix::<f64>(b, b, 27);
     let mut pair_a1 = a1_0.clone();
     let mut pair_a2 = a2b_0.clone();
-    let legacy = harness::measure(samples, || {
+    let legacy = harness::measure_calibrated(samples, || {
         reset(&mut pair_a1, &a1_0);
         reset(&mut pair_a2, &a2b_0);
         legacy_tsmqr_apply(&v2, &t_ts, &mut pair_a1, &mut pair_a2, ApplySide::Transpose).unwrap();
     });
-    let new = harness::measure(samples, || {
+    let new = harness::measure_calibrated(samples, || {
         reset(&mut pair_a1, &a1_0);
         reset(&mut pair_a2, &a2b_0);
         tsmqr_apply_ws(
@@ -235,8 +257,8 @@ fn micro(b: usize, samples: usize, rows: &mut Vec<Row>) {
         Row {
             kernel: "tsmqr",
             b,
-            legacy_ns: legacy.median * 1e9,
-            ws_ns: new.median * 1e9,
+            legacy_ns: legacy.min * 1e9,
+            ws_ns: new.min * 1e9,
             legacy_allocs: la,
             ws_allocs: wa,
         },
@@ -247,12 +269,12 @@ fn micro(b: usize, samples: usize, rows: &mut Vec<Row>) {
     let q0 = random_matrix::<f64>(b, b, 29).upper_triangular();
     let mut p = p0.clone();
     let mut q = q0.clone();
-    let legacy = harness::measure(samples, || {
+    let legacy = harness::measure_calibrated(samples, || {
         reset(&mut p, &p0);
         reset(&mut q, &q0);
         black_box(legacy_ttqrt(&mut p, &mut q).unwrap());
     });
-    let new = harness::measure(samples, || {
+    let new = harness::measure_calibrated(samples, || {
         reset(&mut p, &p0);
         reset(&mut q, &q0);
         ttqrt_ws(&mut p, &mut q, &mut tfac, &mut ws).unwrap();
@@ -274,8 +296,8 @@ fn micro(b: usize, samples: usize, rows: &mut Vec<Row>) {
         Row {
             kernel: "ttqrt",
             b,
-            legacy_ns: legacy.median * 1e9,
-            ws_ns: new.median * 1e9,
+            legacy_ns: legacy.min * 1e9,
+            ws_ns: new.min * 1e9,
             legacy_allocs: la,
             ws_allocs: wa,
         },
@@ -285,12 +307,12 @@ fn micro(b: usize, samples: usize, rows: &mut Vec<Row>) {
     let mut pv = p0.clone();
     let mut qv = q0.clone();
     let t_tt = legacy_ttqrt(&mut pv, &mut qv).unwrap();
-    let legacy = harness::measure(samples, || {
+    let legacy = harness::measure_calibrated(samples, || {
         reset(&mut pair_a1, &a1_0);
         reset(&mut pair_a2, &a2b_0);
         legacy_ttmqr_apply(&qv, &t_tt, &mut pair_a1, &mut pair_a2, ApplySide::Transpose).unwrap();
     });
-    let new = harness::measure(samples, || {
+    let new = harness::measure_calibrated(samples, || {
         reset(&mut pair_a1, &a1_0);
         reset(&mut pair_a2, &a2b_0);
         ttmqr_apply_ws(
@@ -328,8 +350,8 @@ fn micro(b: usize, samples: usize, rows: &mut Vec<Row>) {
         Row {
             kernel: "ttmqr",
             b,
-            legacy_ns: legacy.median * 1e9,
-            ws_ns: new.median * 1e9,
+            legacy_ns: legacy.min * 1e9,
+            ws_ns: new.min * 1e9,
             legacy_allocs: la,
             ws_allocs: wa,
         },
@@ -416,7 +438,7 @@ fn main() {
         .filter(|a| a != "--bench")
         .any(|a| a == "--smoke");
     let samples = if smoke { 3 } else { 20 };
-    let sizes: &[usize] = if smoke { &[8, 16] } else { &[8, 16, 32] };
+    let sizes: &[usize] = if smoke { &[8, 16] } else { &[8, 16, 32, 64] };
 
     println!(
         "kernel hot path A/B: seed allocating kernels vs workspace arenas \
@@ -497,23 +519,36 @@ fn main() {
     );
     println!("  improvement {ref_improvement:+.1}% ns/task");
 
+    // Host provenance: GFLOP/s numbers are meaningless without knowing
+    // what machine and backend produced them.
+    let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let backend = format!("{:?}", tileqr::kernels::micro::active_backend()).to_lowercase();
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"samples\": {samples},");
     let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"host\": {{");
+    let _ = writeln!(json, "    \"cores\": {cores},");
+    let _ = writeln!(json, "    \"arch\": \"{}\",", std::env::consts::ARCH);
+    let _ = writeln!(json, "    \"simd_feature\": {},", cfg!(feature = "simd"));
+    let _ = writeln!(json, "    \"backend\": \"{backend}\"");
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"kernels\": [");
     for (idx, r) in rows.iter().enumerate() {
         let sep = if idx + 1 == rows.len() { "" } else { "," };
         let _ = writeln!(
             json,
             "    {{\"kernel\": \"{}\", \"b\": {}, \"legacy_ns\": {:.1}, \"ws_ns\": {:.1}, \
-             \"improvement_pct\": {:.2}, \"legacy_allocs_per_call\": {}, \
-             \"ws_allocs_per_call\": {}}}{sep}",
+             \"improvement_pct\": {:.2}, \"legacy_gflops\": {:.3}, \"ws_gflops\": {:.3}, \
+             \"legacy_allocs_per_call\": {}, \"ws_allocs_per_call\": {}}}{sep}",
             r.kernel,
             r.b,
             r.legacy_ns,
             r.ws_ns,
             improvement_pct(r.legacy_ns, r.ws_ns),
+            gflops(r.kernel, r.b, r.legacy_ns),
+            gflops(r.kernel, r.b, r.ws_ns),
             r.legacy_allocs,
             r.ws_allocs,
         );

@@ -1,0 +1,126 @@
+//! Dev probe: phase-level ablation of the GEQRT b=8 hot path.
+//!
+//! Compares the legacy seed kernel against hybrids that swap one phase at
+//! a time onto the micro primitives, to locate small-tile overhead.
+//! Not part of the benchmark suite; run with
+//! `cargo run --release -p tileqr-bench --example b8_probe`.
+
+use std::hint::black_box;
+use std::time::Instant;
+use tileqr::kernels::micro;
+use tileqr::kernels::{geqrt_ws, larfg, Workspace};
+use tileqr::ops;
+use tileqr::Matrix;
+use tileqr_bench::legacy_kernels::legacy_geqrt;
+
+const B: usize = 8;
+const ITERS: usize = 200_000;
+
+fn time<F: FnMut(&mut Matrix<f64>)>(label: &str, mut f: F) {
+    let a0 = tileqr::gen::random_matrix::<f64>(B, B, 42);
+    // Warm up.
+    for _ in 0..1000 {
+        let mut a = a0.clone();
+        f(&mut a);
+        black_box(&a);
+    }
+    let mut tiles: Vec<Matrix<f64>> = (0..ITERS).map(|_| a0.clone()).collect();
+    let t0 = Instant::now();
+    for a in tiles.iter_mut() {
+        f(a);
+    }
+    let dt = t0.elapsed();
+    black_box(&tiles);
+    println!(
+        "{label:28} {:7.1} ns/call",
+        dt.as_nanos() as f64 / ITERS as f64
+    );
+}
+
+/// Trailing update done legacy-style (per-column dot+axpy), T phase legacy.
+fn hybrid(a: &mut Matrix<f64>, micro_trailing: bool, micro_z: bool, micro_t: bool) {
+    let (m, n) = a.dims();
+    let mut tfac = Matrix::<f64>::zeros(n, n);
+    let mut z = [0.0f64; B];
+    let mut acc = [0.0f64; B];
+    for k in 0..n {
+        let tau = {
+            let ck = a.col_mut(k);
+            let alpha = ck[k];
+            let (head, tail) = ck.split_at_mut(k + 1);
+            let h = larfg(alpha, tail);
+            head[k] = h.beta;
+            h.tau
+        };
+        if tau != 0.0 && k + 1 < n {
+            if micro_trailing {
+                let (head, tail) = a.as_mut_slice().split_at_mut((k + 1) * m + k);
+                let vk = &head[k * m + k + 1..k * m + m];
+                micro::larf_head(vk, tau, tail, m, n - k - 1);
+            } else {
+                for j in k + 1..n {
+                    let (ck, cj) = a.two_cols_mut(k, j);
+                    let mut w = cj[k] + ops::dot(&ck[k + 1..], &cj[k + 1..]);
+                    w *= tau;
+                    cj[k] -= w;
+                    ops::axpy(-w, &ck[k + 1..], &mut cj[k + 1..]);
+                }
+            }
+        }
+        tfac[(k, k)] = tau;
+        if tau != 0.0 && k > 0 {
+            if micro_z {
+                {
+                    let vk = &a.col(k)[k + 1..];
+                    micro::dotf(vk, &a.as_slice()[k + 1..], m, k, &mut z[..k]);
+                }
+                for (i, zi) in z.iter_mut().enumerate().take(k) {
+                    *zi += a[(k, i)];
+                }
+            } else {
+                let vk = &a.col(k)[k + 1..];
+                for (i, zi) in z.iter_mut().enumerate().take(k) {
+                    let ci = a.col(i);
+                    *zi = ci[k] + ops::dot(&ci[k + 1..], vk);
+                }
+            }
+            if micro_t {
+                let ld = tfac.rows();
+                let acc = &mut acc[..k];
+                acc.fill(0.0);
+                micro::axpyf_tri_add(&z[..k], tfac.as_slice(), ld, k, 1, acc);
+                for (i, &ai) in acc.iter().enumerate() {
+                    tfac[(i, k)] = -tau * ai;
+                }
+            } else {
+                for i in 0..k {
+                    let mut s = 0.0;
+                    for p in i..k {
+                        s += tfac[(i, p)] * z[p];
+                    }
+                    tfac[(i, k)] = -tau * s;
+                }
+            }
+        }
+    }
+    black_box(&tfac);
+}
+
+fn main() {
+    time("legacy_geqrt", |a| {
+        black_box(legacy_geqrt(a).unwrap());
+    });
+    time("hybrid all-legacy phases", |a| {
+        hybrid(a, false, false, false)
+    });
+    time("hybrid micro trailing", |a| hybrid(a, true, false, false));
+    time("hybrid micro z", |a| hybrid(a, false, true, false));
+    time("hybrid micro T-extend", |a| hybrid(a, false, false, true));
+    time("hybrid micro all", |a| hybrid(a, true, true, true));
+    let mut ws = Workspace::new(B, B);
+    let mut tfac = Matrix::<f64>::zeros(B, B);
+    time("geqrt_ws (production)", |a| {
+        geqrt_ws(a, &mut tfac, &mut ws).unwrap();
+        black_box(&tfac);
+    });
+}

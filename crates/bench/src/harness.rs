@@ -42,6 +42,43 @@ pub fn measure<F: FnMut()>(samples: usize, mut f: F) -> Stats {
     }
 }
 
+/// Like [`measure`], but each timed sample repeats `f` enough times to
+/// fill roughly [`CALIBRATION_TARGET_SECS`] (calibrated on the warmup
+/// call) and reports per-call statistics. A single sub-microsecond call
+/// is dominated by timer granularity and scheduler jitter; batching makes
+/// small-kernel medians reproducible run to run.
+pub fn measure_calibrated<F: FnMut()>(samples: usize, mut f: F) -> Stats {
+    const CALIBRATION_TARGET_SECS: f64 = 20e-6;
+    let samples = samples.max(1);
+    f(); // warmup: first call pays cold-cache/page-fault costs
+         // Calibrate from warm calls; the cold first call overestimates the
+         // per-call time and would leave each sample under-batched.
+    let t0 = Instant::now();
+    f();
+    f();
+    let once = t0.elapsed().as_secs_f64() / 2.0;
+    let iters = if once > 0.0 {
+        ((CALIBRATION_TARGET_SECS / once).ceil() as usize).clamp(1, 4096)
+    } else {
+        4096
+    };
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        times.push(t0.elapsed().as_secs_f64() / iters as f64);
+    }
+    times.sort_by(f64::total_cmp);
+    Stats {
+        min: times[0],
+        median: times[times.len() / 2],
+        mean: times.iter().sum::<f64>() / times.len() as f64,
+        samples,
+    }
+}
+
 /// Run and print one benchmark case: `group/case  median  min`.
 pub fn bench<F: FnMut()>(group: &str, case: &str, samples: usize, f: F) -> Stats {
     let stats = measure(samples, f);

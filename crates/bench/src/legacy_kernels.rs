@@ -339,19 +339,22 @@ mod tests {
     use tileqr::gen::random_matrix;
     use tileqr::kernels::{geqrt, tsqrt, ttqrt};
 
-    /// The frozen copies must agree bit-for-bit with the production
-    /// kernels on the factorization path (the `*_ws` rewrite kept GEQRT /
-    /// TSQRT / TTQRT arithmetic identical), which is what makes the
-    /// hot-path A/B a pure memory-discipline comparison.
+    /// The frozen copies must agree with the production kernels on the
+    /// factorization path to tight tolerance. The comparison used to be
+    /// bitwise, but the register-blocked microkernels (crate `micro`)
+    /// deliberately use a different — still deterministic — accumulation
+    /// order (multi-lane dots, fused multi-column sweeps), so the two
+    /// implementations now differ by rounding only.
     #[test]
-    fn legacy_factor_kernels_match_production_bitwise() {
+    fn legacy_factor_kernels_match_production_numerically() {
+        const TOL: f64 = 1e-12;
         let b = 16;
         let mut a_new = random_matrix::<f64>(b, b, 5);
         let mut a_old = a_new.clone();
         let t_new = geqrt(&mut a_new).unwrap();
         let t_old = legacy_geqrt(&mut a_old).unwrap();
-        assert_eq!(a_new, a_old);
-        assert_eq!(t_new, t_old);
+        assert!(a_new.approx_eq(&a_old, TOL));
+        assert!(t_new.approx_eq(&t_old, TOL));
 
         let mut r1_new = random_matrix::<f64>(b, b, 6).upper_triangular();
         let mut a2_new = random_matrix::<f64>(b, b, 7);
@@ -359,9 +362,9 @@ mod tests {
         let mut a2_old = a2_new.clone();
         let t_new = tsqrt(&mut r1_new, &mut a2_new).unwrap();
         let t_old = legacy_tsqrt(&mut r1_old, &mut a2_old).unwrap();
-        assert_eq!(r1_new, r1_old);
-        assert_eq!(a2_new, a2_old);
-        assert_eq!(t_new, t_old);
+        assert!(r1_new.approx_eq(&r1_old, TOL));
+        assert!(a2_new.approx_eq(&a2_old, TOL));
+        assert!(t_new.approx_eq(&t_old, TOL));
 
         let mut p_new = random_matrix::<f64>(b, b, 8).upper_triangular();
         let mut q_new = random_matrix::<f64>(b, b, 9).upper_triangular();
@@ -369,9 +372,9 @@ mod tests {
         let mut q_old = q_new.clone();
         let t_new = ttqrt(&mut p_new, &mut q_new).unwrap();
         let t_old = legacy_ttqrt(&mut p_old, &mut q_old).unwrap();
-        assert_eq!(p_new, p_old);
-        assert_eq!(q_new, q_old);
-        assert_eq!(t_new, t_old);
+        assert!(p_new.approx_eq(&p_old, TOL));
+        assert!(q_new.approx_eq(&q_old, TOL));
+        assert!(t_new.approx_eq(&t_old, TOL));
     }
 
     /// Apply kernels may differ in accumulation order (the packed rewrite

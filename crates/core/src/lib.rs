@@ -52,6 +52,7 @@ pub use tileqr_matrix::ops;
 pub mod kernels {
     pub use tileqr_kernels::exec::{apply_q_dense, apply_qt_dense, FactorState, PanelFactor};
     pub use tileqr_kernels::flops;
+    pub use tileqr_kernels::micro;
     pub use tileqr_kernels::reference;
     pub use tileqr_kernels::validate;
     pub use tileqr_kernels::{

@@ -10,9 +10,10 @@
 //! the diagonal (paper Eq. 6, the "update for triangulation" step).
 
 use crate::householder::larfg;
+use crate::micro;
 use crate::workspace::Workspace;
 use crate::ApplySide;
-use tileqr_matrix::{ops, Matrix, MatrixError, MatrixViewMut, Result, Scalar};
+use tileqr_matrix::{Matrix, MatrixError, MatrixViewMut, Result, Scalar};
 
 /// QR-factor one tile in place (PLASMA `CORE_geqrt` with inner block = n).
 ///
@@ -52,7 +53,7 @@ pub fn geqrt_ws<T: Scalar>(
         });
     }
     tfac.as_mut_slice().fill(T::ZERO);
-    let z = ws.reflector_scratch(n);
+    let (z, acc) = ws.factor_scratch(n);
 
     for k in 0..n {
         // Generate reflector H_k annihilating a[k+1.., k].
@@ -65,40 +66,55 @@ pub fn geqrt_ws<T: Scalar>(
             h.tau
         };
 
-        // Apply H_k to the trailing columns k+1..n.
-        if tau != T::ZERO {
-            for j in k + 1..n {
-                let (ck, cj) = a.two_cols_mut(k, j);
-                let mut w = cj[k] + ops::dot(&ck[k + 1..], &cj[k + 1..]);
-                w *= tau;
-                cj[k] -= w;
-                ops::axpy(-w, &ck[k + 1..], &mut cj[k + 1..]);
-            }
+        // Apply H_k to the trailing columns k+1..n: one fused
+        // register-blocked sweep over the [head; tail] column slices
+        // starting at row k (column j of the sweep is a[(k.., j)]).
+        if tau != T::ZERO && k + 1 < n {
+            let (head, tail) = a.as_mut_slice().split_at_mut((k + 1) * m + k);
+            let vk = &head[k * m + k + 1..k * m + m];
+            micro::larf_head(vk, tau, tail, m, n - k - 1);
         }
 
         // Incrementally extend the T factor:
         //   T[k,k]    = tau_k
         //   T[0..k,k] = -tau_k * T[0..k,0..k] * (V[:,0..k]^T v_k)
         tfac[(k, k)] = tau;
-        if tau != T::ZERO {
-            let vk = &a.col(k)[k + 1..];
+        if tau != T::ZERO && k > 0 {
+            // z_i = V[:,i]^T v_k with both unit diagonals implicit: fused
+            // column dots over the stored entries (rows k+1..m), then the
+            // row-k term V[k,i] * 1 folded in.
+            {
+                let vk = &a.col(k)[k + 1..];
+                micro::dotf(vk, &a.as_slice()[k + 1..], m, k, &mut z[..k]);
+            }
             for (i, zi) in z.iter_mut().enumerate().take(k) {
-                // V[:,i]^T v_k with both unit diagonals implicit:
-                // row k contributes V[k,i] * 1, rows > k contribute products
-                // of stored entries.
-                let ci = a.col(i);
-                *zi = ci[k] + ops::dot(&ci[k + 1..], vk);
+                *zi += a[(k, i)];
             }
-            for i in 0..k {
-                let mut acc = T::ZERO;
-                for p in i..k {
-                    acc += tfac[(i, p)] * z[p];
-                }
-                tfac[(i, k)] = -tau * acc;
-            }
+            extend_tfac_col(tfac, k, tau, z, acc);
         }
     }
     Ok(())
+}
+
+/// Write column `k` of a factor kernel's `T`:
+/// `T[0..k, k] = -tau * T[0..k, 0..k] * z[0..k]` with `T` upper
+/// triangular, computed as fused prefix-column axpys over `T`'s stored
+/// columns (`acc` is caller scratch of length >= `k`). Shared by
+/// GEQRT/TSQRT/TTQRT and the inner-blocked panels.
+pub(crate) fn extend_tfac_col<T: Scalar>(
+    tfac: &mut Matrix<T>,
+    k: usize,
+    tau: T,
+    z: &[T],
+    acc: &mut [T],
+) {
+    let ld = tfac.rows();
+    let acc = &mut acc[..k];
+    acc.fill(T::ZERO);
+    micro::axpyf_tri_add(&z[..k], tfac.as_slice(), ld, k, 1, acc);
+    for (i, &ai) in acc.iter().enumerate() {
+        tfac[(i, k)] = -tau * ai;
+    }
 }
 
 /// Apply the block reflector from [`geqrt`] to `c`.
@@ -144,29 +160,32 @@ pub fn geqrt_apply_ws<T: Scalar>(
     let nc = c.cols();
     let (mut w, tmp) = ws.apply_scratch(n, nc);
 
-    // W = V^T C  (V unit lower trapezoidal): each entry is the implicit
-    // unit-diagonal term plus a contiguous column dot below the diagonal.
-    // Every element of W is written before it is read, so the recycled
-    // scratch needs no zeroing.
+    // W = V^T C  (V unit lower trapezoidal): fused strict-lower column
+    // dots straight off the tile storage (no packing — the columns are
+    // already contiguous and L1-resident), then the implicit
+    // unit-diagonal term added on top. Every element of W is written
+    // before it is read, so the recycled scratch needs no zeroing.
     for jc in 0..nc {
         let cc = c.col(jc);
         let wc = w.col_mut(jc);
-        for (i, wi) in wc.iter_mut().enumerate() {
-            *wi = cc[i] + ops::dot(&vr.col(i)[i + 1..], &cc[i + 1..]);
+        micro::dotf_lo(cc, vr.as_slice(), m, n, wc);
+        for (wi, &ci) in wc.iter_mut().zip(cc) {
+            *wi += ci;
         }
     }
 
     // W = op(T) W with T upper triangular.
     apply_tfac_in_place(tfac, &mut w, tmp, side);
 
-    // C -= V W: column sweep, one axpy per reflector (unit diagonal peeled).
+    // C -= V W: unit diagonal peeled, then one fused lower-trapezoid
+    // sweep per column.
     for jc in 0..nc {
         let wc = w.col(jc);
         let cc = c.col_mut(jc);
-        for (i, &wi) in wc.iter().enumerate() {
-            cc[i] -= wi;
-            ops::axpy(-wi, &vr.col(i)[i + 1..], &mut cc[i + 1..]);
+        for (ci, &wi) in cc.iter_mut().zip(wc) {
+            *ci -= wi;
         }
+        micro::axpyf_lo_sub(wc, vr.as_slice(), m, n, cc);
     }
     Ok(())
 }
@@ -189,19 +208,15 @@ pub(crate) fn apply_tfac_in_place<T: Scalar>(
             let wc = w.col(jc);
             match side {
                 ApplySide::Transpose => {
-                    // (T^T w)[i] = sum_{p <= i} T[p,i] w[p]: a contiguous
-                    // dot over the stored prefix of T's column i.
-                    for (i, t) in tmp.iter_mut().enumerate() {
-                        *t = ops::dot(&tfac.col(i)[..=i], &wc[..=i]);
-                    }
+                    // (T^T w)[i] = sum_{p <= i} T[p,i] w[p]: fused dots
+                    // over the stored prefixes of T's columns.
+                    micro::dotf_tri(wc, tfac.as_slice(), n, n, 1, tmp);
                 }
                 ApplySide::NoTranspose => {
-                    // (T w)[i] = sum_{p >= i} T[i,p] w[p]: sweep T's columns,
-                    // one axpy per column over its stored prefix.
+                    // (T w)[i] = sum_{p >= i} T[i,p] w[p]: fused axpys of
+                    // T's column prefixes scaled by w.
                     tmp.fill(T::ZERO);
-                    for (p, &wp) in wc.iter().enumerate() {
-                        ops::axpy(wp, &tfac.col(p)[..=p], &mut tmp[..=p]);
-                    }
+                    micro::axpyf_tri_add(wc, tfac.as_slice(), n, n, 1, tmp);
                 }
             }
         }

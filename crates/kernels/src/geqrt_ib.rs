@@ -9,10 +9,12 @@
 //! inherits from PLASMA can be measured (see
 //! `benches/elimination_trees.rs` and the DESIGN.md ablation list).
 
+use crate::geqrt::extend_tfac_col;
 use crate::householder::larfg;
+use crate::micro;
 use crate::workspace::Workspace;
 use crate::ApplySide;
-use tileqr_matrix::{ops, Matrix, MatrixError, Result, Scalar};
+use tileqr_matrix::{Matrix, MatrixError, Result, Scalar};
 
 /// QR-factor a tile in place with inner block size `ib`.
 ///
@@ -63,37 +65,31 @@ pub fn geqrt_ib_ws<T: Scalar>(
                 h.tau
             };
 
-            // Apply H_k to the remaining panel columns only.
-            if tau != T::ZERO {
-                for j in k + 1..e {
-                    let (ck, cj) = a.two_cols_mut(k, j);
-                    let mut w = cj[k] + ops::dot(&ck[k + 1..], &cj[k + 1..]);
-                    w *= tau;
-                    cj[k] -= w;
-                    ops::axpy(-w, &ck[k + 1..], &mut cj[k + 1..]);
-                }
+            // Apply H_k to the remaining panel columns only, as one fused
+            // register-blocked sweep (dots and rank-1 fan-out share each
+            // load of v_k).
+            if tau != T::ZERO && k + 1 < e {
+                let (head, tail) = a.as_mut_slice().split_at_mut((k + 1) * m + k);
+                let vk = &head[k * m + k + 1..k * m + m];
+                micro::larf_head(vk, tau, tail, m, e - k - 1);
             }
 
             // Extend this panel's T factor.
             let lk = k - s;
             tfac[(lk, lk)] = tau;
-            if tau != T::ZERO {
-                let z = ws.reflector_scratch(pw);
+            if tau != T::ZERO && lk > 0 {
+                let (z, acc) = ws.factor_scratch(pw);
+                {
+                    // z = V_panelᵀ v_k over the strictly-below-diagonal
+                    // rows; the row-k heads (v_i's tail vs v_k's implicit
+                    // unit) are folded in after the fused dots.
+                    let vk = &a.col(k)[k + 1..];
+                    micro::dotf(vk, &a.as_slice()[s * m + k + 1..], m, lk, &mut z[..lk]);
+                }
                 for (li, zi) in z.iter_mut().enumerate().take(lk) {
-                    let i = s + li;
-                    let mut acc = a[(k, i)];
-                    for r in k + 1..m {
-                        acc += a[(r, i)] * a[(r, k)];
-                    }
-                    *zi = acc;
+                    *zi += a[(k, s + li)];
                 }
-                for li in 0..lk {
-                    let mut acc = T::ZERO;
-                    for p in li..lk {
-                        acc += tfac[(li, p)] * z[p];
-                    }
-                    tfac[(li, lk)] = -tau * acc;
-                }
+                extend_tfac_col(&mut tfac, lk, tau, z, acc);
             }
         }
 
@@ -110,10 +106,10 @@ pub fn geqrt_ib_ws<T: Scalar>(
 /// Apply the block reflector of panel columns `[s, e)` of `vr` to the
 /// column range `[c0, c1)` of the same matrix, in place.
 ///
-/// The unit-lower-trapezoidal panel is packed into contiguous column-major
-/// workspace scratch with the implicit 0/1 entries made explicit, so every
-/// inner loop is a branch-free contiguous dot or axpy over packed memory
-/// instead of a strided walk of `a`.
+/// The unit-lower-trapezoidal panel is consumed straight out of `a` by the
+/// strict-lower microkernel primitives (unit diagonal peeled by this
+/// caller) — at tile sizes the panel columns are contiguous and
+/// L1-resident, so the seed's explicit pack pass was pure overhead.
 #[allow(clippy::too_many_arguments)]
 fn apply_panel<T: Scalar>(
     a: &mut Matrix<T>,
@@ -128,33 +124,30 @@ fn apply_panel<T: Scalar>(
     let m = a.rows();
     let pw = e - s;
     let nc = c1 - c0;
-    let mr = m - s; // rows the panel reflectors touch
-    let (mut pv, mut w, tmp) = ws.packed_apply_scratch(mr, pw, pw, nc);
-    // Pack V: column li of the panel lives in a[s.., s+li], unit diagonal
-    // implicit at local row li, zeros above it.
-    for li in 0..pw {
-        let src = &a.col(s + li)[s..];
-        let dst = pv.col_mut(li);
-        dst[..li].fill(T::ZERO);
-        dst[li] = T::ONE;
-        dst[li + 1..].copy_from_slice(&src[li + 1..]);
-    }
-    // W = V^T C: contiguous column dots over the packed panel.
+    let (mut w, tmp) = ws.apply_scratch(pw, nc);
+    // W = V^T C: fused strict-lower column dots off the panel in place;
+    // the implicit unit diagonal contributes C's row s+li, folded in after.
     for (jc, wj) in (c0..c1).zip(0..nc) {
         let cc = &a.col(jc)[s..];
         let wc = w.col_mut(wj);
+        micro::dotf_lo(cc, &a.as_slice()[s * m + s..], m, pw, wc);
         for (li, wi) in wc.iter_mut().enumerate() {
-            *wi = ops::dot(pv.col(li), cc);
+            *wi += cc[li];
         }
     }
     crate::geqrt::apply_tfac_in_place(tfac, &mut w, tmp, side);
-    // C -= V W: one contiguous axpy per (reflector, column).
+    // C -= V W: unit-diagonal rows peeled, then one fused multi-column
+    // axpy sweep per column. The split keeps the panel (left of c0)
+    // immutably borrowable while the trailing columns are updated.
+    let (left, right) = a.as_mut_slice().split_at_mut(c0 * m);
+    let vbase = &left[s * m + s..];
     for (jc, wj) in (c0..c1).zip(0..nc) {
-        let cc = &mut a.col_mut(jc)[s..];
+        let cc = &mut right[(jc - c0) * m + s..(jc - c0 + 1) * m];
         let wc = w.col(wj);
         for (li, &wi) in wc.iter().enumerate() {
-            ops::axpy(-wi, pv.col(li), cc);
+            cc[li] -= wi;
         }
+        micro::axpyf_lo_sub(wc, vbase, m, pw, cc);
     }
     Ok(())
 }
@@ -173,9 +166,9 @@ pub fn geqrt_ib_apply<T: Scalar>(
     geqrt_ib_apply_ws(vr, tfacs, ib, c, side, &mut Workspace::minimal())
 }
 
-/// [`geqrt_ib_apply`] borrowing all scratch from `ws`, with each panel
-/// packed into contiguous column-major scratch before its update sweep —
-/// no heap allocation when the workspace is presized.
+/// [`geqrt_ib_apply`] borrowing all scratch from `ws` — no heap
+/// allocation when the workspace is presized. Each panel is consumed in
+/// place by the strict-lower microkernel primitives (no pack pass).
 pub fn geqrt_ib_apply_ws<T: Scalar>(
     vr: &Matrix<T>,
     tfacs: &[Matrix<T>],
@@ -208,32 +201,28 @@ pub fn geqrt_ib_apply_ws<T: Scalar>(
         let e = (s + ib).min(n);
         let pw = e - s;
         let tfac = &tfacs[p];
-        let mr = m - s;
-        let (mut pv, mut w, tmp) = ws.packed_apply_scratch(mr, pw, pw, nc);
-        // Pack V_p with explicit unit diagonal / zero upper wedge.
-        for li in 0..pw {
-            let src = &vr.col(s + li)[s..];
-            let dst = pv.col_mut(li);
-            dst[..li].fill(T::ZERO);
-            dst[li] = T::ONE;
-            dst[li + 1..].copy_from_slice(&src[li + 1..]);
-        }
-        // W = V_p^T C: contiguous column dots over the packed panel.
+        let (mut w, tmp) = ws.apply_scratch(pw, nc);
+        let vbase = &vr.as_slice()[s * m + s..];
+        // W = V_p^T C: fused strict-lower column dots, unit diagonal
+        // (C's row s+li) folded in after.
         for jc in 0..nc {
             let cc = &c.col(jc)[s..];
             let wc = w.col_mut(jc);
+            micro::dotf_lo(cc, vbase, m, pw, wc);
             for (li, wi) in wc.iter_mut().enumerate() {
-                *wi = ops::dot(pv.col(li), cc);
+                *wi += cc[li];
             }
         }
         crate::geqrt::apply_tfac_in_place(tfac, &mut w, tmp, side);
-        // C -= V_p W: one contiguous axpy per (reflector, column).
+        // C -= V_p W: unit-diagonal rows peeled, then one fused
+        // multi-column axpy sweep per column.
         for jc in 0..nc {
             let cc = &mut c.col_mut(jc)[s..];
             let wc = w.col(jc);
             for (li, &wi) in wc.iter().enumerate() {
-                ops::axpy(-wi, pv.col(li), cc);
+                cc[li] -= wi;
             }
+            micro::axpyf_lo_sub(wc, vbase, m, pw, cc);
         }
     }
     Ok(())

@@ -1,0 +1,245 @@
+//! AVX2 multiversioning of the default scalar-blocked backend (x86-64).
+//!
+//! The [`super::block::ScalarCore`] skeletons are deliberately written so
+//! LLVM's autovectorizer can map the lane structure onto whatever vector
+//! width the target allows. Under the default x86-64 target that is SSE2
+//! (2 doubles); this module compiles the *same safe code* a second time
+//! inside `#[target_feature(enable = "avx2")]` functions and dispatches to
+//! it behind runtime detection, so the default backend runs 4-wide on any
+//! AVX2 host without the `simd` cargo feature.
+//!
+//! **This is still the `Blocked` backend, bit for bit.** Vectorizing the
+//! [`super::LANES`]-lane loops packs independent scalar operations into
+//! vector lanes without changing any operand pairing or rounding, and
+//! Rust never licenses `mul+add → fma` contraction (that requires
+//! explicit `mul_add`/fast-math, neither of which appears in the scalar
+//! core). So the AVX2 monomorphization produces results bit-identical to
+//! the plain build — on hosts with and without AVX2 alike — and the
+//! determinism contract of [`crate::micro`] is untouched. The `simd`
+//! feature's hand-written FMA backend is the one that rounds differently.
+//!
+//! Unsafety here is the same two narrow kinds as `simd.rs` and nothing
+//! else: `TypeId`-checked slice reinterpretation `&[T] → &[f64]`, and
+//! calls into `#[target_feature]` functions after `is_x86_feature_detected!`.
+
+use super::block::ScalarCore;
+use super::{axpyf_impl, axpyf_lo_impl, axpyf_tri_impl};
+use super::{dotf_impl, dotf_lo_impl, dotf_tri_impl, larf_head_impl, rank1f_impl};
+use std::any::TypeId;
+use std::sync::OnceLock;
+use tileqr_matrix::Scalar;
+
+/// Does the AVX2 monomorphization apply to element type `T` on this host?
+///
+/// True iff `T` is `f64` and the CPU reports AVX2. Not affected by
+/// [`super::force_backend`]: this path *is* the `Blocked` backend (same
+/// results to the bit), just compiled at a wider vector width.
+pub(crate) fn enabled<T: 'static>() -> bool {
+    TypeId::of::<T>() == TypeId::of::<f64>() && detect()
+}
+
+fn detect() -> bool {
+    static CACHE: OnceLock<bool> = OnceLock::new();
+    *CACHE.get_or_init(|| is_x86_feature_detected!("avx2"))
+}
+
+/// Reinterpret `&[T]` as `&[f64]`.
+#[inline(always)]
+#[allow(unsafe_code)]
+pub(crate) fn cast<T: 'static>(x: &[T]) -> &[f64] {
+    assert_eq!(TypeId::of::<T>(), TypeId::of::<f64>());
+    // SAFETY: T is f64 (checked above): identical layout, alignment, and
+    // bit-validity, so reinterpreting the same region is a no-op.
+    unsafe { core::slice::from_raw_parts(x.as_ptr().cast::<f64>(), x.len()) }
+}
+
+/// Reinterpret `&mut [T]` as `&mut [f64]`.
+#[inline(always)]
+#[allow(unsafe_code)]
+pub(crate) fn cast_mut<T: 'static>(x: &mut [T]) -> &mut [f64] {
+    assert_eq!(TypeId::of::<T>(), TypeId::of::<f64>());
+    // SAFETY: as in `cast`; the unique borrow is carried through.
+    unsafe { core::slice::from_raw_parts_mut(x.as_mut_ptr().cast::<f64>(), x.len()) }
+}
+
+/// SAFETY-pattern note: every `unsafe { *_avx2(..) }` call below is
+/// preceded by an `assert!(enabled::<T>())`, which implies AVX2 was
+/// detected at runtime on this CPU. The inner functions contain only safe
+/// code; `target_feature` is what makes the *call* unsafe.
+macro_rules! gated {
+    ($call:expr) => {{
+        #[allow(unsafe_code)]
+        // SAFETY: `enabled` (asserted by the caller one line up) verified
+        // AVX2 via `is_x86_feature_detected!`.
+        unsafe {
+            $call
+        }
+    }};
+}
+
+pub(crate) fn dotf<T: Scalar>(x: &[T], ys: &[T], ld: usize, n: usize, out: &mut [T]) {
+    assert!(enabled::<T>(), "avx2 autovec path entered without gating");
+    gated!(dotf_avx2(cast(x), cast(ys), ld, n, cast_mut(out)))
+}
+
+#[target_feature(enable = "avx2")]
+#[allow(unsafe_code)]
+unsafe fn dotf_avx2(x: &[f64], ys: &[f64], ld: usize, n: usize, out: &mut [f64]) {
+    dotf_impl::<f64, ScalarCore>(x, ys, ld, n, out)
+}
+
+pub(crate) fn dotf_tri<T: Scalar>(
+    x: &[T],
+    ys: &[T],
+    ld: usize,
+    n: usize,
+    len0: usize,
+    out: &mut [T],
+) {
+    assert!(enabled::<T>(), "avx2 autovec path entered without gating");
+    gated!(dotf_tri_avx2(cast(x), cast(ys), ld, n, len0, cast_mut(out)))
+}
+
+#[target_feature(enable = "avx2")]
+#[allow(unsafe_code)]
+unsafe fn dotf_tri_avx2(x: &[f64], ys: &[f64], ld: usize, n: usize, len0: usize, out: &mut [f64]) {
+    dotf_tri_impl::<f64, ScalarCore>(x, ys, ld, n, len0, out)
+}
+
+pub(crate) fn dotf_lo<T: Scalar>(x: &[T], ys: &[T], ld: usize, n: usize, out: &mut [T]) {
+    assert!(enabled::<T>(), "avx2 autovec path entered without gating");
+    gated!(dotf_lo_avx2(cast(x), cast(ys), ld, n, cast_mut(out)))
+}
+
+#[target_feature(enable = "avx2")]
+#[allow(unsafe_code)]
+unsafe fn dotf_lo_avx2(x: &[f64], ys: &[f64], ld: usize, n: usize, out: &mut [f64]) {
+    dotf_lo_impl::<f64, ScalarCore>(x, ys, ld, n, out)
+}
+
+pub(crate) fn axpyf_sub<T: Scalar>(alphas: &[T], ys: &[T], ld: usize, n: usize, y: &mut [T]) {
+    assert!(enabled::<T>(), "avx2 autovec path entered without gating");
+    gated!(axpyf_sub_avx2(cast(alphas), cast(ys), ld, n, cast_mut(y)))
+}
+
+#[target_feature(enable = "avx2")]
+#[allow(unsafe_code)]
+unsafe fn axpyf_sub_avx2(alphas: &[f64], ys: &[f64], ld: usize, n: usize, y: &mut [f64]) {
+    axpyf_impl::<f64, ScalarCore, true>(alphas, ys, ld, n, y)
+}
+
+pub(crate) fn axpyf_tri_add<T: Scalar>(
+    alphas: &[T],
+    ys: &[T],
+    ld: usize,
+    n: usize,
+    len0: usize,
+    y: &mut [T],
+) {
+    assert!(enabled::<T>(), "avx2 autovec path entered without gating");
+    gated!(axpyf_tri_add_avx2(
+        cast(alphas),
+        cast(ys),
+        ld,
+        n,
+        len0,
+        cast_mut(y)
+    ))
+}
+
+#[target_feature(enable = "avx2")]
+#[allow(unsafe_code)]
+unsafe fn axpyf_tri_add_avx2(
+    alphas: &[f64],
+    ys: &[f64],
+    ld: usize,
+    n: usize,
+    len0: usize,
+    y: &mut [f64],
+) {
+    axpyf_tri_impl::<f64, ScalarCore, false>(alphas, ys, ld, n, len0, y)
+}
+
+pub(crate) fn axpyf_tri_sub<T: Scalar>(
+    alphas: &[T],
+    ys: &[T],
+    ld: usize,
+    n: usize,
+    len0: usize,
+    y: &mut [T],
+) {
+    assert!(enabled::<T>(), "avx2 autovec path entered without gating");
+    gated!(axpyf_tri_sub_avx2(
+        cast(alphas),
+        cast(ys),
+        ld,
+        n,
+        len0,
+        cast_mut(y)
+    ))
+}
+
+#[target_feature(enable = "avx2")]
+#[allow(unsafe_code)]
+unsafe fn axpyf_tri_sub_avx2(
+    alphas: &[f64],
+    ys: &[f64],
+    ld: usize,
+    n: usize,
+    len0: usize,
+    y: &mut [f64],
+) {
+    axpyf_tri_impl::<f64, ScalarCore, true>(alphas, ys, ld, n, len0, y)
+}
+
+pub(crate) fn axpyf_lo_sub<T: Scalar>(alphas: &[T], ys: &[T], ld: usize, n: usize, y: &mut [T]) {
+    assert!(enabled::<T>(), "avx2 autovec path entered without gating");
+    gated!(axpyf_lo_sub_avx2(
+        cast(alphas),
+        cast(ys),
+        ld,
+        n,
+        cast_mut(y)
+    ))
+}
+
+#[target_feature(enable = "avx2")]
+#[allow(unsafe_code)]
+unsafe fn axpyf_lo_sub_avx2(alphas: &[f64], ys: &[f64], ld: usize, n: usize, y: &mut [f64]) {
+    axpyf_lo_impl::<f64, ScalarCore, true>(alphas, ys, ld, n, y)
+}
+
+pub(crate) fn rank1f_sub<T: Scalar>(
+    x: &[T],
+    w: &[T],
+    ys: &mut [T],
+    ld: usize,
+    len: usize,
+    n: usize,
+) {
+    assert!(enabled::<T>(), "avx2 autovec path entered without gating");
+    gated!(rank1f_sub_avx2(cast(x), cast(w), cast_mut(ys), ld, len, n))
+}
+
+#[target_feature(enable = "avx2")]
+#[allow(unsafe_code)]
+unsafe fn rank1f_sub_avx2(x: &[f64], w: &[f64], ys: &mut [f64], ld: usize, len: usize, n: usize) {
+    rank1f_impl::<f64, ScalarCore>(x, w, ys, ld, len, n)
+}
+
+pub(crate) fn larf_head<T: Scalar>(vk: &[T], tau: T, cols: &mut [T], ld: usize, n: usize) {
+    assert!(enabled::<T>(), "avx2 autovec path entered without gating");
+    gated!(larf_head_avx2(
+        cast(vk),
+        tau.to_f64(),
+        cast_mut(cols),
+        ld,
+        n
+    ))
+}
+
+#[target_feature(enable = "avx2")]
+#[allow(unsafe_code)]
+unsafe fn larf_head_avx2(vk: &[f64], tau: f64, cols: &mut [f64], ld: usize, n: usize) {
+    larf_head_impl::<f64, ScalarCore>(vk, tau, cols, ld, n)
+}

@@ -17,8 +17,9 @@
 //! `TSMQR` (paper Eq. 9) applies the resulting `Qᵀ` (or `Q`) to a stacked
 //! pair of tiles `[A1; A2]` on the right — the "update for elimination".
 
-use crate::geqrt::apply_tfac_in_place;
+use crate::geqrt::{apply_tfac_in_place, extend_tfac_col};
 use crate::householder::larfg;
+use crate::micro;
 use crate::workspace::Workspace;
 use crate::ApplySide;
 use tileqr_matrix::{ops, Matrix, MatrixError, Result, Scalar};
@@ -67,7 +68,8 @@ pub fn tsqrt_ws<T: Scalar>(
         });
     }
     tfac.as_mut_slice().fill(T::ZERO);
-    let z = ws.reflector_scratch(n);
+    let m2 = a2.rows();
+    let (z, wv) = ws.factor_scratch(n);
 
     for k in 0..n {
         // Reflector annihilating a2[:, k] against the diagonal entry r1[k,k].
@@ -79,32 +81,32 @@ pub fn tsqrt_ws<T: Scalar>(
             h.tau
         };
 
-        // Apply H_k to trailing columns of the stacked pair.
-        if tau != T::ZERO {
-            for j in k + 1..n {
-                let (vk, cj) = a2.two_cols_mut(k, j);
-                let mut w = r1[(k, j)] + ops::dot(vk, cj);
-                w *= tau;
-                r1[(k, j)] -= w;
-                ops::axpy(-w, vk, cj);
+        // Apply H_k to trailing columns of the stacked pair: fused column
+        // dots for all the w_j at once, the (strided) r1 row-k heads folded
+        // in scalar-wise, then one rank-1 fan-out over V2's columns.
+        if tau != T::ZERO && k + 1 < n {
+            let nt = n - k - 1;
+            let tail = &mut a2.as_mut_slice()[k * m2..];
+            let (vk, rest) = tail.split_at_mut(m2);
+            let wv = &mut wv[..nt];
+            micro::dotf(vk, rest, m2, nt, wv);
+            for (t, wj) in wv.iter_mut().enumerate() {
+                let j = k + 1 + t;
+                *wj = (r1[(k, j)] + *wj) * tau;
+                r1[(k, j)] -= *wj;
             }
+            micro::rank1f_sub(vk, wv, rest, m2, m2, nt);
         }
 
         // Extend T: the top identity block contributes nothing to V_i^T v_k
         // for i != k, so z reduces to V2 inner products.
         tfac[(k, k)] = tau;
-        if tau != T::ZERO {
-            let vk = a2.col(k);
-            for (i, zi) in z.iter_mut().enumerate().take(k) {
-                *zi = ops::dot(a2.col(i), vk);
+        if tau != T::ZERO && k > 0 {
+            {
+                let vk = a2.col(k);
+                micro::dotf(vk, a2.as_slice(), m2, k, &mut z[..k]);
             }
-            for i in 0..k {
-                let mut acc = T::ZERO;
-                for p in i..k {
-                    acc += tfac[(i, p)] * z[p];
-                }
-                tfac[(i, k)] = -tau * acc;
-            }
+            extend_tfac_col(tfac, k, tau, z, wv);
         }
     }
     Ok(())
@@ -126,10 +128,12 @@ pub fn tsmqr_apply<T: Scalar>(
     tsmqr_apply_ws(v2, tfac, a1, a2, side, &mut Workspace::minimal())
 }
 
-/// [`tsmqr_apply`] borrowing all scratch from `ws`, with `V2ᵀ` packed into
-/// contiguous column-major scratch so the `W` accumulation runs as
-/// branch-free contiguous `axpy` sweeps (the PR-1 `gemm_nn` idiom) instead
-/// of strided per-element dot reductions.
+/// [`tsmqr_apply`] borrowing all scratch from `ws`. The `W = V2ᵀA2`
+/// accumulation runs as fused register-blocked column dots straight off
+/// the tile storage — `V2`'s columns are already contiguous and
+/// L1-resident at tile sizes, so the seed's `V2ᵀ` pack pass was pure
+/// overhead (it is what sank the small-`b` update kernels); the update
+/// sweeps are fused multi-column axpys.
 pub fn tsmqr_apply_ws<T: Scalar>(
     v2: &Matrix<T>,
     tfac: &Matrix<T>,
@@ -148,40 +152,28 @@ pub fn tsmqr_apply_ws<T: Scalar>(
     }
     let nc = a1.cols();
     let m2 = v2.rows();
-    let (mut p, mut w, tmp) = ws.packed_apply_scratch(n, m2, n, nc);
+    let (mut w, tmp) = ws.apply_scratch(n, nc);
 
-    // Pack P = V2ᵀ (n x m2): walk V2's columns contiguously, scatter into
-    // P's rows. One O(b²) pass that turns every inner loop below into a
-    // contiguous sweep.
-    for i in 0..n {
-        for (r, &v) in v2.col(i).iter().enumerate() {
-            p[(i, r)] = v;
-        }
-    }
-
-    // W = [I; V2]^T [A1; A2] = A1 + P·A2: load A1, then one contiguous
-    // axpy per (row of A2, column) — the gemm_nn column sweep.
+    // W = [I; V2]^T [A1; A2] = A1 + V2ᵀA2: fused column dots of each A2
+    // column against V2's (contiguous) columns, then A1 folded in.
     for jc in 0..nc {
         let a2c = a2.col(jc);
         let wc = w.col_mut(jc);
-        wc.copy_from_slice(a1.col(jc));
-        for (r, &arj) in a2c.iter().enumerate() {
-            ops::axpy(arj, p.col(r), wc);
+        micro::dotf(a2c, v2.as_slice(), m2, n, wc);
+        for (wi, &ai) in wc.iter_mut().zip(a1.col(jc)) {
+            *wi += ai;
         }
     }
 
     // W = op(T) W.
     apply_tfac_in_place(tfac, &mut w, tmp, side);
 
-    // [A1; A2] -= [I; V2] W: A1 gets W subtracted directly; A2 is swept
-    // column-by-column with one axpy per reflector.
+    // [A1; A2] -= [I; V2] W: A1 gets W subtracted directly; A2 takes one
+    // fused multi-column axpy sweep per column.
     for jc in 0..nc {
         let wc = w.col(jc);
         ops::axpy(-T::ONE, wc, a1.col_mut(jc));
-        let a2c = a2.col_mut(jc);
-        for (i, &wi) in wc.iter().enumerate() {
-            ops::axpy(-wi, v2.col(i), a2c);
-        }
+        micro::axpyf_sub(wc, v2.as_slice(), m2, n, a2.col_mut(jc));
     }
     Ok(())
 }

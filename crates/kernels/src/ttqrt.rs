@@ -10,8 +10,9 @@
 //! arithmetic, and unlike TSQRT its updates to different row pairs commute,
 //! which is what enables reduction trees.
 
-use crate::geqrt::apply_tfac_in_place;
+use crate::geqrt::{apply_tfac_in_place, extend_tfac_col};
 use crate::householder::larfg;
+use crate::micro;
 use crate::workspace::Workspace;
 use crate::ApplySide;
 use tileqr_matrix::{ops, Matrix, MatrixError, Result, Scalar};
@@ -60,7 +61,7 @@ pub fn ttqrt_ws<T: Scalar>(
         });
     }
     tfac.as_mut_slice().fill(T::ZERO);
-    let z = ws.reflector_scratch(n);
+    let (z, wv) = ws.factor_scratch(n);
 
     for k in 0..n {
         // Column k of R2 is nonzero only in rows 0..=k.
@@ -72,31 +73,33 @@ pub fn ttqrt_ws<T: Scalar>(
             h.tau
         };
 
-        if tau != T::ZERO {
-            for j in k + 1..n {
-                let (vk, cj) = r2.two_cols_mut(k, j);
-                let vk = &vk[..=k];
-                let mut w = r1[(k, j)] + ops::dot(vk, &cj[..=k]);
-                w *= tau;
-                r1[(k, j)] -= w;
-                ops::axpy(-w, vk, &mut cj[..=k]);
+        // Fused trailing update: all column dots against v_k in one
+        // register-blocked sweep over R2's prefix rows, then one fused
+        // rank-1 update — the dots/axpys only ever touch rows 0..=k.
+        if tau != T::ZERO && k + 1 < n {
+            let nt = n - k - 1;
+            let tail = &mut r2.as_mut_slice()[k * n..];
+            let (vkc, rest) = tail.split_at_mut(n);
+            let vk = &vkc[..=k];
+            let wv = &mut wv[..nt];
+            micro::dotf(vk, rest, n, nt, wv);
+            for (t, wj) in wv.iter_mut().enumerate() {
+                let j = k + 1 + t;
+                *wj = (r1[(k, j)] + *wj) * tau;
+                r1[(k, j)] -= *wj;
             }
+            micro::rank1f_sub(vk, wv, rest, n, k + 1, nt);
         }
 
         tfac[(k, k)] = tau;
-        if tau != T::ZERO {
-            let vk = r2.col(k);
-            for (i, zi) in z.iter_mut().enumerate().take(k) {
-                // v_i is supported on rows 0..=i, a subset of v_k's support.
-                *zi = ops::dot(&r2.col(i)[..=i], &vk[..=i]);
+        if tau != T::ZERO && k > 0 {
+            {
+                // v_i is supported on rows 0..=i, a subset of v_k's
+                // support: prefix-length column dots (triangular fused dot).
+                let vk = &r2.col(k)[..=k];
+                micro::dotf_tri(vk, r2.as_slice(), n, k, 1, &mut z[..k]);
             }
-            for i in 0..k {
-                let mut acc = T::ZERO;
-                for p in i..k {
-                    acc += tfac[(i, p)] * z[p];
-                }
-                tfac[(i, k)] = -tau * acc;
-            }
+            extend_tfac_col(tfac, k, tau, z, wv);
         }
     }
     Ok(())
@@ -139,26 +142,24 @@ pub fn ttmqr_apply_ws<T: Scalar>(
     let (mut w, tmp) = ws.apply_scratch(n, nc);
 
     // W = A1 + V2^T A2, with V2 upper triangular (column i supported on
-    // rows 0..=i): prefix column dots.
+    // rows 0..=i): fused triangular column dots, then A1 folded in.
     for jc in 0..nc {
         let a2c = a2.col(jc);
         let wc = w.col_mut(jc);
-        wc.copy_from_slice(a1.col(jc));
-        for (i, wi) in wc.iter_mut().enumerate() {
-            *wi += ops::dot(&v2.col(i)[..=i], &a2c[..=i]);
+        micro::dotf_tri(a2c, v2.as_slice(), n, n, 1, wc);
+        for (wi, &ai) in wc.iter_mut().zip(a1.col(jc)) {
+            *wi += ai;
         }
     }
 
     apply_tfac_in_place(tfac, &mut w, tmp, side);
 
-    // [A1; A2] -= [I; V2] W: column sweep over V2's stored prefixes.
+    // [A1; A2] -= [I; V2] W: fused triangular multi-column axpy sweep
+    // over V2's stored prefixes.
     for jc in 0..nc {
         let wc = w.col(jc);
         ops::axpy(-T::ONE, wc, a1.col_mut(jc));
-        let a2c = a2.col_mut(jc);
-        for (i, &wi) in wc.iter().enumerate() {
-            ops::axpy(-wi, &v2.col(i)[..=i], &mut a2c[..=i]);
-        }
+        micro::axpyf_tri_sub(wc, v2.as_slice(), n, n, 1, a2.col_mut(jc));
     }
     Ok(())
 }

@@ -2,8 +2,7 @@
 //!
 //! Every kernel in this crate needs the same small set of scratch blocks:
 //! a reflector-accumulation vector `z`, a `T`-application vector `tmp`,
-//! the `W = VᵀC` work block, and (for the packed variants) a contiguous
-//! copy of the reflector panel. The seed kernels allocated these with
+//! and the `W = VᵀC` work block. The seed kernels allocated these with
 //! `vec!`/`Matrix::zeros` on every invocation, which made the steady-state
 //! hot path allocator-bound. A [`Workspace`] is sized once from the tile
 //! geometry `(b, ib)` and handed to the `*_ws` kernel entry points, which
@@ -16,7 +15,10 @@
 //! | `z`    | `b`      | `geqrt_ws`/`tsqrt_ws`/`ttqrt_ws` reflector dot accumulation |
 //! | `tmp`  | `b`      | `apply_tfac_in_place` (one column of `op(T)·W`) |
 //! | `w`    | `b·b`    | the `W` block of every update kernel (`n × nc ≤ b × b` on the tile path) |
-//! | `pack` | `b·b`    | packed `V2ᵀ` (TSMQR, `n × m2`) / packed panel (`(m−s) × ib ≤ b·ib`) |
+//!
+//! (The microkernel rewrite removed the packed-panel buffer: the fused
+//! column primitives of [`crate::micro`] read reflector columns in place,
+//! column-major and unit-stride, so there is nothing left to pack.)
 //!
 //! Requests beyond the presized capacity (e.g. applying `Q` to a dense
 //! right-hand side wider than one tile) grow the buffer and are counted in
@@ -44,7 +46,6 @@ pub struct Workspace<T: Scalar> {
     z: Vec<T>,
     tmp: Vec<T>,
     w: Vec<T>,
-    pack: Vec<T>,
     resizes: u64,
 }
 
@@ -58,8 +59,8 @@ fn ensure<T: Scalar>(buf: &mut Vec<T>, len: usize, resizes: &mut u64) {
 impl<T: Scalar> Workspace<T> {
     /// Workspace presized for tiles of size `b` with inner block `ib`.
     ///
-    /// `ib` never exceeds `b`, so the packed-panel block is covered by the
-    /// same `b·b` capacity as `W`; the parameter is part of the signature
+    /// `ib` never exceeds `b`, so every kernel's scratch is covered by the
+    /// `b`/`b·b` capacities below; the parameter is part of the signature
     /// because it is the sizing contract the runtime plumbs through.
     pub fn new(b: usize, ib: usize) -> Self {
         debug_assert!(ib >= 1 && ib <= b.max(1), "inner block {ib} vs tile {b}");
@@ -67,7 +68,6 @@ impl<T: Scalar> Workspace<T> {
             z: vec![T::ZERO; b],
             tmp: vec![T::ZERO; b],
             w: vec![T::ZERO; b * b],
-            pack: vec![T::ZERO; b * b],
             resizes: 0,
         }
     }
@@ -81,7 +81,6 @@ impl<T: Scalar> Workspace<T> {
             z: Vec::new(),
             tmp: Vec::new(),
             w: Vec::new(),
-            pack: Vec::new(),
             resizes: 0,
         }
     }
@@ -91,6 +90,16 @@ impl<T: Scalar> Workspace<T> {
     pub fn reflector_scratch(&mut self, n: usize) -> &mut [T] {
         ensure(&mut self.z, n, &mut self.resizes);
         &mut self.z[..n]
+    }
+
+    /// Scratch for a factor kernel: the reflector-accumulation vector `z`
+    /// plus a second length-`n` buffer (the `T`-column accumulator of the
+    /// microkernel path, also reused for fused trailing-update weights).
+    /// Contents are unspecified; the kernels write before reading.
+    pub fn factor_scratch(&mut self, n: usize) -> (&mut [T], &mut [T]) {
+        ensure(&mut self.z, n, &mut self.resizes);
+        ensure(&mut self.tmp, n, &mut self.resizes);
+        (&mut self.z[..n], &mut self.tmp[..n])
     }
 
     /// Scratch for an update kernel: the `wr × wc` work block `W` plus the
@@ -104,29 +113,9 @@ impl<T: Scalar> Workspace<T> {
         )
     }
 
-    /// Scratch for a packed update kernel: the `pr × pc` packed reflector
-    /// block, the `wr × wc` work block, and the `op(T)` column buffer.
-    pub fn packed_apply_scratch(
-        &mut self,
-        pr: usize,
-        pc: usize,
-        wr: usize,
-        wc: usize,
-    ) -> (MatrixViewMut<'_, T>, MatrixViewMut<'_, T>, &mut [T]) {
-        ensure(&mut self.pack, pr * pc, &mut self.resizes);
-        ensure(&mut self.w, wr * wc, &mut self.resizes);
-        ensure(&mut self.tmp, wr, &mut self.resizes);
-        (
-            MatrixViewMut::new(pr, pc, &mut self.pack[..pr * pc]),
-            MatrixViewMut::new(wr, wc, &mut self.w[..wr * wc]),
-            &mut self.tmp[..wr],
-        )
-    }
-
     /// Total capacity currently held, in bytes.
     pub fn bytes(&self) -> usize {
-        (self.z.capacity() + self.tmp.capacity() + self.w.capacity() + self.pack.capacity())
-            * std::mem::size_of::<T>()
+        (self.z.capacity() + self.tmp.capacity() + self.w.capacity()) * std::mem::size_of::<T>()
     }
 
     /// How many times a scratch request outgrew the arena (0 in the sized
@@ -145,9 +134,8 @@ mod tests {
         let mut ws = Workspace::<f64>::new(8, 4);
         for _ in 0..10 {
             let _ = ws.reflector_scratch(8);
+            let _ = ws.factor_scratch(8);
             let _ = ws.apply_scratch(8, 8);
-            let _ = ws.packed_apply_scratch(8, 8, 8, 8);
-            let _ = ws.packed_apply_scratch(8, 4, 4, 8);
         }
         assert_eq!(ws.resizes(), 0);
     }
@@ -177,11 +165,9 @@ mod tests {
     #[test]
     fn views_are_disjoint() {
         let mut ws = Workspace::<f64>::new(4, 2);
-        let (mut p, mut w, tmp) = ws.packed_apply_scratch(4, 2, 4, 3);
-        p.fill(1.0);
+        let (mut w, tmp) = ws.apply_scratch(4, 3);
         w.fill(2.0);
         tmp.fill(3.0);
-        assert!(p.as_slice().iter().all(|&x| x == 1.0));
         assert!(w.as_slice().iter().all(|&x| x == 2.0));
         assert!(tmp.iter().all(|&x| x == 3.0));
     }

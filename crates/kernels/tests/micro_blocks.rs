@@ -1,0 +1,454 @@
+//! Unit suite for the register-blocked microkernel primitives.
+//!
+//! Every public primitive in [`tileqr_kernels::micro`] is held against an
+//! independent naive sequential reference over a grid of odd shapes:
+//! empty inputs, lengths straddling the `LANES` tail, the `NR` column
+//! tail, the naive/blocked and blocked/vector work thresholds, and the
+//! `KC` L1 strip boundary. Comparisons use summation-order-aware error
+//! bounds (any two orderings of an `L`-term sum differ by at most
+//! `O(L·ε)` times the absolute-value sum), so the same suite passes
+//! whichever backend — scalar-blocked, AVX2-autovec, or the `simd`
+//! feature's intrinsics — the dispatcher picks for a given shape.
+//!
+//! The backend-agreement test pins each backend in turn through the
+//! `force_backend` hook and checks (a) bit-determinism of repeated calls
+//! within one backend and (b) cross-backend agreement within the same
+//! rounding budgets. In a default build forcing `Simd` is a no-op and the
+//! test degenerates to the (still useful) determinism check.
+
+use std::sync::Mutex;
+use tileqr_kernels::micro::{
+    self, active_backend, dotf, dotf_lo, dotf_tri, force_backend, larf_head, rank1f_sub, Backend,
+    KC, LANES, NR,
+};
+
+/// Serializes tests that touch the process-global backend override.
+static BACKEND_LOCK: Mutex<()> = Mutex::new(());
+
+/// Deterministic fill in [-1, 1): splitmix64 mapped to the unit interval.
+fn fill(seed: u64, out: &mut [f64]) {
+    let mut s = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    for v in out.iter_mut() {
+        s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        *v = (z >> 11) as f64 / (1u64 << 52) as f64 * 2.0 - 1.0;
+    }
+}
+
+fn vec_of(seed: u64, len: usize) -> Vec<f64> {
+    let mut v = vec![0.0; len];
+    fill(seed, &mut v);
+    v
+}
+
+/// Error budget for one output value assembled from `terms` products whose
+/// absolute values sum to `abs`: any two summation orders agree to
+/// `O(terms·ε·abs)`; the constant is generous so the suite never flakes
+/// while still failing loudly on indexing bugs (which err at `O(1)`).
+fn budget(terms: usize, abs: f64) -> f64 {
+    32.0 * (terms as f64 + 8.0) * f64::EPSILON * abs
+}
+
+fn assert_close(got: f64, want: f64, terms: usize, abs: f64, ctx: &str) {
+    let tol = budget(terms, abs);
+    assert!(
+        (got - want).abs() <= tol,
+        "{ctx}: got {got}, want {want}, tol {tol}"
+    );
+}
+
+/// Lengths that straddle every boundary the blocking machinery cares
+/// about: the `LANES` tail, the `NR` group tail, the naive→blocked and
+/// blocked→vector work thresholds, and the `KC` strip edge.
+fn lens() -> Vec<usize> {
+    vec![
+        0,
+        1,
+        2,
+        3,
+        LANES,
+        LANES + 1,
+        7,
+        8,
+        11,
+        13,
+        31,
+        40,
+        127,
+        130,
+        600,
+        KC + 13,
+    ]
+}
+
+fn widths() -> Vec<usize> {
+    vec![0, 1, 2, 3, NR, NR + 1, 7, 8, 13]
+}
+
+#[test]
+fn dotf_matches_naive_over_odd_shapes() {
+    for &len in &lens() {
+        for &n in &widths() {
+            for pad in [0usize, 3] {
+                let ld = len + pad;
+                let x = vec_of(1 + len as u64, len);
+                let ys = vec_of(2 + n as u64, ld * n + len);
+                let mut out = vec![f64::NAN; n];
+                dotf(&x, &ys, ld, n, &mut out);
+                for j in 0..n {
+                    let c = &ys[j * ld..j * ld + len];
+                    let want: f64 = x.iter().zip(c).map(|(a, b)| a * b).sum();
+                    let abs: f64 = x.iter().zip(c).map(|(a, b)| (a * b).abs()).sum();
+                    assert_close(
+                        out[j],
+                        want,
+                        len,
+                        abs,
+                        &format!("dotf len={len} n={n} j={j}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn dotf_tri_matches_naive_over_trapezoids() {
+    for &len0 in &[0usize, 1, 3, 5, 17, 40, 129] {
+        for &n in &widths() {
+            let maxlen = len0 + n.saturating_sub(1);
+            let ld = maxlen + 2;
+            let x = vec_of(7, maxlen);
+            let ys = vec_of(8, ld * n.max(1));
+            let mut out = vec![f64::NAN; n];
+            dotf_tri(&x, &ys, ld, n, len0, &mut out);
+            for j in 0..n {
+                let d = len0 + j;
+                let c = &ys[j * ld..j * ld + d];
+                let want: f64 = x[..d].iter().zip(c).map(|(a, b)| a * b).sum();
+                let abs: f64 = x[..d].iter().zip(c).map(|(a, b)| (a * b).abs()).sum();
+                assert_close(
+                    out[j],
+                    want,
+                    d,
+                    abs,
+                    &format!("dotf_tri len0={len0} n={n} j={j}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dotf_lo_matches_naive_below_the_diagonal() {
+    for &len in &lens() {
+        for &n in &widths() {
+            if n > len {
+                continue;
+            }
+            let ld = len + 1;
+            let x = vec_of(11, len);
+            let ys = vec_of(12, ld * n.max(1));
+            let mut out = vec![f64::NAN; n];
+            dotf_lo(&x, &ys, ld, n, &mut out);
+            for j in 0..n {
+                let want: f64 = if j + 1 < len {
+                    x[j + 1..]
+                        .iter()
+                        .zip(&ys[j * ld + j + 1..j * ld + len])
+                        .map(|(a, b)| a * b)
+                        .sum()
+                } else {
+                    0.0
+                };
+                let abs = len as f64;
+                assert_close(
+                    out[j],
+                    want,
+                    len,
+                    abs,
+                    &format!("dotf_lo len={len} n={n} j={j}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn axpyf_variants_match_naive() {
+    for &len in &lens() {
+        for &n in &widths() {
+            let ld = len + 2;
+            let alphas = vec_of(21, n);
+            let ys = vec_of(22, ld * n.max(1));
+            let y0 = vec_of(23, len);
+
+            let mut y = y0.clone();
+            micro::axpyf_sub(&alphas, &ys, ld, n, &mut y);
+            for i in 0..len {
+                let mut want = y0[i];
+                let mut abs = y0[i].abs();
+                for j in 0..n {
+                    want -= alphas[j] * ys[j * ld + i];
+                    abs += (alphas[j] * ys[j * ld + i]).abs();
+                }
+                assert_close(
+                    y[i],
+                    want,
+                    n + 1,
+                    abs,
+                    &format!("axpyf_sub len={len} n={n} i={i}"),
+                );
+            }
+
+            // Strict-lower flavour: column j only touches rows j+1.. .
+            if n <= len {
+                let mut y = y0.clone();
+                micro::axpyf_lo_sub(&alphas, &ys, ld, n, &mut y);
+                for i in 0..len {
+                    let mut want = y0[i];
+                    let mut abs = y0[i].abs();
+                    for j in 0..n.min(i) {
+                        want -= alphas[j] * ys[j * ld + i];
+                        abs += (alphas[j] * ys[j * ld + i]).abs();
+                    }
+                    assert_close(
+                        y[i],
+                        want,
+                        n + 1,
+                        abs,
+                        &format!("axpyf_lo_sub len={len} n={n} i={i}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn axpyf_tri_variants_match_naive() {
+    for &len0 in &[0usize, 1, 4, 9, 33, 140] {
+        for &n in &widths() {
+            let maxlen = len0 + n.saturating_sub(1);
+            let ld = maxlen + 1;
+            let alphas = vec_of(31, n);
+            let ys = vec_of(32, ld * n.max(1));
+            let y0 = vec_of(33, maxlen);
+
+            for sub in [false, true] {
+                let mut y = y0.clone();
+                if sub {
+                    micro::axpyf_tri_sub(&alphas, &ys, ld, n, len0, &mut y);
+                } else {
+                    micro::axpyf_tri_add(&alphas, &ys, ld, n, len0, &mut y);
+                }
+                for i in 0..maxlen {
+                    let mut want = y0[i];
+                    let mut abs = y0[i].abs();
+                    for j in 0..n {
+                        if i < len0 + j {
+                            let t = alphas[j] * ys[j * ld + i];
+                            want += if sub { -t } else { t };
+                            abs += t.abs();
+                        }
+                    }
+                    assert_close(
+                        y[i],
+                        want,
+                        n + 1,
+                        abs,
+                        &format!("axpyf_tri sub={sub} len0={len0} n={n} i={i}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn rank1f_matches_naive() {
+    for &len in &lens() {
+        for &n in &widths() {
+            let ld = len + 3;
+            let x = vec_of(41, len);
+            let w = vec_of(42, n);
+            let ys0 = vec_of(43, ld * n.max(1));
+            let mut ys = ys0.clone();
+            rank1f_sub(&x, &w, &mut ys, ld, len, n);
+            for j in 0..n {
+                for i in 0..len {
+                    let want = ys0[j * ld + i] - w[j] * x[i];
+                    if active_backend() == Backend::Blocked {
+                        // One multiply and one subtract per element, no
+                        // reassociation anywhere: the scalar-blocked
+                        // backend (including its AVX2-autovec build) must
+                        // be bit-exact against the naive reference.
+                        assert_eq!(
+                            ys[j * ld + i].to_bits(),
+                            want.to_bits(),
+                            "rank1f_sub len={len} n={n} j={j} i={i}"
+                        );
+                    } else {
+                        // The simd backend contracts the pair into an FMA
+                        // (one rounding instead of two).
+                        assert_close(
+                            ys[j * ld + i],
+                            want,
+                            2,
+                            want.abs() + (w[j] * x[i]).abs(),
+                            &format!("rank1f_sub len={len} n={n} j={j} i={i}"),
+                        );
+                    }
+                }
+            }
+            // Padding rows between columns must stay untouched.
+            for j in 0..n {
+                for i in len..ld {
+                    assert_eq!(ys[j * ld + i], ys0[j * ld + i], "rank1f pad j={j} i={i}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn larf_head_matches_naive_reflector_application() {
+    for &vlen in &[0usize, 1, 3, 7, 12, 31, 63, 200] {
+        for &n in &widths() {
+            let ld = vlen + 1 + 2;
+            let vk = vec_of(51, vlen);
+            let tau = 0.7318;
+            let cols0 = vec_of(52, ld * n.max(1));
+            let mut cols = cols0.clone();
+            larf_head(&vk, tau, &mut cols, ld, n);
+            for j in 0..n {
+                let c0 = &cols0[j * ld..j * ld + vlen + 1];
+                let mut w = c0[0];
+                let mut abs = c0[0].abs();
+                for i in 0..vlen {
+                    w += vk[i] * c0[1 + i];
+                    abs += (vk[i] * c0[1 + i]).abs();
+                }
+                w *= tau;
+                let got = &cols[j * ld..j * ld + vlen + 1];
+                assert_close(
+                    got[0],
+                    c0[0] - w,
+                    vlen + 2,
+                    abs,
+                    &format!("larf_head head vlen={vlen} n={n} j={j}"),
+                );
+                for i in 0..vlen {
+                    assert_close(
+                        got[1 + i],
+                        c0[1 + i] - w * vk[i],
+                        vlen + 3,
+                        abs + (w * vk[i]).abs(),
+                        &format!("larf_head tail vlen={vlen} n={n} j={j} i={i}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// In rank1f terms the `w`-vector side: a simd backend must agree with the
+/// scalar-blocked backend within the same rounding budgets, and each
+/// backend must be bit-deterministic call to call.
+#[test]
+fn backends_agree_and_are_deterministic() {
+    let _guard = BACKEND_LOCK.lock().unwrap();
+
+    // Shapes spanning all three dispatch tiers.
+    let shapes: Vec<(usize, usize)> = vec![(3, 2), (13, 5), (40, 8), (130, 7), (KC + 13, 8)];
+
+    let run = |len: usize, n: usize| -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let ld = len + 1;
+        let x = vec_of(61, len);
+        let ys = vec_of(62, ld * n);
+        let alphas = vec_of(63, n);
+        let mut out = vec![0.0; n];
+        dotf(&x, &ys, ld, n, &mut out);
+        let mut y = vec_of(64, len);
+        micro::axpyf_sub(&alphas, &ys, ld, n, &mut y);
+        let mut cols = vec_of(65, ld * n);
+        larf_head(&x[..len.saturating_sub(1)], 0.83, &mut cols, ld, n);
+        (out, y, cols)
+    };
+
+    for &(len, n) in &shapes {
+        force_backend(Some(Backend::Blocked));
+        assert_eq!(active_backend(), Backend::Blocked);
+        let a1 = run(len, n);
+        let a2 = run(len, n);
+        assert_eq!(a1, a2, "blocked backend must be deterministic ({len},{n})");
+
+        force_backend(Some(Backend::Simd));
+        let b1 = run(len, n);
+        let b2 = run(len, n);
+        assert_eq!(b1, b2, "simd backend must be deterministic ({len},{n})");
+
+        // Cross-backend: same values within the rounding budget. (In a
+        // default build Simd is a no-op force and these are identical.)
+        for (g, w) in b1.0.iter().zip(&a1.0) {
+            assert_close(
+                *g,
+                *w,
+                len,
+                len as f64,
+                &format!("x-backend dotf ({len},{n})"),
+            );
+        }
+        for (g, w) in b1.1.iter().zip(&a1.1) {
+            assert_close(
+                *g,
+                *w,
+                n + 1,
+                n as f64 + 1.0,
+                &format!("x-backend axpyf ({len},{n})"),
+            );
+        }
+        for (g, w) in b1.2.iter().zip(&a1.2) {
+            assert_close(
+                *g,
+                *w,
+                len + 2,
+                len as f64,
+                &format!("x-backend larf ({len},{n})"),
+            );
+        }
+    }
+    force_backend(None);
+}
+
+/// The dispatcher must pick tiers by shape alone — calling the same shape
+/// twice through any amount of interleaved other-shape traffic yields
+/// bit-identical results.
+#[test]
+fn tier_selection_is_a_pure_function_of_shape() {
+    let _guard = BACKEND_LOCK.lock().unwrap();
+    let probe = |seed: u64| -> Vec<f64> {
+        let (len, n) = (37, 6);
+        let ld = len;
+        let x = vec_of(seed, len);
+        let ys = vec_of(seed + 1, ld * n);
+        let mut out = vec![0.0; n];
+        dotf(&x, &ys, ld, n, &mut out);
+        out
+    };
+    let first = probe(99);
+    // Interleave traffic across the naive/blocked/vector tiers.
+    for &(len, n) in &[(2usize, 1usize), (60, 4), (KC + 40, 8)] {
+        let x = vec_of(5, len);
+        let ys = vec_of(6, len * n);
+        let mut out = vec![0.0; n];
+        dotf(&x, &ys, len, n, &mut out);
+    }
+    let again = probe(99);
+    for (a, b) in first.iter().zip(&again) {
+        assert_eq!(a.to_bits(), b.to_bits(), "same shape, same bits");
+    }
+}

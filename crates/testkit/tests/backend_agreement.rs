@@ -1,0 +1,110 @@
+//! Cross-backend agreement for the microkernel dispatch layer.
+//!
+//! The kernels crate ships two microkernel backends (safe scalar-blocked,
+//! and AVX2+FMA intrinsics behind the `simd` cargo feature). They are
+//! *not* bit-identical to each other — FMA contracts rounding steps — so
+//! the contract is split in two:
+//!
+//! 1. **Within a backend**: repeated factorizations are bit-identical
+//!    (the workspace-identity sweep already holds this across worker
+//!    counts; here it is held across repeated runs with each backend
+//!    pinned).
+//! 2. **Across backends**: the computed `R` factors agree within the
+//!    condition-scaled differential budget of [`tileqr_testkit::oracle`],
+//!    and both backends pass the full residual/orthogonality oracles.
+//!
+//! In a default (no-`simd`) build, forcing the `Simd` backend is a no-op
+//! and the cross-backend checks degenerate to exact self-comparison —
+//! still a valid (if trivial) instance of the contract, so the same test
+//! binary runs in both CI legs.
+
+use std::sync::Mutex;
+use tileqr::kernels::micro::{self, Backend};
+use tileqr::{QrOptions, TiledQr};
+use tileqr_matrix::gen::{graded, random_matrix};
+use tileqr_matrix::Matrix;
+use tileqr_testkit::oracle::{differential_tolerance, verify_qr};
+
+/// `force_backend` is process-global; serialize every test that pins it.
+static BACKEND_LOCK: Mutex<()> = Mutex::new(());
+
+fn factor_r(a: &Matrix<f64>, b: usize) -> (Matrix<f64>, Matrix<f64>) {
+    let f = TiledQr::factor(a, &QrOptions::new().tile_size(b).workers(1)).unwrap();
+    (f.q().unwrap(), f.r())
+}
+
+fn family() -> Vec<(&'static str, Matrix<f64>, f64)> {
+    vec![
+        ("random-24", random_matrix::<f64>(24, 24, 71), 1e3),
+        ("random-odd-30x18", random_matrix::<f64>(30, 18, 72), 1e3),
+        ("graded-40", graded(40, 40, 1e-2, 73), 1e6),
+    ]
+}
+
+#[test]
+fn each_backend_is_bit_deterministic() {
+    let _guard = BACKEND_LOCK.lock().unwrap();
+    for backend in [Backend::Blocked, Backend::Simd] {
+        micro::force_backend(Some(backend));
+        for (name, a, _) in family() {
+            for b in [5usize, 8] {
+                let (q1, r1) = factor_r(&a, b);
+                let (q2, r2) = factor_r(&a, b);
+                assert_eq!(r1, r2, "{name} b={b}: R must repeat bit-identically");
+                assert_eq!(q1, q2, "{name} b={b}: Q must repeat bit-identically");
+            }
+        }
+    }
+    micro::force_backend(None);
+}
+
+#[test]
+fn backends_agree_within_condition_scaled_budgets() {
+    let _guard = BACKEND_LOCK.lock().unwrap();
+    for (name, a, kappa) in family() {
+        for b in [5usize, 8] {
+            micro::force_backend(Some(Backend::Blocked));
+            let (qs, rs) = factor_r(&a, b);
+            micro::force_backend(Some(Backend::Simd));
+            let (qv, rv) = factor_r(&a, b);
+            micro::force_backend(None);
+
+            // Both backends must independently pass the full oracles.
+            let rep_s = verify_qr(&a, &qs, &rs, Some(kappa)).unwrap();
+            assert!(rep_s.passes(), "{name} b={b} blocked: {rep_s:?}");
+            let rep_v = verify_qr(&a, &qv, &rv, Some(kappa)).unwrap();
+            assert!(rep_v.passes(), "{name} b={b} simd: {rep_v:?}");
+
+            // And agree with each other within the κ-linear budget.
+            let scale = tileqr_matrix::ops::frobenius_norm(&a).max(f64::MIN_POSITIVE);
+            let tol = differential_tolerance(kappa);
+            let (m, n) = rs.dims();
+            for i in 0..m {
+                for j in 0..n {
+                    let dev = (rs[(i, j)] - rv[(i, j)]).abs() / scale;
+                    assert!(
+                        dev <= tol,
+                        "{name} b={b}: R[{i},{j}] backend deviation {dev:e} > {tol:e}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The backend choice is observable through `active_backend` and must
+/// round-trip through the force hook.
+#[test]
+fn force_hook_round_trips() {
+    let _guard = BACKEND_LOCK.lock().unwrap();
+    micro::force_backend(Some(Backend::Blocked));
+    assert_eq!(micro::active_backend(), Backend::Blocked);
+    micro::force_backend(None);
+    let detected = micro::active_backend();
+    if cfg!(feature = "simd") {
+        // Whatever detection says, it must be stable call to call.
+        assert_eq!(micro::active_backend(), detected);
+    } else {
+        assert_eq!(detected, Backend::Blocked, "default build has one backend");
+    }
+}
