@@ -4,6 +4,7 @@ use crate::options::QrOptions;
 use tileqr_dag::TaskGraph;
 use tileqr_kernels::exec::{apply_q_dense, apply_qt_dense, FactorState};
 use tileqr_matrix::{Matrix, MatrixError, Result, Scalar, TiledMatrix};
+use tileqr_runtime::service::{JobOutput, JobSpec, QrService};
 use tileqr_runtime::{parallel_factor_ft, parallel_factor_traced, PoolConfig, RunReport};
 
 /// A completed tiled QR factorization `A = Q R`.
@@ -68,6 +69,43 @@ impl<T: Scalar> TiledQr<T> {
                 graph,
                 rows,
                 cols,
+            },
+            report,
+        ))
+    }
+
+    /// Factor `a` through a resident [`QrService`] — the single-matrix
+    /// path expressed as a one-job service call. The job inherits the
+    /// tile size, elimination order, and inner block from `opts` (worker
+    /// count, schedule policy, and fault tolerance are properties of the
+    /// service itself — see [`QrOptions::to_service_config`]). Blocks
+    /// until the service completes the job; the returned [`RunReport`]
+    /// covers this job alone.
+    pub fn factor_on(
+        service: &QrService<T>,
+        a: &Matrix<T>,
+        opts: &QrOptions,
+    ) -> Result<(Self, RunReport)> {
+        let mut spec = JobSpec::factor(a.clone())
+            .tile_size(opts.get_tile_size())
+            .order(opts.get_order());
+        if let Some(ib) = opts.get_inner_block() {
+            spec = spec.inner_block(ib);
+        }
+        let handle = service.submit(spec).map_err(MatrixError::from)?;
+        let result = handle.wait().map_err(MatrixError::from)?;
+        let report = result.report;
+        let JobOutput::Factored(f) = result.output else {
+            return Err(MatrixError::Runtime {
+                reason: "service returned a non-factor output for a factor job".to_string(),
+            });
+        };
+        Ok((
+            TiledQr {
+                state: f.state,
+                graph: f.graph,
+                rows: f.rows,
+                cols: f.cols,
             },
             report,
         ))

@@ -41,7 +41,7 @@ pub use factor::TiledQr;
 pub use options::QrOptions;
 
 pub use tileqr_dag::EliminationOrder;
-pub use tileqr_matrix::{Matrix, MatrixError, Scalar, TiledMatrix};
+pub use tileqr_matrix::{Matrix, MatrixError, Rng64, Scalar, TiledMatrix};
 
 /// Workload generators (re-export of `tileqr-matrix`'s `gen` module).
 pub use tileqr_matrix::gen;
@@ -76,6 +76,10 @@ pub mod runtime {
         ReadyQueue, ReadyTracker, RunReport, RuntimeError, SchedulePolicy, ScriptedFaults,
         TraceConfig,
     };
+    pub use tileqr_runtime::{
+        FactoredJob, JobHandle, JobId, JobOutput, JobResult, JobSpec, PriorityClass, QrService,
+        ServiceConfig, ServiceError, ServiceStats,
+    };
 }
 
 /// Unified observability: lifecycle traces over the real pool and the
@@ -97,5 +101,7 @@ pub mod prelude {
     pub use crate::{qr, QrOptions, TiledQr};
     pub use tileqr_dag::EliminationOrder;
     pub use tileqr_matrix::{Matrix, Scalar, TiledMatrix};
-    pub use tileqr_runtime::{FaultTolerance, SchedulePolicy};
+    pub use tileqr_runtime::{
+        FaultTolerance, JobSpec, PriorityClass, QrService, SchedulePolicy, ServiceConfig,
+    };
 }

@@ -2,7 +2,7 @@
 
 use tileqr_dag::EliminationOrder;
 use tileqr_kernels::WorkspacePolicy;
-use tileqr_runtime::{FaultTolerance, SchedulePolicy, TraceConfig};
+use tileqr_runtime::{FaultTolerance, SchedulePolicy, ServiceConfig, TraceConfig};
 
 /// Options controlling a [`crate::TiledQr`] factorization.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -152,6 +152,23 @@ impl QrOptions {
     /// Configured workspace policy.
     pub fn get_workspace(&self) -> WorkspacePolicy {
         self.workspace
+    }
+
+    /// Derive a resident-service configuration from these options: the
+    /// worker count, schedule policy, workspace policy, and (if set)
+    /// fault-tolerance budget carry over; admission and batching bounds
+    /// take the service defaults. Pair with
+    /// [`TiledQr::factor_on`](crate::TiledQr::factor_on) to route the
+    /// single-matrix path through one long-lived
+    /// [`QrService`](tileqr_runtime::QrService).
+    pub fn to_service_config(&self) -> ServiceConfig {
+        ServiceConfig {
+            workers: self.workers,
+            policy: self.schedule,
+            fault_tolerance: self.fault_tolerance.unwrap_or_default(),
+            workspace: self.workspace,
+            ..ServiceConfig::default()
+        }
     }
 }
 

@@ -36,6 +36,11 @@
 //! [`Trace`](tileqr_obs::Trace) carried by [`RunReport::trace`] — see
 //! the `tileqr-obs` crate for Chrome-trace export, latency histograms,
 //! and sim-vs-real calibration built on top.
+//!
+//! Service mode: [`QrService`] keeps the pool *resident* and serves a
+//! stream of factor / solve / apply jobs, interleaving many job DAGs
+//! with weighted fair-share scheduling, priority classes, admission
+//! control, and small-job batching — see the [`service`] module docs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,6 +49,7 @@ mod error;
 mod pool;
 pub mod recovery;
 mod scheduler;
+pub mod service;
 
 pub use error::RuntimeError;
 pub use pool::{
@@ -52,4 +58,8 @@ pub use pool::{
 };
 pub use recovery::{FaultInjector, FaultTolerance, InjectedFault, NoFaults, ScriptedFaults};
 pub use scheduler::{DispatchOrder, ReadyQueue, ReadyTracker, SchedulePolicy};
+pub use service::{
+    FactoredJob, JobHandle, JobId, JobOutput, JobResult, JobSpec, PriorityClass, QrService,
+    ServiceConfig, ServiceError, ServiceStats,
+};
 pub use tileqr_obs::TraceConfig;

@@ -162,7 +162,7 @@ impl RunReport {
 
 /// Per-kernel flop counts as scheduling weights, so the bottom levels
 /// reflect real work, not just DAG depth.
-fn flop_weight(b: usize) -> impl Fn(TaskKind) -> f64 + Copy {
+pub(crate) fn flop_weight(b: usize) -> impl Fn(TaskKind) -> f64 + Copy {
     move |t| match t {
         TaskKind::Geqrt { .. } => flops::geqrt_flops(b) as f64,
         TaskKind::Unmqr { .. } => flops::unmqr_flops(b) as f64,
@@ -341,7 +341,7 @@ struct Completion<T: Scalar> {
     outcome: WorkerOutcome<T>,
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

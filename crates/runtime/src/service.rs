@@ -1,0 +1,2020 @@
+//! `QrService`: a resident multi-matrix throughput service.
+//!
+//! Where [`parallel_factor`](crate::parallel_factor) spins a pool up and
+//! down around one matrix, the service keeps a **long-lived worker pool**
+//! and accepts a *stream* of jobs — factor, least-squares solve, Q-apply —
+//! through a submission handle. Tasks from many concurrent job DAGs are
+//! interleaved through one manager-owned ready structure with per-job
+//! **fair-share accounting** (weighted virtual time, one weight per
+//! [`PriorityClass`]), so a flood of bulk work cannot starve interactive
+//! jobs.
+//!
+//! Architecture (one manager thread, `workers` computing threads):
+//!
+//! * **Admission**: `max_in_flight` bounds submitted-but-unfinished jobs.
+//!   [`QrService::submit`] blocks for a slot (backpressure);
+//!   [`QrService::try_submit`] fails fast with [`ServiceError::Saturated`].
+//! * **Fair share**: each job carries a virtual time; dispatching a task
+//!   advances it by `task_flops / class_weight`. The manager always serves
+//!   the backlogged job with the smallest virtual time, and a newly
+//!   admitted job starts at the *minimum* virtual time of the current
+//!   backlog — it can never be scheduled behind work that arrived after
+//!   it, and a heavy job cannot monopolise the pool.
+//! * **Batching**: jobs whose DAG is at most `batch_max_tasks` tasks are
+//!   grouped into a composite unit executed sequentially on one worker —
+//!   per-task dispatch overhead is the dominant cost at that size. A
+//!   batch flushes when `batch_max_jobs` accumulate or when workers would
+//!   otherwise idle; pending batches compete in the same virtual-time
+//!   order as regular jobs (keyed by their oldest member), so batching
+//!   adds no starvation risk.
+//! * **Execution**: identical to the fault-tolerant pool path —
+//!   non-destructive staging plus a manager-side commit fence make task
+//!   re-execution idempotent, so the bit-identity guarantee survives DAG
+//!   interleaving: every task still writes a disjoint tile set of its own
+//!   job's [`SharedFactorState`].
+//! * **Recovery**: a worker panic retires only that thread; the manager
+//!   respawns the slot (the pool never shrinks) and charges the retry to
+//!   the *victim job's* attempt budget alone. Other in-flight jobs are
+//!   untouched. Exhausted budgets fail that one job with a structured
+//!   [`ServiceError::Runtime`].
+//! * **Shutdown**: [`QrService::shutdown`] (and `Drop`) closes admission,
+//!   drains every queued and in-flight job to its completion channel —
+//!   zero lost jobs — then joins all threads.
+//!
+//! Instrumentation flows through the existing `tileqr-obs` types: per-job
+//! task-compute [`LatencyHistogram`]s ride on each [`JobResult`], and
+//! service-wide queue-wait / latency histograms plus queue-depth
+//! high-water marks are readable at any time via [`QrService::stats`].
+
+use crate::error::RuntimeError;
+use crate::pool::{flop_weight, panic_message, RunReport};
+use crate::recovery::{FaultInjector, FaultTolerance, InjectedFault};
+use crate::scheduler::{ReadyQueue, ReadyTracker, SchedulePolicy};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use tileqr_dag::{EliminationOrder, TaskGraph, TaskId, TaskKind};
+use tileqr_kernels::exec::{
+    apply_q_dense, apply_qt_dense, CompletedTask, FactorState, SharedFactorState,
+};
+use tileqr_kernels::{Workspace, WorkspacePolicy};
+use tileqr_matrix::{Matrix, MatrixError, Scalar, TiledMatrix};
+use tileqr_obs::{HotPathCounters, LatencyHistogram};
+
+/// Job identifier, unique per service instance (1-based).
+pub type JobId = u64;
+
+/// Scheduling class of a job; determines its fair-share weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PriorityClass {
+    /// Latency-sensitive foreground work (weight 4).
+    Interactive,
+    /// Default class (weight 2).
+    #[default]
+    Standard,
+    /// Throughput-oriented background work (weight 1).
+    Bulk,
+}
+
+impl PriorityClass {
+    /// Fair-share weight: a job's virtual time advances by
+    /// `task_cost / weight`, so higher weights receive proportionally
+    /// more service under contention.
+    pub fn weight(self) -> f64 {
+        match self {
+            PriorityClass::Interactive => 4.0,
+            PriorityClass::Standard => 2.0,
+            PriorityClass::Bulk => 1.0,
+        }
+    }
+
+    /// Stable lowercase name (used in stats and bench output).
+    pub fn name(self) -> &'static str {
+        match self {
+            PriorityClass::Interactive => "interactive",
+            PriorityClass::Standard => "standard",
+            PriorityClass::Bulk => "bulk",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            PriorityClass::Interactive => 0,
+            PriorityClass::Standard => 1,
+            PriorityClass::Bulk => 2,
+        }
+    }
+}
+
+/// Configuration of a [`QrService`] instance.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Computing threads. `0` means one per available core.
+    pub workers: usize,
+    /// Per-job ready-set ordering (FIFO or critical-path priority).
+    pub policy: SchedulePolicy,
+    /// Admission bound: maximum submitted-but-unfinished jobs. `0` means
+    /// unbounded (no backpressure).
+    pub max_in_flight: usize,
+    /// Jobs whose DAG has at most this many tasks are batched into
+    /// composite units instead of being interleaved task-by-task.
+    /// `0` disables batching.
+    pub batch_max_tasks: usize,
+    /// A pending batch flushes once this many small jobs accumulate
+    /// (it also flushes early whenever workers would otherwise idle).
+    /// Values `<= 1` disable batching.
+    pub batch_max_jobs: usize,
+    /// Per-job retry budget and backoff for panicked or transiently
+    /// failed tasks.
+    pub fault_tolerance: FaultTolerance,
+    /// Kernel-scratch strategy for the resident workers.
+    pub workspace: WorkspacePolicy,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 0,
+            policy: SchedulePolicy::default(),
+            max_in_flight: 64,
+            batch_max_tasks: 4,
+            batch_max_jobs: 8,
+            fault_tolerance: FaultTolerance::default(),
+            workspace: WorkspacePolicy::default(),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Resolve `workers == 0` to the host's available parallelism.
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism().map_or(1, |v| v.get())
+        }
+    }
+
+    fn batching_enabled(&self) -> bool {
+        self.batch_max_tasks > 0 && self.batch_max_jobs > 1
+    }
+}
+
+/// What a job computes once its factorization DAG has completed.
+enum Payload<T: Scalar> {
+    Factor,
+    Solve { rhs: Vec<T> },
+    Apply { c: Matrix<T>, transpose: bool },
+}
+
+/// A single unit of work submitted to a [`QrService`].
+///
+/// Built with [`JobSpec::factor`] / [`JobSpec::solve`] /
+/// [`JobSpec::apply_qt`] / [`JobSpec::apply_q`] plus builder-style
+/// options mirroring `QrOptions`.
+pub struct JobSpec<T: Scalar> {
+    a: Matrix<T>,
+    payload: Payload<T>,
+    tile_size: usize,
+    order: EliminationOrder,
+    inner_block: Option<usize>,
+    priority: PriorityClass,
+    injector: Option<Arc<dyn FaultInjector + Send + Sync>>,
+}
+
+impl<T: Scalar> JobSpec<T> {
+    fn new(a: Matrix<T>, payload: Payload<T>) -> Self {
+        JobSpec {
+            a,
+            payload,
+            tile_size: 16,
+            order: EliminationOrder::FlatTs,
+            inner_block: None,
+            priority: PriorityClass::Standard,
+            injector: None,
+        }
+    }
+
+    /// Factor `a` (QR of an `m x n` matrix, `m >= n`).
+    pub fn factor(a: Matrix<T>) -> Self {
+        Self::new(a, Payload::Factor)
+    }
+
+    /// Factor `a` and solve `min ||a x - rhs||_2` (`rhs.len() == a.rows()`).
+    pub fn solve(a: Matrix<T>, rhs: Vec<T>) -> Self {
+        Self::new(a, Payload::Solve { rhs })
+    }
+
+    /// Factor `a` and compute `Qᵀ c` (`c.rows() == a.rows()`).
+    pub fn apply_qt(a: Matrix<T>, c: Matrix<T>) -> Self {
+        Self::new(a, Payload::Apply { c, transpose: true })
+    }
+
+    /// Factor `a` and compute `Q c` (`c.rows() == a.rows()`).
+    pub fn apply_q(a: Matrix<T>, c: Matrix<T>) -> Self {
+        Self::new(
+            a,
+            Payload::Apply {
+                c,
+                transpose: false,
+            },
+        )
+    }
+
+    /// Tile size `b` (default 16, clamped to at least 1).
+    pub fn tile_size(mut self, b: usize) -> Self {
+        self.tile_size = b.max(1);
+        self
+    }
+
+    /// Elimination order of the task DAG (default [`EliminationOrder::FlatTs`]).
+    pub fn order(mut self, order: EliminationOrder) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Inner blocking factor for the panel kernels.
+    pub fn inner_block(mut self, ib: usize) -> Self {
+        self.inner_block = Some(ib);
+        self
+    }
+
+    /// Scheduling class (default [`PriorityClass::Standard`]).
+    pub fn priority(mut self, class: PriorityClass) -> Self {
+        self.priority = class;
+        self
+    }
+
+    /// Attach a fault injector consulted before every task attempt of
+    /// *this job only* (testing hook; disables batching for the job so
+    /// every attempt routes through the retryable task path).
+    pub fn faults(mut self, injector: Arc<dyn FaultInjector + Send + Sync>) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+}
+
+/// A completed factorization: the tile/reflector state plus the DAG that
+/// produced it and the original (unpadded) dimensions.
+pub struct FactoredJob<T: Scalar> {
+    /// Tiles and T factors after the DAG ran to completion.
+    pub state: FactorState<T>,
+    /// The task graph that was executed.
+    pub graph: TaskGraph,
+    /// Original row count of the input.
+    pub rows: usize,
+    /// Original column count of the input.
+    pub cols: usize,
+}
+
+impl<T: Scalar> FactoredJob<T> {
+    /// The upper-triangular factor `R` (`rows x cols`, unpadded).
+    pub fn r_matrix(&self) -> Matrix<T> {
+        self.state.r_matrix()
+    }
+}
+
+/// The product of a completed job.
+pub enum JobOutput<T: Scalar> {
+    /// A plain factorization.
+    Factored(FactoredJob<T>),
+    /// Least-squares solution plus the factorization that produced it.
+    Solved {
+        /// `x = R⁻¹ (Qᵀ rhs)₁..ₙ`.
+        x: Vec<T>,
+        /// The underlying factorization.
+        factor: FactoredJob<T>,
+    },
+    /// `Q c` / `Qᵀ c` plus the factorization that produced it.
+    Applied {
+        /// The transformed matrix (unpadded, `rows x c.cols()`).
+        c: Matrix<T>,
+        /// The underlying factorization.
+        factor: FactoredJob<T>,
+    },
+}
+
+impl<T: Scalar> JobOutput<T> {
+    /// The factorization underlying any job kind.
+    pub fn factor(&self) -> &FactoredJob<T> {
+        match self {
+            JobOutput::Factored(f) => f,
+            JobOutput::Solved { factor, .. } => factor,
+            JobOutput::Applied { factor, .. } => factor,
+        }
+    }
+
+    /// Consume the output, keeping only the factorization.
+    pub fn into_factor(self) -> FactoredJob<T> {
+        match self {
+            JobOutput::Factored(f) => f,
+            JobOutput::Solved { factor, .. } => factor,
+            JobOutput::Applied { factor, .. } => factor,
+        }
+    }
+}
+
+/// Everything a job gets back on its completion channel.
+pub struct JobResult<T: Scalar> {
+    /// The job's service-assigned id.
+    pub job: JobId,
+    /// The class the job ran under.
+    pub class: PriorityClass,
+    /// The computed product.
+    pub output: JobOutput<T>,
+    /// Execution report (task spread, recovery counters, …). For batched
+    /// jobs the report covers the composite unit's share attributed to
+    /// this job.
+    pub report: RunReport,
+    /// Submission → first dispatch of any of the job's tasks.
+    pub queue_wait: Duration,
+    /// Submission → result delivery.
+    pub latency: Duration,
+    /// Service-wide task dispatches that happened between this job's
+    /// submission and its own first dispatch — a scheduler-level fairness
+    /// measure independent of task durations.
+    pub dispatch_delay_tasks: u64,
+    /// Jobs with pending work at the moment this job was admitted
+    /// (the backlog it had to share the pool with).
+    pub backlog_at_submit: u64,
+    /// Whether the job executed inside a composite small-job batch.
+    pub batched: bool,
+    /// Per-task kernel compute latencies of this job alone.
+    pub task_latency: LatencyHistogram,
+}
+
+/// Why a submission or job failed.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Admission bound reached ([`QrService::try_submit`] only).
+    Saturated,
+    /// The service is draining or already shut down.
+    ShuttingDown,
+    /// Spec validation or numeric epilogue failure.
+    Numeric(MatrixError),
+    /// The job's DAG execution failed (retry budget exhausted, …).
+    Runtime(RuntimeError),
+    /// The service dropped the completion channel without a result
+    /// (manager died — should not happen).
+    Lost,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Saturated => write!(f, "service saturated: admission bound reached"),
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::Numeric(e) => write!(f, "job failed numerically: {e}"),
+            ServiceError::Runtime(e) => write!(f, "job execution failed: {e}"),
+            ServiceError::Lost => write!(f, "service lost the job (manager terminated)"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<ServiceError> for MatrixError {
+    fn from(e: ServiceError) -> Self {
+        match e {
+            ServiceError::Numeric(inner) => inner,
+            ServiceError::Runtime(inner) => inner.into(),
+            other => MatrixError::Runtime {
+                reason: other.to_string(),
+            },
+        }
+    }
+}
+
+/// Handle to one submitted job; redeem it with [`JobHandle::wait`].
+pub struct JobHandle<T: Scalar> {
+    id: JobId,
+    rx: mpsc::Receiver<Result<JobResult<T>, ServiceError>>,
+}
+
+impl<T: Scalar> JobHandle<T> {
+    /// The service-assigned job id.
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// Block until the job completes (or fails) and return its result.
+    pub fn wait(self) -> Result<JobResult<T>, ServiceError> {
+        self.rx.recv().unwrap_or(Err(ServiceError::Lost))
+    }
+}
+
+/// Service-wide counters and histograms, readable via [`QrService::stats`].
+#[derive(Debug, Clone, Default)]
+pub struct ServiceStats {
+    /// Jobs accepted by the manager.
+    pub jobs_submitted: u64,
+    /// Jobs that delivered a successful result.
+    pub jobs_completed: u64,
+    /// Jobs that delivered an error.
+    pub jobs_failed: u64,
+    /// Jobs that executed inside composite batches.
+    pub jobs_batched: u64,
+    /// Composite batch units dispatched.
+    pub batches: u64,
+    /// Individual task dispatches (batched jobs count once per job).
+    pub tasks_dispatched: u64,
+    /// High-water mark of the total ready backlog (ready tasks across
+    /// all jobs plus undispatched small jobs).
+    pub max_ready_depth: usize,
+    /// High-water mark of concurrently admitted jobs.
+    pub max_jobs_in_flight: usize,
+    /// Submission → first dispatch, across all completed jobs.
+    pub queue_wait: LatencyHistogram,
+    /// Submission → result delivery, across all completed jobs.
+    pub latency: LatencyHistogram,
+    /// Per-class latency histograms, indexed interactive/standard/bulk.
+    pub class_latency: [LatencyHistogram; 3],
+}
+
+impl ServiceStats {
+    /// Latency histogram of one priority class.
+    pub fn latency_for(&self, class: PriorityClass) -> &LatencyHistogram {
+        &self.class_latency[class.index()]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// admission gate
+// ---------------------------------------------------------------------------
+
+struct GateState {
+    in_flight: usize,
+    accepting: bool,
+}
+
+struct Gate {
+    capacity: usize,
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new(capacity: usize) -> Self {
+        Gate {
+            capacity,
+            state: Mutex::new(GateState {
+                in_flight: 0,
+                accepting: true,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self, block: bool) -> Result<(), ServiceError> {
+        let mut s = self.state.lock().unwrap();
+        loop {
+            if !s.accepting {
+                return Err(ServiceError::ShuttingDown);
+            }
+            if self.capacity == 0 || s.in_flight < self.capacity {
+                s.in_flight += 1;
+                return Ok(());
+            }
+            if !block {
+                return Err(ServiceError::Saturated);
+            }
+            s = self.cv.wait(s).unwrap();
+        }
+    }
+
+    fn release(&self) {
+        let mut s = self.state.lock().unwrap();
+        s.in_flight = s.in_flight.saturating_sub(1);
+        drop(s);
+        self.cv.notify_all();
+    }
+
+    fn close(&self) {
+        self.state.lock().unwrap().accepting = false;
+        self.cv.notify_all();
+    }
+
+    fn in_flight(&self) -> usize {
+        self.state.lock().unwrap().in_flight
+    }
+}
+
+// ---------------------------------------------------------------------------
+// wire types between submitter, manager, and workers
+// ---------------------------------------------------------------------------
+
+type ResultTx<T> = mpsc::Sender<Result<JobResult<T>, ServiceError>>;
+type SharedInjector = Arc<dyn FaultInjector + Send + Sync>;
+
+/// Identity + timing + completion channel of one job, carried through
+/// whichever path (interleaved / batched / epilogue) executes it.
+struct JobMeta<T: Scalar> {
+    id: JobId,
+    class: PriorityClass,
+    submitted: Instant,
+    submit_dispatch_count: u64,
+    backlog_at_submit: u64,
+    queue_wait: Duration,
+    dispatch_delay_tasks: u64,
+    result_tx: ResultTx<T>,
+}
+
+struct NewJob<T: Scalar> {
+    id: JobId,
+    state: FactorState<T>,
+    graph: Arc<TaskGraph>,
+    rows: usize,
+    cols: usize,
+    b: usize,
+    payload: Payload<T>,
+    class: PriorityClass,
+    injector: Option<SharedInjector>,
+    submitted: Instant,
+    result_tx: ResultTx<T>,
+}
+
+enum UnitFailure {
+    Numeric(MatrixError),
+    Panicked(String),
+}
+
+enum TaskOutcome<T: Scalar> {
+    Done {
+        completed: Box<CompletedTask<T>>,
+        stage_wait: Duration,
+        compute_ns: u64,
+    },
+    Failed(MatrixError),
+    Panicked(String),
+}
+
+struct TaskDone<T: Scalar> {
+    job: JobId,
+    task: TaskId,
+    worker: usize,
+    outcome: TaskOutcome<T>,
+}
+
+struct BatchItem<T: Scalar> {
+    meta: JobMeta<T>,
+    result: Result<(JobOutput<T>, LatencyHistogram), UnitFailure>,
+    elapsed: Duration,
+    tasks: u64,
+}
+
+struct BatchDone<T: Scalar> {
+    worker: usize,
+    items: Vec<BatchItem<T>>,
+}
+
+struct EpilogueDone<T: Scalar> {
+    job: JobId,
+    worker: usize,
+    result: Result<JobOutput<T>, UnitFailure>,
+}
+
+enum Msg<T: Scalar> {
+    Submit(Box<NewJob<T>>),
+    TaskDone(Box<TaskDone<T>>),
+    BatchDone(BatchDone<T>),
+    EpilogueDone(Box<EpilogueDone<T>>),
+    Drain(mpsc::Sender<()>),
+}
+
+struct BatchUnit<T: Scalar> {
+    meta: JobMeta<T>,
+    state: FactorState<T>,
+    graph: Arc<TaskGraph>,
+    rows: usize,
+    cols: usize,
+    payload: Payload<T>,
+}
+
+struct EpilogueUnit<T: Scalar> {
+    job: JobId,
+    state: FactorState<T>,
+    graph: Arc<TaskGraph>,
+    rows: usize,
+    cols: usize,
+    payload: Payload<T>,
+}
+
+enum Work<T: Scalar> {
+    Task {
+        job: JobId,
+        task: TaskId,
+        kind: TaskKind,
+        attempt: u32,
+        shared: Arc<SharedFactorState<T>>,
+        injector: Option<SharedInjector>,
+    },
+    Batch(Vec<BatchUnit<T>>),
+    Epilogue(Box<EpilogueUnit<T>>),
+}
+
+/// Run the epilogue of a finished DAG: wrap the state into the job's
+/// requested output, replaying the reflectors for solve/apply payloads.
+///
+/// The solve path mirrors `TiledQr::solve` exactly (pad, `Qᵀ b`, back
+/// substitution on the leading `cols` entries) so a service solve is
+/// bit-identical to the single-matrix API.
+fn finish_output<T: Scalar>(
+    state: FactorState<T>,
+    graph: &TaskGraph,
+    rows: usize,
+    cols: usize,
+    payload: Payload<T>,
+) -> Result<JobOutput<T>, MatrixError> {
+    let wrap = |state: FactorState<T>| FactoredJob {
+        state,
+        graph: graph.clone(),
+        rows,
+        cols,
+    };
+    match payload {
+        Payload::Factor => Ok(JobOutput::Factored(wrap(state))),
+        Payload::Solve { rhs } => {
+            let (pm, _) = state.tiles().padded_dims();
+            let bm = Matrix::from_col_major(rows, 1, rhs)?;
+            let mut work = Matrix::zeros(pm, 1);
+            work.set_submatrix(0, 0, &bm)?;
+            apply_qt_dense(&state, graph, &mut work)?;
+            let r_sq = state.r_matrix().submatrix(0, 0, cols, cols)?;
+            let x = tileqr_matrix::ops::solve_upper_triangular(&r_sq, &work.as_slice()[..cols])?;
+            Ok(JobOutput::Solved {
+                x,
+                factor: wrap(state),
+            })
+        }
+        Payload::Apply { c, transpose } => {
+            let (pm, _) = state.tiles().padded_dims();
+            let mut work = Matrix::zeros(pm, c.cols());
+            work.set_submatrix(0, 0, &c)?;
+            if transpose {
+                apply_qt_dense(&state, graph, &mut work)?;
+            } else {
+                apply_q_dense(&state, graph, &mut work)?;
+            }
+            let out = work.submatrix(0, 0, rows, c.cols())?;
+            Ok(JobOutput::Applied {
+                c: out,
+                factor: wrap(state),
+            })
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// worker thread
+// ---------------------------------------------------------------------------
+
+fn worker_loop<T: Scalar>(
+    worker_id: usize,
+    rx: mpsc::Receiver<Work<T>>,
+    tx: mpsc::Sender<Msg<T>>,
+    per_worker_ws: bool,
+) {
+    // One arena per resident thread, grown on demand to the largest
+    // (b, ib) the worker has seen — steady state allocates nothing.
+    let mut ws = Workspace::<T>::minimal();
+    while let Ok(work) = rx.recv() {
+        match work {
+            Work::Task {
+                job,
+                task,
+                kind,
+                attempt,
+                shared,
+                injector,
+            } => {
+                let ws_ref = &mut ws;
+                let result = catch_unwind(AssertUnwindSafe(
+                    || -> Result<(Box<CompletedTask<T>>, Duration, u64), MatrixError> {
+                        match injector
+                            .as_deref()
+                            .map_or(InjectedFault::None, |f| f.before_attempt(task, attempt))
+                        {
+                            InjectedFault::None => {}
+                            InjectedFault::Panic => {
+                                panic!("injected panic: task {task} attempt {attempt}")
+                            }
+                            InjectedFault::TransientError => {
+                                return Err(MatrixError::Runtime {
+                                    reason: format!(
+                                        "injected transient failure: task {task} attempt {attempt}"
+                                    ),
+                                })
+                            }
+                            InjectedFault::Stall(d) => std::thread::sleep(d),
+                        }
+                        let t0 = Instant::now();
+                        let staged = shared.stage_preserving(kind)?;
+                        let t1 = Instant::now();
+                        let done = if per_worker_ws {
+                            staged.compute_with(ws_ref)?
+                        } else {
+                            staged.compute()?
+                        };
+                        Ok((
+                            Box::new(done),
+                            t1.duration_since(t0),
+                            t1.elapsed().as_nanos() as u64,
+                        ))
+                    },
+                ));
+                // Drop the state handle *before* reporting: when the
+                // manager sees the job's last completion it can then
+                // reclaim unique ownership immediately.
+                drop(shared);
+                let (outcome, retire) = match result {
+                    Ok(Ok((completed, stage_wait, compute_ns))) => (
+                        TaskOutcome::Done {
+                            completed,
+                            stage_wait,
+                            compute_ns,
+                        },
+                        false,
+                    ),
+                    Ok(Err(e)) => (TaskOutcome::Failed(e), false),
+                    Err(payload) => (TaskOutcome::Panicked(panic_message(payload.as_ref())), true),
+                };
+                let gone = tx
+                    .send(Msg::TaskDone(Box::new(TaskDone {
+                        job,
+                        task,
+                        worker: worker_id,
+                        outcome,
+                    })))
+                    .is_err();
+                if gone || retire {
+                    break;
+                }
+            }
+            Work::Batch(units) => {
+                let mut items = Vec::with_capacity(units.len());
+                for unit in units {
+                    let BatchUnit {
+                        meta,
+                        mut state,
+                        graph,
+                        rows,
+                        cols,
+                        payload,
+                    } = unit;
+                    let tasks = graph.len() as u64;
+                    let t0 = Instant::now();
+                    let graph_ref = &graph;
+                    let run = catch_unwind(AssertUnwindSafe(
+                        move || -> Result<(JobOutput<T>, LatencyHistogram), MatrixError> {
+                            let mut hist = LatencyHistogram::new();
+                            for tid in 0..graph_ref.len() {
+                                let k0 = Instant::now();
+                                state.execute(graph_ref.task(tid))?;
+                                hist.record_ns(k0.elapsed().as_nanos() as u64);
+                            }
+                            let out = finish_output(state, graph_ref, rows, cols, payload)?;
+                            Ok((out, hist))
+                        },
+                    ));
+                    let result = match run {
+                        Ok(Ok(v)) => Ok(v),
+                        Ok(Err(e)) => Err(UnitFailure::Numeric(e)),
+                        Err(payload) => Err(UnitFailure::Panicked(panic_message(payload.as_ref()))),
+                    };
+                    items.push(BatchItem {
+                        meta,
+                        result,
+                        elapsed: t0.elapsed(),
+                        tasks,
+                    });
+                }
+                if tx
+                    .send(Msg::BatchDone(BatchDone {
+                        worker: worker_id,
+                        items,
+                    }))
+                    .is_err()
+                {
+                    break;
+                }
+            }
+            Work::Epilogue(unit) => {
+                let EpilogueUnit {
+                    job,
+                    state,
+                    graph,
+                    rows,
+                    cols,
+                    payload,
+                } = *unit;
+                let graph_ref = &graph;
+                let run = catch_unwind(AssertUnwindSafe(move || {
+                    finish_output(state, graph_ref, rows, cols, payload)
+                }));
+                let result = match run {
+                    Ok(Ok(v)) => Ok(v),
+                    Ok(Err(e)) => Err(UnitFailure::Numeric(e)),
+                    Err(payload) => Err(UnitFailure::Panicked(panic_message(payload.as_ref()))),
+                };
+                if tx
+                    .send(Msg::EpilogueDone(Box::new(EpilogueDone {
+                        job,
+                        worker: worker_id,
+                        result,
+                    })))
+                    .is_err()
+                {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// manager
+// ---------------------------------------------------------------------------
+
+enum InFlight {
+    Task(JobId, TaskId),
+    Other,
+}
+
+struct JobState<T: Scalar> {
+    meta: JobMeta<T>,
+    shared: Option<Arc<SharedFactorState<T>>>,
+    graph: Arc<TaskGraph>,
+    rows: usize,
+    cols: usize,
+    b: usize,
+    payload: Option<Payload<T>>,
+    weight: f64,
+    vtime: f64,
+    tracker: ReadyTracker,
+    ready: ReadyQueue,
+    committed: Vec<bool>,
+    attempts: Vec<u32>,
+    in_flight: usize,
+    injector: Option<SharedInjector>,
+    started: Option<Instant>,
+    tasks_per_worker: Vec<u64>,
+    stage_wait: Duration,
+    commit_wait: Duration,
+    retries: u64,
+    requeues: u64,
+    worker_deaths: u64,
+    task_latency: LatencyHistogram,
+    report: Option<RunReport>,
+}
+
+impl<T: Scalar> JobState<T> {
+    fn pending_work(&self) -> bool {
+        !self.tracker.all_done()
+    }
+}
+
+struct SmallJob<T: Scalar> {
+    meta: JobMeta<T>,
+    state: FactorState<T>,
+    graph: Arc<TaskGraph>,
+    rows: usize,
+    cols: usize,
+    payload: Payload<T>,
+    vtime: f64,
+}
+
+struct PendingBatch<T: Scalar> {
+    units: Vec<SmallJob<T>>,
+    vtime: f64,
+}
+
+struct WorkerSlot<T: Scalar> {
+    tx: mpsc::Sender<Work<T>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+struct Manager<T: Scalar> {
+    cfg: ServiceConfig,
+    workers: usize,
+    rx: mpsc::Receiver<Msg<T>>,
+    msg_tx: mpsc::Sender<Msg<T>>,
+    slots: Vec<WorkerSlot<T>>,
+    graveyard: Vec<JoinHandle<()>>,
+    idle: Vec<usize>,
+    in_flight_of: Vec<Option<InFlight>>,
+    jobs: HashMap<JobId, JobState<T>>,
+    smalls: VecDeque<SmallJob<T>>,
+    batches: VecDeque<PendingBatch<T>>,
+    batch_in_flight: usize,
+    epi_queue: VecDeque<Work<T>>,
+    finalize_pending: Vec<JobId>,
+    parked: BinaryHeap<Reverse<(Instant, JobId, TaskId)>>,
+    vclock: f64,
+    dispatch_count: u64,
+    draining: bool,
+    drain_ack: Option<mpsc::Sender<()>>,
+    gate: Arc<Gate>,
+    metrics: Arc<Mutex<ServiceStats>>,
+}
+
+/// Flop cost of one task, scaled to keep virtual times in a sane range.
+fn task_cost(b: usize, kind: TaskKind) -> f64 {
+    (flop_weight(b)(kind) / 1.0e6).max(1.0e-9)
+}
+
+impl<T: Scalar> Manager<T> {
+    fn new(
+        cfg: ServiceConfig,
+        workers: usize,
+        rx: mpsc::Receiver<Msg<T>>,
+        msg_tx: mpsc::Sender<Msg<T>>,
+        gate: Arc<Gate>,
+        metrics: Arc<Mutex<ServiceStats>>,
+    ) -> Self {
+        let mut mgr = Manager {
+            cfg,
+            workers,
+            rx,
+            msg_tx,
+            slots: Vec::with_capacity(workers),
+            graveyard: Vec::new(),
+            idle: (0..workers).rev().collect(),
+            in_flight_of: (0..workers).map(|_| None).collect(),
+            jobs: HashMap::new(),
+            smalls: VecDeque::new(),
+            batches: VecDeque::new(),
+            batch_in_flight: 0,
+            epi_queue: VecDeque::new(),
+            finalize_pending: Vec::new(),
+            parked: BinaryHeap::new(),
+            vclock: 0.0,
+            dispatch_count: 0,
+            draining: false,
+            drain_ack: None,
+            gate,
+            metrics,
+        };
+        for w in 0..workers {
+            let slot = mgr.spawn_worker(w);
+            mgr.slots.push(slot);
+        }
+        mgr
+    }
+
+    fn spawn_worker(&self, id: usize) -> WorkerSlot<T> {
+        let (tx, rx) = mpsc::channel::<Work<T>>();
+        let msg_tx = self.msg_tx.clone();
+        let per_worker = self.cfg.workspace == WorkspacePolicy::PerWorker;
+        let handle = std::thread::Builder::new()
+            .name(format!("qr-service-worker-{id}"))
+            .spawn(move || worker_loop(id, rx, msg_tx, per_worker))
+            .expect("spawn service worker");
+        WorkerSlot {
+            tx,
+            handle: Some(handle),
+        }
+    }
+
+    /// Replace a retired worker thread so the pool never shrinks.
+    fn respawn(&mut self, w: usize) {
+        let mut slot = self.spawn_worker(w);
+        std::mem::swap(&mut self.slots[w], &mut slot);
+        if let Some(h) = slot.handle.take() {
+            self.graveyard.push(h);
+        }
+        self.in_flight_of[w] = None;
+        if !self.idle.contains(&w) {
+            self.idle.push(w);
+        }
+    }
+
+    /// Virtual time a newly admitted job starts at: the minimum over the
+    /// current backlog, so no new arrival is ordered behind work that
+    /// came after it and no idle period inflates anyone's credit.
+    fn arrival_vtime(&self) -> f64 {
+        let mut v = f64::INFINITY;
+        for j in self.jobs.values() {
+            if j.pending_work() {
+                v = v.min(j.vtime);
+            }
+        }
+        for s in &self.smalls {
+            v = v.min(s.vtime);
+        }
+        for b in &self.batches {
+            v = v.min(b.vtime);
+        }
+        if v.is_finite() {
+            v
+        } else {
+            self.vclock
+        }
+    }
+
+    fn backlog_size(&self) -> u64 {
+        let active = self.jobs.values().filter(|j| j.pending_work()).count();
+        (active + self.smalls.len() + self.batches.iter().map(|b| b.units.len()).sum::<usize>())
+            as u64
+    }
+
+    fn handle_submit(&mut self, nj: NewJob<T>) {
+        let NewJob {
+            id,
+            state,
+            graph,
+            rows,
+            cols,
+            b,
+            payload,
+            class,
+            injector,
+            submitted,
+            result_tx,
+        } = nj;
+        let backlog = self.backlog_size();
+        let meta = JobMeta {
+            id,
+            class,
+            submitted,
+            submit_dispatch_count: self.dispatch_count,
+            backlog_at_submit: backlog,
+            queue_wait: Duration::ZERO,
+            dispatch_delay_tasks: 0,
+            result_tx,
+        };
+        let vtime = self.arrival_vtime();
+        {
+            let mut m = self.metrics.lock().unwrap();
+            m.jobs_submitted += 1;
+            m.max_jobs_in_flight = m.max_jobs_in_flight.max(self.gate.in_flight());
+        }
+        let batchable = self.cfg.batching_enabled()
+            && graph.len() <= self.cfg.batch_max_tasks
+            && injector.is_none();
+        if batchable {
+            self.smalls.push_back(SmallJob {
+                meta,
+                state,
+                graph,
+                rows,
+                cols,
+                payload,
+                vtime,
+            });
+            if self.smalls.len() >= self.cfg.batch_max_jobs {
+                self.flush_smalls();
+            }
+            return;
+        }
+        let total = graph.len();
+        let tracker = ReadyTracker::new(&graph);
+        let mut ready = ReadyQueue::for_policy(self.cfg.policy, &graph, flop_weight(b));
+        for t in tracker.initial_ready(&graph) {
+            ready.push(t);
+        }
+        let job = JobState {
+            meta,
+            shared: Some(Arc::new(SharedFactorState::new(state))),
+            graph,
+            rows,
+            cols,
+            b,
+            payload: Some(payload),
+            weight: class.weight(),
+            vtime,
+            tracker,
+            ready,
+            committed: vec![false; total],
+            attempts: vec![0u32; total],
+            in_flight: 0,
+            injector,
+            started: None,
+            tasks_per_worker: vec![0u64; self.workers],
+            stage_wait: Duration::ZERO,
+            commit_wait: Duration::ZERO,
+            retries: 0,
+            requeues: 0,
+            worker_deaths: 0,
+            task_latency: LatencyHistogram::new(),
+            report: None,
+        };
+        self.jobs.insert(id, job);
+    }
+
+    fn flush_smalls(&mut self) {
+        if self.smalls.is_empty() {
+            return;
+        }
+        let units: Vec<SmallJob<T>> = self.smalls.drain(..).collect();
+        let vtime = units.iter().map(|u| u.vtime).fold(f64::INFINITY, f64::min);
+        self.batches.push_back(PendingBatch { units, vtime });
+    }
+
+    /// Move due parked retries back into their job's ready set.
+    fn wake_parked(&mut self) {
+        let now = Instant::now();
+        while let Some(Reverse((deadline, job, task))) = self.parked.peek().copied() {
+            if deadline > now {
+                break;
+            }
+            self.parked.pop();
+            if let Some(j) = self.jobs.get_mut(&job) {
+                if !j.committed[task] {
+                    j.ready.push(task);
+                }
+            }
+        }
+    }
+
+    /// Try to reclaim unique ownership of completed DAGs and move them to
+    /// their epilogue (or completion). Workers drop their state handles
+    /// before reporting, so this almost always succeeds on the first try;
+    /// a straggler clone (late result from a retired worker) just defers
+    /// the job to the next loop iteration.
+    fn run_finalize(&mut self) {
+        enum Next<T: Scalar> {
+            Defer,
+            Complete(Box<JobOutput<T>>, RunReport),
+            Epilogue(Box<EpilogueUnit<T>>, RunReport),
+        }
+        let pending = std::mem::take(&mut self.finalize_pending);
+        for id in pending {
+            let policy = self.cfg.policy;
+            let next = {
+                let Some(job) = self.jobs.get_mut(&id) else {
+                    continue;
+                };
+                let Some(arc) = job.shared.take() else {
+                    continue;
+                };
+                match Arc::try_unwrap(arc) {
+                    Err(arc) => {
+                        job.shared = Some(arc);
+                        Next::Defer
+                    }
+                    Ok(sh) => {
+                        let state = sh.into_state();
+                        let counters = HotPathCounters {
+                            cow_clones: state.cow_clones(),
+                            ..HotPathCounters::default()
+                        };
+                        let report = RunReport {
+                            tasks_per_worker: job.tasks_per_worker.clone(),
+                            elapsed: job.started.map(|s| s.elapsed()).unwrap_or_default(),
+                            stage_wait: job.stage_wait,
+                            commit_wait: job.commit_wait,
+                            max_ready_depth: job.ready.max_depth(),
+                            policy,
+                            retries: job.retries,
+                            requeues: job.requeues,
+                            worker_deaths: job.worker_deaths,
+                            trace: None,
+                            counters,
+                        };
+                        let payload = job.payload.take().expect("payload taken once");
+                        match payload {
+                            Payload::Factor => Next::Complete(
+                                Box::new(JobOutput::Factored(FactoredJob {
+                                    state,
+                                    graph: job.graph.as_ref().clone(),
+                                    rows: job.rows,
+                                    cols: job.cols,
+                                })),
+                                report,
+                            ),
+                            payload => Next::Epilogue(
+                                Box::new(EpilogueUnit {
+                                    job: id,
+                                    state,
+                                    graph: Arc::clone(&job.graph),
+                                    rows: job.rows,
+                                    cols: job.cols,
+                                    payload,
+                                }),
+                                report,
+                            ),
+                        }
+                    }
+                }
+            };
+            match next {
+                Next::Defer => self.finalize_pending.push(id),
+                Next::Complete(output, report) => self.complete_job(id, *output, report, false),
+                Next::Epilogue(unit, report) => {
+                    if let Some(job) = self.jobs.get_mut(&id) {
+                        job.report = Some(report);
+                    }
+                    self.epi_queue.push_back(Work::Epilogue(unit));
+                }
+            }
+        }
+    }
+
+    fn record_done(&mut self, class: PriorityClass, queue_wait: Duration, latency: Duration) {
+        let mut m = self.metrics.lock().unwrap();
+        m.jobs_completed += 1;
+        m.queue_wait.record_ns(queue_wait.as_nanos() as u64);
+        m.latency.record_ns(latency.as_nanos() as u64);
+        m.class_latency[class.index()].record_ns(latency.as_nanos() as u64);
+    }
+
+    /// Deliver a success for a DAG-path job and retire its state.
+    fn complete_job(&mut self, id: JobId, output: JobOutput<T>, report: RunReport, batched: bool) {
+        let Some(job) = self.jobs.remove(&id) else {
+            return;
+        };
+        let queue_wait = job
+            .started
+            .map(|s| s.duration_since(job.meta.submitted))
+            .unwrap_or_default();
+        let latency = job.meta.submitted.elapsed();
+        let result = JobResult {
+            job: id,
+            class: job.meta.class,
+            output,
+            report,
+            queue_wait,
+            latency,
+            dispatch_delay_tasks: job.meta.dispatch_delay_tasks,
+            backlog_at_submit: job.meta.backlog_at_submit,
+            batched,
+            task_latency: job.task_latency,
+        };
+        let _ = job.meta.result_tx.send(Ok(result));
+        self.gate.release();
+        self.record_done(job.meta.class, queue_wait, latency);
+    }
+
+    /// Deliver a failure for a DAG-path job and drop its remaining state.
+    fn fail_job(&mut self, id: JobId, err: ServiceError) {
+        let Some(job) = self.jobs.remove(&id) else {
+            return;
+        };
+        let _ = job.meta.result_tx.send(Err(err));
+        self.gate.release();
+        self.metrics.lock().unwrap().jobs_failed += 1;
+    }
+
+    /// Charge a failed attempt to the job's budget: park a retry or fail
+    /// the job once the budget is spent. Only this job is affected.
+    fn retry_or_fail(&mut self, id: JobId, task: TaskId, last: MatrixError) {
+        let ftc = self.cfg.fault_tolerance;
+        let attempts = match self.jobs.get(&id) {
+            Some(job) => job.attempts[task],
+            None => return,
+        };
+        if attempts >= ftc.max_attempts {
+            self.fail_job(
+                id,
+                ServiceError::Runtime(RuntimeError::RetriesExhausted {
+                    task,
+                    attempts,
+                    last: last.to_string(),
+                }),
+            );
+            return;
+        }
+        if let Some(job) = self.jobs.get_mut(&id) {
+            job.retries += 1;
+        }
+        let wake = Instant::now() + ftc.backoff(attempts);
+        self.parked.push(Reverse((wake, id, task)));
+    }
+
+    fn handle_task_done(&mut self, done: TaskDone<T>) {
+        let TaskDone {
+            job: id,
+            task,
+            worker,
+            outcome,
+        } = done;
+        // Reclaim the worker slot if this is the result we dispatched to it.
+        if matches!(
+            self.in_flight_of[worker],
+            Some(InFlight::Task(j, t)) if j == id && t == task
+        ) {
+            self.in_flight_of[worker] = None;
+            if !matches!(outcome, TaskOutcome::Panicked(_)) {
+                self.idle.push(worker);
+            }
+        }
+        let mut respawn_needed = false;
+        let mut retry_err: Option<MatrixError> = None;
+        {
+            let Some(job) = self.jobs.get_mut(&id) else {
+                // Job already failed and was removed; drop the late result.
+                if let TaskOutcome::Panicked(_) = outcome {
+                    self.respawn(worker);
+                }
+                return;
+            };
+            job.in_flight = job.in_flight.saturating_sub(1);
+            match outcome {
+                TaskOutcome::Done {
+                    completed,
+                    stage_wait,
+                    compute_ns,
+                } => {
+                    job.stage_wait += stage_wait;
+                    job.task_latency.record_ns(compute_ns);
+                    // Commit fence: first result wins, duplicates from
+                    // retried attempts are dropped.
+                    if !job.committed[task] {
+                        let t0 = Instant::now();
+                        job.shared
+                            .as_ref()
+                            .expect("state present while tasks run")
+                            .commit(*completed);
+                        job.commit_wait += t0.elapsed();
+                        job.committed[task] = true;
+                        job.tasks_per_worker[worker] += 1;
+                        let graph = Arc::clone(&job.graph);
+                        for s in job.tracker.complete(&graph, task) {
+                            job.ready.push(s);
+                        }
+                        if job.tracker.all_done() {
+                            self.finalize_pending.push(id);
+                        }
+                    }
+                }
+                TaskOutcome::Failed(e) => retry_err = Some(e),
+                TaskOutcome::Panicked(message) => {
+                    job.worker_deaths += 1;
+                    job.requeues += 1;
+                    respawn_needed = true;
+                    retry_err = Some(MatrixError::Runtime {
+                        reason: format!("worker {worker} panicked: {message}"),
+                    });
+                }
+            }
+        }
+        if respawn_needed {
+            self.respawn(worker);
+        }
+        if let Some(e) = retry_err {
+            self.retry_or_fail(id, task, e);
+        }
+    }
+
+    fn handle_batch_done(&mut self, done: BatchDone<T>) {
+        let BatchDone { worker, items } = done;
+        self.in_flight_of[worker] = None;
+        self.idle.push(worker);
+        self.batch_in_flight -= 1;
+        for item in items {
+            let BatchItem {
+                meta,
+                result,
+                elapsed,
+                tasks,
+            } = item;
+            match result {
+                Ok((output, task_latency)) => {
+                    let mut tasks_per_worker = vec![0u64; self.workers];
+                    tasks_per_worker[worker] = tasks;
+                    let counters = HotPathCounters {
+                        cow_clones: output.factor().state.cow_clones(),
+                        ..HotPathCounters::default()
+                    };
+                    let report = RunReport {
+                        tasks_per_worker,
+                        elapsed,
+                        stage_wait: Duration::ZERO,
+                        commit_wait: Duration::ZERO,
+                        max_ready_depth: 0,
+                        policy: self.cfg.policy,
+                        retries: 0,
+                        requeues: 0,
+                        worker_deaths: 0,
+                        trace: None,
+                        counters,
+                    };
+                    let latency = meta.submitted.elapsed();
+                    let result = JobResult {
+                        job: meta.id,
+                        class: meta.class,
+                        output,
+                        report,
+                        queue_wait: meta.queue_wait,
+                        latency,
+                        dispatch_delay_tasks: meta.dispatch_delay_tasks,
+                        backlog_at_submit: meta.backlog_at_submit,
+                        batched: true,
+                        task_latency,
+                    };
+                    let _ = meta.result_tx.send(Ok(result));
+                    self.gate.release();
+                    self.record_done(meta.class, meta.queue_wait, latency);
+                }
+                Err(f) => {
+                    let err = match f {
+                        UnitFailure::Numeric(e) => ServiceError::Numeric(e),
+                        UnitFailure::Panicked(message) => {
+                            ServiceError::Runtime(RuntimeError::TaskPanicked {
+                                task: 0,
+                                worker,
+                                message,
+                            })
+                        }
+                    };
+                    let _ = meta.result_tx.send(Err(err));
+                    self.gate.release();
+                    self.metrics.lock().unwrap().jobs_failed += 1;
+                }
+            }
+        }
+    }
+
+    fn handle_epilogue_done(&mut self, done: EpilogueDone<T>) {
+        let EpilogueDone {
+            job: id,
+            worker,
+            result,
+        } = done;
+        self.in_flight_of[worker] = None;
+        self.idle.push(worker);
+        match result {
+            Ok(output) => {
+                let report = self
+                    .jobs
+                    .get_mut(&id)
+                    .and_then(|j| j.report.take())
+                    .expect("epilogue job has a stashed report");
+                self.complete_job(id, output, report, false);
+            }
+            Err(f) => {
+                let err = match f {
+                    UnitFailure::Numeric(e) => ServiceError::Numeric(e),
+                    UnitFailure::Panicked(message) => {
+                        ServiceError::Runtime(RuntimeError::TaskPanicked {
+                            task: 0,
+                            worker,
+                            message,
+                        })
+                    }
+                };
+                self.fail_job(id, err);
+            }
+        }
+    }
+
+    /// Pick the backlogged job with the smallest virtual time.
+    fn pick_wfq_job(&self) -> Option<(f64, JobId)> {
+        self.jobs
+            .iter()
+            .filter(|(_, j)| !j.ready.is_empty())
+            .map(|(&id, j)| (j.vtime, id))
+            .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+    }
+
+    fn pick_batch(&self) -> Option<(f64, usize)> {
+        self.batches
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (b.vtime, i))
+            .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+    }
+
+    /// Hand work to idle workers: epilogues first (short, completes an
+    /// admitted job), then the weighted-fair choice between regular job
+    /// tasks and pending small-job batches.
+    fn dispatch(&mut self) {
+        while let Some(&w) = self.idle.last() {
+            if let Some(work) = self.epi_queue.pop_front() {
+                if let Some(back) = self.try_send(w, work, InFlight::Other) {
+                    self.epi_queue.push_front(back);
+                }
+                continue;
+            }
+            let best_job = self.pick_wfq_job();
+            let mut best_batch = self.pick_batch();
+            // Nothing regular to run but accumulated smalls: flush a
+            // partial batch rather than letting the worker idle.
+            if best_job.is_none() && best_batch.is_none() && !self.smalls.is_empty() {
+                self.flush_smalls();
+                best_batch = self.pick_batch();
+            }
+            match (best_job, best_batch) {
+                (None, None) => break,
+                (Some((jv, id)), Some((bv, bi))) => {
+                    if bv <= jv {
+                        self.dispatch_batch(w, bi);
+                    } else {
+                        self.dispatch_task(w, id);
+                    }
+                }
+                (Some((_, id)), None) => self.dispatch_task(w, id),
+                (None, Some((_, bi))) => self.dispatch_batch(w, bi),
+            }
+        }
+        let depth: usize =
+            self.jobs.values().map(|j| j.ready.len()).sum::<usize>() + self.smalls.len();
+        let mut m = self.metrics.lock().unwrap();
+        m.max_ready_depth = m.max_ready_depth.max(depth);
+    }
+
+    /// Send a unit to worker `w`. On success the worker leaves the idle
+    /// stack; on a dead dispatch channel (a just-panicked worker whose
+    /// report is still queued) the slot is respawned and the unit handed
+    /// back to the caller to re-queue.
+    fn try_send(&mut self, w: usize, work: Work<T>, marker: InFlight) -> Option<Work<T>> {
+        match self.slots[w].tx.send(work) {
+            Ok(()) => {
+                self.idle.pop();
+                self.in_flight_of[w] = Some(marker);
+                None
+            }
+            Err(mpsc::SendError(work)) => {
+                self.respawn(w);
+                Some(work)
+            }
+        }
+    }
+
+    fn dispatch_task(&mut self, w: usize, id: JobId) {
+        let Some(job) = self.jobs.get_mut(&id) else {
+            return;
+        };
+        // Skip entries already committed via a racing retry.
+        let task = loop {
+            match job.ready.pop() {
+                Some(t) if job.committed[t] => continue,
+                Some(t) => break t,
+                None => return,
+            }
+        };
+        if job.started.is_none() {
+            job.started = Some(Instant::now());
+            job.meta.queue_wait = job.started.unwrap().duration_since(job.meta.submitted);
+            job.meta.dispatch_delay_tasks = self.dispatch_count - job.meta.submit_dispatch_count;
+        }
+        job.attempts[task] += 1;
+        let kind = job.graph.task(task);
+        let work = Work::Task {
+            job: id,
+            task,
+            kind,
+            // Worker-facing attempt numbers are 0-based, matching the
+            // pool path and `ScriptedFaults`' `attempt < count` window.
+            attempt: job.attempts[task] - 1,
+            shared: Arc::clone(job.shared.as_ref().expect("state present while tasks run")),
+            injector: job.injector.clone(),
+        };
+        job.in_flight += 1;
+        self.dispatch_count += 1;
+        self.vclock = job.vtime;
+        job.vtime += task_cost(job.b, kind) / job.weight;
+        self.metrics.lock().unwrap().tasks_dispatched += 1;
+        if self.try_send(w, work, InFlight::Task(id, task)).is_some() {
+            // Dead channel: undo the dispatch so the retry path stays
+            // honest, and put the task back in the ready set.
+            if let Some(job) = self.jobs.get_mut(&id) {
+                job.attempts[task] -= 1;
+                job.in_flight -= 1;
+                job.requeues += 1;
+                job.ready.push(task);
+            }
+        }
+    }
+
+    fn dispatch_batch(&mut self, w: usize, index: usize) {
+        let Some(mut batch) = self.batches.remove(index) else {
+            return;
+        };
+        self.vclock = batch.vtime;
+        let now = Instant::now();
+        let mut units = Vec::with_capacity(batch.units.len());
+        for mut small in batch.units.drain(..) {
+            small.meta.queue_wait = now.duration_since(small.meta.submitted);
+            small.meta.dispatch_delay_tasks =
+                self.dispatch_count - small.meta.submit_dispatch_count;
+            self.dispatch_count += 1;
+            units.push(BatchUnit {
+                meta: small.meta,
+                state: small.state,
+                graph: small.graph,
+                rows: small.rows,
+                cols: small.cols,
+                payload: small.payload,
+            });
+        }
+        let count = units.len() as u64;
+        match self.try_send(w, Work::Batch(units), InFlight::Other) {
+            None => {
+                let mut m = self.metrics.lock().unwrap();
+                m.batches += 1;
+                m.jobs_batched += count;
+                m.tasks_dispatched += count;
+                drop(m);
+                self.batch_in_flight += 1;
+            }
+            Some(Work::Batch(units)) => {
+                // Dead channel: re-queue the batch untouched; the metas
+                // are restamped on the next dispatch.
+                let vtime = batch.vtime;
+                let units = units
+                    .into_iter()
+                    .map(|u| SmallJob {
+                        meta: u.meta,
+                        state: u.state,
+                        graph: u.graph,
+                        rows: u.rows,
+                        cols: u.cols,
+                        payload: u.payload,
+                        vtime,
+                    })
+                    .collect();
+                self.batches.push_back(PendingBatch { units, vtime });
+            }
+            Some(_) => unreachable!("batch send returns batch work"),
+        }
+    }
+
+    fn is_drained(&self) -> bool {
+        self.jobs.is_empty()
+            && self.smalls.is_empty()
+            && self.batches.is_empty()
+            && self.epi_queue.is_empty()
+            && self.batch_in_flight == 0
+    }
+
+    fn handle(&mut self, msg: Msg<T>) {
+        match msg {
+            Msg::Submit(nj) => self.handle_submit(*nj),
+            Msg::TaskDone(d) => self.handle_task_done(*d),
+            Msg::BatchDone(d) => self.handle_batch_done(d),
+            Msg::EpilogueDone(d) => self.handle_epilogue_done(*d),
+            Msg::Drain(ack) => {
+                self.draining = true;
+                self.drain_ack = Some(ack);
+            }
+        }
+    }
+
+    fn run(mut self) {
+        loop {
+            self.wake_parked();
+            self.run_finalize();
+            self.dispatch();
+            if self.draining && self.is_drained() {
+                break;
+            }
+            // Pick a wait bound: due parked retries and deferred
+            // finalizations need the loop to spin again without a new
+            // message arriving.
+            let mut timeout: Option<Duration> = None;
+            if let Some(Reverse((deadline, _, _))) = self.parked.peek() {
+                let d = deadline.saturating_duration_since(Instant::now());
+                timeout = Some(timeout.map_or(d, |t| t.min(d)));
+            }
+            if !self.finalize_pending.is_empty() {
+                let d = Duration::from_millis(1);
+                timeout = Some(timeout.map_or(d, |t| t.min(d)));
+            }
+            let first = match timeout {
+                Some(d) => match self.rx.recv_timeout(d) {
+                    Ok(m) => Some(m),
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                },
+                None => match self.rx.recv() {
+                    Ok(m) => Some(m),
+                    Err(_) => break,
+                },
+            };
+            if let Some(m) = first {
+                self.handle(m);
+                while let Ok(m) = self.rx.try_recv() {
+                    self.handle(m);
+                }
+            }
+        }
+        if let Some(ack) = self.drain_ack.take() {
+            let _ = ack.send(());
+        }
+        // Close dispatch channels so every worker's recv loop ends, then
+        // join current and retired threads.
+        let slots = std::mem::take(&mut self.slots);
+        for slot in slots {
+            drop(slot.tx);
+            if let Some(h) = slot.handle {
+                let _ = h.join();
+            }
+        }
+        for h in std::mem::take(&mut self.graveyard) {
+            let _ = h.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// service handle
+// ---------------------------------------------------------------------------
+
+/// A resident multi-matrix QR service: one long-lived worker pool serving
+/// a stream of factor / solve / apply jobs. See the module docs for the
+/// scheduling and recovery model.
+///
+/// ```
+/// use tileqr_runtime::service::{JobOutput, JobSpec, QrService, ServiceConfig};
+/// use tileqr_matrix::gen::random_matrix;
+///
+/// let service = QrService::<f64>::start(ServiceConfig {
+///     workers: 2,
+///     ..ServiceConfig::default()
+/// });
+/// let a = random_matrix::<f64>(32, 32, 7);
+/// let handle = service.submit(JobSpec::factor(a).tile_size(8)).unwrap();
+/// let result = handle.wait().unwrap();
+/// assert!(matches!(result.output, JobOutput::Factored(_)));
+/// service.shutdown();
+/// ```
+pub struct QrService<T: Scalar> {
+    tx: Mutex<Option<mpsc::Sender<Msg<T>>>>,
+    gate: Arc<Gate>,
+    metrics: Arc<Mutex<ServiceStats>>,
+    manager: Mutex<Option<JoinHandle<()>>>,
+    next_job: AtomicU64,
+}
+
+impl<T: Scalar> QrService<T> {
+    /// Spawn the manager and the resident worker pool.
+    pub fn start(config: ServiceConfig) -> Self {
+        let workers = config.effective_workers().max(1);
+        let gate = Arc::new(Gate::new(config.max_in_flight));
+        let metrics = Arc::new(Mutex::new(ServiceStats::default()));
+        let (tx, rx) = mpsc::channel::<Msg<T>>();
+        let mgr_tx = tx.clone();
+        let mgr_gate = Arc::clone(&gate);
+        let mgr_metrics = Arc::clone(&metrics);
+        let manager = std::thread::Builder::new()
+            .name("qr-service-manager".into())
+            .spawn(move || {
+                Manager::new(config, workers, rx, mgr_tx, mgr_gate, mgr_metrics).run();
+            })
+            .expect("spawn service manager");
+        QrService {
+            tx: Mutex::new(Some(tx)),
+            gate,
+            metrics,
+            manager: Mutex::new(Some(manager)),
+            next_job: AtomicU64::new(0),
+        }
+    }
+
+    /// Submit a job, blocking while the admission bound is reached
+    /// (backpressure). Returns a handle redeemable for the result.
+    pub fn submit(&self, spec: JobSpec<T>) -> Result<JobHandle<T>, ServiceError> {
+        self.submit_inner(spec, true)
+    }
+
+    /// Submit without blocking: fails with [`ServiceError::Saturated`]
+    /// when the admission bound is reached.
+    pub fn try_submit(&self, spec: JobSpec<T>) -> Result<JobHandle<T>, ServiceError> {
+        self.submit_inner(spec, false)
+    }
+
+    fn submit_inner(&self, spec: JobSpec<T>, block: bool) -> Result<JobHandle<T>, ServiceError> {
+        // Validate and tile on the caller's thread so the manager loop
+        // stays lean; spec errors cost no admission slot.
+        let (rows, cols) = (spec.a.rows(), spec.a.cols());
+        if rows < cols {
+            return Err(ServiceError::Numeric(MatrixError::DimensionMismatch {
+                op: "service QR (rows < cols)",
+                lhs: (rows, cols),
+                rhs: (rows, cols),
+            }));
+        }
+        match &spec.payload {
+            Payload::Solve { rhs } if rhs.len() != rows => {
+                return Err(ServiceError::Numeric(MatrixError::DimensionMismatch {
+                    op: "service solve (rhs length)",
+                    lhs: (rows, 1),
+                    rhs: (rhs.len(), 1),
+                }));
+            }
+            Payload::Apply { c, .. } if c.rows() != rows => {
+                return Err(ServiceError::Numeric(MatrixError::DimensionMismatch {
+                    op: "service apply (row count)",
+                    lhs: (rows, 0),
+                    rhs: c.dims(),
+                }));
+            }
+            _ => {}
+        }
+        let tiled =
+            TiledMatrix::from_matrix(&spec.a, spec.tile_size).map_err(ServiceError::Numeric)?;
+        let b = tiled.tile_size();
+        let graph = Arc::new(TaskGraph::build(
+            tiled.tile_rows(),
+            tiled.tile_cols(),
+            spec.order,
+        ));
+        let state = match spec.inner_block {
+            Some(ib) => FactorState::with_inner_block(tiled, ib),
+            None => FactorState::new(tiled),
+        };
+        self.gate.acquire(block)?;
+        let id = self.next_job.fetch_add(1, Ordering::SeqCst) + 1;
+        let (result_tx, result_rx) = mpsc::channel();
+        let msg = Msg::Submit(Box::new(NewJob {
+            id,
+            state,
+            graph,
+            rows,
+            cols,
+            b,
+            payload: spec.payload,
+            class: spec.priority,
+            injector: spec.injector,
+            submitted: Instant::now(),
+            result_tx,
+        }));
+        let guard = self.tx.lock().unwrap();
+        match guard.as_ref() {
+            Some(tx) if tx.send(msg).is_ok() => Ok(JobHandle { id, rx: result_rx }),
+            _ => {
+                drop(guard);
+                self.gate.release();
+                Err(ServiceError::ShuttingDown)
+            }
+        }
+    }
+
+    /// Snapshot the service-wide counters and histograms.
+    pub fn stats(&self) -> ServiceStats {
+        self.metrics.lock().unwrap().clone()
+    }
+
+    /// Stop admission, drain every queued and in-flight job to its
+    /// completion channel (zero lost jobs), join all threads, and return
+    /// the final stats.
+    pub fn shutdown(self) -> ServiceStats {
+        self.shutdown_inner();
+        self.metrics.lock().unwrap().clone()
+    }
+
+    fn shutdown_inner(&self) {
+        self.gate.close();
+        let tx_opt = self.tx.lock().unwrap().take();
+        if let Some(tx) = tx_opt {
+            let (ack_tx, ack_rx) = mpsc::channel();
+            if tx.send(Msg::Drain(ack_tx)).is_ok() {
+                let _ = ack_rx.recv();
+            }
+        }
+        if let Some(h) = self.manager.lock().unwrap().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<T: Scalar> Drop for QrService<T> {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tileqr_matrix::gen::random_matrix;
+
+    fn sequential_tiles(a: &Matrix<f64>, b: usize, order: EliminationOrder) -> Matrix<f64> {
+        let tiled = TiledMatrix::from_matrix(a, b).unwrap();
+        let g = TaskGraph::build(tiled.tile_rows(), tiled.tile_cols(), order);
+        let mut st = FactorState::new(tiled);
+        st.run_all(&g).unwrap();
+        st.tiles().to_matrix()
+    }
+
+    #[test]
+    fn single_job_matches_sequential() {
+        let service = QrService::<f64>::start(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        let a = random_matrix::<f64>(24, 24, 5);
+        let h = service
+            .submit(JobSpec::factor(a.clone()).tile_size(8))
+            .unwrap();
+        let r = h.wait().unwrap();
+        let JobOutput::Factored(f) = r.output else {
+            panic!("expected factored output")
+        };
+        assert_eq!(
+            f.state.tiles().to_matrix(),
+            sequential_tiles(&a, 8, EliminationOrder::FlatTs)
+        );
+        assert_eq!(r.report.total_tasks(), f.graph.len() as u64);
+        service.shutdown();
+    }
+
+    #[test]
+    fn concurrent_jobs_all_complete_bit_identical() {
+        let service = QrService::<f64>::start(ServiceConfig {
+            workers: 4,
+            ..ServiceConfig::default()
+        });
+        let mut handles = Vec::new();
+        let mut inputs = Vec::new();
+        for i in 0..8u64 {
+            let n = 16 + 8 * (i as usize % 3);
+            let a = random_matrix::<f64>(n, n, 100 + i);
+            inputs.push(a.clone());
+            handles.push(service.submit(JobSpec::factor(a).tile_size(8)).unwrap());
+        }
+        for (h, a) in handles.into_iter().zip(&inputs) {
+            let r = h.wait().unwrap();
+            assert_eq!(
+                r.output.factor().state.tiles().to_matrix(),
+                sequential_tiles(a, 8, EliminationOrder::FlatTs)
+            );
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.jobs_completed, 8);
+        assert_eq!(stats.jobs_failed, 0);
+    }
+
+    #[test]
+    fn solve_job_matches_direct_path() {
+        let service = QrService::<f64>::start(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        let a = random_matrix::<f64>(24, 16, 9);
+        let rhs: Vec<f64> = (0..24).map(|i| (i as f64).sin()).collect();
+        let h = service
+            .submit(JobSpec::solve(a.clone(), rhs.clone()).tile_size(8))
+            .unwrap();
+        let r = h.wait().unwrap();
+        let JobOutput::Solved { x, .. } = r.output else {
+            panic!("expected solution")
+        };
+        assert_eq!(x.len(), 16);
+        assert!(x.iter().all(|v| v.is_finite()));
+        service.shutdown();
+    }
+
+    #[test]
+    fn try_submit_saturates_and_drains() {
+        let service = QrService::<f64>::start(ServiceConfig {
+            workers: 1,
+            max_in_flight: 2,
+            ..ServiceConfig::default()
+        });
+        let mut handles = Vec::new();
+        let mut rejected = 0;
+        for i in 0..6u64 {
+            let a = random_matrix::<f64>(32, 32, 300 + i);
+            match service.try_submit(JobSpec::factor(a).tile_size(8)) {
+                Ok(h) => handles.push(h),
+                Err(ServiceError::Saturated) => rejected += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(rejected > 0, "admission bound never engaged");
+        let stats = service.shutdown();
+        // Shutdown drains: every accepted handle resolves.
+        let accepted = handles.len() as u64;
+        for h in handles {
+            h.wait().unwrap();
+        }
+        assert_eq!(stats.jobs_completed, accepted);
+    }
+
+    #[test]
+    fn invalid_specs_rejected_synchronously() {
+        let service = QrService::<f64>::start(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let wide = random_matrix::<f64>(8, 16, 1);
+        assert!(matches!(
+            service.submit(JobSpec::factor(wide)),
+            Err(ServiceError::Numeric(_))
+        ));
+        let a = random_matrix::<f64>(16, 16, 2);
+        assert!(matches!(
+            service.submit(JobSpec::solve(a, vec![0.0; 3])),
+            Err(ServiceError::Numeric(_))
+        ));
+        service.shutdown();
+    }
+
+    #[test]
+    fn shutdown_rejects_new_submissions() {
+        let service = QrService::<f64>::start(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let stats = service.shutdown();
+        assert_eq!(stats.jobs_submitted, 0);
+    }
+}

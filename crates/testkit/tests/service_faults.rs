@@ -1,0 +1,211 @@
+//! Fault injection on the service path. [`ScriptedFaults`] scripts
+//! panics, transient kernel failures, and stalls at exact `(task,
+//! attempt)` coordinates *per job*: a worker panic mid-job must charge
+//! only the victim job's retry budget, every other in-flight job must
+//! complete bit-identically with clean counters, and the victim's
+//! [`RunReport`] must attribute the recovery (`worker_deaths`,
+//! `retries`, `requeues`) to the right job. The service always stages
+//! non-destructively behind a commit fence, so recovery works at any
+//! worker count — including a single worker that dies and is respawned.
+
+use std::sync::Arc;
+use std::time::Duration;
+use tileqr::runtime::{
+    FaultTolerance, JobSpec, QrService, RuntimeError, ScriptedFaults, ServiceConfig, ServiceError,
+};
+use tileqr_dag::{EliminationOrder, TaskGraph};
+use tileqr_kernels::exec::FactorState;
+use tileqr_matrix::gen::random_matrix;
+use tileqr_matrix::{Matrix, TiledMatrix};
+use tileqr_testkit::workers_under_test;
+
+/// Sequential ground truth for one job.
+fn sequential(a: &Matrix<f64>, b: usize) -> Matrix<f64> {
+    let tiled = TiledMatrix::from_matrix(a, b).unwrap();
+    let g = TaskGraph::build(
+        tiled.tile_rows(),
+        tiled.tile_cols(),
+        EliminationOrder::FlatTs,
+    );
+    let mut seq = FactorState::new(tiled);
+    seq.run_all(&g).unwrap();
+    seq.tiles().to_matrix()
+}
+
+/// A worker panic mid-job kills only that job's attempt: the victim
+/// retries to a bit-identical result with `worker_deaths == 1`, while
+/// concurrent clean jobs finish with zeroed recovery counters.
+#[test]
+fn panic_charges_only_the_victim_job() {
+    for workers in workers_under_test() {
+        let svc = QrService::<f64>::start(ServiceConfig {
+            workers,
+            ..ServiceConfig::default()
+        });
+
+        let a_victim = random_matrix::<f64>(24, 24, 11);
+        let a_clean = random_matrix::<f64>(24, 24, 12);
+        let a_transient = random_matrix::<f64>(24, 24, 13);
+        let want_victim = sequential(&a_victim, 8);
+        let want_clean = sequential(&a_clean, 8);
+        let want_transient = sequential(&a_transient, 8);
+
+        let h_victim = svc
+            .submit(
+                JobSpec::factor(a_victim)
+                    .tile_size(8)
+                    .faults(Arc::new(ScriptedFaults::new().panic_on(1, 1))),
+            )
+            .unwrap();
+        let h_clean = svc.submit(JobSpec::factor(a_clean).tile_size(8)).unwrap();
+        let h_transient = svc
+            .submit(
+                JobSpec::factor(a_transient)
+                    .tile_size(8)
+                    .faults(Arc::new(ScriptedFaults::new().fail_on(2, 1))),
+            )
+            .unwrap();
+
+        let victim = h_victim.wait().unwrap();
+        assert_eq!(
+            victim.output.factor().state.tiles().to_matrix(),
+            want_victim,
+            "recovery must be numerically invisible (workers={workers})"
+        );
+        assert_eq!(victim.report.worker_deaths, 1, "panic attributed to victim");
+        assert!(victim.report.retries >= 1, "panicked attempt must retry");
+        assert!(victim.report.requeues >= 1);
+
+        let clean = h_clean.wait().unwrap();
+        assert_eq!(clean.output.factor().state.tiles().to_matrix(), want_clean);
+        assert_eq!(
+            clean.report.worker_deaths, 0,
+            "clean job blamed for a death"
+        );
+        assert_eq!(clean.report.retries, 0, "clean job charged a retry");
+        assert_eq!(clean.report.requeues, 0);
+
+        let transient = h_transient.wait().unwrap();
+        assert_eq!(
+            transient.output.factor().state.tiles().to_matrix(),
+            want_transient
+        );
+        assert_eq!(
+            transient.report.worker_deaths, 0,
+            "kernel error is not a death"
+        );
+        assert_eq!(
+            transient.report.retries, 1,
+            "one scripted transient, one retry"
+        );
+
+        svc.shutdown();
+    }
+}
+
+/// Retry-budget exhaustion fails exactly the faulted job — as a
+/// structured [`RuntimeError::RetriesExhausted`] — while a concurrent
+/// clean job on the same pool completes bit-identically.
+#[test]
+fn budget_exhaustion_is_isolated_per_job() {
+    let svc = QrService::<f64>::start(ServiceConfig {
+        workers: 2,
+        fault_tolerance: FaultTolerance {
+            max_attempts: 2,
+            ..FaultTolerance::default()
+        },
+        ..ServiceConfig::default()
+    });
+
+    let a_doomed = random_matrix::<f64>(24, 24, 21);
+    let a_clean = random_matrix::<f64>(40, 24, 22);
+    let want_clean = sequential(&a_clean, 8);
+
+    let h_doomed = svc
+        .submit(
+            JobSpec::factor(a_doomed)
+                .tile_size(8)
+                .faults(Arc::new(ScriptedFaults::new().fail_on(0, 99))),
+        )
+        .unwrap();
+    let h_clean = svc.submit(JobSpec::factor(a_clean).tile_size(8)).unwrap();
+
+    match h_doomed.wait() {
+        Err(ServiceError::Runtime(RuntimeError::RetriesExhausted { task, attempts, .. })) => {
+            assert_eq!(task, 0);
+            assert_eq!(attempts, 2, "budget was max_attempts = 2");
+        }
+        Err(other) => panic!("expected RetriesExhausted, got {other}"),
+        Ok(_) => panic!("doomed job must not succeed"),
+    }
+    let clean = h_clean.wait().unwrap();
+    assert_eq!(clean.output.factor().state.tiles().to_matrix(), want_clean);
+    assert_eq!(clean.report.retries, 0);
+
+    let stats = svc.shutdown();
+    assert_eq!(stats.jobs_failed, 1);
+    assert_eq!(stats.jobs_completed, 1);
+}
+
+/// Repeated panics across several jobs at once: the pool respawns
+/// every dead worker, all victims recover bit-identically, and each
+/// report blames exactly its own scripted death.
+#[test]
+fn concurrent_panics_all_recover_with_correct_attribution() {
+    let svc = QrService::<f64>::start(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    });
+    let mut handles = Vec::new();
+    let mut expected = Vec::new();
+    for i in 0..4u64 {
+        let a = random_matrix::<f64>(32, 24, 30 + i);
+        expected.push(sequential(&a, 8));
+        handles.push(
+            svc.submit(
+                JobSpec::factor(a)
+                    .tile_size(8)
+                    // Each job panics a different task's first attempt.
+                    .faults(Arc::new(ScriptedFaults::new().panic_on(i as usize, 1))),
+            )
+            .unwrap(),
+        );
+    }
+    for (h, want) in handles.into_iter().zip(expected) {
+        let res = h.wait().unwrap();
+        assert_eq!(res.output.factor().state.tiles().to_matrix(), want);
+        assert_eq!(res.report.worker_deaths, 1, "exactly the scripted death");
+    }
+    svc.shutdown();
+}
+
+/// A scripted stall delays its job but is not an error in service v1
+/// (no watchdog retirement): the stalled job and its neighbours all
+/// complete with no deaths and no retries.
+#[test]
+fn stalls_delay_but_do_not_fail() {
+    let svc = QrService::<f64>::start(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    });
+    let a_slow = random_matrix::<f64>(24, 24, 41);
+    let a_fast = random_matrix::<f64>(24, 24, 42);
+    let want_slow = sequential(&a_slow, 8);
+    let want_fast = sequential(&a_fast, 8);
+
+    let h_slow = svc
+        .submit(JobSpec::factor(a_slow).tile_size(8).faults(Arc::new(
+            ScriptedFaults::new().stall_on(0, 1, Duration::from_millis(30)),
+        )))
+        .unwrap();
+    let h_fast = svc.submit(JobSpec::factor(a_fast).tile_size(8)).unwrap();
+
+    let slow = h_slow.wait().unwrap();
+    assert_eq!(slow.output.factor().state.tiles().to_matrix(), want_slow);
+    assert_eq!(slow.report.worker_deaths, 0);
+    assert_eq!(slow.report.retries, 0, "a stall is not a retry");
+
+    let fast = h_fast.wait().unwrap();
+    assert_eq!(fast.output.factor().state.tiles().to_matrix(), want_fast);
+    svc.shutdown();
+}

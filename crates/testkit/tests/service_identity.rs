@@ -1,0 +1,229 @@
+//! Service-path bit-identity: every job factored through a resident
+//! [`QrService`] must produce **bit-identical** factors to the same
+//! matrix factored sequentially — across worker counts, schedule
+//! policies, concurrent job counts, and with small-job batching on or
+//! off. The service interleaves many job DAGs through one shared ready
+//! queue, so this is the strongest statement that per-job
+//! `SharedFactorState` isolation plus the fenced commit protocol keep
+//! jobs from perturbing each other's numbers.
+
+use tileqr::runtime::{JobOutput, JobSpec, PriorityClass, QrService, ServiceConfig};
+use tileqr::{QrOptions, TiledQr};
+use tileqr_dag::{EliminationOrder, TaskGraph};
+use tileqr_kernels::exec::FactorState;
+use tileqr_matrix::gen::random_matrix;
+use tileqr_matrix::{Matrix, TiledMatrix};
+use tileqr_testkit::{policies_under_test, workers_under_test};
+
+/// Sequential ground truth for one job: the factored tile matrix.
+fn sequential(a: &Matrix<f64>, b: usize, order: EliminationOrder) -> Matrix<f64> {
+    let tiled = TiledMatrix::from_matrix(a, b).unwrap();
+    let g = TaskGraph::build(tiled.tile_rows(), tiled.tile_cols(), order);
+    let mut seq = FactorState::new(tiled);
+    seq.run_all(&g).unwrap();
+    seq.tiles().to_matrix()
+}
+
+/// Mixed-size workload: job `i` cycles through square, rectangular,
+/// tall-skinny, and non-tile-multiple shapes so concurrent DAGs differ
+/// in depth and width.
+fn job_matrix(i: u64) -> (Matrix<f64>, usize, EliminationOrder) {
+    let shapes = [
+        (24, 24, EliminationOrder::FlatTs),
+        (40, 16, EliminationOrder::FlatTt),
+        (16, 16, EliminationOrder::FlatTs),
+        (33, 20, EliminationOrder::BinaryTt),
+    ];
+    let (m, n, order) = shapes[(i % 4) as usize];
+    (random_matrix::<f64>(m, n, 1000 + i), 8, order)
+}
+
+/// The acceptance sweep: workers x policies x {1, 4, 16} concurrent
+/// mixed-size jobs, every factor bit-identical to the sequential run.
+#[test]
+fn service_factor_bit_identical_across_sweep() {
+    for workers in workers_under_test() {
+        for policy in policies_under_test() {
+            for &jobs in &[1usize, 4, 16] {
+                let svc = QrService::<f64>::start(ServiceConfig {
+                    workers,
+                    policy,
+                    ..ServiceConfig::default()
+                });
+                let mut handles = Vec::new();
+                let mut expected = Vec::new();
+                for i in 0..jobs as u64 {
+                    let (a, b, order) = job_matrix(i);
+                    expected.push(sequential(&a, b, order));
+                    let spec = JobSpec::factor(a).tile_size(b).order(order);
+                    handles.push(svc.submit(spec).unwrap());
+                }
+                for (h, want) in handles.into_iter().zip(expected) {
+                    let res = h.wait().unwrap();
+                    let got = res.output.factor().state.tiles().to_matrix();
+                    assert_eq!(
+                        got, want,
+                        "service factor diverged (workers={workers}, policy={policy:?}, jobs={jobs})"
+                    );
+                }
+                let stats = svc.shutdown();
+                assert_eq!(stats.jobs_completed, jobs as u64);
+                assert_eq!(stats.jobs_failed, 0);
+            }
+        }
+    }
+}
+
+/// Sub-threshold jobs routed through the composite-batch path must be
+/// bit-identical to the same jobs run unbatched (and to the sequential
+/// reference). `batch_max_jobs <= 1` disables batching entirely.
+#[test]
+fn batched_small_jobs_bit_identical_to_unbatched() {
+    // 8x8 (1 task) and 16x8 (2 tasks) at b=8 are both under the
+    // default batch_max_tasks = 4 threshold.
+    let specs: Vec<(Matrix<f64>, usize)> = (0..8u64)
+        .map(|i| {
+            let m = if i % 2 == 0 { 8 } else { 16 };
+            (random_matrix::<f64>(m, 8, 2000 + i), 8)
+        })
+        .collect();
+    let expected: Vec<Matrix<f64>> = specs
+        .iter()
+        .map(|(a, b)| sequential(a, *b, EliminationOrder::FlatTs))
+        .collect();
+
+    for &batch_max_jobs in &[1usize, 8] {
+        let svc = QrService::<f64>::start(ServiceConfig {
+            workers: 2,
+            batch_max_jobs,
+            ..ServiceConfig::default()
+        });
+        let handles: Vec<_> = specs
+            .iter()
+            .map(|(a, b)| {
+                svc.submit(JobSpec::factor(a.clone()).tile_size(*b))
+                    .unwrap()
+            })
+            .collect();
+        for (h, want) in handles.into_iter().zip(&expected) {
+            let res = h.wait().unwrap();
+            let got = res.output.factor().state.tiles().to_matrix();
+            assert_eq!(&got, want, "batching={} diverged", batch_max_jobs > 1);
+            assert_eq!(
+                res.batched,
+                batch_max_jobs > 1,
+                "batch routing flag wrong for batch_max_jobs={batch_max_jobs}"
+            );
+        }
+        let stats = svc.shutdown();
+        if batch_max_jobs > 1 {
+            assert_eq!(stats.jobs_batched, 8, "all sub-threshold jobs should batch");
+            assert!(stats.batches >= 1);
+        } else {
+            assert_eq!(stats.jobs_batched, 0, "batching disabled must not batch");
+        }
+    }
+}
+
+/// Solve and Q-apply jobs must match the direct single-matrix
+/// [`TiledQr`] path exactly: the epilogue replays the same Householder
+/// program in the same order, so even floating point agrees bitwise.
+#[test]
+fn solve_and_apply_jobs_match_direct_path() {
+    let a = random_matrix::<f64>(32, 16, 31);
+    let rhs: Vec<f64> = (0..32).map(|i| (i as f64 * 0.37).sin()).collect();
+    let c = random_matrix::<f64>(32, 3, 77);
+
+    let direct = TiledQr::factor(&a, &QrOptions::new().tile_size(8)).unwrap();
+    let x_direct = direct.solve(&rhs).unwrap();
+    let qtc_direct = direct.apply_qt(&c).unwrap();
+    let qc_direct = direct.apply_q(&c).unwrap();
+
+    let svc = QrService::<f64>::start(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    });
+    let h_solve = svc
+        .submit(JobSpec::solve(a.clone(), rhs.clone()).tile_size(8))
+        .unwrap();
+    let h_qt = svc
+        .submit(JobSpec::apply_qt(a.clone(), c.clone()).tile_size(8))
+        .unwrap();
+    let h_q = svc
+        .submit(JobSpec::apply_q(a.clone(), c.clone()).tile_size(8))
+        .unwrap();
+
+    match h_solve.wait().unwrap().output {
+        JobOutput::Solved { x, factor } => {
+            assert_eq!(x, x_direct, "service solve must be bit-identical");
+            assert_eq!(factor.r_matrix(), direct.r());
+        }
+        other => panic!("expected Solved, got {:?} variant", variant_name(&other)),
+    }
+    match h_qt.wait().unwrap().output {
+        JobOutput::Applied { c: qtc, .. } => assert_eq!(qtc, qtc_direct),
+        other => panic!("expected Applied, got {:?} variant", variant_name(&other)),
+    }
+    match h_q.wait().unwrap().output {
+        JobOutput::Applied { c: qc, .. } => assert_eq!(qc, qc_direct),
+        other => panic!("expected Applied, got {:?} variant", variant_name(&other)),
+    }
+    svc.shutdown();
+}
+
+fn variant_name<T: tileqr::Scalar>(o: &JobOutput<T>) -> &'static str {
+    match o {
+        JobOutput::Factored(_) => "Factored",
+        JobOutput::Solved { .. } => "Solved",
+        JobOutput::Applied { .. } => "Applied",
+    }
+}
+
+/// The single-matrix API routed through a resident service
+/// ([`TiledQr::factor_on`] + [`QrOptions::to_service_config`]) is
+/// bit-identical to the standalone factorization.
+#[test]
+fn factor_on_matches_standalone_factor() {
+    let a = random_matrix::<f64>(48, 32, 5);
+    let opts = QrOptions::new().tile_size(8).workers(2);
+
+    let standalone = TiledQr::factor(&a, &opts).unwrap();
+
+    let svc = QrService::<f64>::start(opts.to_service_config());
+    let (via_service, report) = TiledQr::factor_on(&svc, &a, &opts).unwrap();
+    svc.shutdown();
+
+    assert_eq!(
+        via_service.state().tiles().to_matrix(),
+        standalone.state().tiles().to_matrix()
+    );
+    assert_eq!(via_service.r(), standalone.r());
+    assert_eq!(report.total_tasks(), via_service.graph().len() as u64);
+}
+
+/// Priority classes never change the numbers — only scheduling order.
+#[test]
+fn priority_classes_bit_identical() {
+    let a = random_matrix::<f64>(40, 24, 9);
+    let want = sequential(&a, 8, EliminationOrder::FlatTs);
+    let svc = QrService::<f64>::start(ServiceConfig {
+        workers: 4,
+        ..ServiceConfig::default()
+    });
+    let handles: Vec<_> = [
+        PriorityClass::Bulk,
+        PriorityClass::Standard,
+        PriorityClass::Interactive,
+    ]
+    .into_iter()
+    .map(|class| {
+        svc.submit(JobSpec::factor(a.clone()).tile_size(8).priority(class))
+            .unwrap()
+    })
+    .collect();
+    for h in handles {
+        let res = h.wait().unwrap();
+        assert_eq!(res.output.factor().state.tiles().to_matrix(), want);
+    }
+    svc.shutdown();
+}
