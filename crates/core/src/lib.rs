@@ -78,7 +78,7 @@ pub mod runtime {
     };
     pub use tileqr_runtime::{
         FactoredJob, JobHandle, JobId, JobOutput, JobResult, JobSpec, PriorityClass, QrService,
-        ServiceConfig, ServiceError, ServiceStats,
+        ServiceConfig, ServiceError, ServiceStats, WaitTimeout,
     };
 }
 

@@ -750,6 +750,67 @@ impl<T: Scalar> CompletedTask<T> {
     pub fn task(&self) -> TaskKind {
         self.task
     }
+
+    /// Scan every output (written tiles *and* reflector `T` factors) for
+    /// non-finite values and return the grid coordinates of the first
+    /// poisoned tile, or `None` when the outputs are clean. A runtime can
+    /// call this at its commit fence *before* the outputs touch shared
+    /// state, so a NaN/Inf produced by one task never propagates into
+    /// downstream tiles.
+    pub fn first_non_finite(&self) -> Option<(usize, usize)> {
+        let dirty = |m: &Matrix<T>| !m.all_finite();
+        let panel_dirty = |p: &PanelFactor<T>| match p {
+            PanelFactor::Full(t) => dirty(t),
+            PanelFactor::Blocked { tfacs, .. } => tfacs.iter().any(&dirty),
+        };
+        match (&self.task, &self.outputs) {
+            (TaskKind::Geqrt { i, k }, Outputs::Factor { tile, tfac }) => {
+                (dirty(tile) || panel_dirty(tfac)).then_some((*i, *k))
+            }
+            (TaskKind::Unmqr { i, j, .. }, Outputs::Update { c }) => dirty(c).then_some((*i, *j)),
+            (
+                TaskKind::Tsqrt { p, i, k } | TaskKind::Ttqrt { p, i, k },
+                Outputs::Elim { r1, a2, tfac },
+            ) => {
+                if dirty(r1) {
+                    Some((*p, *k))
+                } else if dirty(a2) || dirty(tfac) {
+                    Some((*i, *k))
+                } else {
+                    None
+                }
+            }
+            (
+                TaskKind::Tsmqr { p, i, j, .. } | TaskKind::Ttmqr { p, i, j, .. },
+                Outputs::PairUpdate { a1, a2 },
+            ) => {
+                if dirty(a1) {
+                    Some((*p, *j))
+                } else if dirty(a2) {
+                    Some((*i, *j))
+                } else {
+                    None
+                }
+            }
+            _ => unreachable!("task/output kind mismatch"),
+        }
+    }
+
+    /// Test seam: overwrite the first element of this task's first output
+    /// tile with NaN, as if the kernel had numerically broken down. Used
+    /// by fault injectors to exercise commit-fence poison detection.
+    pub fn poison(&mut self) {
+        let nan = T::from_f64(f64::NAN);
+        let target = match &mut self.outputs {
+            Outputs::Factor { tile, .. } => tile,
+            Outputs::Update { c } => c,
+            Outputs::Elim { r1, .. } => r1,
+            Outputs::PairUpdate { a1, .. } => a1,
+        };
+        if let Some(v) = target.as_mut_slice().first_mut() {
+            *v = nan;
+        }
+    }
 }
 
 /// Extract row-block `i` (a `b x cols` matrix) of a dense `c`.

@@ -298,6 +298,16 @@ impl<T: Scalar> Matrix<T> {
         self.data.iter().all(|v| v.is_finite())
     }
 
+    /// Position `(i, j)` of the first non-finite element in column-major
+    /// order, or `None` when [`all_finite`](Self::all_finite) holds. Used
+    /// by poison scans to report *where* a NaN/Inf entered.
+    pub fn first_non_finite(&self) -> Option<(usize, usize)> {
+        self.data
+            .iter()
+            .position(|v| !v.is_finite())
+            .map(|k| (k % self.rows, k / self.rows))
+    }
+
     /// `true` when `max |self - other| <= tol` and shapes match.
     pub fn approx_eq(&self, other: &Matrix<T>, tol: T) -> bool {
         self.dims() == other.dims()
@@ -494,6 +504,16 @@ mod tests {
         let mut n = m.clone();
         n[(0, 0)] = f64::NAN;
         assert!(!n.all_finite());
+    }
+
+    #[test]
+    fn first_non_finite_reports_position() {
+        let mut m = Matrix::<f64>::zeros(3, 4);
+        assert_eq!(m.first_non_finite(), None);
+        m[(2, 1)] = f64::INFINITY;
+        m[(0, 3)] = f64::NAN;
+        // Column-major order: (2, 1) comes before (0, 3).
+        assert_eq!(m.first_non_finite(), Some((2, 1)));
     }
 
     #[test]

@@ -42,6 +42,44 @@ impl HotPathCounters {
     }
 }
 
+/// Job-lifecycle counters of a resident service: how many jobs left the
+/// normal `queued → dispatched → done` path, and why. Each field maps to
+/// one structured failure mode a `QrService` can assign a job
+/// (`DeadlineExceeded`, `Cancelled`, `NumericalBreakdown`) plus the
+/// watchdog's worker retirements — together they make the containment
+/// story observable: a chaos storm can assert *exactly* how many jobs
+/// were shed, cancelled, or poisoned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LifecycleCounters {
+    /// Jobs shed before consuming worker time because their deadline had
+    /// already expired (at admission or while queued).
+    pub jobs_shed: u64,
+    /// Jobs that resolved as cancelled (cooperative drain completed
+    /// before the DAG did).
+    pub jobs_cancelled: u64,
+    /// Non-finite panel factors caught at the commit fence; each one
+    /// failed exactly its victim job instead of propagating NaN.
+    pub poison_detected: u64,
+    /// Workers retired by the stall watchdog (their in-flight task was
+    /// requeued exactly-once through the retry path).
+    pub watchdog_retirements: u64,
+}
+
+impl LifecycleCounters {
+    /// Fold another set of lifecycle counters into this one.
+    pub fn merge(&mut self, other: &LifecycleCounters) {
+        self.jobs_shed += other.jobs_shed;
+        self.jobs_cancelled += other.jobs_cancelled;
+        self.poison_detected += other.poison_detected;
+        self.watchdog_retirements += other.watchdog_retirements;
+    }
+
+    /// True when no job left the normal lifecycle path.
+    pub fn is_quiet(&self) -> bool {
+        *self == LifecycleCounters::default()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -49,6 +87,32 @@ mod tests {
     #[test]
     fn default_is_clean() {
         assert!(HotPathCounters::default().is_clean());
+    }
+
+    #[test]
+    fn lifecycle_merge_adds_and_quiet_detects() {
+        let mut a = LifecycleCounters {
+            jobs_shed: 1,
+            ..Default::default()
+        };
+        let b = LifecycleCounters {
+            jobs_cancelled: 2,
+            poison_detected: 3,
+            watchdog_retirements: 4,
+            ..Default::default()
+        };
+        assert!(LifecycleCounters::default().is_quiet());
+        assert!(!a.is_quiet());
+        a.merge(&b);
+        assert_eq!(
+            a,
+            LifecycleCounters {
+                jobs_shed: 1,
+                jobs_cancelled: 2,
+                poison_detected: 3,
+                watchdog_retirements: 4,
+            }
+        );
     }
 
     #[test]

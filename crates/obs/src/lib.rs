@@ -32,7 +32,7 @@ pub use calibrate::{
     fit_step_times, fitted_profile, profile_error, samples_from_trace, sim_vs_real, KernelSample,
     SimVsReal,
 };
-pub use counters::HotPathCounters;
+pub use counters::{HotPathCounters, LifecycleCounters};
 pub use hist::{bucket_bounds, bucket_of, KernelHistograms, LatencyHistogram, NUM_BUCKETS};
 pub use recorder::{
     merge_recorders, RawEvent, RawKind, TraceConfig, WorkerRecorder, DEFAULT_CAPACITY_PER_LANE,

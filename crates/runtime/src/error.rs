@@ -91,7 +91,17 @@ impl fmt::Display for RuntimeError {
     }
 }
 
-impl std::error::Error for RuntimeError {}
+impl std::error::Error for RuntimeError {
+    /// Kernel failures chain to the underlying [`MatrixError`] so
+    /// `anyhow`-style walkers (`Error::source`) can reach the numerical
+    /// root cause.
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Kernel { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 impl From<RuntimeError> for MatrixError {
     fn from(e: RuntimeError) -> Self {
@@ -118,6 +128,29 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("task 7") && s.contains("worker 2") && s.contains("boom"));
+    }
+
+    #[test]
+    fn error_trait_composes_with_question_mark() {
+        // `RuntimeError` must flow through `?` into a boxed error and
+        // expose its numerical root cause via the `source()` chain.
+        fn failing() -> Result<(), Box<dyn std::error::Error>> {
+            Err(RuntimeError::Kernel {
+                task: 4,
+                source: MatrixError::Singular { index: 2 },
+            })?;
+            Ok(())
+        }
+        let boxed = failing().unwrap_err();
+        let runtime = boxed.downcast_ref::<RuntimeError>().expect("runtime error");
+        let root = std::error::Error::source(runtime).expect("kernel errors chain");
+        assert!(root.to_string().contains("singular"));
+        // Non-kernel variants terminate the chain.
+        let dead = RuntimeError::AllWorkersDead {
+            completed: 1,
+            total: 2,
+        };
+        assert!(std::error::Error::source(&dead).is_none());
     }
 
     #[test]

@@ -421,10 +421,10 @@ fn run_pool<T: Scalar>(
                     let rec_ref = &mut rec;
                     let ws_ref = &mut ws;
                     let result = catch_unwind(AssertUnwindSafe(|| -> Result<AttemptOutput<T>> {
-                        match injector
-                            .map_or(InjectedFault::None, |f| f.before_attempt(tid, attempt))
-                        {
-                            InjectedFault::None => {}
+                        let fault = injector
+                            .map_or(InjectedFault::None, |f| f.before_attempt(tid, attempt));
+                        match fault {
+                            InjectedFault::None | InjectedFault::PoisonNan => {}
                             InjectedFault::Panic => {
                                 panic!("injected panic: task {tid} attempt {attempt}")
                             }
@@ -445,12 +445,19 @@ fn run_pool<T: Scalar>(
                         }?;
                         let t_staged = Instant::now();
                         let stage_wait = t_staged.duration_since(t0);
-                        let done = if per_worker_ws {
+                        let mut done = if per_worker_ws {
                             staged.compute_with(ws_ref)?
                         } else {
                             // PerCall baseline: throwaway scratch every task.
                             staged.compute()?
                         };
+                        if fault == InjectedFault::PoisonNan {
+                            // NaN-corrupt the output *after* the kernel ran;
+                            // the pool path has no poison fence (that
+                            // containment lives in the service), so this
+                            // seam is only consulted by service tests here.
+                            done.poison();
+                        }
                         if ft_mode {
                             if let Some(r) = rec_ref.as_mut() {
                                 let now = ns_since(started);

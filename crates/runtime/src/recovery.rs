@@ -71,6 +71,10 @@ pub enum InjectedFault {
     TransientError,
     /// Sleep this long before running normally (exercises the watchdog).
     Stall(Duration),
+    /// Run the kernel normally, then overwrite part of its output with
+    /// NaN before it is reported (exercises commit-fence poison
+    /// detection — the corruption must fail only the victim job).
+    PoisonNan,
 }
 
 /// Test seam consulted by the pool before every task attempt.
@@ -101,6 +105,7 @@ pub struct ScriptedFaults {
     panics: HashMap<TaskId, u32>,
     transients: HashMap<TaskId, u32>,
     stalls: HashMap<TaskId, (u32, Duration)>,
+    poisons: HashMap<TaskId, u32>,
     /// Observed (task, attempt) pairs, for asserting injection coverage.
     seen: Mutex<Vec<(TaskId, u32)>>,
 }
@@ -130,6 +135,13 @@ impl ScriptedFaults {
         self
     }
 
+    /// Poison (NaN-corrupt) the output of the first `count` attempts of
+    /// `task` after the kernel runs.
+    pub fn poison_on(mut self, task: TaskId, count: u32) -> Self {
+        self.poisons.insert(task, count);
+        self
+    }
+
     /// Every (task, attempt) pair the pool asked about, in the order the
     /// workers reached them.
     pub fn attempts_seen(&self) -> Vec<(TaskId, u32)> {
@@ -156,6 +168,11 @@ impl FaultInjector for ScriptedFaults {
         if let Some(&(n, d)) = self.stalls.get(&task) {
             if attempt < n {
                 return InjectedFault::Stall(d);
+            }
+        }
+        if let Some(&n) = self.poisons.get(&task) {
+            if attempt < n {
+                return InjectedFault::PoisonNan;
             }
         }
         InjectedFault::None
@@ -198,5 +215,13 @@ mod tests {
         );
         assert_eq!(s.before_attempt(9, 0), InjectedFault::None);
         assert_eq!(s.attempts_seen().len(), 7);
+    }
+
+    #[test]
+    fn poison_clears_after_count() {
+        let s = ScriptedFaults::new().poison_on(4, 2);
+        assert_eq!(s.before_attempt(4, 0), InjectedFault::PoisonNan);
+        assert_eq!(s.before_attempt(4, 1), InjectedFault::PoisonNan);
+        assert_eq!(s.before_attempt(4, 2), InjectedFault::None);
     }
 }

@@ -36,7 +36,23 @@
 //!   respawns the slot (the pool never shrinks) and charges the retry to
 //!   the *victim job's* attempt budget alone. Other in-flight jobs are
 //!   untouched. Exhausted budgets fail that one job with a structured
-//!   [`ServiceError::Runtime`].
+//!   [`ServiceError::Runtime`]. When
+//!   [`FaultTolerance::stall_timeout`] is set, a **stall watchdog** in
+//!   the dispatch loop retires any worker whose in-flight task exceeds
+//!   the bound, respawns the slot, and requeues the task exactly once
+//!   through the same retry path.
+//! * **Job lifecycle**: a job can carry a [`JobSpec::deadline`]; expired
+//!   queued jobs are **shed** before they consume worker time
+//!   ([`ServiceError::DeadlineExceeded`]). [`JobHandle::cancel`]
+//!   cooperatively drains a job at the fenced-commit boundary —
+//!   in-flight attempts retire cleanly, the admission slot and WFQ state
+//!   are released, and concurrent jobs are untouched
+//!   ([`ServiceError::Cancelled`]).
+//! * **Poison containment**: submission rejects non-finite inputs
+//!   synchronously, and the commit fence scans panel-factor outputs —
+//!   a NaN/Inf produced mid-run fails only the victim job with a
+//!   structured [`ServiceError::NumericalBreakdown`] instead of
+//!   propagating through downstream tiles.
 //! * **Shutdown**: [`QrService::shutdown`] (and `Drop`) closes admission,
 //!   drains every queued and in-flight job to its completion channel —
 //!   zero lost jobs — then joins all threads.
@@ -65,7 +81,7 @@ use tileqr_kernels::exec::{
 };
 use tileqr_kernels::{Workspace, WorkspacePolicy};
 use tileqr_matrix::{Matrix, MatrixError, Scalar, TiledMatrix};
-use tileqr_obs::{HotPathCounters, LatencyHistogram};
+use tileqr_obs::{HotPathCounters, LatencyHistogram, LifecycleCounters};
 
 /// Job identifier, unique per service instance (1-based).
 pub type JobId = u64;
@@ -185,6 +201,7 @@ pub struct JobSpec<T: Scalar> {
     order: EliminationOrder,
     inner_block: Option<usize>,
     priority: PriorityClass,
+    deadline: Option<Duration>,
     injector: Option<Arc<dyn FaultInjector + Send + Sync>>,
 }
 
@@ -197,6 +214,7 @@ impl<T: Scalar> JobSpec<T> {
             order: EliminationOrder::FlatTs,
             inner_block: None,
             priority: PriorityClass::Standard,
+            deadline: None,
             injector: None,
         }
     }
@@ -248,6 +266,19 @@ impl<T: Scalar> JobSpec<T> {
     /// Scheduling class (default [`PriorityClass::Standard`]).
     pub fn priority(mut self, class: PriorityClass) -> Self {
         self.priority = class;
+        self
+    }
+
+    /// Completion deadline, measured from submission. A job whose
+    /// deadline expires while it is still *queued* (no task dispatched
+    /// yet) is shed with [`ServiceError::DeadlineExceeded`] before it
+    /// consumes worker time — including at admission, when the deadline
+    /// burned away while `submit` blocked on a saturated gate. Once the
+    /// first task dispatches the job runs to completion; a deadline is a
+    /// shedding bound, not a preemption request (use
+    /// [`JobHandle::cancel`] for that).
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
         self
     }
 
@@ -352,14 +383,46 @@ pub struct JobResult<T: Scalar> {
 /// Why a submission or job failed.
 #[derive(Debug)]
 pub enum ServiceError {
-    /// Admission bound reached ([`QrService::try_submit`] only).
-    Saturated,
+    /// Admission bound reached ([`QrService::try_submit`] only). Carries
+    /// the gate occupancy at rejection time so backpressure is
+    /// debuggable straight from logs.
+    Saturated {
+        /// Submitted-but-unfinished jobs when the submission was turned
+        /// away.
+        in_flight: usize,
+        /// The configured admission bound
+        /// ([`ServiceConfig::max_in_flight`]).
+        max_in_flight: usize,
+    },
     /// The service is draining or already shut down.
     ShuttingDown,
     /// Spec validation or numeric epilogue failure.
     Numeric(MatrixError),
     /// The job's DAG execution failed (retry budget exhausted, …).
     Runtime(RuntimeError),
+    /// The job's [`deadline`](JobSpec::deadline) expired while it was
+    /// still queued, so it was shed before consuming worker time.
+    DeadlineExceeded {
+        /// The deadline the job was submitted with.
+        deadline: Duration,
+        /// How far past the deadline the job was when it was shed.
+        late_by: Duration,
+    },
+    /// The job was cancelled via [`JobHandle::cancel`] and its in-flight
+    /// work drained at the commit fence.
+    Cancelled,
+    /// A non-finite value (NaN/Inf) was detected — at submission, or in
+    /// a panel-factor output at the commit fence — and contained before
+    /// it could propagate into downstream tiles.
+    NumericalBreakdown {
+        /// The panel-factor task whose output was poisoned; `None` when
+        /// the *input* matrix already carried a non-finite value at
+        /// submission.
+        task: Option<TaskId>,
+        /// Grid coordinates `(tile row, tile column)` of the first
+        /// poisoned tile.
+        tile: (usize, usize),
+    },
     /// The service dropped the completion channel without a result
     /// (manager died — should not happen).
     Lost,
@@ -368,16 +431,49 @@ pub enum ServiceError {
 impl fmt::Display for ServiceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ServiceError::Saturated => write!(f, "service saturated: admission bound reached"),
+            ServiceError::Saturated {
+                in_flight,
+                max_in_flight,
+            } => write!(
+                f,
+                "service saturated: admission bound reached ({in_flight}/{max_in_flight} jobs in flight)"
+            ),
             ServiceError::ShuttingDown => write!(f, "service is shutting down"),
             ServiceError::Numeric(e) => write!(f, "job failed numerically: {e}"),
             ServiceError::Runtime(e) => write!(f, "job execution failed: {e}"),
+            ServiceError::DeadlineExceeded { deadline, late_by } => write!(
+                f,
+                "job shed: deadline {deadline:?} already missed by {late_by:?} while queued"
+            ),
+            ServiceError::Cancelled => write!(f, "job cancelled before completion"),
+            ServiceError::NumericalBreakdown { task, tile } => match task {
+                Some(t) => write!(
+                    f,
+                    "numerical breakdown: task {t} produced a non-finite panel factor at tile ({}, {})",
+                    tile.0, tile.1
+                ),
+                None => write!(
+                    f,
+                    "numerical breakdown: input matrix is non-finite at tile ({}, {})",
+                    tile.0, tile.1
+                ),
+            },
             ServiceError::Lost => write!(f, "service lost the job (manager terminated)"),
         }
     }
 }
 
-impl std::error::Error for ServiceError {}
+impl std::error::Error for ServiceError {
+    /// Wrapped numeric / runtime failures chain to their cause so
+    /// `Error::source` walkers reach the root diagnostic.
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Numeric(e) => Some(e),
+            ServiceError::Runtime(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<ServiceError> for MatrixError {
     fn from(e: ServiceError) -> Self {
@@ -391,10 +487,24 @@ impl From<ServiceError> for MatrixError {
     }
 }
 
+/// The job had not completed when [`JobHandle::wait_timeout`]'s bound
+/// expired. The handle is untouched — wait again or cancel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeout;
+
+impl fmt::Display for WaitTimeout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job still running when the wait timeout expired")
+    }
+}
+
+impl std::error::Error for WaitTimeout {}
+
 /// Handle to one submitted job; redeem it with [`JobHandle::wait`].
 pub struct JobHandle<T: Scalar> {
     id: JobId,
     rx: mpsc::Receiver<Result<JobResult<T>, ServiceError>>,
+    ctl: mpsc::Sender<Msg<T>>,
 }
 
 impl<T: Scalar> JobHandle<T> {
@@ -406,6 +516,36 @@ impl<T: Scalar> JobHandle<T> {
     /// Block until the job completes (or fails) and return its result.
     pub fn wait(self) -> Result<JobResult<T>, ServiceError> {
         self.rx.recv().unwrap_or(Err(ServiceError::Lost))
+    }
+
+    /// Wait at most `timeout` for the result. On timeout the handle is
+    /// *not* consumed: the job keeps running and the handle stays
+    /// redeemable (wait again, or [`cancel`](Self::cancel) and then wait
+    /// for the [`ServiceError::Cancelled`] acknowledgement).
+    pub fn wait_timeout(
+        &self,
+        timeout: Duration,
+    ) -> Result<Result<JobResult<T>, ServiceError>, WaitTimeout> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(r) => Ok(r),
+            Err(RecvTimeoutError::Timeout) => Err(WaitTimeout),
+            Err(RecvTimeoutError::Disconnected) => Ok(Err(ServiceError::Lost)),
+        }
+    }
+
+    /// Request cooperative cancellation. The manager stops dispatching
+    /// the job's remaining tasks, lets in-flight attempts drain at the
+    /// fenced-commit boundary (no preemption — concurrent jobs stay
+    /// bit-identical), releases the admission slot and fair-share state,
+    /// and resolves the handle with [`ServiceError::Cancelled`].
+    ///
+    /// Cancellation races completion: if the job finishes first the
+    /// handle resolves with the normal result and the cancel is a no-op.
+    /// Safe to call more than once.
+    pub fn cancel(&self) {
+        // A send error means the manager already shut down; the handle
+        // will resolve through the drain path regardless.
+        let _ = self.ctl.send(Msg::Cancel(self.id));
     }
 }
 
@@ -435,6 +575,10 @@ pub struct ServiceStats {
     pub latency: LatencyHistogram,
     /// Per-class latency histograms, indexed interactive/standard/bulk.
     pub class_latency: [LatencyHistogram; 3],
+    /// Lifecycle-event counters: jobs shed past their deadline, jobs
+    /// cancelled, poisoned panel factors contained, and stalled workers
+    /// retired by the watchdog.
+    pub lifecycle: LifecycleCounters,
 }
 
 impl ServiceStats {
@@ -482,7 +626,10 @@ impl Gate {
                 return Ok(());
             }
             if !block {
-                return Err(ServiceError::Saturated);
+                return Err(ServiceError::Saturated {
+                    in_flight: s.in_flight,
+                    max_in_flight: self.capacity,
+                });
             }
             s = self.cv.wait(s).unwrap();
         }
@@ -518,6 +665,8 @@ struct JobMeta<T: Scalar> {
     id: JobId,
     class: PriorityClass,
     submitted: Instant,
+    /// Absolute shed bound (`submitted + JobSpec::deadline`).
+    deadline: Option<Instant>,
     submit_dispatch_count: u64,
     backlog_at_submit: u64,
     queue_wait: Duration,
@@ -536,6 +685,7 @@ struct NewJob<T: Scalar> {
     class: PriorityClass,
     injector: Option<SharedInjector>,
     submitted: Instant,
+    deadline: Option<Duration>,
     result_tx: ResultTx<T>,
 }
 
@@ -584,6 +734,7 @@ enum Msg<T: Scalar> {
     TaskDone(Box<TaskDone<T>>),
     BatchDone(BatchDone<T>),
     EpilogueDone(Box<EpilogueDone<T>>),
+    Cancel(JobId),
     Drain(mpsc::Sender<()>),
 }
 
@@ -696,11 +847,11 @@ fn worker_loop<T: Scalar>(
                 let ws_ref = &mut ws;
                 let result = catch_unwind(AssertUnwindSafe(
                     || -> Result<(Box<CompletedTask<T>>, Duration, u64), MatrixError> {
-                        match injector
+                        let fault = injector
                             .as_deref()
-                            .map_or(InjectedFault::None, |f| f.before_attempt(task, attempt))
-                        {
-                            InjectedFault::None => {}
+                            .map_or(InjectedFault::None, |f| f.before_attempt(task, attempt));
+                        match fault {
+                            InjectedFault::None | InjectedFault::PoisonNan => {}
                             InjectedFault::Panic => {
                                 panic!("injected panic: task {task} attempt {attempt}")
                             }
@@ -716,11 +867,16 @@ fn worker_loop<T: Scalar>(
                         let t0 = Instant::now();
                         let staged = shared.stage_preserving(kind)?;
                         let t1 = Instant::now();
-                        let done = if per_worker_ws {
+                        let mut done = if per_worker_ws {
                             staged.compute_with(ws_ref)?
                         } else {
                             staged.compute()?
                         };
+                        if fault == InjectedFault::PoisonNan {
+                            // NaN-corrupt the output *after* the kernel ran,
+                            // exercising the manager's commit-fence scan.
+                            done.poison();
+                        }
                         Ok((
                             Box::new(done),
                             t1.duration_since(t0),
@@ -842,7 +998,14 @@ fn worker_loop<T: Scalar>(
 // ---------------------------------------------------------------------------
 
 enum InFlight {
-    Task(JobId, TaskId),
+    Task {
+        job: JobId,
+        task: TaskId,
+        /// Dispatch time, read by the stall watchdog.
+        since: Instant,
+    },
+    /// Batch or epilogue unit — outside watchdog jurisdiction (composite
+    /// units have no per-task retry identity to requeue).
     Other,
 }
 
@@ -861,6 +1024,9 @@ struct JobState<T: Scalar> {
     committed: Vec<bool>,
     attempts: Vec<u32>,
     in_flight: usize,
+    /// Set by [`Msg::Cancel`]: stop dispatching, drain in-flight work,
+    /// then resolve with [`ServiceError::Cancelled`].
+    cancelled: bool,
     injector: Option<SharedInjector>,
     started: Option<Instant>,
     tasks_per_worker: Vec<u64>,
@@ -926,6 +1092,16 @@ struct Manager<T: Scalar> {
 /// Flop cost of one task, scaled to keep virtual times in a sane range.
 fn task_cost(b: usize, kind: TaskKind) -> f64 {
     (flop_weight(b)(kind) / 1.0e6).max(1.0e-9)
+}
+
+/// Panel-factor kinds are the poison chokepoint: every downstream update
+/// consumes their tiles or T factors, so scanning them at the commit
+/// fence catches a NaN/Inf before it spreads beyond one tile column.
+fn is_panel_factor(kind: TaskKind) -> bool {
+    matches!(
+        kind,
+        TaskKind::Geqrt { .. } | TaskKind::Tsqrt { .. } | TaskKind::Ttqrt { .. }
+    )
 }
 
 impl<T: Scalar> Manager<T> {
@@ -1035,6 +1211,7 @@ impl<T: Scalar> Manager<T> {
             class,
             injector,
             submitted,
+            deadline,
             result_tx,
         } = nj;
         let backlog = self.backlog_size();
@@ -1042,6 +1219,7 @@ impl<T: Scalar> Manager<T> {
             id,
             class,
             submitted,
+            deadline: deadline.map(|d| submitted + d),
             submit_dispatch_count: self.dispatch_count,
             backlog_at_submit: backlog,
             queue_wait: Duration::ZERO,
@@ -1053,6 +1231,13 @@ impl<T: Scalar> Manager<T> {
             let mut m = self.metrics.lock().unwrap();
             m.jobs_submitted += 1;
             m.max_jobs_in_flight = m.max_jobs_in_flight.max(self.gate.in_flight());
+        }
+        // Admission-time shed: the deadline may already be unmeetable —
+        // typically because `submit` blocked on a saturated gate while it
+        // burned away. Reject before the job costs any scheduling state.
+        if Self::meta_expired(&meta, Instant::now()) {
+            self.shed_meta(meta);
+            return;
         }
         let batchable = self.cfg.batching_enabled()
             && graph.len() <= self.cfg.batch_max_tasks
@@ -1093,6 +1278,7 @@ impl<T: Scalar> Manager<T> {
             committed: vec![false; total],
             attempts: vec![0u32; total],
             in_flight: 0,
+            cancelled: false,
             injector,
             started: None,
             tasks_per_worker: vec![0u64; self.workers],
@@ -1129,6 +1315,227 @@ impl<T: Scalar> Manager<T> {
                     j.ready.push(task);
                 }
             }
+        }
+    }
+
+    /// Whether a queued job's deadline has expired.
+    fn meta_expired(meta: &JobMeta<T>, now: Instant) -> bool {
+        meta.deadline.is_some_and(|d| now >= d)
+    }
+
+    /// Shed one queued job past its deadline: resolve the handle with
+    /// [`ServiceError::DeadlineExceeded`] and release the admission slot.
+    fn shed_meta(&mut self, meta: JobMeta<T>) {
+        let now = Instant::now();
+        let deadline = meta.deadline.expect("only deadline-bearing jobs shed");
+        let err = ServiceError::DeadlineExceeded {
+            deadline: deadline.duration_since(meta.submitted),
+            late_by: now.saturating_duration_since(deadline),
+        };
+        // Release before resolving the handle so a waiter that sees the
+        // error can immediately reuse the admission slot.
+        self.gate.release();
+        let _ = meta.result_tx.send(Err(err));
+        let mut m = self.metrics.lock().unwrap();
+        m.jobs_failed += 1;
+        m.lifecycle.jobs_shed += 1;
+    }
+
+    /// Resolve one queued (never-dispatched) job as cancelled.
+    fn cancel_meta(&mut self, meta: JobMeta<T>) {
+        self.gate.release();
+        let _ = meta.result_tx.send(Err(ServiceError::Cancelled));
+        let mut m = self.metrics.lock().unwrap();
+        m.jobs_failed += 1;
+        m.lifecycle.jobs_cancelled += 1;
+    }
+
+    /// Earliest deadline among still-queued jobs (bounds the run loop's
+    /// recv timeout so sheds fire without needing message traffic).
+    fn earliest_queued_deadline(&self) -> Option<Instant> {
+        let dag = self
+            .jobs
+            .values()
+            .filter(|j| j.started.is_none() && !j.cancelled)
+            .filter_map(|j| j.meta.deadline);
+        let small = self.smalls.iter().filter_map(|s| s.meta.deadline);
+        let batched = self
+            .batches
+            .iter()
+            .flat_map(|b| b.units.iter())
+            .filter_map(|u| u.meta.deadline);
+        dag.chain(small).chain(batched).min()
+    }
+
+    /// Shed every queued job whose deadline has passed. A job counts as
+    /// queued until its first task (or batch) dispatches; after that it
+    /// runs to completion — a deadline bounds *waiting*, not execution.
+    fn sweep_shed(&mut self) {
+        let now = Instant::now();
+        let expired: Vec<JobId> = self
+            .jobs
+            .iter()
+            .filter(|(_, j)| {
+                j.started.is_none() && !j.cancelled && Self::meta_expired(&j.meta, now)
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for id in expired {
+            if let Some(job) = self.jobs.remove(&id) {
+                self.shed_meta(job.meta);
+            }
+        }
+        // Shedding needs the meta by value (to resolve its channel), so
+        // rebuild the small/batch queues rather than `retain` in place.
+        let expired_queued = self
+            .smalls
+            .iter()
+            .map(|s| &s.meta)
+            .chain(
+                self.batches
+                    .iter()
+                    .flat_map(|b| b.units.iter().map(|u| &u.meta)),
+            )
+            .any(|m| Self::meta_expired(m, now));
+        if expired_queued {
+            let smalls = std::mem::take(&mut self.smalls);
+            for s in smalls {
+                if Self::meta_expired(&s.meta, now) {
+                    self.shed_meta(s.meta);
+                } else {
+                    self.smalls.push_back(s);
+                }
+            }
+            let batches = std::mem::take(&mut self.batches);
+            for mut b in batches {
+                let units = std::mem::take(&mut b.units);
+                for u in units {
+                    if Self::meta_expired(&u.meta, now) {
+                        self.shed_meta(u.meta);
+                    } else {
+                        b.units.push(u);
+                    }
+                }
+                if !b.units.is_empty() {
+                    self.batches.push_back(b);
+                }
+            }
+        }
+    }
+
+    /// Earliest instant at which a live worker's in-flight task crosses
+    /// the stall bound (None when the watchdog is disabled or idle).
+    fn earliest_stall_expiry(&self) -> Option<Instant> {
+        let bound = self.cfg.fault_tolerance.stall_timeout?;
+        self.in_flight_of
+            .iter()
+            .filter_map(|f| match f {
+                Some(InFlight::Task { since, .. }) => Some(*since + bound),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Stall watchdog: retire any worker whose in-flight task has aged
+    /// past `stall_timeout`, respawn the slot (the pool never shrinks),
+    /// and requeue the task exactly once through the normal retry path.
+    /// The stalled thread's eventual late result (if it ever wakes) is
+    /// deduplicated at the commit fence like any other stale attempt.
+    fn sweep_watchdog(&mut self) {
+        let Some(bound) = self.cfg.fault_tolerance.stall_timeout else {
+            return;
+        };
+        let now = Instant::now();
+        let stalled: Vec<(usize, JobId, TaskId)> = self
+            .in_flight_of
+            .iter()
+            .enumerate()
+            .filter_map(|(w, f)| match f {
+                Some(InFlight::Task { job, task, since })
+                    if now.saturating_duration_since(*since) >= bound =>
+                {
+                    Some((w, *job, *task))
+                }
+                _ => None,
+            })
+            .collect();
+        for (w, id, task) in stalled {
+            self.respawn(w);
+            self.metrics.lock().unwrap().lifecycle.watchdog_retirements += 1;
+            let mut requeue = false;
+            let mut drained_cancel = false;
+            if let Some(job) = self.jobs.get_mut(&id) {
+                job.in_flight = job.in_flight.saturating_sub(1);
+                job.worker_deaths += 1;
+                if job.cancelled {
+                    drained_cancel = job.in_flight == 0 && !job.tracker.all_done();
+                } else if !job.committed[task] {
+                    job.requeues += 1;
+                    requeue = true;
+                }
+            }
+            if requeue {
+                self.retry_or_fail(
+                    id,
+                    task,
+                    MatrixError::Runtime {
+                        reason: format!("worker {w} stalled past {bound:?}"),
+                    },
+                );
+            }
+            if drained_cancel {
+                self.cancel_finish(id);
+            }
+        }
+    }
+
+    /// Resolve a cancelled DAG job whose in-flight work has drained.
+    fn cancel_finish(&mut self, id: JobId) {
+        let Some(job) = self.jobs.remove(&id) else {
+            return;
+        };
+        self.gate.release();
+        let _ = job.meta.result_tx.send(Err(ServiceError::Cancelled));
+        let mut m = self.metrics.lock().unwrap();
+        m.jobs_failed += 1;
+        m.lifecycle.jobs_cancelled += 1;
+    }
+
+    fn handle_cancel(&mut self, id: JobId) {
+        // Still waiting in the small-job queue: resolve immediately.
+        if let Some(pos) = self.smalls.iter().position(|s| s.meta.id == id) {
+            let small = self.smalls.remove(pos).expect("position just found");
+            self.cancel_meta(small.meta);
+            return;
+        }
+        // Queued inside a pending (undispatched) batch: pull the unit out.
+        let found = self.batches.iter().enumerate().find_map(|(bi, b)| {
+            b.units
+                .iter()
+                .position(|u| u.meta.id == id)
+                .map(|ui| (bi, ui))
+        });
+        if let Some((bi, ui)) = found {
+            let unit = self.batches[bi].units.remove(ui);
+            if self.batches[bi].units.is_empty() {
+                self.batches.remove(bi);
+            }
+            self.cancel_meta(unit.meta);
+            return;
+        }
+        // DAG-path job. If its graph already completed, completion wins
+        // (the finalize/epilogue path delivers the normal result); a
+        // batch already on a worker likewise runs to delivery.
+        let Some(job) = self.jobs.get_mut(&id) else {
+            return;
+        };
+        if job.payload.is_none() || job.tracker.all_done() {
+            return;
+        }
+        job.cancelled = true;
+        // Forget queued work; in-flight attempts drain at the fence.
+        if job.in_flight == 0 {
+            self.cancel_finish(id);
         }
     }
 
@@ -1246,8 +1653,10 @@ impl<T: Scalar> Manager<T> {
             batched,
             task_latency: job.task_latency,
         };
-        let _ = job.meta.result_tx.send(Ok(result));
+        // Release before resolving the handle so a waiter that sees the
+        // result can immediately reuse the admission slot.
         self.gate.release();
+        let _ = job.meta.result_tx.send(Ok(result));
         self.record_done(job.meta.class, queue_wait, latency);
     }
 
@@ -1256,8 +1665,8 @@ impl<T: Scalar> Manager<T> {
         let Some(job) = self.jobs.remove(&id) else {
             return;
         };
-        let _ = job.meta.result_tx.send(Err(err));
         self.gate.release();
+        let _ = job.meta.result_tx.send(Err(err));
         self.metrics.lock().unwrap().jobs_failed += 1;
     }
 
@@ -1294,11 +1703,18 @@ impl<T: Scalar> Manager<T> {
             worker,
             outcome,
         } = done;
-        // Reclaim the worker slot if this is the result we dispatched to it.
-        if matches!(
+        // Is this the result we dispatched to this worker slot? A late
+        // report from a watchdog-retired thread fails this check: its
+        // slot was already respawned, so it must not touch slot state
+        // (respawning again would kill the healthy replacement) or
+        // in-flight accounting (the watchdog already charged it). A
+        // stale `Done` still gets a shot at the commit fence below —
+        // first result wins, whoever produced it.
+        let expected = matches!(
             self.in_flight_of[worker],
-            Some(InFlight::Task(j, t)) if j == id && t == task
-        ) {
+            Some(InFlight::Task { job: j, task: t, .. }) if j == id && t == task
+        );
+        if expected {
             self.in_flight_of[worker] = None;
             if !matches!(outcome, TaskOutcome::Panicked(_)) {
                 self.idle.push(worker);
@@ -1306,15 +1722,19 @@ impl<T: Scalar> Manager<T> {
         }
         let mut respawn_needed = false;
         let mut retry_err: Option<MatrixError> = None;
+        let mut poisoned: Option<(usize, usize)> = None;
+        let mut drained_cancel = false;
         {
             let Some(job) = self.jobs.get_mut(&id) else {
                 // Job already failed and was removed; drop the late result.
-                if let TaskOutcome::Panicked(_) = outcome {
+                if expected && matches!(outcome, TaskOutcome::Panicked(_)) {
                     self.respawn(worker);
                 }
                 return;
             };
-            job.in_flight = job.in_flight.saturating_sub(1);
+            if expected {
+                job.in_flight = job.in_flight.saturating_sub(1);
+            }
             match outcome {
                 TaskOutcome::Done {
                     completed,
@@ -1324,41 +1744,78 @@ impl<T: Scalar> Manager<T> {
                     job.stage_wait += stage_wait;
                     job.task_latency.record_ns(compute_ns);
                     // Commit fence: first result wins, duplicates from
-                    // retried attempts are dropped.
-                    if !job.committed[task] {
-                        let t0 = Instant::now();
-                        job.shared
-                            .as_ref()
-                            .expect("state present while tasks run")
-                            .commit(*completed);
-                        job.commit_wait += t0.elapsed();
-                        job.committed[task] = true;
-                        job.tasks_per_worker[worker] += 1;
-                        let graph = Arc::clone(&job.graph);
-                        for s in job.tracker.complete(&graph, task) {
-                            job.ready.push(s);
+                    // retried attempts are dropped. A cancelled job stops
+                    // committing here so its DAG drains instead of
+                    // advancing (the attempt's staging was non-destructive,
+                    // so dropping the result leaves clean state).
+                    if !job.committed[task] && !job.cancelled {
+                        // Poison fence: scan panel-factor output before it
+                        // becomes an input of downstream tasks.
+                        if is_panel_factor(job.graph.task(task)) {
+                            poisoned = completed.first_non_finite();
                         }
-                        if job.tracker.all_done() {
-                            self.finalize_pending.push(id);
+                        if poisoned.is_none() {
+                            let t0 = Instant::now();
+                            job.shared
+                                .as_ref()
+                                .expect("state present while tasks run")
+                                .commit(*completed);
+                            job.commit_wait += t0.elapsed();
+                            job.committed[task] = true;
+                            job.tasks_per_worker[worker] += 1;
+                            let graph = Arc::clone(&job.graph);
+                            for s in job.tracker.complete(&graph, task) {
+                                job.ready.push(s);
+                            }
+                            if job.tracker.all_done() {
+                                self.finalize_pending.push(id);
+                            }
                         }
                     }
                 }
-                TaskOutcome::Failed(e) => retry_err = Some(e),
-                TaskOutcome::Panicked(message) => {
-                    job.worker_deaths += 1;
-                    job.requeues += 1;
-                    respawn_needed = true;
-                    retry_err = Some(MatrixError::Runtime {
-                        reason: format!("worker {worker} panicked: {message}"),
-                    });
+                TaskOutcome::Failed(e) => {
+                    if !job.cancelled {
+                        retry_err = Some(e);
+                    }
                 }
+                TaskOutcome::Panicked(message) => {
+                    if expected {
+                        job.worker_deaths += 1;
+                        respawn_needed = true;
+                        if !job.cancelled {
+                            job.requeues += 1;
+                            retry_err = Some(MatrixError::Runtime {
+                                reason: format!("worker {worker} panicked: {message}"),
+                            });
+                        }
+                    }
+                }
+            }
+            if job.cancelled && job.in_flight == 0 && !job.tracker.all_done() {
+                drained_cancel = true;
             }
         }
         if respawn_needed {
             self.respawn(worker);
         }
+        if let Some(tile) = poisoned {
+            // Fail only the victim: its state is dropped before the NaN
+            // was ever committed, so no other tile (or job) saw it.
+            self.metrics.lock().unwrap().lifecycle.poison_detected += 1;
+            self.fail_job(
+                id,
+                ServiceError::NumericalBreakdown {
+                    task: Some(task),
+                    tile,
+                },
+            );
+            return;
+        }
         if let Some(e) = retry_err {
             self.retry_or_fail(id, task, e);
+        }
+        if drained_cancel {
+            self.cancel_finish(id);
         }
     }
 
@@ -1408,8 +1865,8 @@ impl<T: Scalar> Manager<T> {
                         batched: true,
                         task_latency,
                     };
-                    let _ = meta.result_tx.send(Ok(result));
                     self.gate.release();
+                    let _ = meta.result_tx.send(Ok(result));
                     self.record_done(meta.class, meta.queue_wait, latency);
                 }
                 Err(f) => {
@@ -1423,8 +1880,8 @@ impl<T: Scalar> Manager<T> {
                             })
                         }
                     };
-                    let _ = meta.result_tx.send(Err(err));
                     self.gate.release();
+                    let _ = meta.result_tx.send(Err(err));
                     self.metrics.lock().unwrap().jobs_failed += 1;
                 }
             }
@@ -1464,11 +1921,13 @@ impl<T: Scalar> Manager<T> {
         }
     }
 
-    /// Pick the backlogged job with the smallest virtual time.
+    /// Pick the backlogged job with the smallest virtual time. Cancelled
+    /// jobs are skipped: their remaining ready tasks are abandoned while
+    /// in-flight attempts drain.
     fn pick_wfq_job(&self) -> Option<(f64, JobId)> {
         self.jobs
             .iter()
-            .filter(|(_, j)| !j.ready.is_empty())
+            .filter(|(_, j)| !j.ready.is_empty() && !j.cancelled)
             .map(|(&id, j)| (j.vtime, id))
             .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
     }
@@ -1571,7 +2030,12 @@ impl<T: Scalar> Manager<T> {
         self.vclock = job.vtime;
         job.vtime += task_cost(job.b, kind) / job.weight;
         self.metrics.lock().unwrap().tasks_dispatched += 1;
-        if self.try_send(w, work, InFlight::Task(id, task)).is_some() {
+        let marker = InFlight::Task {
+            job: id,
+            task,
+            since: Instant::now(),
+        };
+        if self.try_send(w, work, marker).is_some() {
             // Dead channel: undo the dispatch so the retry path stays
             // honest, and put the task back in the ready set.
             if let Some(job) = self.jobs.get_mut(&id) {
@@ -1650,6 +2114,7 @@ impl<T: Scalar> Manager<T> {
             Msg::TaskDone(d) => self.handle_task_done(*d),
             Msg::BatchDone(d) => self.handle_batch_done(d),
             Msg::EpilogueDone(d) => self.handle_epilogue_done(*d),
+            Msg::Cancel(id) => self.handle_cancel(id),
             Msg::Drain(ack) => {
                 self.draining = true;
                 self.drain_ack = Some(ack);
@@ -1660,17 +2125,28 @@ impl<T: Scalar> Manager<T> {
     fn run(mut self) {
         loop {
             self.wake_parked();
+            self.sweep_shed();
+            self.sweep_watchdog();
             self.run_finalize();
             self.dispatch();
             if self.draining && self.is_drained() {
                 break;
             }
-            // Pick a wait bound: due parked retries and deferred
-            // finalizations need the loop to spin again without a new
-            // message arriving.
+            // Pick a wait bound: due parked retries, queued-job
+            // deadlines, watchdog expiries, and deferred finalizations
+            // all need the loop to spin again without a new message
+            // arriving.
             let mut timeout: Option<Duration> = None;
             if let Some(Reverse((deadline, _, _))) = self.parked.peek() {
                 let d = deadline.saturating_duration_since(Instant::now());
+                timeout = Some(timeout.map_or(d, |t| t.min(d)));
+            }
+            if let Some(shed_at) = self.earliest_queued_deadline() {
+                let d = shed_at.saturating_duration_since(Instant::now());
+                timeout = Some(timeout.map_or(d, |t| t.min(d)));
+            }
+            if let Some(expiry) = self.earliest_stall_expiry() {
+                let d = expiry.saturating_duration_since(Instant::now());
                 timeout = Some(timeout.map_or(d, |t| t.min(d)));
             }
             if !self.finalize_pending.is_empty() {
@@ -1811,6 +2287,15 @@ impl<T: Scalar> QrService<T> {
         let tiled =
             TiledMatrix::from_matrix(&spec.a, spec.tile_size).map_err(ServiceError::Numeric)?;
         let b = tiled.tile_size();
+        // Poison containment starts at the front door: a NaN/Inf input
+        // would corrupt every downstream tile, so reject it here — on the
+        // caller's thread, before it costs an admission slot.
+        if let Some((i, j)) = spec.a.first_non_finite() {
+            return Err(ServiceError::NumericalBreakdown {
+                task: None,
+                tile: (i / b, j / b),
+            });
+        }
         let graph = Arc::new(TaskGraph::build(
             tiled.tile_rows(),
             tiled.tile_cols(),
@@ -1834,11 +2319,16 @@ impl<T: Scalar> QrService<T> {
             class: spec.priority,
             injector: spec.injector,
             submitted: Instant::now(),
+            deadline: spec.deadline,
             result_tx,
         }));
         let guard = self.tx.lock().unwrap();
         match guard.as_ref() {
-            Some(tx) if tx.send(msg).is_ok() => Ok(JobHandle { id, rx: result_rx }),
+            Some(tx) if tx.send(msg).is_ok() => Ok(JobHandle {
+                id,
+                rx: result_rx,
+                ctl: tx.clone(),
+            }),
             _ => {
                 drop(guard);
                 self.gate.release();
@@ -1975,7 +2465,14 @@ mod tests {
             let a = random_matrix::<f64>(32, 32, 300 + i);
             match service.try_submit(JobSpec::factor(a).tile_size(8)) {
                 Ok(h) => handles.push(h),
-                Err(ServiceError::Saturated) => rejected += 1,
+                Err(ServiceError::Saturated {
+                    in_flight,
+                    max_in_flight,
+                }) => {
+                    assert_eq!(max_in_flight, 2);
+                    assert_eq!(in_flight, 2);
+                    rejected += 1;
+                }
                 Err(e) => panic!("unexpected error: {e}"),
             }
         }
@@ -2016,5 +2513,124 @@ mod tests {
         });
         let stats = service.shutdown();
         assert_eq!(stats.jobs_submitted, 0);
+    }
+
+    #[test]
+    fn non_finite_input_rejected_at_submit() {
+        let service = QrService::<f64>::start(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let mut a = random_matrix::<f64>(24, 24, 11);
+        a.set(17, 9, f64::NAN).unwrap();
+        match service.submit(JobSpec::factor(a).tile_size(8)) {
+            Err(ServiceError::NumericalBreakdown { task: None, tile }) => {
+                assert_eq!(tile, (2, 1));
+            }
+            other => panic!("expected input breakdown, got {:?}", other.err()),
+        }
+        // The rejection happened caller-side: no admission slot burned.
+        let stats = service.shutdown();
+        assert_eq!(stats.jobs_submitted, 0);
+        assert_eq!(stats.lifecycle.poison_detected, 0);
+    }
+
+    #[test]
+    fn expired_deadline_sheds_queued_job() {
+        // One worker pinned by a long-running job; a second job with a
+        // zero deadline must be shed before it ever dispatches.
+        let service = QrService::<f64>::start(ServiceConfig {
+            workers: 1,
+            batch_max_tasks: 0,
+            ..ServiceConfig::default()
+        });
+        let blocker = service
+            .submit(JobSpec::factor(random_matrix::<f64>(64, 64, 21)).tile_size(8))
+            .unwrap();
+        let doomed = service
+            .submit(
+                JobSpec::factor(random_matrix::<f64>(32, 32, 22))
+                    .tile_size(8)
+                    .deadline(Duration::ZERO),
+            )
+            .unwrap();
+        match doomed.wait() {
+            Err(ServiceError::DeadlineExceeded { deadline, .. }) => {
+                assert_eq!(deadline, Duration::ZERO);
+            }
+            other => panic!("expected shed, got ok={}", other.is_ok()),
+        }
+        blocker.wait().unwrap();
+        let stats = service.shutdown();
+        assert_eq!(stats.lifecycle.jobs_shed, 1);
+        assert_eq!(stats.jobs_completed, 1);
+    }
+
+    #[test]
+    fn generous_deadline_does_not_shed() {
+        let service = QrService::<f64>::start(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        let h = service
+            .submit(
+                JobSpec::factor(random_matrix::<f64>(24, 24, 23))
+                    .tile_size(8)
+                    .deadline(Duration::from_secs(300)),
+            )
+            .unwrap();
+        h.wait().unwrap();
+        let stats = service.shutdown();
+        assert_eq!(stats.lifecycle.jobs_shed, 0);
+        assert_eq!(stats.jobs_completed, 1);
+    }
+
+    #[test]
+    fn cancel_resolves_handle_and_releases_slot() {
+        let service = QrService::<f64>::start(ServiceConfig {
+            workers: 1,
+            max_in_flight: 1,
+            batch_max_tasks: 0,
+            ..ServiceConfig::default()
+        });
+        let h = service
+            .submit(JobSpec::factor(random_matrix::<f64>(48, 48, 31)).tile_size(8))
+            .unwrap();
+        h.cancel();
+        // Cancel races completion; either outcome is legal, but the
+        // handle must resolve and the admission slot must come back —
+        // proven by the next bounded submit succeeding.
+        let cancelled = matches!(h.wait(), Err(ServiceError::Cancelled));
+        let h2 = service
+            .try_submit(JobSpec::factor(random_matrix::<f64>(16, 16, 32)).tile_size(8))
+            .expect("slot released after cancel");
+        h2.wait().unwrap();
+        let stats = service.shutdown();
+        assert_eq!(stats.lifecycle.jobs_cancelled, u64::from(cancelled));
+    }
+
+    #[test]
+    fn wait_timeout_leaves_handle_redeemable() {
+        let service = QrService::<f64>::start(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        let h = service
+            .submit(JobSpec::factor(random_matrix::<f64>(48, 48, 41)).tile_size(8))
+            .unwrap();
+        // Poll with a zero timeout until the result lands: every timeout
+        // leaves the handle intact, and the eventual result is normal.
+        let mut result = None;
+        for _ in 0..10_000 {
+            match h.wait_timeout(Duration::from_millis(1)) {
+                Ok(r) => {
+                    result = Some(r);
+                    break;
+                }
+                Err(WaitTimeout) => continue,
+            }
+        }
+        result.expect("job finished within bound").unwrap();
+        service.shutdown();
     }
 }

@@ -20,6 +20,11 @@
 //!   differential `R`-factor check against the reference Householder
 //!   path, for an adversarial matrix family (graded, near-rank-deficient,
 //!   Hilbert-like, huge/tiny scale).
+//! * [`chaos`] — seeded disturbance storms (panics, stalls, cancels,
+//!   deadline sheds, NaN injections, saturation) against a live
+//!   [`tileqr_runtime::QrService`], asserting the end-to-end lifecycle
+//!   invariants: no job lost or hung, unaffected jobs bit-identical,
+//!   lifecycle counters consistent with observed outcomes.
 //!
 //! The integration suites live under `tests/` and read two environment
 //! variables so CI can sweep configurations without recompiling:
@@ -29,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod explorer;
 pub mod oracle;
 

@@ -1,0 +1,156 @@
+//! Chaos suite: many seeded disturbance storms against live services.
+//!
+//! Each storm submits a burst of jobs where every job draws one
+//! disturbance (panic / transient failure / stall / NaN at submit / NaN
+//! mid-run / cancel / expired deadline / none) and [`run_storm`] asserts
+//! the global invariants — no job lost or hung, every handle resolves,
+//! unaffected jobs bit-identical to the sequential factorization,
+//! lifecycle counters consistent with observed outcomes, clean drain.
+//!
+//! Environment knobs:
+//! * `TILEQR_TESTKIT_WORKERS` — worker counts to sweep (CI matrix).
+//! * `TILEQR_CHAOS_LOG` — if set, the per-event JSONL ledger of every
+//!   storm is appended to this path (uploaded as a CI artifact so a
+//!   failure's seed and disturbance draw survive the run).
+
+use std::io::Write;
+use tileqr_testkit::chaos::{ChaosConfig, Disturbance, GroundTruth, Outcome, StormReport};
+use tileqr_testkit::{chaos::run_storm, workers_under_test};
+
+fn append_log(reports: &[StormReport]) {
+    let Ok(path) = std::env::var("TILEQR_CHAOS_LOG") else {
+        return;
+    };
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .unwrap_or_else(|e| panic!("open chaos log {path:?}: {e}"));
+    for r in reports {
+        f.write_all(r.to_jsonl().as_bytes())
+            .expect("write chaos log");
+    }
+}
+
+/// The headline storm sweep: ≥50 seeded storms per worker count, with
+/// the watchdog armed so stall disturbances are on the menu.
+#[test]
+fn fifty_storms_hold_the_invariants() {
+    let workers = workers_under_test();
+    let storms_per_worker = 50usize.div_ceil(workers.len()).max(13);
+    let mut truth = GroundTruth::new(8);
+    let mut reports = Vec::new();
+    let mut total = 0usize;
+    for (wi, &w) in workers.iter().enumerate() {
+        for s in 0..storms_per_worker {
+            let cfg = ChaosConfig {
+                seed: 1_000 * (wi as u64 + 1) + s as u64,
+                workers: w,
+                jobs: 6,
+                ..ChaosConfig::default()
+            };
+            reports.push(run_storm(&cfg, &mut truth));
+            total += 1;
+        }
+    }
+    assert!(total >= 50, "need at least 50 storms, ran {total}");
+    // The sweep must actually exercise every disturbance class at least
+    // once — a menu that silently stopped being drawn would turn the
+    // suite into a clean-path test.
+    for d in [
+        Disturbance::Clean,
+        Disturbance::Panic,
+        Disturbance::Transient,
+        Disturbance::Stall,
+        Disturbance::PoisonSubmit,
+        Disturbance::PoisonMidRun,
+        Disturbance::Cancel,
+        Disturbance::Deadline,
+    ] {
+        let drawn = reports
+            .iter()
+            .flat_map(|r| r.events.iter())
+            .filter(|e| e.disturbance == d)
+            .count();
+        assert!(
+            drawn > 0,
+            "disturbance {:?} never drawn across the sweep",
+            d
+        );
+    }
+    append_log(&reports);
+}
+
+/// Saturation storms: a bounded admission gate under the same
+/// disturbance mix, plus non-blocking probes that are allowed to bounce
+/// with a structured `Saturated` payload. Backpressure (blocking
+/// submits) and shedding must coexist without losing a job.
+#[test]
+fn bounded_gate_storms_shed_and_drain_cleanly() {
+    let mut truth = GroundTruth::new(8);
+    let mut reports = Vec::new();
+    for s in 0..10u64 {
+        let cfg = ChaosConfig {
+            seed: 5_000 + s,
+            workers: 2,
+            jobs: 8,
+            max_in_flight: 2,
+            ..ChaosConfig::default()
+        };
+        reports.push(run_storm(&cfg, &mut truth));
+    }
+    // With 8 jobs against 2 slots, at least one probe across ten storms
+    // must have seen the gate closed.
+    let bounced: u64 = reports.iter().map(|r| r.saturation_rejections).sum();
+    assert!(bounced > 0, "saturation probes never bounced");
+    append_log(&reports);
+}
+
+/// Watchdog-off storms: without `stall_timeout` the stall disturbance
+/// leaves the menu, and every other lifecycle path must still hold.
+#[test]
+fn storms_without_watchdog_still_drain() {
+    let mut truth = GroundTruth::new(8);
+    let mut reports = Vec::new();
+    for s in 0..8u64 {
+        let cfg = ChaosConfig {
+            seed: 7_000 + s,
+            workers: 2,
+            jobs: 6,
+            stall_timeout: None,
+            ..ChaosConfig::default()
+        };
+        let r = run_storm(&cfg, &mut truth);
+        assert_eq!(r.stats.lifecycle.watchdog_retirements, 0);
+        assert!(r.events.iter().all(|e| e.disturbance != Disturbance::Stall));
+        reports.push(r);
+    }
+    append_log(&reports);
+}
+
+/// Aggregated sanity over a smaller sweep: cancels resolve as cancelled
+/// or identical (the race is legal), everything else is deterministic.
+#[test]
+fn cancel_races_resolve_one_of_two_ways() {
+    let mut truth = GroundTruth::new(8);
+    for s in 0..6u64 {
+        let cfg = ChaosConfig {
+            seed: 11_000 + s,
+            workers: 4,
+            jobs: 8,
+            ..ChaosConfig::default()
+        };
+        let r = run_storm(&cfg, &mut truth);
+        for e in r
+            .events
+            .iter()
+            .filter(|e| e.disturbance == Disturbance::Cancel)
+        {
+            assert!(
+                matches!(e.outcome, Outcome::Cancelled | Outcome::Identical),
+                "cancel resolved as {:?}",
+                e.outcome
+            );
+        }
+    }
+}

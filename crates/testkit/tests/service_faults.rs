@@ -179,9 +179,11 @@ fn concurrent_panics_all_recover_with_correct_attribution() {
     svc.shutdown();
 }
 
-/// A scripted stall delays its job but is not an error in service v1
-/// (no watchdog retirement): the stalled job and its neighbours all
-/// complete with no deaths and no retries.
+/// Without `stall_timeout` configured there is no watchdog: a scripted
+/// stall delays its job but is not an error — the stalled job and its
+/// neighbours all complete with no deaths and no retries. (With the
+/// watchdog armed the same stall is retired and requeued; see
+/// `watchdog_retires_stalled_worker_and_requeues`.)
 #[test]
 fn stalls_delay_but_do_not_fail() {
     let svc = QrService::<f64>::start(ServiceConfig {
@@ -208,4 +210,137 @@ fn stalls_delay_but_do_not_fail() {
     let fast = h_fast.wait().unwrap();
     assert_eq!(fast.output.factor().state.tiles().to_matrix(), want_fast);
     svc.shutdown();
+}
+
+/// The documented v1 gap is closed: with `stall_timeout` armed, a
+/// scripted stall is *retired* — the worker is respawned, the task
+/// requeued exactly once through the retry path — and the victim still
+/// completes bit-identically while a clean neighbour is untouched.
+/// Zero jobs lost.
+#[test]
+fn watchdog_retires_stalled_worker_and_requeues() {
+    let svc = QrService::<f64>::start(ServiceConfig {
+        workers: 2,
+        fault_tolerance: FaultTolerance {
+            stall_timeout: Some(Duration::from_millis(30)),
+            ..FaultTolerance::default()
+        },
+        ..ServiceConfig::default()
+    });
+    let a_stuck = random_matrix::<f64>(24, 24, 51);
+    let a_clean = random_matrix::<f64>(24, 24, 52);
+    let want_stuck = sequential(&a_stuck, 8);
+    let want_clean = sequential(&a_clean, 8);
+
+    // The stall sleeps 10x the watchdog bound, so retirement is
+    // guaranteed to fire long before the stalled thread wakes.
+    let h_stuck = svc
+        .submit(JobSpec::factor(a_stuck).tile_size(8).faults(Arc::new(
+            ScriptedFaults::new().stall_on(0, 1, Duration::from_millis(300)),
+        )))
+        .unwrap();
+    let h_clean = svc.submit(JobSpec::factor(a_clean).tile_size(8)).unwrap();
+
+    let stuck = h_stuck.wait().unwrap();
+    assert_eq!(stuck.output.factor().state.tiles().to_matrix(), want_stuck);
+    assert!(
+        stuck.report.worker_deaths >= 1,
+        "retirement must be attributed to the victim job"
+    );
+    assert!(
+        stuck.report.requeues >= 1,
+        "the stalled task must have been requeued"
+    );
+
+    let clean = h_clean.wait().unwrap();
+    assert_eq!(clean.output.factor().state.tiles().to_matrix(), want_clean);
+    assert_eq!(clean.report.worker_deaths, 0, "neighbour untouched");
+    assert_eq!(clean.report.retries, 0);
+
+    let stats = svc.shutdown();
+    assert!(
+        stats.lifecycle.watchdog_retirements >= 1,
+        "watchdog retirement must be counted service-wide"
+    );
+    assert_eq!(stats.jobs_completed, 2, "zero jobs lost");
+    assert_eq!(stats.jobs_failed, 0);
+}
+
+/// Cancel-vs-complete race, swept at every task index: a job briefly
+/// stalled at task `k` is cancelled mid-run. Whichever side wins, the
+/// handle must resolve — either `Cancelled` or a bit-identical success —
+/// and the books must balance (every job counted exactly once).
+#[test]
+fn cancel_vs_complete_race_at_every_task_index() {
+    let a = random_matrix::<f64>(24, 24, 61);
+    let want = sequential(&a, 8);
+    let tiled = TiledMatrix::from_matrix(&a, 8).unwrap();
+    let tasks = TaskGraph::build(
+        tiled.tile_rows(),
+        tiled.tile_cols(),
+        EliminationOrder::FlatTs,
+    )
+    .len();
+
+    let mut cancelled = 0u64;
+    let mut completed = 0u64;
+    let svc = QrService::<f64>::start(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    });
+    for k in 0..tasks {
+        // A short stall at task k parks the job mid-DAG so the cancel
+        // lands at a different execution depth on every iteration.
+        let h = svc
+            .submit(JobSpec::factor(a.clone()).tile_size(8).faults(Arc::new(
+                ScriptedFaults::new().stall_on(k, 1, Duration::from_millis(5)),
+            )))
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(1));
+        h.cancel();
+        match h.wait() {
+            Ok(res) => {
+                assert_eq!(
+                    res.output.factor().state.tiles().to_matrix(),
+                    want,
+                    "completion won the race at task {k} but diverged"
+                );
+                completed += 1;
+            }
+            Err(ServiceError::Cancelled) => cancelled += 1,
+            Err(other) => panic!("race at task {k} resolved as unexpected error: {other}"),
+        }
+    }
+    let stats = svc.shutdown();
+    assert_eq!(stats.jobs_completed, completed);
+    assert_eq!(stats.lifecycle.jobs_cancelled, cancelled);
+    assert_eq!(
+        completed + cancelled,
+        tasks as u64,
+        "every raced job resolved exactly once"
+    );
+}
+
+/// Completion-wins determinism: cancelling *after* the result has been
+/// received is a pure no-op — nothing is counted and nothing breaks.
+#[test]
+fn cancel_after_completion_is_noop() {
+    let svc = QrService::<f64>::start(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    });
+    let a = random_matrix::<f64>(24, 24, 62);
+    let want = sequential(&a, 8);
+    let h = svc.submit(JobSpec::factor(a).tile_size(8)).unwrap();
+    // Redeem through the non-consuming path so the handle survives to
+    // issue the late cancel.
+    let res = match h.wait_timeout(Duration::from_secs(30)) {
+        Ok(r) => r.unwrap(),
+        Err(_) => panic!("job hung"),
+    };
+    assert_eq!(res.output.factor().state.tiles().to_matrix(), want);
+    h.cancel();
+    let stats = svc.shutdown();
+    assert_eq!(stats.lifecycle.jobs_cancelled, 0);
+    assert_eq!(stats.jobs_completed, 1);
 }

@@ -178,7 +178,12 @@ fn backpressure_blocks_then_unblocks() {
     // With the slot held, non-blocking admission refuses (the slot
     // frees asynchronously, so allow the race where it already did).
     match svc.try_submit(JobSpec::factor(stress_shape(0, 8101)).tile_size(8)) {
-        Err(ServiceError::Saturated) => {}
+        Err(ServiceError::Saturated {
+            in_flight,
+            max_in_flight,
+        }) => {
+            assert_eq!((in_flight, max_in_flight), (1, 1));
+        }
         Ok(h) => {
             h.wait().unwrap();
         }
