@@ -521,13 +521,15 @@ fn main() {
 
     // Host provenance: GFLOP/s numbers are meaningless without knowing
     // what machine and backend produced them.
-    let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let guard = harness::cores_guard("kernel-throughput comparisons against multi-core baselines");
+    let cores = guard.cores;
     let backend = format!("{:?}", tileqr::kernels::micro::active_backend()).to_lowercase();
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"samples\": {samples},");
     let _ = writeln!(json, "  \"smoke\": {smoke},");
+    json.push_str(&guard.json_fields("  "));
     let _ = writeln!(json, "  \"host\": {{");
     let _ = writeln!(json, "    \"cores\": {cores},");
     let _ = writeln!(json, "    \"arch\": \"{}\",", std::env::consts::ARCH);

@@ -202,13 +202,9 @@ fn main() {
     let _ = writeln!(json, "  \"gflop\": {gflop:.4},");
     let _ = writeln!(json, "  \"samples\": {samples},");
     let _ = writeln!(json, "  \"host_cores\": {max},");
-    let _ = writeln!(json, "  \"cores\": {max},");
-    if max == 1 {
-        let warning = "host has a single core: worker-scaling and speedup-vs-baseline \
-                       numbers are not meaningful at cores == 1";
-        println!("WARNING: {warning}");
-        let _ = writeln!(json, "  \"warning\": \"{warning}\",");
-    }
+    json.push_str(
+        &harness::cores_guard("worker-scaling and speedup-vs-baseline numbers").json_fields("  "),
+    );
     let _ = writeln!(
         json,
         "  \"headline_speedup_vs_global_lock\": {:.4},",

@@ -51,7 +51,10 @@ fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let jobs: u64 = if smoke { 9 } else { 33 };
     let b = 16usize;
-    let cores = std::thread::available_parallelism().map_or(1, |v| v.get());
+    let guard = harness::cores_guard(
+        "service concurrency, fair-share interleaving, and throughput-vs-spin-up numbers",
+    );
+    let cores = guard.cores;
     let config = ServiceConfig {
         workers: 0, // all cores
         policy: SchedulePolicy::CriticalPath,
@@ -221,26 +224,12 @@ fn main() {
     );
 
     // --- Artifact. -------------------------------------------------------
-    let warning = if cores == 1 {
-        Some(
-            "host has a single core: service concurrency, fair-share interleaving, and \
-             throughput-vs-spin-up numbers are not meaningful at cores == 1",
-        )
-    } else {
-        None
-    };
-    if let Some(w) = warning {
-        println!("WARNING: {w}");
-    }
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"jobs\": {jobs},");
     let _ = writeln!(json, "  \"tile_size\": {b},");
     let _ = writeln!(json, "  \"workers\": {workers},");
-    let _ = writeln!(json, "  \"cores\": {cores},");
-    if let Some(w) = warning {
-        let _ = writeln!(json, "  \"warning\": \"{w}\",");
-    }
+    json.push_str(&guard.json_fields("  "));
     let _ = writeln!(json, "  \"smoke\": {smoke},");
     let _ = writeln!(json, "  \"baseline_spinup_seconds\": {baseline_s:.6},");
     let _ = writeln!(json, "  \"service_saturation_seconds\": {saturation_s:.6},");

@@ -116,6 +116,44 @@ pub fn header(title: &str) {
     println!("{:<40} {:>12} {:>12}", "case", "median", "min");
 }
 
+/// Host-parallelism guard shared by every bench artifact writer: the
+/// detected core count plus, on single-core hosts, the standard warning
+/// that parallelism-sensitive numbers are not meaningful there.
+#[derive(Debug, Clone)]
+pub struct CoresGuard {
+    /// Detected hardware parallelism (1 when detection fails).
+    pub cores: usize,
+    /// The single-core warning, `None` on multi-core hosts.
+    pub warning: Option<String>,
+}
+
+/// Detect host parallelism and build the single-core guard for the
+/// given subject (e.g. `"worker-scaling and speedup-vs-baseline
+/// numbers"`). When it applies, the warning is printed to stdout so it
+/// shows in bench logs as well as in the JSON artifact.
+pub fn cores_guard(subject: &str) -> CoresGuard {
+    let cores = std::thread::available_parallelism().map_or(1, |v| v.get());
+    let warning = (cores == 1)
+        .then(|| format!("host has a single core: {subject} are not meaningful at cores == 1"));
+    if let Some(w) = &warning {
+        println!("WARNING: {w}");
+    }
+    CoresGuard { cores, warning }
+}
+
+impl CoresGuard {
+    /// The shared `"cores"` and (single-core only) `"warning"` JSON
+    /// keys, each line trailing-comma'd and prefixed with `indent` —
+    /// callers splice this ahead of their remaining keys.
+    pub fn json_fields(&self, indent: &str) -> String {
+        let mut s = format!("{indent}\"cores\": {},\n", self.cores);
+        if let Some(w) = &self.warning {
+            s.push_str(&format!("{indent}\"warning\": \"{w}\",\n"));
+        }
+        s
+    }
+}
+
 /// Human-readable seconds with an adaptive unit.
 pub fn format_secs(s: f64) -> String {
     if s >= 1.0 {
@@ -142,6 +180,20 @@ mod tests {
         assert_eq!(s.samples, 5);
         assert!(s.min <= s.median);
         assert!(s.min > 0.0);
+    }
+
+    #[test]
+    fn cores_guard_warns_only_on_single_core() {
+        let g = CoresGuard {
+            cores: 1,
+            warning: Some("host has a single core: X are not meaningful at cores == 1".into()),
+        };
+        let fields = g.json_fields("  ");
+        assert!(fields.contains("\"cores\": 1,"));
+        assert!(fields.contains("\"warning\": \"host has a single core"));
+        let multi = cores_guard("X");
+        assert_eq!(multi.warning.is_some(), multi.cores == 1);
+        assert!(multi.json_fields("").starts_with("\"cores\": "));
     }
 
     #[test]

@@ -43,7 +43,10 @@ impl<T: Scalar> TiledQr<T> {
             });
         }
         let tiled = TiledMatrix::from_matrix(a, opts.get_tile_size())?;
-        let graph = TaskGraph::build(tiled.tile_rows(), tiled.tile_cols(), opts.get_order());
+        let tree = opts
+            .get_tree()
+            .resolve(tiled.tile_rows(), tiled.tile_cols());
+        let graph = TaskGraph::build_tree(tiled.tile_rows(), tiled.tile_cols(), tree);
         let state = match opts.get_inner_block() {
             Some(ib) => FactorState::with_inner_block(tiled, ib),
             None => FactorState::new(tiled),
@@ -76,7 +79,7 @@ impl<T: Scalar> TiledQr<T> {
 
     /// Factor `a` through a resident [`QrService`] — the single-matrix
     /// path expressed as a one-job service call. The job inherits the
-    /// tile size, elimination order, and inner block from `opts` (worker
+    /// tile size, elimination-tree policy, and inner block from `opts` (worker
     /// count, schedule policy, and fault tolerance are properties of the
     /// service itself — see [`QrOptions::to_service_config`]). Blocks
     /// until the service completes the job; the returned [`RunReport`]
@@ -88,7 +91,7 @@ impl<T: Scalar> TiledQr<T> {
     ) -> Result<(Self, RunReport)> {
         let mut spec = JobSpec::factor(a.clone())
             .tile_size(opts.get_tile_size())
-            .order(opts.get_order());
+            .tree(opts.get_tree());
         if let Some(ib) = opts.get_inner_block() {
             spec = spec.inner_block(ib);
         }

@@ -8,8 +8,8 @@
 
 pub use tileqr_sched::{
     assign, autotune, device_count, distribution, fastsim, guide, main_select, plan, ratio, replan,
-    rowblock, AdaptiveRun, Distribution, DistributionStrategy, HeteroPlan, MainDevicePolicy,
-    ReplanEvent, ReplanPolicy,
+    rowblock, select, AdaptiveRun, Distribution, DistributionStrategy, HeteroPlan,
+    MainDevicePolicy, ReplanEvent, ReplanPolicy, Selection, TreeScore,
 };
 pub use tileqr_sim::{
     engine, profiles, DeviceId, DeviceKind, DeviceProfile, FaultPlan, KernelClass, KernelTiming,

@@ -40,7 +40,7 @@ mod options;
 pub use factor::TiledQr;
 pub use options::QrOptions;
 
-pub use tileqr_dag::EliminationOrder;
+pub use tileqr_dag::{EliminationOrder, EliminationTree, TreePolicy};
 pub use tileqr_matrix::{Matrix, MatrixError, Rng64, Scalar, TiledMatrix};
 
 /// Workload generators (re-export of `tileqr-matrix`'s `gen` module).
@@ -78,7 +78,7 @@ pub mod runtime {
     };
     pub use tileqr_runtime::{
         FactoredJob, JobHandle, JobId, JobOutput, JobResult, JobSpec, PriorityClass, QrService,
-        ServiceConfig, ServiceError, ServiceStats, WaitTimeout,
+        ServiceConfig, ServiceError, ServiceStats, TreeSelector, WaitTimeout,
     };
 }
 
@@ -99,7 +99,7 @@ pub fn qr<T: Scalar>(a: &Matrix<T>) -> tileqr_matrix::Result<(Matrix<T>, Matrix<
 /// Everything most users need.
 pub mod prelude {
     pub use crate::{qr, QrOptions, TiledQr};
-    pub use tileqr_dag::EliminationOrder;
+    pub use tileqr_dag::{EliminationOrder, EliminationTree, TreePolicy};
     pub use tileqr_matrix::{Matrix, Scalar, TiledMatrix};
     pub use tileqr_runtime::{
         FaultTolerance, JobSpec, PriorityClass, QrService, SchedulePolicy, ServiceConfig,

@@ -1,6 +1,6 @@
 //! Factorization options.
 
-use tileqr_dag::EliminationOrder;
+use tileqr_dag::{EliminationOrder, TreePolicy};
 use tileqr_kernels::WorkspacePolicy;
 use tileqr_runtime::{FaultTolerance, SchedulePolicy, ServiceConfig, TraceConfig};
 
@@ -8,7 +8,7 @@ use tileqr_runtime::{FaultTolerance, SchedulePolicy, ServiceConfig, TraceConfig}
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QrOptions {
     tile_size: usize,
-    order: EliminationOrder,
+    tree: TreePolicy,
     workers: usize,
     schedule: SchedulePolicy,
     fault_tolerance: Option<FaultTolerance>,
@@ -24,7 +24,7 @@ impl Default for QrOptions {
     fn default() -> Self {
         QrOptions {
             tile_size: 16,
-            order: EliminationOrder::FlatTs,
+            tree: TreePolicy::default(),
             workers: 1,
             schedule: SchedulePolicy::Fifo,
             fault_tolerance: None,
@@ -50,9 +50,21 @@ impl QrOptions {
     }
 
     /// Elimination order (TS flat chain by default; TT trees shorten the
-    /// critical path of tall matrices).
+    /// critical path of tall matrices). Shorthand for
+    /// [`tree`](Self::tree) with the corresponding fixed
+    /// [`tileqr_dag::EliminationTree`]; kept for the paper-vocabulary API.
     pub fn order(mut self, order: EliminationOrder) -> Self {
-        self.order = order;
+        self.tree = TreePolicy::Fixed(order.into());
+        self
+    }
+
+    /// Elimination-tree policy: pin a specific
+    /// [`tileqr_dag::EliminationTree`] from the zoo (flat, binary,
+    /// Fibonacci, greedy, plateau, TSQR), or let [`TreePolicy::Auto`]
+    /// pick per geometry — the TSQR reduction tree on tall-skinny grids,
+    /// greedy on very tall ones, the flat TS chain otherwise.
+    pub fn tree(mut self, policy: TreePolicy) -> Self {
+        self.tree = policy;
         self
     }
 
@@ -119,9 +131,9 @@ impl QrOptions {
         self.tile_size
     }
 
-    /// Configured elimination order.
-    pub fn get_order(&self) -> EliminationOrder {
-        self.order
+    /// Configured elimination-tree policy.
+    pub fn get_tree(&self) -> TreePolicy {
+        self.tree
     }
 
     /// Configured worker count (`0` = all cores).
@@ -180,7 +192,10 @@ mod tests {
     fn defaults_match_paper() {
         let o = QrOptions::default();
         assert_eq!(o.get_tile_size(), 16);
-        assert_eq!(o.get_order(), EliminationOrder::FlatTs);
+        assert_eq!(
+            o.get_tree(),
+            TreePolicy::Fixed(tileqr_dag::EliminationTree::Flat)
+        );
         assert_eq!(o.get_workers(), 1);
         assert_eq!(o.get_schedule(), SchedulePolicy::Fifo);
         assert_eq!(o.get_fault_tolerance(), None, "fail fast by default");
@@ -225,9 +240,21 @@ mod tests {
             .workers(0)
             .schedule(SchedulePolicy::CriticalPath);
         assert_eq!(o.get_tile_size(), 32);
-        assert_eq!(o.get_order(), EliminationOrder::BinaryTt);
+        assert_eq!(
+            o.get_tree(),
+            TreePolicy::Fixed(tileqr_dag::EliminationTree::Binary)
+        );
         assert_eq!(o.get_workers(), 0);
         assert_eq!(o.get_schedule(), SchedulePolicy::CriticalPath);
+    }
+
+    #[test]
+    fn tree_knob() {
+        use tileqr_dag::EliminationTree;
+        let o = QrOptions::new().tree(TreePolicy::Auto);
+        assert_eq!(o.get_tree(), TreePolicy::Auto);
+        let o = o.tree(TreePolicy::Fixed(EliminationTree::Greedy));
+        assert_eq!(o.get_tree(), TreePolicy::Fixed(EliminationTree::Greedy));
     }
 
     #[test]

@@ -17,7 +17,8 @@
 //! the device-count cost model (Eq. 10). [`exact_panel_counts`] gives the
 //! exact kernel-level numbers; [`paper_table1`] the paper's reported ones.
 
-use crate::{EliminationOrder, StepClass, TaskGraph};
+use crate::tree::MergeKind;
+use crate::{EliminationOrder, EliminationTree, StepClass, TaskGraph};
 
 /// Exact kernel counts for one TS panel over a remaining `M x N` tile grid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,9 +112,85 @@ pub fn panel_counts_from_dag(m: usize, n: usize) -> PanelCounts {
     c
 }
 
+/// Exact per-kernel task counts of an arbitrary elimination tree on an
+/// `mt x nt` grid, computed from the tree's merge schedule *without*
+/// building the DAG (cross-checked against the builder in the testkit's
+/// tree-property suite).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeCounts {
+    /// `GEQRT` invocations (one per non-TS-victim panel row).
+    pub geqrt: usize,
+    /// `UNMQR` invocations (`geqrt` rows × trailing columns).
+    pub unmqr: usize,
+    /// `TSQRT` invocations (TS merges).
+    pub tsqrt: usize,
+    /// `TTQRT` invocations (TT merges).
+    pub ttqrt: usize,
+    /// `TSMQR` invocations (TS merges × trailing columns).
+    pub tsmqr: usize,
+    /// `TTMQR` invocations (TT merges × trailing columns).
+    pub ttmqr: usize,
+}
+
+impl TreeCounts {
+    /// Total kernel invocations.
+    pub fn total(&self) -> usize {
+        self.geqrt + self.unmqr + self.tsqrt + self.ttqrt + self.tsmqr + self.ttmqr
+    }
+
+    /// Step-class totals `(T, E, UT, UE)` in the paper's vocabulary.
+    pub fn class_totals(&self) -> (usize, usize, usize, usize) {
+        (
+            self.geqrt,
+            self.tsqrt + self.ttqrt,
+            self.unmqr,
+            self.tsmqr + self.ttmqr,
+        )
+    }
+}
+
+/// Exact kernel counts for a full tiled QR with `tree` on an `mt x nt`
+/// grid. Every panel of `m` remaining rows contributes exactly `m - 1`
+/// eliminations regardless of tree shape; the tree only moves kernels
+/// between the TS and TT columns and sets the `GEQRT` count.
+pub fn tree_counts(mt: usize, nt: usize, tree: EliminationTree) -> TreeCounts {
+    assert!(mt > 0 && nt > 0);
+    let mut c = TreeCounts {
+        geqrt: 0,
+        unmqr: 0,
+        tsqrt: 0,
+        ttqrt: 0,
+        tsmqr: 0,
+        ttmqr: 0,
+    };
+    let kmax = mt.min(nt);
+    for k in 0..kmax {
+        let m = mt - k;
+        let trailing = nt - k - 1;
+        let mut ts = 0;
+        let mut tt = 0;
+        for op in tree.rounds(m).into_iter().flatten() {
+            match op.kind {
+                MergeKind::Ts => ts += 1,
+                MergeKind::Tt => tt += 1,
+            }
+        }
+        debug_assert_eq!(ts + tt, m - 1, "every subdiagonal row merged once");
+        let geqrt = m - ts;
+        c.geqrt += geqrt;
+        c.unmqr += geqrt * trailing;
+        c.tsqrt += ts;
+        c.ttqrt += tt;
+        c.tsmqr += ts * trailing;
+        c.ttmqr += tt * trailing;
+    }
+    c
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::TaskKind;
 
     #[test]
     fn closed_forms_match_dag() {
@@ -143,5 +220,37 @@ mod tests {
         let (t, e, ut, ue) = class_totals(&g);
         assert_eq!(t + e + ut + ue, g.len());
         assert_eq!(t, 4, "one GEQRT per panel");
+    }
+
+    #[test]
+    fn tree_counts_match_dag_per_kind() {
+        let mut trees = EliminationTree::zoo();
+        trees.push(EliminationTree::Tsqr(2));
+        for tree in trees {
+            for (mt, nt) in [(1, 1), (6, 1), (6, 2), (5, 4), (3, 6), (8, 8)] {
+                let g = TaskGraph::build_tree(mt, nt, tree);
+                let c = tree_counts(mt, nt, tree);
+                let count = |f: fn(&TaskKind) -> bool| g.tasks().iter().filter(|t| f(t)).count();
+                assert_eq!(count(|t| matches!(t, TaskKind::Geqrt { .. })), c.geqrt);
+                assert_eq!(count(|t| matches!(t, TaskKind::Unmqr { .. })), c.unmqr);
+                assert_eq!(count(|t| matches!(t, TaskKind::Tsqrt { .. })), c.tsqrt);
+                assert_eq!(count(|t| matches!(t, TaskKind::Ttqrt { .. })), c.ttqrt);
+                assert_eq!(count(|t| matches!(t, TaskKind::Tsmqr { .. })), c.tsmqr);
+                assert_eq!(count(|t| matches!(t, TaskKind::Ttmqr { .. })), c.ttmqr);
+                assert_eq!(c.total(), g.len(), "{tree} {mt}x{nt}");
+                assert_eq!(c.class_totals(), class_totals(&g));
+            }
+        }
+    }
+
+    #[test]
+    fn flat_tree_counts_reduce_to_paper_forms() {
+        for (mt, nt) in [(3, 3), (5, 2), (2, 5), (8, 8)] {
+            let c = tree_counts(mt, nt, EliminationTree::Flat);
+            assert_eq!(c.total(), total_ts_tasks(mt, nt));
+            assert_eq!(c.ttqrt, 0);
+            assert_eq!(c.ttmqr, 0);
+            assert_eq!(c.geqrt, mt.min(nt), "one GEQRT per panel");
+        }
     }
 }

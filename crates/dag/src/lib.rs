@@ -23,6 +23,8 @@ pub mod export;
 mod graph;
 mod task;
 pub mod topo;
+pub mod tree;
 
 pub use graph::{EliminationOrder, TaskGraph};
 pub use task::{StepClass, TaskId, TaskKind, TileCoord};
+pub use tree::{EliminationTree, MergeKind, MergeOp, TreePolicy};

@@ -60,6 +60,6 @@ pub use recovery::{FaultInjector, FaultTolerance, InjectedFault, NoFaults, Scrip
 pub use scheduler::{DispatchOrder, ReadyQueue, ReadyTracker, SchedulePolicy};
 pub use service::{
     FactoredJob, JobHandle, JobId, JobOutput, JobResult, JobSpec, PriorityClass, QrService,
-    ServiceConfig, ServiceError, ServiceStats, WaitTimeout,
+    ServiceConfig, ServiceError, ServiceStats, TreeSelector, WaitTimeout,
 };
 pub use tileqr_obs::TraceConfig;

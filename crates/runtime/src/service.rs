@@ -75,7 +75,7 @@ use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use tileqr_dag::{EliminationOrder, TaskGraph, TaskId, TaskKind};
+use tileqr_dag::{EliminationOrder, EliminationTree, TaskGraph, TaskId, TaskKind, TreePolicy};
 use tileqr_kernels::exec::{
     apply_q_dense, apply_qt_dense, CompletedTask, FactorState, SharedFactorState,
 };
@@ -198,7 +198,7 @@ pub struct JobSpec<T: Scalar> {
     a: Matrix<T>,
     payload: Payload<T>,
     tile_size: usize,
-    order: EliminationOrder,
+    tree: TreePolicy,
     inner_block: Option<usize>,
     priority: PriorityClass,
     deadline: Option<Duration>,
@@ -211,7 +211,7 @@ impl<T: Scalar> JobSpec<T> {
             a,
             payload,
             tile_size: 16,
-            order: EliminationOrder::FlatTs,
+            tree: TreePolicy::default(),
             inner_block: None,
             priority: PriorityClass::Standard,
             deadline: None,
@@ -252,8 +252,20 @@ impl<T: Scalar> JobSpec<T> {
     }
 
     /// Elimination order of the task DAG (default [`EliminationOrder::FlatTs`]).
+    /// Shorthand for [`JobSpec::tree`] with the corresponding fixed
+    /// [`EliminationTree`].
     pub fn order(mut self, order: EliminationOrder) -> Self {
-        self.order = order;
+        self.tree = TreePolicy::Fixed(order.into());
+        self
+    }
+
+    /// Elimination-tree policy for the task DAG (default: fixed flat TS
+    /// chain). [`TreePolicy::Auto`] defers the choice to the service's
+    /// per-job planner: the calibrated selector installed via
+    /// [`QrService::start_with_tree_selector`] when present, otherwise
+    /// the geometry heuristic [`EliminationTree::default_for`].
+    pub fn tree(mut self, policy: TreePolicy) -> Self {
+        self.tree = policy;
         self
     }
 
@@ -2217,11 +2229,31 @@ pub struct QrService<T: Scalar> {
     metrics: Arc<Mutex<ServiceStats>>,
     manager: Mutex<Option<JoinHandle<()>>>,
     next_job: AtomicU64,
+    selector: Option<Arc<TreeSelector>>,
 }
+
+/// Per-job elimination-tree planner: maps a job's tile geometry and tile
+/// size `(mt, nt, b)` to the tree its DAG should use. Consulted only for
+/// jobs submitted with [`TreePolicy::Auto`]; typically produced from a
+/// calibrated device profile by `tileqr_sched::select::tree_selector`.
+pub type TreeSelector = dyn Fn(usize, usize, usize) -> EliminationTree + Send + Sync;
 
 impl<T: Scalar> QrService<T> {
     /// Spawn the manager and the resident worker pool.
     pub fn start(config: ServiceConfig) -> Self {
+        Self::start_inner(config, None)
+    }
+
+    /// [`QrService::start`] with a geometry-aware tree planner: every job
+    /// submitted with [`TreePolicy::Auto`] has its elimination tree
+    /// chosen by `selector` at admission time (on the submitting thread —
+    /// the manager loop never pays for planning). Jobs with a fixed
+    /// policy bypass the selector entirely.
+    pub fn start_with_tree_selector(config: ServiceConfig, selector: Arc<TreeSelector>) -> Self {
+        Self::start_inner(config, Some(selector))
+    }
+
+    fn start_inner(config: ServiceConfig, selector: Option<Arc<TreeSelector>>) -> Self {
         let workers = config.effective_workers().max(1);
         let gate = Arc::new(Gate::new(config.max_in_flight));
         let metrics = Arc::new(Mutex::new(ServiceStats::default()));
@@ -2241,6 +2273,7 @@ impl<T: Scalar> QrService<T> {
             metrics,
             manager: Mutex::new(Some(manager)),
             next_job: AtomicU64::new(0),
+            selector,
         }
     }
 
@@ -2296,11 +2329,15 @@ impl<T: Scalar> QrService<T> {
                 tile: (i / b, j / b),
             });
         }
-        let graph = Arc::new(TaskGraph::build(
-            tiled.tile_rows(),
-            tiled.tile_cols(),
-            spec.order,
-        ));
+        let (mt, nt) = (tiled.tile_rows(), tiled.tile_cols());
+        let tree = match spec.tree {
+            TreePolicy::Fixed(tree) => tree,
+            TreePolicy::Auto => match &self.selector {
+                Some(plan) => plan(mt, nt, b),
+                None => EliminationTree::default_for(mt, nt),
+            },
+        };
+        let graph = Arc::new(TaskGraph::build_tree(mt, nt, tree));
         let state = match spec.inner_block {
             Some(ib) => FactorState::with_inner_block(tiled, ib),
             None => FactorState::new(tiled),
@@ -2430,6 +2467,63 @@ mod tests {
         let stats = service.shutdown();
         assert_eq!(stats.jobs_completed, 8);
         assert_eq!(stats.jobs_failed, 0);
+    }
+
+    #[test]
+    fn auto_policy_routes_through_installed_selector() {
+        use std::sync::atomic::AtomicUsize;
+        let calls = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::clone(&calls);
+        let service = QrService::<f64>::start_with_tree_selector(
+            ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+            Arc::new(move |mt, nt, b| {
+                seen.fetch_add(1, Ordering::SeqCst);
+                assert_eq!((mt, nt, b), (6, 6, 8));
+                EliminationTree::Greedy
+            }),
+        );
+        let a = random_matrix::<f64>(48, 48, 31);
+        // Auto consults the selector; a fixed policy must bypass it.
+        let auto = service
+            .submit(
+                JobSpec::factor(a.clone())
+                    .tile_size(8)
+                    .tree(TreePolicy::Auto),
+            )
+            .unwrap();
+        let fixed = service
+            .submit(
+                JobSpec::factor(a)
+                    .tile_size(8)
+                    .tree(TreePolicy::Fixed(EliminationTree::Flat)),
+            )
+            .unwrap();
+        let ga = auto.wait().unwrap().output.factor().graph.tree();
+        let gf = fixed.wait().unwrap().output.factor().graph.tree();
+        assert_eq!(ga, EliminationTree::Greedy);
+        assert_eq!(gf, EliminationTree::Flat);
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn auto_policy_without_selector_uses_geometry_heuristic() {
+        let service = QrService::<f64>::start(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        // 64x8 at b=8 -> 8x1 grid: the heuristic picks the TSQR tree.
+        let a = random_matrix::<f64>(64, 8, 32);
+        let h = service
+            .submit(JobSpec::factor(a).tile_size(8).tree(TreePolicy::Auto))
+            .unwrap();
+        let tree = h.wait().unwrap().output.factor().graph.tree();
+        assert_eq!(tree, EliminationTree::default_for(8, 1));
+        assert!(matches!(tree, EliminationTree::Tsqr(_)));
+        service.shutdown();
     }
 
     #[test]

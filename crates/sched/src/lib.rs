@@ -41,7 +41,9 @@ pub mod plan;
 pub mod ratio;
 pub mod replan;
 pub mod rowblock;
+pub mod select;
 
 pub use distribution::{Distribution, DistributionStrategy};
 pub use plan::{HeteroPlan, MainDevicePolicy};
 pub use replan::{simulate_adaptive, AdaptiveRun, ReplanEvent, ReplanPolicy};
+pub use select::{choose_tree, select_plan, select_tree, Selection, TreeScore};

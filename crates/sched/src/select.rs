@@ -1,0 +1,275 @@
+//! Geometry-aware elimination-tree auto-selection.
+//!
+//! The elimination-tree zoo ([`tileqr_dag::EliminationTree`]) trades task
+//! count against critical-path depth: the paper's flat TS chain does the
+//! least work but serializes each panel; the TT trees shorten the panel
+//! to logarithmic depth at the cost of extra `GEQRT`/`TTQRT` kernels.
+//! Which shape wins depends on the grid geometry `(p, q)`, the tile size
+//! `b`, and how much parallelism the device actually has — exactly the
+//! kind of question the workspace answers by *simulating*, not guessing.
+//!
+//! [`select_tree`] builds each candidate tree's DAG and replays it
+//! through the discrete-event engine on a single-device platform whose
+//! timing curves come from a calibrated [`DeviceProfile`] (fit from real
+//! compute spans by `obs::calibrate`). The predicted-makespan winner
+//! becomes the plan; `TreePolicy::Auto` in the core options and the
+//! service's per-job planning route here when a profile is available and
+//! degrade to [`EliminationTree::default_for`] when not.
+//!
+//! The prediction is deterministic per `(tree, profile, geometry)`: the
+//! engine breaks every tie by task id, so two calls always return the
+//! same ranking.
+
+use std::sync::Arc;
+use tileqr_dag::{EliminationTree, TaskGraph, TreePolicy};
+use tileqr_sim::{engine, DeviceProfile, Link, Platform, SimConfig};
+
+/// Predicted cost of one `(tree, tile-size)` candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeScore {
+    /// The candidate tree.
+    pub tree: EliminationTree,
+    /// Tile size the prediction ran at.
+    pub tile_size: usize,
+    /// Tile-grid geometry the candidate was evaluated on.
+    pub grid: (usize, usize),
+    /// Total tasks in the candidate's DAG.
+    pub tasks: usize,
+    /// Predicted makespan, microseconds.
+    pub makespan_us: f64,
+}
+
+/// Outcome of a selection sweep: the winner plus the full ranking
+/// (ascending makespan) for observability and golden tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Selection {
+    /// The predicted-makespan winner.
+    pub best: TreeScore,
+    /// Every evaluated candidate, best first.
+    pub ranked: Vec<TreeScore>,
+}
+
+/// The candidate trees worth simulating for an `mt x nt` grid: the
+/// all-geometry zoo, plus the TSQR fast path on tall-skinny grids.
+pub fn candidate_trees(mt: usize, nt: usize) -> Vec<EliminationTree> {
+    let mut trees = vec![
+        EliminationTree::Flat,
+        EliminationTree::Binary,
+        EliminationTree::Fibonacci,
+        EliminationTree::Greedy,
+        EliminationTree::Plateau(2),
+        EliminationTree::Plateau(4),
+    ];
+    if nt <= 2 && mt >= 2 {
+        trees.push(EliminationTree::Tsqr(EliminationTree::tsqr_domain(mt)));
+    }
+    trees
+}
+
+/// Predicted makespan (µs) of `tree` on an `mt x nt` grid at tile size
+/// `b`, on a single device described by `profile`. Deterministic per
+/// input; no fault model, no bus traffic (single device).
+pub fn predict_makespan_us(
+    profile: &DeviceProfile,
+    mt: usize,
+    nt: usize,
+    b: usize,
+    tree: EliminationTree,
+) -> f64 {
+    let g = TaskGraph::build_tree(mt, nt, tree);
+    let platform = Platform::new(
+        vec![profile.clone()],
+        Link::pcie2_x16(),
+        SimConfig {
+            tile_size: b,
+            elem_bytes: 8,
+        },
+    );
+    let assignment = vec![0; g.len()];
+    engine::simulate(&g, &platform, &assignment).makespan_us
+}
+
+/// Score every candidate tree for an `mt x nt` grid at tile size `b`
+/// and return the ranking. Panics on an empty grid.
+pub fn select_tree(profile: &DeviceProfile, mt: usize, nt: usize, b: usize) -> Selection {
+    select_candidates(profile, mt, nt, b, &candidate_trees(mt, nt))
+}
+
+/// [`select_tree`] over an explicit candidate list (used by the bench to
+/// score the same zoo it measures).
+pub fn select_candidates(
+    profile: &DeviceProfile,
+    mt: usize,
+    nt: usize,
+    b: usize,
+    trees: &[EliminationTree],
+) -> Selection {
+    assert!(mt > 0 && nt > 0, "empty tile grid");
+    assert!(!trees.is_empty(), "no candidate trees");
+    let mut ranked: Vec<TreeScore> = trees
+        .iter()
+        .map(|&tree| {
+            let tasks = TaskGraph::build_tree(mt, nt, tree).len();
+            TreeScore {
+                tree,
+                tile_size: b,
+                grid: (mt, nt),
+                tasks,
+                makespan_us: predict_makespan_us(profile, mt, nt, b, tree),
+            }
+        })
+        .collect();
+    // Stable keys: makespan, then fewer tasks, then label — so equal
+    // predictions rank deterministically.
+    ranked.sort_by(|x, y| {
+        x.makespan_us
+            .total_cmp(&y.makespan_us)
+            .then(x.tasks.cmp(&y.tasks))
+            .then(x.tree.label().cmp(&y.tree.label()))
+    });
+    Selection {
+        best: ranked[0].clone(),
+        ranked,
+    }
+}
+
+/// Sweep `(tree, tile size)` candidates for a `rows x cols` *matrix* and
+/// return the overall winner: for each tile size the grid geometry is
+/// derived (`⌈rows/b⌉ x ⌈cols/b⌉`) and the full candidate zoo scored.
+pub fn select_plan(
+    profile: &DeviceProfile,
+    rows: usize,
+    cols: usize,
+    tile_sizes: &[usize],
+) -> Selection {
+    assert!(rows > 0 && cols > 0, "empty matrix");
+    assert!(!tile_sizes.is_empty(), "no tile-size candidates");
+    let mut all: Vec<TreeScore> = Vec::new();
+    for &b in tile_sizes {
+        assert!(b > 0, "zero tile size");
+        let mt = rows.div_ceil(b);
+        let nt = cols.div_ceil(b);
+        all.extend(select_tree(profile, mt, nt, b).ranked);
+    }
+    all.sort_by(|x, y| {
+        x.makespan_us
+            .total_cmp(&y.makespan_us)
+            .then(x.tasks.cmp(&y.tasks))
+            .then(x.tree.label().cmp(&y.tree.label()))
+    });
+    Selection {
+        best: all[0].clone(),
+        ranked: all,
+    }
+}
+
+/// Resolve a [`TreePolicy`] for an `mt x nt` grid at tile size `b`:
+/// `Fixed` is identity; `Auto` runs the calibrated selector when a
+/// profile is present and falls back to the geometry heuristic
+/// ([`EliminationTree::default_for`]) when not.
+pub fn choose_tree(
+    profile: Option<&DeviceProfile>,
+    policy: TreePolicy,
+    mt: usize,
+    nt: usize,
+    b: usize,
+) -> EliminationTree {
+    match (policy, profile) {
+        (TreePolicy::Fixed(tree), _) => tree,
+        (TreePolicy::Auto, Some(p)) => select_tree(p, mt, nt, b).best.tree,
+        (TreePolicy::Auto, None) => EliminationTree::default_for(mt, nt),
+    }
+}
+
+/// Package a calibrated profile as the `(mt, nt, b) -> tree` closure the
+/// service's per-job planner accepts
+/// (`QrService::start_with_tree_selector`).
+pub fn tree_selector(
+    profile: DeviceProfile,
+) -> Arc<dyn Fn(usize, usize, usize) -> EliminationTree + Send + Sync> {
+    Arc::new(move |mt, nt, b| select_tree(&profile, mt, nt, b).best.tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tileqr_sim::{DeviceKind, KernelTiming, StepTimes};
+
+    fn profile(cores: usize) -> DeviceProfile {
+        let t = |c0: f64, c3: f64| KernelTiming {
+            c0,
+            c1: 0.0,
+            c2: c3,
+        };
+        DeviceProfile {
+            name: format!("synthetic-{cores}c"),
+            kind: DeviceKind::Cpu,
+            cores,
+            times: StepTimes {
+                triangulation: t(2.0, 0.004),
+                elimination: t(2.0, 0.004),
+                update: t(2.0, 0.006),
+            },
+        }
+    }
+
+    #[test]
+    fn selection_is_deterministic() {
+        let p = profile(4);
+        let a = select_tree(&p, 16, 1, 16);
+        let b = select_tree(&p, 16, 1, 16);
+        assert_eq!(a, b);
+        assert_eq!(a.ranked.len(), candidate_trees(16, 1).len());
+    }
+
+    #[test]
+    fn serial_device_prefers_minimal_work() {
+        // One slot serializes everything: makespan = sum of kernel times,
+        // so the flat chain (fewest tasks, cheapest mix) must win.
+        let sel = select_tree(&profile(1), 12, 1, 16);
+        assert_eq!(sel.best.tree, EliminationTree::Flat, "{:?}", sel.ranked);
+    }
+
+    #[test]
+    fn parallel_device_prefers_log_depth_on_tall_skinny() {
+        let sel = select_tree(&profile(16), 32, 1, 16);
+        assert_ne!(
+            sel.best.tree,
+            EliminationTree::Flat,
+            "16 slots must beat the serial chain: {:?}",
+            sel.ranked
+        );
+        // The winner's predicted makespan is the ranking minimum.
+        for s in &sel.ranked {
+            assert!(sel.best.makespan_us <= s.makespan_us);
+        }
+    }
+
+    #[test]
+    fn auto_without_profile_degrades_to_heuristic() {
+        assert_eq!(
+            choose_tree(None, TreePolicy::Auto, 16, 1, 16),
+            EliminationTree::default_for(16, 1)
+        );
+        assert_eq!(
+            choose_tree(None, TreePolicy::Fixed(EliminationTree::Greedy), 16, 1, 16),
+            EliminationTree::Greedy
+        );
+    }
+
+    #[test]
+    fn selector_closure_matches_direct_call() {
+        let p = profile(8);
+        let f = tree_selector(p.clone());
+        assert_eq!(f(16, 1, 16), select_tree(&p, 16, 1, 16).best.tree);
+    }
+
+    #[test]
+    fn plan_sweep_covers_all_tile_sizes() {
+        let p = profile(4);
+        let sel = select_plan(&p, 256, 32, &[16, 32]);
+        assert!(sel.ranked.iter().any(|s| s.tile_size == 16));
+        assert!(sel.ranked.iter().any(|s| s.tile_size == 32));
+        assert!(sel.best.makespan_us <= sel.ranked.last().unwrap().makespan_us);
+    }
+}

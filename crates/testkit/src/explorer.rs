@@ -11,7 +11,7 @@
 //! adversarial rule. Every exploration is reproducible from its
 //! [`ExploreStrategy`] alone.
 
-use tileqr_dag::{EliminationOrder, TaskGraph, TaskId, TaskKind};
+use tileqr_dag::{EliminationOrder, EliminationTree, TaskGraph, TaskId, TaskKind};
 use tileqr_kernels::exec::{FactorState, SharedFactorState};
 use tileqr_matrix::{Matrix, Result, Rng64, TiledMatrix};
 use tileqr_runtime::SchedulePolicy;
@@ -188,8 +188,20 @@ pub fn explore_vs_sequential(
     workers: usize,
     strategy: ExploreStrategy,
 ) -> Result<(Exploration, FactorState<f64>)> {
+    explore_tree_vs_sequential(a, tile_size, order.into(), workers, strategy)
+}
+
+/// Tree-generic [`explore_vs_sequential`]: any member of the elimination
+/// zoo, including the TSQR fast-path DAG on tall-skinny grids.
+pub fn explore_tree_vs_sequential(
+    a: &Matrix<f64>,
+    tile_size: usize,
+    tree: EliminationTree,
+    workers: usize,
+    strategy: ExploreStrategy,
+) -> Result<(Exploration, FactorState<f64>)> {
     let tiled = TiledMatrix::from_matrix(a, tile_size)?;
-    let graph = TaskGraph::build(tiled.tile_rows(), tiled.tile_cols(), order);
+    let graph = TaskGraph::build_tree(tiled.tile_rows(), tiled.tile_cols(), tree);
     let mut reference = FactorState::new(tiled.clone());
     reference.run_all(&graph)?;
     let explored = explore(tiled, &graph, workers, strategy)?;

@@ -12,7 +12,7 @@
 
 use std::time::Duration;
 use tileqr::{QrOptions, TiledQr};
-use tileqr_dag::{EliminationOrder, TaskGraph};
+use tileqr_dag::{EliminationOrder, EliminationTree, TaskGraph};
 use tileqr_kernels::exec::FactorState;
 use tileqr_matrix::gen::random_matrix;
 use tileqr_matrix::{Matrix, TiledMatrix};
@@ -105,6 +105,41 @@ fn multiple_panics_and_transients_recover_together() {
             assert_eq!(state.tiles().to_matrix(), seq, "workers={workers}");
             assert_eq!(report.worker_deaths, 1);
             assert_eq!(report.retries, 4, "1 panic + 2 + 1 transients");
+        }
+    }
+}
+
+#[test]
+fn recovery_is_bit_identical_for_every_elimination_tree() {
+    // Requeued TTQRT/TTMQR attempts must replay as invisibly as the TS
+    // kernels do: a panic plus a transient per tree, held to bit
+    // identity against that tree's own sequential run.
+    let a = random_matrix::<f64>(40, 16, 0xF6);
+    let mut trees = EliminationTree::zoo();
+    trees.push(EliminationTree::Tsqr(2));
+    for tree in trees {
+        let tiled = TiledMatrix::from_matrix(&a, 8).unwrap();
+        let g = TaskGraph::build_tree(tiled.tile_rows(), tiled.tile_cols(), tree);
+        let mut seq = FactorState::new(tiled.clone());
+        seq.run_all(&g).unwrap();
+        let expect = seq.tiles().to_matrix();
+        for policy in policies_under_test() {
+            let inj = ScriptedFaults::new()
+                .panic_on(g.len() / 2, 1)
+                .fail_on(g.len() - 1, 1);
+            let ft = FaultTolerance {
+                max_attempts: 3,
+                ..FaultTolerance::default()
+            };
+            let (state, report) =
+                ft_run(&tiled, &g, 4, policy, ft, &inj).expect("recovery must succeed");
+            assert_eq!(
+                state.tiles().to_matrix(),
+                expect,
+                "tree={tree} policy={policy:?}"
+            );
+            assert_eq!(report.worker_deaths, 1, "tree={tree}");
+            assert_eq!(report.retries, 2, "tree={tree}: panic + transient");
         }
     }
 }

@@ -1,0 +1,153 @@
+//! Tree-generic bit-identity and numerical-oracle sweep.
+//!
+//! The runtime's bit-identity guarantee — every legal interleaving
+//! commits the same factorization — must hold for *every* member of the
+//! elimination-tree zoo, not just the paper's flat TS chain: the TT
+//! trees introduce `TTQRT`/`TTMQR` tasks with different read/write
+//! shapes, and the TSQR fast path emits a domain-major program order.
+//! These tests drive 100+ distinct fingerprinted interleavings per
+//! tree × schedule policy through the virtual explorer, then hold each
+//! tree's factors to the condition-scaled numerical oracles over the
+//! adversarial generator family.
+
+use std::collections::HashSet;
+
+use tileqr::{QrOptions, TiledQr, TreePolicy};
+use tileqr_dag::EliminationTree;
+use tileqr_matrix::gen::{graded, hilbert_like, near_rank_deficient, random_matrix};
+use tileqr_matrix::Matrix;
+use tileqr_runtime::SchedulePolicy;
+use tileqr_testkit::explorer::{assert_bit_identical, explore_tree_vs_sequential, ExploreStrategy};
+use tileqr_testkit::oracle::verify_qr;
+use tileqr_testkit::workers_under_test;
+
+/// The full sweep: geometry-generic zoo plus the TSQR fast path (the
+/// test matrix is 6 x 2 tiles, so `Tsqr` takes the dedicated builder).
+fn trees_under_test() -> Vec<EliminationTree> {
+    let mut trees = EliminationTree::zoo();
+    trees.push(EliminationTree::Tsqr(EliminationTree::tsqr_domain(6)));
+    trees
+}
+
+#[test]
+fn hundred_plus_distinct_interleavings_per_tree_and_policy() {
+    // 48 x 16 at b = 8: a 6 x 2 tall-skinny tile grid — the geometry the
+    // TSQR fast path exists for, with enough trailing work that every
+    // tree's schedule space is large.
+    let a = random_matrix::<f64>(48, 16, 0x7EE);
+    for tree in trees_under_test() {
+        for policy in [SchedulePolicy::Fifo, SchedulePolicy::CriticalPath] {
+            let mut fingerprints = HashSet::new();
+            let mut seed = 0u64;
+            while fingerprints.len() < 100 {
+                assert!(
+                    seed < 800,
+                    "{tree} {policy:?}: schedule space collapsed \
+                     ({} distinct after {seed} seeds)",
+                    fingerprints.len()
+                );
+                let (exp, reference) = explore_tree_vs_sequential(
+                    &a,
+                    8,
+                    tree,
+                    4,
+                    ExploreStrategy::Seeded { seed, policy },
+                )
+                .unwrap();
+                fingerprints.insert(exp.fingerprint());
+                assert_bit_identical(&exp.state, &reference);
+                seed += 1;
+            }
+        }
+    }
+}
+
+#[test]
+fn adversarial_strategies_are_bit_identical_for_every_tree() {
+    let a = random_matrix::<f64>(48, 16, 0x7EF);
+    for tree in trees_under_test() {
+        for workers in workers_under_test() {
+            for strategy in [
+                ExploreStrategy::ReversePriority,
+                ExploreStrategy::AntiAffinity,
+                ExploreStrategy::LifoStarvation,
+            ] {
+                let (exp, reference) =
+                    explore_tree_vs_sequential(&a, 8, tree, workers, strategy).unwrap();
+                assert_bit_identical(&exp.state, &reference);
+            }
+        }
+    }
+}
+
+/// Adversarial generators with externally-known condition estimates
+/// (the matrices are rectangular, so R-based estimation is unavailable).
+fn adversarial_family() -> Vec<(&'static str, Matrix<f64>, f64)> {
+    vec![
+        ("graded", graded(48, 16, 1e-2, 0x31), 1e8),
+        (
+            "near-rank-deficient",
+            near_rank_deficient(48, 16, 8, 1e-10, 0x32),
+            1e12,
+        ),
+        ("hilbert-like", hilbert_like(48, 16, 1.0, 0x33), 1e16),
+    ]
+}
+
+#[test]
+fn every_tree_passes_condition_scaled_oracles() {
+    for tree in trees_under_test() {
+        for (name, a, kappa) in adversarial_family() {
+            let f = TiledQr::factor(
+                &a,
+                &QrOptions::new()
+                    .tile_size(8)
+                    .tree(TreePolicy::Fixed(tree))
+                    .workers(2),
+            )
+            .unwrap();
+            let rep = verify_qr(&a, &f.q().unwrap(), &f.r(), Some(kappa)).unwrap();
+            assert!(rep.passes(), "{tree} on {name}: {rep:?}");
+        }
+    }
+}
+
+#[test]
+fn every_tree_is_parallel_deterministic_through_the_public_api() {
+    // Same tree, different worker counts: the R factor is bitwise stable.
+    let a = random_matrix::<f64>(48, 16, 0x34);
+    for tree in trees_under_test() {
+        let opts = QrOptions::new().tile_size(8).tree(TreePolicy::Fixed(tree));
+        let seq = TiledQr::factor(&a, &opts).unwrap().r();
+        for workers in workers_under_test() {
+            let par = TiledQr::factor(&a, &opts.workers(workers)).unwrap().r();
+            assert_eq!(par, seq, "{tree} diverged at {workers} workers");
+        }
+    }
+}
+
+#[test]
+fn trees_agree_with_each_other_numerically() {
+    // Different trees compute *different* Householder products, so their
+    // R factors agree only up to column signs — |R| must match within a
+    // forward-error bound, which catches any tree building a wrong DAG.
+    let a = random_matrix::<f64>(48, 16, 0x35);
+    let reference = TiledQr::factor(&a, &QrOptions::new().tile_size(8))
+        .unwrap()
+        .r();
+    let scale = tileqr_matrix::ops::frobenius_norm(&a);
+    for tree in trees_under_test() {
+        let r = TiledQr::factor(
+            &a,
+            &QrOptions::new().tile_size(8).tree(TreePolicy::Fixed(tree)),
+        )
+        .unwrap()
+        .r();
+        for i in 0..16 {
+            for j in 0..16 {
+                let dev = (r[(i, j)].abs() - reference[(i, j)].abs()).abs() / scale;
+                assert!(dev < 1e-13, "{tree}: |R[{i}][{j}]| deviates by {dev:e}");
+            }
+        }
+    }
+}

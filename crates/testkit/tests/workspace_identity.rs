@@ -11,7 +11,7 @@
 //! [`FactorState::elim_factor_any`]) to byte identity with the sequential
 //! ground truth — with and without injected faults.
 
-use tileqr_dag::{EliminationOrder, TaskGraph};
+use tileqr_dag::{EliminationOrder, EliminationTree, TaskGraph};
 use tileqr_kernels::exec::FactorState;
 use tileqr_kernels::WorkspacePolicy;
 use tileqr_matrix::gen::random_matrix;
@@ -127,6 +127,39 @@ fn arena_runs_with_fault_injection_stay_bit_identical() {
                     report.counters.cow_clones, 0,
                     "{ctx}: ft staging clones are deliberate copies, never counted COW falls"
                 );
+                assert_eq!(report.counters.workspace_resizes, 0, "{ctx}");
+            }
+        }
+    }
+}
+
+#[test]
+fn arena_runs_stay_bit_identical_for_every_elimination_tree() {
+    // The TT and TSQR trees route through TTQRT/TTMQR kernels whose
+    // scratch shapes differ from the TS chain — the arena must serve
+    // them all without changing a bit.
+    let a = random_matrix::<f64>(40, 16, 0xA5);
+    let mut trees = EliminationTree::zoo();
+    trees.push(EliminationTree::Tsqr(2));
+    for tree in trees {
+        let tiled = TiledMatrix::from_matrix(&a, 8).unwrap();
+        let g = TaskGraph::build_tree(tiled.tile_rows(), tiled.tile_cols(), tree);
+        let mut seq = FactorState::new(tiled.clone());
+        seq.run_all(&g).unwrap();
+        for workers in workers_under_test() {
+            for workspace in [WorkspacePolicy::PerWorker, WorkspacePolicy::PerCall] {
+                let (state, report) = parallel_factor_traced(
+                    FactorState::new(tiled.clone()),
+                    &g,
+                    PoolConfig {
+                        workers,
+                        workspace,
+                        ..PoolConfig::default()
+                    },
+                )
+                .expect("factorization");
+                let ctx = format!("tree={tree} workers={workers} workspace={workspace:?}");
+                assert_factors_identical(&state, &seq, &ctx);
                 assert_eq!(report.counters.workspace_resizes, 0, "{ctx}");
             }
         }

@@ -16,9 +16,9 @@ fn check_factorization(n_rows: usize, n_cols: usize, opts: &QrOptions, seed: u64
     let tol = validate::qr_tolerance::<f64>(n_rows, n_cols);
     assert!(
         report.passes(tol),
-        "{n_rows}x{n_cols} tile={} order={:?}: {report:?} (tol {tol:e})",
+        "{n_rows}x{n_cols} tile={} tree={:?}: {report:?} (tol {tol:e})",
         opts.get_tile_size(),
-        opts.get_order()
+        opts.get_tree()
     );
 }
 
