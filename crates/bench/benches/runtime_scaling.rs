@@ -202,13 +202,14 @@ fn main() {
     let _ = writeln!(json, "  \"gflop\": {gflop:.4},");
     let _ = writeln!(json, "  \"samples\": {samples},");
     let _ = writeln!(json, "  \"host_cores\": {max},");
-    json.push_str(
-        &harness::cores_guard("worker-scaling and speedup-vs-baseline numbers").json_fields("  "),
-    );
+    let guard = harness::cores_guard("worker-scaling and speedup-vs-baseline numbers");
+    json.push_str(&guard.json_fields("  "));
+    // Single-core hosts have no meaningful speedup headline: report null
+    // (the guard's warning key explains why) instead of a degenerate 1x.
     let _ = writeln!(
         json,
-        "  \"headline_speedup_vs_global_lock\": {:.4},",
-        base.seconds / best.seconds
+        "  \"headline_speedup_vs_global_lock\": {},",
+        guard.gate_f64(base.seconds / best.seconds)
     );
     let _ = writeln!(json, "  \"rows\": [");
     for (idx, r) in rows.iter().enumerate() {

@@ -152,6 +152,19 @@ impl CoresGuard {
         }
         s
     }
+
+    /// Render a parallelism-sensitive headline value for JSON: the
+    /// number (4 decimal places) on multi-core hosts, the literal
+    /// `null` on single-core hosts where the measurement is
+    /// meaningless — so artifact consumers never mistake a degenerate
+    /// 1-core "speedup" for a real one.
+    pub fn gate_f64(&self, v: f64) -> String {
+        if self.cores == 1 || !v.is_finite() {
+            "null".to_string()
+        } else {
+            format!("{v:.4}")
+        }
+    }
 }
 
 /// Human-readable seconds with an adaptive unit.
@@ -194,6 +207,21 @@ mod tests {
         let multi = cores_guard("X");
         assert_eq!(multi.warning.is_some(), multi.cores == 1);
         assert!(multi.json_fields("").starts_with("\"cores\": "));
+    }
+
+    #[test]
+    fn gate_nulls_headline_on_single_core() {
+        let single = CoresGuard {
+            cores: 1,
+            warning: Some("w".into()),
+        };
+        assert_eq!(single.gate_f64(3.5), "null");
+        let multi = CoresGuard {
+            cores: 8,
+            warning: None,
+        };
+        assert_eq!(multi.gate_f64(3.5), "3.5000");
+        assert_eq!(multi.gate_f64(f64::NAN), "null");
     }
 
     #[test]

@@ -56,6 +56,8 @@ impl<T: Scalar> TiledQr<T> {
             policy: opts.get_schedule(),
             trace: opts.get_tracing(),
             workspace: opts.get_workspace(),
+            cost: opts.get_cost_model(),
+            drift: opts.get_drift(),
         };
         let (state, report) = match opts.get_fault_tolerance() {
             // A single worker runs inline either way, so fault tolerance
@@ -91,7 +93,8 @@ impl<T: Scalar> TiledQr<T> {
     ) -> Result<(Self, RunReport)> {
         let mut spec = JobSpec::factor(a.clone())
             .tile_size(opts.get_tile_size())
-            .tree(opts.get_tree());
+            .tree(opts.get_tree())
+            .cost_model(opts.get_cost_model());
         if let Some(ib) = opts.get_inner_block() {
             spec = spec.inner_block(ib);
         }
@@ -103,15 +106,18 @@ impl<T: Scalar> TiledQr<T> {
                 reason: "service returned a non-factor output for a factor job".to_string(),
             });
         };
-        Ok((
-            TiledQr {
-                state: f.state,
-                graph: f.graph,
-                rows: f.rows,
-                cols: f.cols,
-            },
-            report,
-        ))
+        Ok((Self::from_job(f), report))
+    }
+
+    /// Wrap a completed service factor job (crate-internal: the
+    /// service and tuner paths both end here).
+    pub(crate) fn from_job(f: tileqr_runtime::service::FactoredJob<T>) -> Self {
+        TiledQr {
+            state: f.state,
+            graph: f.graph,
+            rows: f.rows,
+            cols: f.cols,
+        }
     }
 
     /// Original (unpadded) dimensions of the factored matrix.

@@ -36,9 +36,11 @@
 mod factor;
 pub mod hetero;
 mod options;
+pub mod tune;
 
 pub use factor::TiledQr;
 pub use options::QrOptions;
+pub use tune::{JobPlan, TunedQrService, TunerConfig};
 
 pub use tileqr_dag::{EliminationOrder, EliminationTree, TreePolicy};
 pub use tileqr_matrix::{Matrix, MatrixError, Rng64, Scalar, TiledMatrix};
@@ -76,9 +78,10 @@ pub mod runtime {
         ReadyQueue, ReadyTracker, RunReport, RuntimeError, SchedulePolicy, ScriptedFaults,
         TraceConfig,
     };
+    pub use tileqr_runtime::{ClassCosts, CostCurve, CostModel, DriftConfig};
     pub use tileqr_runtime::{
-        FactoredJob, JobHandle, JobId, JobOutput, JobResult, JobSpec, PriorityClass, QrService,
-        ServiceConfig, ServiceError, ServiceStats, TreeSelector, WaitTimeout,
+        FactoredJob, JobHandle, JobId, JobOutput, JobResult, JobSpec, JobTuning, PriorityClass,
+        QrService, ServiceConfig, ServiceError, ServiceStats, TreeSelector, WaitTimeout,
     };
 }
 
@@ -98,7 +101,7 @@ pub fn qr<T: Scalar>(a: &Matrix<T>) -> tileqr_matrix::Result<(Matrix<T>, Matrix<
 
 /// Everything most users need.
 pub mod prelude {
-    pub use crate::{qr, QrOptions, TiledQr};
+    pub use crate::{qr, QrOptions, TiledQr, TunedQrService};
     pub use tileqr_dag::{EliminationOrder, EliminationTree, TreePolicy};
     pub use tileqr_matrix::{Matrix, Scalar, TiledMatrix};
     pub use tileqr_runtime::{

@@ -1,11 +1,11 @@
 //! Factorization options.
 
-use tileqr_dag::{EliminationOrder, TreePolicy};
+use tileqr_dag::{CostModel, EliminationOrder, TreePolicy};
 use tileqr_kernels::WorkspacePolicy;
-use tileqr_runtime::{FaultTolerance, SchedulePolicy, ServiceConfig, TraceConfig};
+use tileqr_runtime::{DriftConfig, FaultTolerance, SchedulePolicy, ServiceConfig, TraceConfig};
 
 /// Options controlling a [`crate::TiledQr`] factorization.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QrOptions {
     tile_size: usize,
     tree: TreePolicy,
@@ -15,6 +15,8 @@ pub struct QrOptions {
     tracing: TraceConfig,
     inner_block: Option<usize>,
     workspace: WorkspacePolicy,
+    cost: CostModel,
+    drift: DriftConfig,
 }
 
 impl Default for QrOptions {
@@ -31,6 +33,8 @@ impl Default for QrOptions {
             tracing: TraceConfig::default(),
             inner_block: None,
             workspace: WorkspacePolicy::default(),
+            cost: CostModel::default(),
+            drift: DriftConfig::default(),
         }
     }
 }
@@ -126,6 +130,28 @@ impl QrOptions {
         self
     }
 
+    /// Task-cost model for scheduling priorities:
+    /// [`CostModel::Flops`] (default) ranks by kernel flop counts, while
+    /// [`CostModel::Calibrated`] ranks by measured microseconds from
+    /// fitted per-class timing curves (`tileqr::obs::cost_model` derives
+    /// one from a calibrated device profile). Affects only dispatch
+    /// order; the factors stay bit-identical.
+    pub fn cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Online drift re-weighting: with a calibrated cost model, the
+    /// runtime compares live kernel durations against the model at panel
+    /// boundaries and re-ranks the remaining DAG once the damped
+    /// threshold is crossed. Off by default; requires
+    /// [`cost_model`](Self::cost_model) with calibrated curves to have
+    /// any effect.
+    pub fn drift(mut self, drift: DriftConfig) -> Self {
+        self.drift = drift;
+        self
+    }
+
     /// Configured tile size.
     pub fn get_tile_size(&self) -> usize {
         self.tile_size
@@ -166,6 +192,16 @@ impl QrOptions {
         self.workspace
     }
 
+    /// Configured cost model ([`CostModel::Flops`] by default).
+    pub fn get_cost_model(&self) -> CostModel {
+        self.cost
+    }
+
+    /// Configured drift re-weighting (disabled by default).
+    pub fn get_drift(&self) -> DriftConfig {
+        self.drift
+    }
+
     /// Derive a resident-service configuration from these options: the
     /// worker count, schedule policy, workspace policy, and (if set)
     /// fault-tolerance budget carry over; admission and batching bounds
@@ -179,6 +215,8 @@ impl QrOptions {
             policy: self.schedule,
             fault_tolerance: self.fault_tolerance.unwrap_or_default(),
             workspace: self.workspace,
+            cost: self.cost,
+            drift: self.drift,
             ..ServiceConfig::default()
         }
     }
@@ -261,5 +299,39 @@ mod tests {
     #[should_panic]
     fn zero_tile_rejected() {
         let _ = QrOptions::new().tile_size(0);
+    }
+
+    #[test]
+    fn cost_and_drift_knobs_flow_into_service_config() {
+        use tileqr_dag::{ClassCosts, CostCurve};
+        let costs = ClassCosts {
+            triangulation: CostCurve {
+                c0: 2.0,
+                c1: 0.0,
+                c2: 0.004,
+            },
+            elimination: CostCurve {
+                c0: 2.0,
+                c1: 0.0,
+                c2: 0.004,
+            },
+            update: CostCurve {
+                c0: 2.0,
+                c1: 0.0,
+                c2: 0.006,
+            },
+        };
+        let o = QrOptions::new()
+            .cost_model(CostModel::Calibrated(costs))
+            .drift(DriftConfig::on());
+        assert_eq!(o.get_cost_model(), CostModel::Calibrated(costs));
+        assert!(o.get_drift().enabled);
+        let sc = o.to_service_config();
+        assert_eq!(sc.cost, CostModel::Calibrated(costs));
+        assert!(sc.drift.enabled);
+        // Defaults stay inert.
+        let d = QrOptions::default();
+        assert_eq!(d.get_cost_model(), CostModel::Flops);
+        assert!(!d.get_drift().enabled);
     }
 }

@@ -1,0 +1,211 @@
+//! Pluggable task-cost models for scheduling priorities.
+//!
+//! Bottom-level priorities ([`crate::bottom_levels`]) are only as good as
+//! the per-task weights they sum. The flop model is a safe default but
+//! ignores launch overhead and memory traffic, which is exactly why
+//! critical-path priority can lose to FIFO on a real host. A [`CostModel`]
+//! makes the weight source explicit: either the flop counts, or a
+//! *calibrated* set of per-class timing curves ([`ClassCosts`]) fitted
+//! from measured kernel spans (`obs::calibrate` produces them from a
+//! `DeviceProfile`).
+//!
+//! The types here are pure `Copy` data with no simulator dependency, so
+//! every layer — `PoolConfig`, `ServiceConfig`, `QrOptions` — can carry a
+//! model without growing its dependency graph. Curves follow the paper's
+//! Fig. 4 form `t(b) = c0 + c1·b² + c2·b³` microseconds.
+
+use crate::task::{StepClass, TaskKind};
+
+/// One timing curve `t(b) = c0 + c1·b² + c2·b³` (microseconds), the
+/// dependency-free mirror of the simulator's `KernelTiming`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CostCurve {
+    /// Launch/setup overhead, microseconds.
+    pub c0: f64,
+    /// Memory-traffic coefficient, microseconds per `b²`.
+    pub c1: f64,
+    /// Arithmetic coefficient, microseconds per `b³`.
+    pub c2: f64,
+}
+
+impl CostCurve {
+    /// Predicted latency at tile size `b`, microseconds.
+    pub fn eval_us(&self, b: usize) -> f64 {
+        let b = b as f64;
+        self.c0 + self.c1 * b * b + self.c2 * b * b * b
+    }
+
+    /// The curve scaled by a uniform factor (used by drift re-weighting:
+    /// an observed slowdown multiplies the whole curve).
+    pub fn scaled(&self, factor: f64) -> CostCurve {
+        CostCurve {
+            c0: self.c0 * factor,
+            c1: self.c1 * factor,
+            c2: self.c2 * factor,
+        }
+    }
+}
+
+/// Calibrated per-class cost curves: one per timing class of the paper's
+/// Fig. 4 (triangulation, elimination, and a shared update curve — UT
+/// and UE plot as one line there, and the simulator models them the same
+/// way).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ClassCosts {
+    /// `GEQRT` curve.
+    pub triangulation: CostCurve,
+    /// `TSQRT` / `TTQRT` curve.
+    pub elimination: CostCurve,
+    /// `UNMQR` / `TSMQR` / `TTMQR` curve (shared).
+    pub update: CostCurve,
+}
+
+/// Index of a [`StepClass`] into the three-curve table: 0 triangulation,
+/// 1 elimination, 2 update (UT and UE share slot 2).
+pub fn class_slot(class: StepClass) -> usize {
+    match class {
+        StepClass::Triangulation => 0,
+        StepClass::Elimination => 1,
+        StepClass::UpdateTriangulation | StepClass::UpdateElimination => 2,
+    }
+}
+
+impl ClassCosts {
+    /// The curve a [`StepClass`] bills to.
+    pub fn curve(&self, class: StepClass) -> CostCurve {
+        match class_slot(class) {
+            0 => self.triangulation,
+            1 => self.elimination,
+            _ => self.update,
+        }
+    }
+
+    /// Predicted cost of one task at tile size `b`, microseconds.
+    pub fn cost_us(&self, kind: TaskKind, b: usize) -> f64 {
+        self.curve(kind.class()).eval_us(b)
+    }
+
+    /// Expected per-task latency of each class slot at tile size `b`
+    /// (`[triangulation, elimination, update]` µs) — the drift detector's
+    /// baseline.
+    pub fn expected_us(&self, b: usize) -> [f64; 3] {
+        [
+            self.triangulation.eval_us(b),
+            self.elimination.eval_us(b),
+            self.update.eval_us(b),
+        ]
+    }
+
+    /// Costs with each class curve scaled by its slot's factor (drift
+    /// re-weighting applies the observed per-class slowdown ratios).
+    pub fn scaled(&self, factors: [f64; 3]) -> ClassCosts {
+        ClassCosts {
+            triangulation: self.triangulation.scaled(factors[0]),
+            elimination: self.elimination.scaled(factors[1]),
+            update: self.update.scaled(factors[2]),
+        }
+    }
+}
+
+/// Where bottom-level task weights come from.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum CostModel {
+    /// Kernel flop counts (the seed behaviour): cheap, portable, blind to
+    /// launch overhead and memory traffic.
+    #[default]
+    Flops,
+    /// Measured microseconds from calibrated per-class curves; makes
+    /// `SchedulePolicy::CriticalPath` rank by predicted wall time.
+    Calibrated(ClassCosts),
+}
+
+impl CostModel {
+    /// Stable lowercase name for logs and bench artifacts.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CostModel::Flops => "flops",
+            CostModel::Calibrated(_) => "calibrated",
+        }
+    }
+
+    /// The calibrated curves, when present.
+    pub fn class_costs(&self) -> Option<ClassCosts> {
+        match self {
+            CostModel::Flops => None,
+            CostModel::Calibrated(c) => Some(*c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn costs() -> ClassCosts {
+        ClassCosts {
+            triangulation: CostCurve {
+                c0: 2.0,
+                c1: 0.0,
+                c2: 0.004,
+            },
+            elimination: CostCurve {
+                c0: 2.0,
+                c1: 0.0,
+                c2: 0.004,
+            },
+            update: CostCurve {
+                c0: 2.0,
+                c1: 0.0,
+                c2: 0.006,
+            },
+        }
+    }
+
+    #[test]
+    fn curve_matches_fig4_form() {
+        let c = CostCurve {
+            c0: 20.0,
+            c1: 0.02,
+            c2: 0.019,
+        };
+        let b = 16.0;
+        assert!((c.eval_us(16) - (20.0 + 0.02 * b * b + 0.019 * b * b * b)).abs() < 1e-12);
+        let s = c.scaled(3.0);
+        assert!((s.eval_us(16) - 3.0 * c.eval_us(16)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn update_classes_share_one_curve() {
+        let c = costs();
+        let ut = TaskKind::Unmqr { i: 0, j: 1, k: 0 };
+        let ue = TaskKind::Tsmqr {
+            p: 0,
+            i: 1,
+            j: 1,
+            k: 0,
+        };
+        assert_eq!(c.cost_us(ut, 16), c.cost_us(ue, 16));
+        assert_eq!(class_slot(StepClass::UpdateTriangulation), 2);
+        assert_eq!(class_slot(StepClass::UpdateElimination), 2);
+        assert_eq!(class_slot(StepClass::Triangulation), 0);
+        assert_eq!(class_slot(StepClass::Elimination), 1);
+    }
+
+    #[test]
+    fn scaled_applies_per_slot() {
+        let c = costs().scaled([2.0, 3.0, 4.0]);
+        assert!((c.triangulation.eval_us(8) - 2.0 * costs().triangulation.eval_us(8)).abs() < 1e-9);
+        assert!((c.elimination.eval_us(8) - 3.0 * costs().elimination.eval_us(8)).abs() < 1e-9);
+        assert!((c.update.eval_us(8) - 4.0 * costs().update.eval_us(8)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn model_names_and_extraction() {
+        assert_eq!(CostModel::Flops.name(), "flops");
+        assert_eq!(CostModel::default(), CostModel::Flops);
+        let m = CostModel::Calibrated(costs());
+        assert_eq!(m.name(), "calibrated");
+        assert_eq!(m.class_costs(), Some(costs()));
+        assert_eq!(CostModel::Flops.class_costs(), None);
+    }
+}

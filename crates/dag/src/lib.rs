@@ -17,14 +17,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cost;
 pub mod counts;
 pub mod critical_path;
 pub mod export;
 mod graph;
+pub mod listsim;
 mod task;
 pub mod topo;
 pub mod tree;
 
+pub use cost::{class_slot, ClassCosts, CostCurve, CostModel};
+pub use critical_path::bottom_levels;
 pub use graph::{EliminationOrder, TaskGraph};
+pub use listsim::{list_makespan, ListOrder};
 pub use task::{StepClass, TaskId, TaskKind, TileCoord};
 pub use tree::{EliminationTree, MergeKind, MergeOp, TreePolicy};

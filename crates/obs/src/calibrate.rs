@@ -14,7 +14,7 @@
 //! measurement-driven.
 
 use crate::span::{Phase, Trace};
-use tileqr_dag::TaskGraph;
+use tileqr_dag::{ClassCosts, CostCurve, CostModel, TaskGraph};
 use tileqr_sim::{
     engine, DeviceKind, DeviceProfile, KernelClass, KernelTiming, Link, Platform, SimConfig,
     StepTimes,
@@ -138,6 +138,42 @@ pub fn fitted_profile(
         cores: cores.max(1),
         times,
     }
+}
+
+/// Bridge a simulator [`StepTimes`] table into the scheduler's
+/// dependency-free [`ClassCosts`] (same curves, different crate).
+pub fn class_costs(times: &StepTimes) -> ClassCosts {
+    let curve = |t: KernelTiming| CostCurve {
+        c0: t.c0,
+        c1: t.c1,
+        c2: t.c2,
+    };
+    ClassCosts {
+        triangulation: curve(times.triangulation),
+        elimination: curve(times.elimination),
+        update: curve(times.update),
+    }
+}
+
+/// Inverse of [`class_costs`]: scheduler curves back into simulator form
+/// (used when a drift-scaled model is fed to the planners).
+pub fn step_times_of(costs: &ClassCosts) -> StepTimes {
+    let curve = |c: CostCurve| KernelTiming {
+        c0: c.c0,
+        c1: c.c1,
+        c2: c.c2,
+    };
+    StepTimes {
+        triangulation: curve(costs.triangulation),
+        elimination: curve(costs.elimination),
+        update: curve(costs.update),
+    }
+}
+
+/// The [`CostModel`] a calibrated profile induces: measured-microsecond
+/// weights for `SchedulePolicy::CriticalPath`.
+pub fn cost_model(profile: &DeviceProfile) -> CostModel {
+    CostModel::Calibrated(class_costs(&profile.times))
 }
 
 /// Maximum relative error of `fitted` vs `truth`, per kernel class, over
@@ -278,5 +314,30 @@ mod tests {
     fn solve3_rejects_singular() {
         let m = [[1.0, 2.0, 3.0], [2.0, 4.0, 6.0], [1.0, 0.0, 1.0]];
         assert!(solve3(m, [1.0, 2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn class_costs_round_trips_step_times() {
+        let times = profiles::gtx580().times;
+        let costs = class_costs(&times);
+        assert_eq!(step_times_of(&costs), times);
+        for b in [8usize, 16, 32] {
+            assert!(
+                (costs.triangulation.eval_us(b) - times.time_us(KernelClass::Triangulation, b))
+                    .abs()
+                    < 1e-12
+            );
+            assert!(
+                (costs.update.eval_us(b) - times.time_us(KernelClass::Update, b)).abs() < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn cost_model_of_profile_is_calibrated() {
+        let p = profiles::gtx580();
+        let m = cost_model(&p);
+        assert_eq!(m.name(), "calibrated");
+        assert_eq!(m.class_costs(), Some(class_costs(&p.times)));
     }
 }

@@ -24,16 +24,22 @@
 pub mod calibrate;
 pub mod chrome;
 pub mod counters;
+pub mod drift;
 pub mod hist;
+pub mod profile_json;
 pub mod recorder;
 pub mod span;
 
 pub use calibrate::{
-    fit_step_times, fitted_profile, profile_error, samples_from_trace, sim_vs_real, KernelSample,
-    SimVsReal,
+    class_costs, cost_model, fit_step_times, fitted_profile, profile_error, samples_from_trace,
+    sim_vs_real, step_times_of, KernelSample, SimVsReal,
 };
 pub use counters::{HotPathCounters, LifecycleCounters};
+pub use drift::{DriftConfig, DriftDetector};
 pub use hist::{bucket_bounds, bucket_of, KernelHistograms, LatencyHistogram, NUM_BUCKETS};
+pub use profile_json::{
+    default_profile_path, profile_from_json, profile_to_json, ProfileStore, PROFILE_ENV,
+};
 pub use recorder::{
     merge_recorders, RawEvent, RawKind, TraceConfig, WorkerRecorder, DEFAULT_CAPACITY_PER_LANE,
 };

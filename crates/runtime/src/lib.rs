@@ -59,7 +59,8 @@ pub use pool::{
 pub use recovery::{FaultInjector, FaultTolerance, InjectedFault, NoFaults, ScriptedFaults};
 pub use scheduler::{DispatchOrder, ReadyQueue, ReadyTracker, SchedulePolicy};
 pub use service::{
-    FactoredJob, JobHandle, JobId, JobOutput, JobResult, JobSpec, PriorityClass, QrService,
-    ServiceConfig, ServiceError, ServiceStats, TreeSelector, WaitTimeout,
+    FactoredJob, JobHandle, JobId, JobOutput, JobResult, JobSpec, JobTuning, PriorityClass,
+    QrService, ServiceConfig, ServiceError, ServiceStats, TreeSelector, WaitTimeout,
 };
-pub use tileqr_obs::TraceConfig;
+pub use tileqr_dag::{ClassCosts, CostCurve, CostModel};
+pub use tileqr_obs::{DriftConfig, TraceConfig};

@@ -34,13 +34,13 @@ use std::collections::BinaryHeap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
-use tileqr_dag::{TaskGraph, TaskId, TaskKind};
+use tileqr_dag::{bottom_levels, class_slot, CostModel, TaskGraph, TaskId, TaskKind};
 use tileqr_kernels::exec::{CompletedTask, FactorState, SharedFactorState};
 use tileqr_kernels::{flops, Workspace, WorkspacePolicy};
 use tileqr_matrix::{MatrixError, Result, Scalar};
 use tileqr_obs::{
-    merge_recorders, HotPathCounters, KernelHistograms, RawEvent, RawKind, Trace, TraceConfig,
-    WorkerRecorder,
+    merge_recorders, DriftConfig, DriftDetector, HotPathCounters, KernelHistograms, RawEvent,
+    RawKind, Trace, TraceConfig, WorkerRecorder,
 };
 
 /// Worker-pool configuration.
@@ -58,6 +58,16 @@ pub struct PoolConfig {
     /// its tasks — zero steady-state allocations. `PerCall` re-allocates
     /// scratch inside every kernel, the pre-arena baseline behaviour.
     pub workspace: WorkspacePolicy,
+    /// Where bottom-level priorities come from: flop counts (default) or
+    /// calibrated per-class timing curves, so
+    /// [`SchedulePolicy::CriticalPath`] can rank by measured microseconds.
+    pub cost: CostModel,
+    /// Performance-drift re-weighting. Requires a
+    /// [`CostModel::Calibrated`] model; at panel boundaries the manager
+    /// compares measured compute durations against the model and, past
+    /// the damped threshold, recomputes bottom levels for the remaining
+    /// DAG in place. Off by default.
+    pub drift: DriftConfig,
 }
 
 impl PoolConfig {
@@ -98,6 +108,10 @@ pub struct RunReport {
     /// Workers retired mid-run (panicked, stalled past the watchdog, or
     /// found dead at dispatch).
     pub worker_deaths: u64,
+    /// Times the drift detector fired and the manager re-ranked the ready
+    /// set under freshly scaled costs. Always 0 unless the run had a
+    /// calibrated cost model and drift detection enabled.
+    pub drift_reweights: u64,
     /// Unified lifecycle trace of the run — `Some` iff the run's
     /// [`TraceConfig`] was enabled. One lane per worker plus a `manager`
     /// lane carrying ready/dispatch/recovery instants (and, in
@@ -170,6 +184,15 @@ pub(crate) fn flop_weight(b: usize) -> impl Fn(TaskKind) -> f64 + Copy {
         TaskKind::Tsmqr { .. } => flops::tsmqr_flops(b) as f64,
         TaskKind::Ttqrt { .. } => flops::ttqrt_flops(b) as f64,
         TaskKind::Ttmqr { .. } => flops::ttmqr_flops(b) as f64,
+    }
+}
+
+/// Task weight under the run's [`CostModel`]: flops (the seed behaviour)
+/// or calibrated microseconds at tile size `b`.
+pub(crate) fn model_weight(cost: CostModel, b: usize) -> impl Fn(TaskKind) -> f64 + Copy {
+    move |t| match cost {
+        CostModel::Flops => flop_weight(b)(t),
+        CostModel::Calibrated(c) => c.cost_us(t, b),
     }
 }
 
@@ -300,6 +323,7 @@ fn run_inline<T: Scalar>(
             retries: 0,
             requeues: 0,
             worker_deaths: 0,
+            drift_reweights: 0,
             trace,
             counters,
         },
@@ -327,6 +351,9 @@ enum WorkerOutcome<T: Scalar> {
         completed: Option<Box<CompletedTask<T>>>,
         stage_wait: Duration,
         commit_wait: Duration,
+        /// Kernel-only duration of the attempt — the drift detector's
+        /// input (measured in both modes, trace on or off).
+        compute: Duration,
     },
     /// The kernel (or an injected transient fault) returned an error.
     Failed(MatrixError),
@@ -359,13 +386,14 @@ struct ManagerStats {
     retries: u64,
     requeues: u64,
     worker_deaths: u64,
+    drift_reweights: u64,
     trace: Option<Trace>,
 }
 
 /// What one worker attempt hands back: the completed task when the
 /// commit is deferred to the manager (fault-tolerant mode), plus the
-/// stage and commit wait times.
-type AttemptOutput<T> = (Option<Box<CompletedTask<T>>>, Duration, Duration);
+/// stage wait, commit wait, and kernel-only compute time.
+type AttemptOutput<T> = (Option<Box<CompletedTask<T>>>, Duration, Duration, Duration);
 
 /// The unified manager loop behind every multi-worker entry point.
 fn run_pool<T: Scalar>(
@@ -451,6 +479,7 @@ fn run_pool<T: Scalar>(
                             // PerCall baseline: throwaway scratch every task.
                             staged.compute()?
                         };
+                        let compute = t_staged.elapsed();
                         if fault == InjectedFault::PoisonNan {
                             // NaN-corrupt the output *after* the kernel ran;
                             // the pool path has no poison fence (that
@@ -473,7 +502,7 @@ fn run_pool<T: Scalar>(
                                 ));
                             }
                             // Commit on the manager, behind the fence.
-                            Ok((Some(Box::new(done)), stage_wait, Duration::ZERO))
+                            Ok((Some(Box::new(done)), stage_wait, Duration::ZERO, compute))
                         } else {
                             let t1 = Instant::now();
                             shared.commit(done);
@@ -498,15 +527,16 @@ fn run_pool<T: Scalar>(
                                     now,
                                 ));
                             }
-                            Ok((None, stage_wait, t1.elapsed()))
+                            Ok((None, stage_wait, t1.elapsed(), compute))
                         }
                     }));
                     let (outcome, retire) = match result {
-                        Ok(Ok((completed, stage_wait, commit_wait))) => (
+                        Ok(Ok((completed, stage_wait, commit_wait, compute))) => (
                             WorkerOutcome::Done {
                                 completed,
                                 stage_wait,
                                 commit_wait,
+                                compute,
                             },
                             false,
                         ),
@@ -542,7 +572,18 @@ fn run_pool<T: Scalar>(
         // recovery bookkeeping.
         let total = graph.len();
         let mut tracker = ReadyTracker::new(graph);
-        let mut queue = ReadyQueue::for_order(order, graph, flop_weight(b));
+        let mut queue = ReadyQueue::for_order(order, graph, model_weight(config.cost, b));
+        // Drift re-weighting state: only armed when the run both asked for
+        // it and has a calibrated model to measure against. `base` is the
+        // *original* calibration; the detector's ratios are absolute vs
+        // that, so each re-weight scales `base`, never the scaled costs.
+        let mut drift_state = config
+            .drift
+            .enabled
+            .then(|| config.cost.class_costs())
+            .flatten()
+            .map(|base| (DriftDetector::new(config.drift, base.expected_us(b)), base));
+        let mut drift_panel = 0usize;
         // The manager's own lane: ready/dispatch/recovery instants, plus
         // the fenced commits in fault-tolerant mode.
         let mut mgr_rec = trace_cfg
@@ -571,6 +612,7 @@ fn run_pool<T: Scalar>(
             retries: 0,
             requeues: 0,
             worker_deaths: 0,
+            drift_reweights: 0,
             trace: None,
         };
 
@@ -784,10 +826,27 @@ fn run_pool<T: Scalar>(
                     completed: payload,
                     stage_wait,
                     commit_wait,
+                    compute,
                 } => {
                     stats.stage_wait += stage_wait;
                     stats.commit_wait += commit_wait;
                     if !committed[t] {
+                        if let Some((detector, base)) = drift_state.as_mut() {
+                            let kind = graph.task(t);
+                            detector.record(class_slot(kind.class()), compute.as_secs_f64() * 1e6);
+                            // Panel boundary: the first committed task of a
+                            // later panel closes the previous panel's window.
+                            if kind.panel() > drift_panel {
+                                drift_panel = kind.panel();
+                                if let Some(ratios) = detector.check() {
+                                    let scaled = base.scaled(ratios);
+                                    queue.reprioritize(bottom_levels(graph, |k| {
+                                        scaled.cost_us(k, b)
+                                    }));
+                                    stats.drift_reweights += 1;
+                                }
+                            }
+                        }
                         // First result wins — even from a retired
                         // worker: duplicate attempts stage identical
                         // inputs (nothing conflicting runs before the
@@ -924,6 +983,7 @@ fn run_pool<T: Scalar>(
             retries: stats.retries,
             requeues: stats.requeues,
             worker_deaths: stats.worker_deaths,
+            drift_reweights: stats.drift_reweights,
             trace: stats.trace,
             counters,
         },
@@ -1220,6 +1280,7 @@ mod tests {
             retries: 0,
             requeues: 0,
             worker_deaths: 0,
+            drift_reweights: 0,
             trace: None,
             counters: HotPathCounters::default(),
         };

@@ -279,6 +279,32 @@ impl ReadyQueue {
         self.len() == 0
     }
 
+    /// Swap in a new priority table mid-run and rebuild the heap over the
+    /// currently-ready tasks — the drift re-weighting hook. Priority-based
+    /// queues drain and re-push every ready entry under the new table;
+    /// order-insensitive disciplines (FIFO/LIFO/seeded) ignore the call.
+    /// Returns `true` when the queue actually re-ranked.
+    pub fn reprioritize(&mut self, new_priorities: Vec<f64>) -> bool {
+        match &mut self.repr {
+            QueueRepr::Heap {
+                heap,
+                priorities,
+                sign,
+            } => {
+                *priorities = new_priorities;
+                let old = std::mem::take(heap);
+                for entry in old {
+                    heap.push(Prioritized {
+                        priority: *sign * priorities.get(entry.id).copied().unwrap_or(0.0),
+                        id: entry.id,
+                    });
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// High-water mark of the ready-set depth over the queue's lifetime.
     pub fn max_depth(&self) -> usize {
         self.max_depth
@@ -508,6 +534,28 @@ mod tests {
             }
             assert_eq!(drained, g.len(), "{order:?}");
         }
+    }
+
+    #[test]
+    fn reprioritize_reranks_ready_tasks_in_place() {
+        let mut q = ReadyQueue::critical_path(vec![1.0, 2.0, 3.0, 4.0]);
+        for id in 0..4 {
+            q.push(id);
+        }
+        // Invert the table mid-run: ranks must follow the new priorities.
+        assert!(q.reprioritize(vec![4.0, 3.0, 2.0, 1.0]));
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+
+        // FIFO is order-insensitive: the call is a no-op.
+        let mut f = ReadyQueue::fifo();
+        f.push(7);
+        f.push(3);
+        assert!(!f.reprioritize(vec![0.0; 8]));
+        assert_eq!(f.pop(), Some(7));
+        assert_eq!(f.pop(), Some(3));
     }
 
     #[test]

@@ -63,7 +63,7 @@
 //! high-water marks are readable at any time via [`QrService::stats`].
 
 use crate::error::RuntimeError;
-use crate::pool::{flop_weight, panic_message, RunReport};
+use crate::pool::{model_weight, panic_message, RunReport};
 use crate::recovery::{FaultInjector, FaultTolerance, InjectedFault};
 use crate::scheduler::{ReadyQueue, ReadyTracker, SchedulePolicy};
 use std::cmp::Reverse;
@@ -75,13 +75,18 @@ use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use tileqr_dag::{EliminationOrder, EliminationTree, TaskGraph, TaskId, TaskKind, TreePolicy};
+use tileqr_dag::{
+    bottom_levels, class_slot, ClassCosts, CostModel, EliminationOrder, EliminationTree, TaskGraph,
+    TaskId, TaskKind, TreePolicy,
+};
 use tileqr_kernels::exec::{
     apply_q_dense, apply_qt_dense, CompletedTask, FactorState, SharedFactorState,
 };
 use tileqr_kernels::{Workspace, WorkspacePolicy};
 use tileqr_matrix::{Matrix, MatrixError, Scalar, TiledMatrix};
-use tileqr_obs::{HotPathCounters, LatencyHistogram, LifecycleCounters};
+use tileqr_obs::{
+    DriftConfig, DriftDetector, HotPathCounters, LatencyHistogram, LifecycleCounters,
+};
 
 /// Job identifier, unique per service instance (1-based).
 pub type JobId = u64;
@@ -151,6 +156,12 @@ pub struct ServiceConfig {
     pub fault_tolerance: FaultTolerance,
     /// Kernel-scratch strategy for the resident workers.
     pub workspace: WorkspacePolicy,
+    /// Default task-cost model for bottom-level priorities and WFQ
+    /// virtual time (per-job [`JobSpec::cost_model`] overrides it).
+    pub cost: CostModel,
+    /// Per-job performance-drift re-weighting (needs a calibrated cost
+    /// model, the service default or a per-job override). Off by default.
+    pub drift: DriftConfig,
 }
 
 impl Default for ServiceConfig {
@@ -163,6 +174,8 @@ impl Default for ServiceConfig {
             batch_max_jobs: 8,
             fault_tolerance: FaultTolerance::default(),
             workspace: WorkspacePolicy::default(),
+            cost: CostModel::default(),
+            drift: DriftConfig::default(),
         }
     }
 }
@@ -203,6 +216,8 @@ pub struct JobSpec<T: Scalar> {
     priority: PriorityClass,
     deadline: Option<Duration>,
     injector: Option<Arc<dyn FaultInjector + Send + Sync>>,
+    cost: Option<CostModel>,
+    tuning: JobTuning,
 }
 
 impl<T: Scalar> JobSpec<T> {
@@ -216,6 +231,8 @@ impl<T: Scalar> JobSpec<T> {
             priority: PriorityClass::Standard,
             deadline: None,
             injector: None,
+            cost: None,
+            tuning: JobTuning::Standard,
         }
     }
 
@@ -301,6 +318,35 @@ impl<T: Scalar> JobSpec<T> {
         self.injector = Some(injector);
         self
     }
+
+    /// Override the service's default [`CostModel`] for this job's
+    /// priorities and fair-share accounting.
+    pub fn cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = Some(cost);
+        self
+    }
+
+    /// Tag the job's place in the online-autotuning pipeline (counted in
+    /// [`ServiceStats::probe_jobs`] / [`ServiceStats::tuned_jobs`]).
+    pub fn tuning(mut self, tuning: JobTuning) -> Self {
+        self.tuning = tuning;
+        self
+    }
+}
+
+/// A job's role in the service-level online autotuner — purely an
+/// accounting tag; the tuner sets it so `ServiceStats` can show how many
+/// jobs paid calibration cost versus ran on measured plans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JobTuning {
+    /// Not part of a tuning pipeline.
+    #[default]
+    Standard,
+    /// A calibration probe: its measurements feed a profile fit.
+    Probe,
+    /// Planned from a calibrated profile (tile size, tree, and cost model
+    /// chosen by the selector).
+    Tuned,
 }
 
 /// A completed factorization: the tile/reflector state plus the DAG that
@@ -390,6 +436,14 @@ pub struct JobResult<T: Scalar> {
     pub batched: bool,
     /// Per-task kernel compute latencies of this job alone.
     pub task_latency: LatencyHistogram,
+    /// Total measured kernel time per timing-class slot
+    /// (`[triangulation, elimination, update]`, µs) — the raw material
+    /// the online autotuner fits profiles from. All zeros for batched
+    /// jobs, which bypass per-task accounting.
+    pub class_compute_us: [f64; 3],
+    /// Committed tasks per timing-class slot (pairs with
+    /// [`JobResult::class_compute_us`] to give per-class means).
+    pub class_tasks: [u64; 3],
 }
 
 /// Why a submission or job failed.
@@ -591,6 +645,13 @@ pub struct ServiceStats {
     /// cancelled, poisoned panel factors contained, and stalled workers
     /// retired by the watchdog.
     pub lifecycle: LifecycleCounters,
+    /// Times a job's drift detector fired and its remaining DAG was
+    /// re-ranked under freshly scaled calibrated costs.
+    pub drift_reweights: u64,
+    /// Jobs submitted tagged [`JobTuning::Probe`] (paid calibration).
+    pub probe_jobs: u64,
+    /// Jobs submitted tagged [`JobTuning::Tuned`] (ran on measured plans).
+    pub tuned_jobs: u64,
 }
 
 impl ServiceStats {
@@ -695,6 +756,8 @@ struct NewJob<T: Scalar> {
     b: usize,
     payload: Payload<T>,
     class: PriorityClass,
+    cost: CostModel,
+    tuning: JobTuning,
     injector: Option<SharedInjector>,
     submitted: Instant,
     deadline: Option<Duration>,
@@ -1030,6 +1093,14 @@ struct JobState<T: Scalar> {
     b: usize,
     payload: Option<Payload<T>>,
     weight: f64,
+    cost: CostModel,
+    /// Armed iff drift detection is on and the job has calibrated costs:
+    /// the detector plus the *original* calibration its ratios scale.
+    drift: Option<(DriftDetector, ClassCosts)>,
+    drift_panel: usize,
+    drift_reweights: u64,
+    class_compute_us: [f64; 3],
+    class_tasks: [u64; 3],
     vtime: f64,
     tracker: ReadyTracker,
     ready: ReadyQueue,
@@ -1101,9 +1172,12 @@ struct Manager<T: Scalar> {
     metrics: Arc<Mutex<ServiceStats>>,
 }
 
-/// Flop cost of one task, scaled to keep virtual times in a sane range.
-fn task_cost(b: usize, kind: TaskKind) -> f64 {
-    (flop_weight(b)(kind) / 1.0e6).max(1.0e-9)
+/// Cost of one task under the job's model, scaled to keep virtual times
+/// in a sane range (megaflops for the flop model, microseconds for a
+/// calibrated one — WFQ only compares within the service, so any
+/// monotone unit works).
+fn task_cost(cost: CostModel, b: usize, kind: TaskKind) -> f64 {
+    (model_weight(cost, b)(kind) / 1.0e6).max(1.0e-9)
 }
 
 /// Panel-factor kinds are the poison chokepoint: every downstream update
@@ -1221,6 +1295,8 @@ impl<T: Scalar> Manager<T> {
             b,
             payload,
             class,
+            cost,
+            tuning,
             injector,
             submitted,
             deadline,
@@ -1243,6 +1319,11 @@ impl<T: Scalar> Manager<T> {
             let mut m = self.metrics.lock().unwrap();
             m.jobs_submitted += 1;
             m.max_jobs_in_flight = m.max_jobs_in_flight.max(self.gate.in_flight());
+            match tuning {
+                JobTuning::Standard => {}
+                JobTuning::Probe => m.probe_jobs += 1,
+                JobTuning::Tuned => m.tuned_jobs += 1,
+            }
         }
         // Admission-time shed: the deadline may already be unmeetable —
         // typically because `submit` blocked on a saturated gate while it
@@ -1271,10 +1352,22 @@ impl<T: Scalar> Manager<T> {
         }
         let total = graph.len();
         let tracker = ReadyTracker::new(&graph);
-        let mut ready = ReadyQueue::for_policy(self.cfg.policy, &graph, flop_weight(b));
+        let mut ready = ReadyQueue::for_policy(self.cfg.policy, &graph, model_weight(cost, b));
         for t in tracker.initial_ready(&graph) {
             ready.push(t);
         }
+        let drift = self
+            .cfg
+            .drift
+            .enabled
+            .then(|| cost.class_costs())
+            .flatten()
+            .map(|base| {
+                (
+                    DriftDetector::new(self.cfg.drift, base.expected_us(b)),
+                    base,
+                )
+            });
         let job = JobState {
             meta,
             shared: Some(Arc::new(SharedFactorState::new(state))),
@@ -1284,6 +1377,12 @@ impl<T: Scalar> Manager<T> {
             b,
             payload: Some(payload),
             weight: class.weight(),
+            cost,
+            drift,
+            drift_panel: 0,
+            drift_reweights: 0,
+            class_compute_us: [0.0; 3],
+            class_tasks: [0; 3],
             vtime,
             tracker,
             ready,
@@ -1593,6 +1692,7 @@ impl<T: Scalar> Manager<T> {
                             retries: job.retries,
                             requeues: job.requeues,
                             worker_deaths: job.worker_deaths,
+                            drift_reweights: job.drift_reweights,
                             trace: None,
                             counters,
                         };
@@ -1664,7 +1764,12 @@ impl<T: Scalar> Manager<T> {
             backlog_at_submit: job.meta.backlog_at_submit,
             batched,
             task_latency: job.task_latency,
+            class_compute_us: job.class_compute_us,
+            class_tasks: job.class_tasks,
         };
+        if job.drift_reweights > 0 {
+            self.metrics.lock().unwrap().drift_reweights += job.drift_reweights;
+        }
         // Release before resolving the handle so a waiter that sees the
         // result can immediately reuse the admission slot.
         self.gate.release();
@@ -1775,6 +1880,27 @@ impl<T: Scalar> Manager<T> {
                             job.commit_wait += t0.elapsed();
                             job.committed[task] = true;
                             job.tasks_per_worker[worker] += 1;
+                            let kind = job.graph.task(task);
+                            let slot = class_slot(kind.class());
+                            let compute_us = compute_ns as f64 / 1e3;
+                            job.class_compute_us[slot] += compute_us;
+                            job.class_tasks[slot] += 1;
+                            if let Some((detector, base)) = job.drift.as_mut() {
+                                detector.record(slot, compute_us);
+                                // Panel boundary: first commit of a later
+                                // panel closes the previous panel's window.
+                                if kind.panel() > job.drift_panel {
+                                    job.drift_panel = kind.panel();
+                                    if let Some(ratios) = detector.check() {
+                                        let scaled = base.scaled(ratios);
+                                        let b = job.b;
+                                        job.ready.reprioritize(bottom_levels(&job.graph, |k| {
+                                            scaled.cost_us(k, b)
+                                        }));
+                                        job.drift_reweights += 1;
+                                    }
+                                }
+                            }
                             let graph = Arc::clone(&job.graph);
                             for s in job.tracker.complete(&graph, task) {
                                 job.ready.push(s);
@@ -1861,6 +1987,7 @@ impl<T: Scalar> Manager<T> {
                         retries: 0,
                         requeues: 0,
                         worker_deaths: 0,
+                        drift_reweights: 0,
                         trace: None,
                         counters,
                     };
@@ -1876,6 +2003,8 @@ impl<T: Scalar> Manager<T> {
                         backlog_at_submit: meta.backlog_at_submit,
                         batched: true,
                         task_latency,
+                        class_compute_us: [0.0; 3],
+                        class_tasks: [0; 3],
                     };
                     self.gate.release();
                     let _ = meta.result_tx.send(Ok(result));
@@ -2040,7 +2169,7 @@ impl<T: Scalar> Manager<T> {
         job.in_flight += 1;
         self.dispatch_count += 1;
         self.vclock = job.vtime;
-        job.vtime += task_cost(job.b, kind) / job.weight;
+        job.vtime += task_cost(job.cost, job.b, kind) / job.weight;
         self.metrics.lock().unwrap().tasks_dispatched += 1;
         let marker = InFlight::Task {
             job: id,
@@ -2230,6 +2359,7 @@ pub struct QrService<T: Scalar> {
     manager: Mutex<Option<JoinHandle<()>>>,
     next_job: AtomicU64,
     selector: Option<Arc<TreeSelector>>,
+    default_cost: CostModel,
 }
 
 /// Per-job elimination-tree planner: maps a job's tile geometry and tile
@@ -2255,6 +2385,7 @@ impl<T: Scalar> QrService<T> {
 
     fn start_inner(config: ServiceConfig, selector: Option<Arc<TreeSelector>>) -> Self {
         let workers = config.effective_workers().max(1);
+        let default_cost = config.cost;
         let gate = Arc::new(Gate::new(config.max_in_flight));
         let metrics = Arc::new(Mutex::new(ServiceStats::default()));
         let (tx, rx) = mpsc::channel::<Msg<T>>();
@@ -2274,6 +2405,7 @@ impl<T: Scalar> QrService<T> {
             manager: Mutex::new(Some(manager)),
             next_job: AtomicU64::new(0),
             selector,
+            default_cost,
         }
     }
 
@@ -2354,6 +2486,8 @@ impl<T: Scalar> QrService<T> {
             b,
             payload: spec.payload,
             class: spec.priority,
+            cost: spec.cost.unwrap_or(self.default_cost),
+            tuning: spec.tuning,
             injector: spec.injector,
             submitted: Instant::now(),
             deadline: spec.deadline,

@@ -10,7 +10,8 @@
 use crate::distribution::DistributionStrategy;
 use crate::fastsim::simulate_fast;
 use crate::plan::{plan_with, MainDevicePolicy};
-use tileqr_sim::Platform;
+use crate::select::select_plan;
+use tileqr_sim::{DeviceProfile, Platform};
 
 /// Result of a tile-size probe sweep.
 #[derive(Debug, Clone)]
@@ -21,10 +22,47 @@ pub struct TuneResult {
     pub probes: Vec<(usize, f64)>,
 }
 
+/// The unified tuning path: sweep every candidate tile size on an
+/// `n_probe x n_probe` probe problem through the geometry-aware plan
+/// selector ([`select_plan`]) over a *calibrated* single-device profile,
+/// and report the per-tile best predicted time (each tile's fastest
+/// elimination tree). Returns the same [`TuneResult`] shape as the
+/// legacy Song-style sweep, so existing consumers compare directly —
+/// but the prediction now runs over measured kernel curves (e.g. fit by
+/// `obs::calibrate` or the service-level online tuner) instead of the
+/// hand-configured heterogeneous platform, and picks the tree jointly
+/// with the tile size.
+pub fn tune_plan(profile: &DeviceProfile, n_probe: usize, candidates: &[usize]) -> TuneResult {
+    assert!(!candidates.is_empty(), "need at least one candidate");
+    let selection = select_plan(profile, n_probe, n_probe, candidates);
+    let probes: Vec<(usize, f64)> = candidates
+        .iter()
+        .map(|&b| {
+            let best_us = selection
+                .ranked
+                .iter()
+                .filter(|s| s.tile_size == b)
+                .map(|s| s.makespan_us)
+                .fold(f64::INFINITY, f64::min);
+            (b, best_us / 1e6)
+        })
+        .collect();
+    TuneResult {
+        best_tile: selection.best.tile_size,
+        probes,
+    }
+}
+
 /// Probe every candidate tile size on an `n_probe`-sized problem and pick
 /// the fastest. `make_platform` rebuilds the platform for a given tile
 /// size (the kernel-time curves are functions of `b`, so the platform
 /// config must change with it).
+#[deprecated(
+    since = "0.1.0",
+    note = "superseded by `tune_plan`, which sweeps the same candidates through the \
+            calibrated plan selector (`select::select_plan`) and tunes the elimination \
+            tree jointly; kept as the Song et al. baseline for the ablation"
+)]
 pub fn tune_tile_size(
     make_platform: impl Fn(usize) -> Platform,
     n_probe: usize,
@@ -56,9 +94,32 @@ pub fn tune_tile_size(
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use tileqr_sim::profiles;
+
+    #[test]
+    fn unified_tuner_matches_selector_winner() {
+        let p = profiles::paper_testbed(16).device(0).clone();
+        let r = tune_plan(&p, 640, &[8, 16, 32]);
+        assert!([8, 16, 32].contains(&r.best_tile));
+        assert_eq!(r.probes.len(), 3);
+        assert!(r.probes.iter().all(|&(_, t)| t.is_finite() && t > 0.0));
+        // The winner's probe time is the sweep minimum.
+        let best = r.probes.iter().find(|&&(b, _)| b == r.best_tile).unwrap().1;
+        assert!(r.probes.iter().all(|&(_, t)| best <= t));
+        // Agrees with the selector it wraps.
+        let sel = select_plan(&p, 640, 640, &[8, 16, 32]);
+        assert_eq!(r.best_tile, sel.best.tile_size);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unified_tuner_rejects_empty_candidates() {
+        let p = profiles::paper_testbed(16).device(0).clone();
+        let _ = tune_plan(&p, 320, &[]);
+    }
 
     #[test]
     fn picks_a_candidate() {
